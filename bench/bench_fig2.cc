@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 2 reproduction: imbalanced per-device GPU memory when
+ * training Bert-1.67B in PipeDream (microbatch 2) and DAPPLE
+ * (microbatch 12).
+ *
+ * The paper observes peaks decreasing monotonically from GPU0 to
+ * GPU7 with up to a 7.9x max/min gap.
+ */
+
+#include "bench/common.hh"
+
+namespace api = mpress::api;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mu = mpress::util;
+
+namespace {
+
+api::SessionResult
+measure(mpress::pipeline::SystemKind system, int microbatch)
+{
+    api::SessionConfig cfg;
+    cfg.model = mm::presetByName("bert-1.67b");
+    cfg.microbatch = microbatch;
+    cfg.system = system;
+    cfg.numStages = 8;
+    cfg.microbatchesPerMinibatch =
+        system == mpress::pipeline::SystemKind::PipeDream ? 1 : 8;
+    cfg.minibatches =
+        system == mpress::pipeline::SystemKind::PipeDream ? 16 : 2;
+    cfg.strategy = api::Strategy::None;
+    cfg.executor.failFastOnOom = false;  // measure true demand
+    return api::runSession(hw::Topology::dgx1V100(), cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 2: per-device GPU memory, Bert-1.67B\n\n");
+
+    auto pd = measure(mpress::pipeline::SystemKind::PipeDream, 2);
+    auto dp = measure(mpress::pipeline::SystemKind::Dapple, 12);
+
+    mu::TextTable table({"gpu", "PipeDream bs=2", "DAPPLE bs=12"});
+    for (int g = 0; g < 8; ++g) {
+        table.addRow({mu::strformat("%d", g),
+                      mu::strformat("%.1f GB",
+                                    mu::toGB(pd.report.gpus
+                                                 [static_cast<
+                                                     std::size_t>(g)]
+                                                 .peak)),
+                      mu::strformat("%.1f GB",
+                                    mu::toGB(dp.report.gpus
+                                                 [static_cast<
+                                                     std::size_t>(g)]
+                                                 .peak))});
+    }
+    table.print(std::cout);
+
+    auto ratio = [](const api::SessionResult &r) {
+        return static_cast<double>(r.report.maxGpuPeak()) /
+               static_cast<double>(r.report.minGpuPeak());
+    };
+    std::printf("\nmax/min imbalance: PipeDream %.1fx, DAPPLE %.1fx"
+                " (paper: up to 7.9x)\n",
+                ratio(pd), ratio(dp));
+    return 0;
+}

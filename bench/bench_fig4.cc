@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 4 reproduction: unidirectional aggregated bandwidth from a
+ * single GPU across transfer sizes, for a PCIe link and for 2/4/6
+ * aggregated NVLinks.
+ *
+ * Paper: 2..6 NVLinks reach 45..146 GB/s on large transfers —
+ * 3.9-12.5x the PCIe bandwidth.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "hw/link.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace hw = mpress::hw;
+namespace mu = mpress::util;
+
+namespace {
+
+/** Aggregated effective bandwidth of @p lanes striped lanes. */
+double
+aggregated(const hw::LinkSpec &spec, int lanes, mu::Bytes size)
+{
+    mu::Bytes per_lane = (size + lanes - 1) / lanes;
+    mu::Tick t = spec.transferTime(per_lane);
+    return static_cast<double>(size) / mu::toSeconds(t) / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 4: aggregated unidirectional bandwidth vs"
+                " transfer size\n\n");
+
+    auto nv = hw::LinkSpec::nvlink2();
+    auto pcie = hw::LinkSpec::pcie3x16();
+
+    mu::TextTable table({"size", "PCIe (GB/s)", "NV2 (GB/s)",
+                         "NV4 (GB/s)", "NV6 (GB/s)", "NV6/PCIe"});
+    for (mu::Bytes size = 256 * mu::kKiB; size <= mu::kGiB;
+         size *= 4) {
+        double p = aggregated(pcie, 1, size);
+        double nv2 = aggregated(nv, 2, size);
+        double nv4 = aggregated(nv, 4, size);
+        double nv6 = aggregated(nv, 6, size);
+        table.addRow({mu::formatBytes(size),
+                      mu::strformat("%.1f", p),
+                      mu::strformat("%.1f", nv2),
+                      mu::strformat("%.1f", nv4),
+                      mu::strformat("%.1f", nv6),
+                      mu::strformat("%.1fx", nv6 / p)});
+    }
+    table.print(std::cout);
+    std::printf("\npaper: NV2-NV6 = 45-146 GB/s at large sizes,"
+                " 3.9-12.5x PCIe\n");
+    return 0;
+}

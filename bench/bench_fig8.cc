@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 8 reproduction: GPT training performance (TFLOPS) on the
+ * DGX-1 (a) and DGX-2 generation (b) servers, DAPPLE as the base
+ * inter-operator system, against recomputation and the ZeRO family.
+ *
+ * Paper shape: DAPPLE dies beyond 5.3B; DAPPLE+Recompute reaches
+ * 10.3B (DGX-1) / 15.4B (DGX-2); the ZeRO variants and MPress reach
+ * every size; MPress is 37-41% faster than ZeRO-Infinity on DGX-1;
+ * on DGX-2 ZeRO-Infinity falls behind ZeRO-Offload because of the
+ * rented server's slow SSD.
+ */
+
+#include "bench/common.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mu = mpress::util;
+
+namespace {
+
+void
+sweep(const hw::Topology &topo, const char *caption)
+{
+    std::printf("--- %s ---\n", caption);
+    const api::Strategy systems[] = {
+        api::Strategy::None,         api::Strategy::Recompute,
+        api::Strategy::ZeroOffload,  api::Strategy::ZeroInfinity,
+        api::Strategy::MPressFull,
+    };
+    const char *labels[] = {"DAPPLE", "DAPPLE+Recomp", "ZeRO-Offload",
+                            "ZeRO-Infinity", "MPress"};
+
+    std::vector<std::string> headers = {"system"};
+    for (const auto &cfg : mm::gptVariants())
+        headers.push_back(cfg.name);
+    mu::TextTable table(headers);
+
+    for (std::size_t i = 0; i < std::size(systems); ++i) {
+        std::vector<std::string> cells = {labels[i]};
+        for (const auto &model_cfg : mm::gptVariants()) {
+            auto cfg = bench::gptJob(model_cfg.name, systems[i]);
+            auto result = api::runSession(topo, cfg);
+            cells.push_back(bench::tflopsCell(result));
+        }
+        table.addRow(cells);
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 8: GPT + DAPPLE, TFLOPS (OOM = red cross)\n\n");
+    sweep(bench::dgx1ForZero(), "(a) DGX-1-V100");
+    sweep(hw::Topology::dgx2A100(), "(b) DGX-2-A100");
+    std::printf("paper shape: DAPPLE col2+ OOM; Recompute dies at"
+                " 15.4B (DGX-1) / 20.4B (DGX-2); MPress beats both"
+                " ZeRO variants; ZeRO-Infinity < ZeRO-Offload on"
+                " DGX-2 (slow SSD).\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cross-server scaling (the introduction's claim that enhanced
+ * single-server performance "can be the building block for
+ * accelerating cross-server giant model training"): pipeline stages
+ * span a chain of servers joined by InfiniBand while MPress compacts
+ * memory inside each node.
+ *
+ * Shapes to check: two chained DGX-1s roughly double one DGX-1's
+ * throughput on the same model (only boundary activations cross the
+ * IB link); the extra HBM raises the size ceiling; GPT-3 175B
+ * becomes trainable on four DGX-2-generation servers with MPress.
+ */
+
+#include "bench/common.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mu = mpress::util;
+
+namespace {
+
+api::SessionResult
+runOn(const hw::Topology &topo, const std::string &preset,
+      api::Strategy strategy)
+{
+    auto cfg = bench::gptJob(preset, strategy);
+    cfg.numStages = topo.numGpus();
+    return api::runSession(topo, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    auto dgx1 = hw::Topology::dgx1V100();
+    auto two_dgx1 = hw::Topology::multiNode(
+        dgx1, 2, 1, hw::Topology::infinibandHdr());
+    auto four_dgx2 = hw::Topology::multiNode(
+        hw::Topology::dgx2A100(), 4, 1,
+        hw::Topology::infinibandHdr());
+
+    std::printf("Cross-server scaling with MPress inside each"
+                " node\n\n");
+
+    mu::TextTable table(
+        {"cluster", "model", "strategy", "outcome", "TFLOPS"});
+    auto add = [&](const hw::Topology &topo,
+                   const std::string &preset, api::Strategy strat,
+                   const char *label) {
+        auto result = runOn(topo, preset, strat);
+        table.addRow({topo.name(), preset, label,
+                      result.oom ? "OOM" : "ok",
+                      bench::tflopsCell(result)});
+        return result;
+    };
+
+    auto one = add(dgx1, "gpt-10.3b", api::Strategy::MPressFull,
+                   "mpress");
+    auto two = add(two_dgx1, "gpt-10.3b", api::Strategy::MPressFull,
+                   "mpress");
+    add(two_dgx1, "gpt-25.5b", api::Strategy::None, "none");
+    add(two_dgx1, "gpt-25.5b", api::Strategy::MPressFull, "mpress");
+    add(four_dgx2, "gpt3-175b", api::Strategy::None, "none");
+    add(four_dgx2, "gpt3-175b", api::Strategy::MPressFull, "mpress");
+    table.print(std::cout);
+
+    if (!one.oom && !two.oom) {
+        std::printf("\n2-node scaling on GPT-10.3B: %.2fx (ideal"
+                    " 2.0x; the IB hop only carries boundary"
+                    " activations)\n",
+                    two.tflops / one.tflops);
+    }
+    return 0;
+}

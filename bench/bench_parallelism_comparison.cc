@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sec. II-A quantified: why MPress starts from inter-operator
+ * parallelism.  Compares the three parallelization families on the
+ * same model and hardware — communication volume per microbatch,
+ * exposed communication time, and end-to-end TFLOPS.
+ *
+ * Paper claims to check: data parallelism (ZeRO) has the heaviest
+ * per-GPU memory and communication; intra-operator (tensor)
+ * parallelism pays blocking all-reduces on the critical path;
+ * inter-operator parallelism only ships microbatch activations
+ * between stages (Bert-0.64B: microbatch x 1.5 MB per boundary).
+ */
+
+#include "bench/common.hh"
+
+#include "baselines/tensor_parallel.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace bl = mpress::baselines;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mu = mpress::util;
+
+int
+main()
+{
+    auto topo = hw::Topology::dgx1V100();
+    auto model = mm::presetByName("gpt-5.3b");
+    const int mb = 2;
+
+    std::printf("Parallelism comparison: GPT-5.3B, microbatch %d,"
+                " %s\n\n",
+                mb, topo.name().c_str());
+
+    // Communication volume per microbatch (per GPU).
+    mm::TransformerModel mdl(model, mb);
+    mu::Bytes hidden = static_cast<mu::Bytes>(model.seqLen) * mb *
+                       model.hidden * model.elemBytes();
+    mu::Bytes interop_vol = hidden;  // one boundary activation
+    mu::Bytes tp_vol = hidden * 2 * 2 * model.numBlocks;  // 2 AR x 2 dirs
+    mu::Bytes zero_vol =
+        mdl.paramBytes(mdl.totalParams()) * 3;  // gather x2 + scatter
+
+    std::printf("communication per microbatch per GPU:\n"
+                "  inter-operator : %s (stage boundary activation)\n"
+                "  intra-operator : %s (blocking all-reduces)\n"
+                "  ZeRO-3 data par: %s (parameter gathers +"
+                " grad scatter)\n\n",
+                mu::formatBytes(interop_vol).c_str(),
+                mu::formatBytes(tp_vol).c_str(),
+                mu::formatBytes(zero_vol).c_str());
+
+    mu::TextTable table({"strategy", "TFLOPS", "exposed comm",
+                         "per-GPU peak"});
+
+    auto interop = bench::gptJob(model.name, api::Strategy::None);
+    auto r_inter = api::runSession(topo, interop);
+    table.addRow({"inter-op (DAPPLE)",
+                  bench::tflopsCell(r_inter), "~0 (pipelined)",
+                  mu::formatBytes(r_inter.maxGpuPeak)});
+
+    bl::TensorParallelConfig tp;
+    tp.microbatch = mb;
+    auto r_tp = bl::runTensorParallel(topo, model, tp);
+    table.addRow({"intra-op (Megatron-style TP)",
+                  r_tp.oom ? "OOM" : mu::strformat("%.1f", r_tp.tflops),
+                  mu::strformat("%.0f%%", r_tp.commFraction * 100.0),
+                  mu::formatBytes(r_tp.gpuPeak)});
+
+    auto zero_cfg = bench::gptJob(model.name,
+                                  api::Strategy::ZeroOffload);
+    auto r_zero = api::runSession(bench::dgx1ForZero(), zero_cfg);
+    table.addRow({"data-par (ZeRO-Offload)",
+                  bench::tflopsCell(r_zero), "overlapped gathers",
+                  mu::formatBytes(r_zero.maxGpuPeak)});
+
+    table.print(std::cout);
+    std::printf("\npaper Sec. II-A: inter-op ships orders of"
+                " magnitude less data and keeps it off the critical"
+                " path; TP's all-reduces block every layer.\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sec. II-D ablation: memory-balanced stage partitioning flattens the
+ * per-GPU memory profile but costs throughput (the paper measures a
+ * 34% loss versus the compute-balanced default).
+ */
+
+#include "bench/common.hh"
+
+#include "partition/partition.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace hw = mpress::hw;
+namespace mu = mpress::util;
+
+int
+main()
+{
+    std::printf("Partition strategy ablation: Bert-0.35B mb=12 on"
+                " PipeDream/DGX-1\n\n");
+
+    mu::TextTable table({"partition", "samples/s", "TFLOPS",
+                         "max GPU peak", "min GPU peak", "imbalance"});
+    double compute_sps = 0, memory_sps = 0;
+    for (auto strat : {mpress::partition::Strategy::ComputeBalanced,
+                       mpress::partition::Strategy::MemoryBalanced}) {
+        auto cfg = bench::bertJob("bert-0.35b", api::Strategy::None);
+        cfg.partition = strat;
+        auto result = api::runSession(hw::Topology::dgx1V100(), cfg);
+        double imb = static_cast<double>(result.report.maxGpuPeak()) /
+                     static_cast<double>(result.report.minGpuPeak());
+        table.addRow({mpress::partition::strategyName(strat),
+                      mu::strformat("%.1f", result.samplesPerSec),
+                      mu::strformat("%.1f", result.tflops),
+                      mu::formatBytes(result.report.maxGpuPeak()),
+                      mu::formatBytes(result.report.minGpuPeak()),
+                      mu::strformat("%.1fx", imb)});
+        if (strat == mpress::partition::Strategy::ComputeBalanced)
+            compute_sps = result.samplesPerSec;
+        else
+            memory_sps = result.samplesPerSec;
+    }
+    table.print(std::cout);
+    std::printf("\nmemory-balanced throughput loss: %.0f%% (paper:"
+                " ~34%%)\n",
+                100.0 * (1.0 - memory_sps / compute_sps));
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Planner ablation (Sec. III-D internals): how much each phase of
+ * MPress Static contributes.  Compares, on a high-pressure job:
+ *
+ *   seed-only        — cost-model seeding, no emulator refinement
+ *   no-mapping       — full loop but DAPPLE/PipeDream's suggested
+ *                      (identity) placement
+ *   full             — profile -> map -> seed -> refine
+ *
+ * plus the naive single-technique plans as context.  The paper's
+ * claim: the emulator-feedback iterations and the mapping search are
+ * what turn three mediocre techniques into one fast system.
+ */
+
+#include "bench/common.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace hw = mpress::hw;
+namespace mu = mpress::util;
+
+namespace {
+
+void
+ablate(const char *label, const api::SessionConfig &base)
+{
+    std::printf("--- %s ---\n", label);
+    mu::TextTable table({"planner variant", "outcome", "TFLOPS"});
+
+    auto run = [&](const char *name, auto mutate) {
+        auto cfg = base;
+        mutate(cfg);
+        auto result = api::runSession(hw::Topology::dgx1V100(), cfg);
+        table.addRow({name, result.oom ? "OOM" : "ok",
+                      bench::tflopsCell(result)});
+    };
+
+    run("gpu-cpu-swap only", [](api::SessionConfig &c) {
+        c.strategy = api::Strategy::GpuCpuSwap;
+    });
+    run("recompute only", [](api::SessionConfig &c) {
+        c.strategy = api::Strategy::Recompute;
+    });
+    run("MPress seed only (no refinement)",
+        [](api::SessionConfig &c) {
+            c.strategy = api::Strategy::MPressFull;
+            c.planner.maxIterations = 0;
+        });
+    run("MPress without mapping search", [](api::SessionConfig &c) {
+        c.strategy = api::Strategy::MPressFull;
+        c.planner.mapper.searchPlacement = false;
+    });
+    run("MPress full", [](api::SessionConfig &c) {
+        c.strategy = api::Strategy::MPressFull;
+    });
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Planner ablation: contribution of each MPress"
+                " Static phase\n\n");
+    ablate("Bert-1.67B, PipeDream/DGX-1",
+           bench::bertJob("bert-1.67b", api::Strategy::MPressFull));
+    ablate("GPT-15.4B, DAPPLE/DGX-1",
+           bench::gptJob("gpt-15.4b", api::Strategy::MPressFull));
+    return 0;
+}

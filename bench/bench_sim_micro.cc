@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the engine primitives that
+ * every experiment leans on: event queue throughput, stream
+ * submission, stripe-plan construction, schedule generation,
+ * partitioning, and a full end-to-end simulated iteration.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compaction/striping.hh"
+#include "hw/fabric.hh"
+#include "model/model.hh"
+#include "partition/partition.hh"
+#include "pipeline/schedule.hh"
+#include "planner/mapper.hh"
+#include "runtime/executor.hh"
+#include "sim/engine.hh"
+
+namespace cp = mpress::compaction;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mp = mpress::partition;
+namespace pl = mpress::pipeline;
+namespace pn = mpress::planner;
+namespace rt = mpress::runtime;
+namespace mu = mpress::util;
+using mpress::sim::Engine;
+using mpress::sim::Stream;
+
+static void
+BM_EventQueue(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Engine engine;
+        for (int i = 0; i < n; ++i)
+            engine.schedule(i, [] {});
+        engine.run();
+        benchmark::DoNotOptimize(engine.eventsExecuted());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
+
+static void
+BM_StreamChain(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Engine engine;
+        Stream stream(engine, "bench");
+        engine.schedule(0, [&] {
+            for (int i = 0; i < n; ++i)
+                stream.submit(10, {});
+        });
+        engine.run();
+        benchmark::DoNotOptimize(stream.busyTime());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StreamChain)->Arg(10000);
+
+static void
+BM_StripePlan(benchmark::State &state)
+{
+    auto topo = hw::Topology::dgx1V100();
+    std::vector<cp::SpareGrant> grants = {
+        {1, 4 * mu::kGB}, {3, 8 * mu::kGB}, {4, 8 * mu::kGB}};
+    for (auto _ : state) {
+        auto plan = cp::makeStripePlan(topo, 0, grants,
+                                       216 * mu::kMB);
+        benchmark::DoNotOptimize(plan.totalBytes());
+    }
+}
+BENCHMARK(BM_StripePlan);
+
+static void
+BM_ScheduleGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto sched = pl::buildPipeDream(8, 8, 4);
+        benchmark::DoNotOptimize(sched.tasks.size());
+    }
+}
+BENCHMARK(BM_ScheduleGeneration);
+
+static void
+BM_Partitioning(benchmark::State &state)
+{
+    auto cfg = mm::presetByName("gpt-25.5b");
+    mm::TransformerModel mdl(cfg, 2);
+    for (auto _ : state) {
+        auto part = mp::partitionModel(
+            mdl, 8, mp::Strategy::ComputeBalanced);
+        benchmark::DoNotOptimize(part.numStages());
+    }
+}
+BENCHMARK(BM_Partitioning);
+
+static void
+BM_MappingSearch(benchmark::State &state)
+{
+    auto topo = hw::Topology::dgx1V100();
+    std::vector<mu::Bytes> demand = {
+        45 * mu::kGB, 38 * mu::kGB, 31 * mu::kGB, 25 * mu::kGB,
+        19 * mu::kGB, 14 * mu::kGB, 9 * mu::kGB, 4 * mu::kGB};
+    for (auto _ : state) {
+        auto result = pn::searchDeviceMapping(topo, demand,
+                                              28 * mu::kGB);
+        benchmark::DoNotOptimize(result.score);
+    }
+}
+BENCHMARK(BM_MappingSearch);
+
+static void
+BM_FullIteration(benchmark::State &state)
+{
+    auto topo = hw::Topology::dgx1V100();
+    auto cfg = mm::presetByName("bert-0.35b");
+    mm::TransformerModel mdl(cfg, 4);
+    auto part = mp::partitionModel(mdl, 8,
+                                   mp::Strategy::ComputeBalanced);
+    auto sched = pl::buildPipeDream(8, 4, 2);
+    for (auto _ : state) {
+        auto report = rt::runTraining(topo, mdl, part, sched, {});
+        benchmark::DoNotOptimize(report.makespan);
+    }
+}
+BENCHMARK(BM_FullIteration);
+
+BENCHMARK_MAIN();

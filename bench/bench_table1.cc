@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table I reproduction: GPU memory consumption contributed by each
+ * model-data type (activations / optimizer states / parameters &
+ * gradients), measured over all GPUs of an uncompacted training run.
+ *
+ * Paper values: Bert-0.64B 39/46/15 %, GPT-5.3B 42/44/14 %.
+ */
+
+#include "bench/common.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace hw = mpress::hw;
+namespace mu = mpress::util;
+
+namespace {
+
+void
+row(mu::TextTable &table, const char *label,
+    const api::SessionConfig &base)
+{
+    // Profile-style run: tolerate OOM so the full demand is visible.
+    auto cfg = base;
+    cfg.strategy = api::Strategy::None;
+    cfg.executor.failFastOnOom = false;
+    auto result = api::runSession(hw::Topology::dgx1V100(), cfg);
+
+    mu::Bytes act = 0, opt = 0, pg = 0;
+    for (const auto &g : result.report.gpus) {
+        act += g.peakActivations;
+        opt += g.peakOptState;
+        pg += g.peakParams + g.peakGrads;
+    }
+    double total = static_cast<double>(act + opt + pg);
+    table.addRow({label,
+                  mu::strformat("%.0f%%", 100.0 * act / total),
+                  mu::strformat("%.0f%%", 100.0 * opt / total),
+                  mu::strformat("%.0f%%", 100.0 * pg / total)});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table I: GPU memory consumption by model-data type\n"
+                "(paper: Bert-0.64B 39/46/15, GPT-5.3B 42/44/14)\n\n");
+
+    mu::TextTable table({"model", "activation", "optimizer states",
+                         "params & grads"});
+    row(table, "Bert-0.64B",
+        bench::bertJob("bert-0.64b", api::Strategy::None));
+    row(table, "GPT-5.3B",
+        bench::gptJob("gpt-5.3b", api::Strategy::None));
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table II reproduction: GPU memory demands (total / per-stage max /
+ * per-stage min) of every Bert and GPT variant under the paper's
+ * training conventions.
+ *
+ * Paper rows (GB): Bert 0.35B: 108.8/24.7/3.7 ... Bert 6.2B:
+ * 1279.1/280.6/35.5; GPT 5.3B: 164.8/28.5/12.7 ... GPT 25.5B:
+ * 806.2/140.1/61.5.
+ */
+
+#include "bench/common.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mu = mpress::util;
+
+namespace {
+
+void
+row(mu::TextTable &table, const char *family,
+    const api::SessionConfig &base)
+{
+    auto cfg = base;
+    cfg.strategy = api::Strategy::None;
+    cfg.executor.failFastOnOom = false;  // measure full demand
+    auto result = api::runSession(hw::Topology::dgx1V100(), cfg);
+    const auto &rep = result.report;
+    table.addRow({family, base.model.name,
+                  mu::strformat("%.1f", mu::toGB(rep.totalGpuPeak())),
+                  mu::strformat("%.1f", mu::toGB(rep.maxGpuPeak())),
+                  mu::strformat("%.1f", mu::toGB(rep.minGpuPeak()))});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table II: GPU memory demands (GB); Bert mb=12 on"
+                " PipeDream, GPT mb=2 on DAPPLE\n\n");
+
+    mu::TextTable table({"family", "config", "total", "per-stage max",
+                         "per-stage min"});
+    for (const auto &cfg : mm::bertVariants())
+        row(table, "Bert+PipeDream",
+            bench::bertJob(cfg.name, api::Strategy::None));
+    for (const auto &cfg : mm::gptVariants())
+        row(table, "GPT+DAPPLE",
+            bench::gptJob(cfg.name, api::Strategy::None));
+    table.print(std::cout);
+
+    std::printf("\npaper totals: Bert 108.8 / 227.0 / 345.9 / 578.7 /"
+                " 1279.1; GPT 164.8 / 325.0 / 486.7 / 646.9 /"
+                " 806.2\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark harnesses.
+ *
+ * Conventions (Sec. IV-A of the paper):
+ *  - Bert variants train on PipeDream at microbatch 12, fp32.  The
+ *    scheduling unit of PipeDream is a minibatch, so each pipeline
+ *    slot is one minibatch (mbPerMini = 1) and weight stashing holds
+ *    one version per in-flight minibatch.
+ *  - GPT variants train on DAPPLE at microbatch 2, fp16, with
+ *    64-microbatch minibatches (large-batch GPT training amortizing
+ *    the synchronous pipeline's fill/drain bubble).
+ *  - The ZeRO baselines run on servers provisioned with host memory
+ *    and an NVMe array (the paper could not run them on the stock
+ *    EC2 instance), accumulating gradients over the same 64
+ *    microbatches.
+ */
+
+#ifndef MPRESS_BENCH_COMMON_HH
+#define MPRESS_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "api/session.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace mpress {
+namespace bench {
+
+/** Bert-on-PipeDream session config (Fig. 7 conventions). */
+inline api::SessionConfig
+bertJob(const std::string &preset, api::Strategy strategy)
+{
+    api::SessionConfig cfg;
+    cfg.model = model::presetByName(preset);
+    cfg.microbatch = 12;
+    cfg.system = pipeline::SystemKind::PipeDream;
+    cfg.numStages = 8;
+    cfg.microbatchesPerMinibatch = 1;  // PipeDream: minibatch units
+    cfg.minibatches = 24;
+    cfg.strategy = strategy;
+    return cfg;
+}
+
+/** GPT-on-DAPPLE session config (Fig. 8 conventions). */
+inline api::SessionConfig
+gptJob(const std::string &preset, api::Strategy strategy)
+{
+    api::SessionConfig cfg;
+    cfg.model = model::presetByName(preset);
+    cfg.microbatch = 2;
+    cfg.system = pipeline::SystemKind::Dapple;
+    cfg.numStages = 8;
+    cfg.microbatchesPerMinibatch = 64;
+    cfg.minibatches = 2;
+    cfg.zero.gradAccumSteps = 64;
+    cfg.strategy = strategy;
+    return cfg;
+}
+
+/** DGX-1 server provisioned for the ZeRO baselines (Sec. IV-C). */
+inline hw::Topology
+dgx1ForZero()
+{
+    auto topo = hw::Topology::dgx1V100();
+    topo.setNvmeCapacity(2000 * util::kGB);
+    auto fast_nvme = hw::LinkSpec::nvme();
+    fast_nvme.peak = util::Bandwidth::fromGBps(25.0);
+    topo.setNvmeSpec(fast_nvme);
+    return topo;
+}
+
+/** "x.y" or "OOM" cell for a session result. */
+inline std::string
+tflopsCell(const api::SessionResult &result)
+{
+    if (result.oom)
+        return "OOM";
+    return util::strformat("%.1f", result.tflops);
+}
+
+} // namespace bench
+} // namespace mpress
+
+#endif // MPRESS_BENCH_COMMON_HH

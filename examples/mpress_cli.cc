@@ -1,0 +1,192 @@
+/**
+ * @file
+ * mpress_cli — command-line driver for the simulator.
+ *
+ *   mpress_cli [options]
+ *     --model <preset>        bert-0.35b..6.2b, gpt-5.3b..25.5b,
+ *                             gpt3-175b            [bert-0.64b]
+ *     --system <name>         pipedream|dapple|gpipe [pipedream]
+ *     --strategy <name>       none|recompute|gpu-cpu-swap|d2d-only|
+ *                             mpress|zero-offload|zero-infinity
+ *                                                  [mpress]
+ *     --topology <name>       dgx1|dgx2            [dgx1]
+ *     --microbatch <n>        per-microbatch samples [12]
+ *     --mb-per-mini <n>       microbatches per minibatch [8]
+ *     --minibatches <n>       training window length [2]
+ *     --save-plan <file>      write the executed plan (plan format)
+ *     --load-plan <file>      run a previously saved plan instead of
+ *                             planning (forces a custom strategy)
+ *     --timeline <file>       write a chrome-trace JSON
+ *
+ * Exit status: 0 on success, 2 on OOM, 1 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/session.hh"
+#include "compaction/serialize.hh"
+#include "util/strings.hh"
+
+namespace api = mpress::api;
+namespace cp = mpress::compaction;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mu = mpress::util;
+namespace pl = mpress::pipeline;
+namespace rt = mpress::runtime;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "mpress_cli: %s (see file header for"
+                         " options)\n",
+                 msg);
+    std::exit(1);
+}
+
+pl::SystemKind
+parseSystem(const std::string &name)
+{
+    if (name == "pipedream")
+        return pl::SystemKind::PipeDream;
+    if (name == "dapple")
+        return pl::SystemKind::Dapple;
+    if (name == "gpipe")
+        return pl::SystemKind::Gpipe;
+    usage("unknown --system");
+}
+
+api::Strategy
+parseStrategy(const std::string &name)
+{
+    if (name == "none")
+        return api::Strategy::None;
+    if (name == "recompute")
+        return api::Strategy::Recompute;
+    if (name == "gpu-cpu-swap")
+        return api::Strategy::GpuCpuSwap;
+    if (name == "d2d-only")
+        return api::Strategy::D2dOnly;
+    if (name == "mpress")
+        return api::Strategy::MPressFull;
+    if (name == "zero-offload")
+        return api::Strategy::ZeroOffload;
+    if (name == "zero-infinity")
+        return api::Strategy::ZeroInfinity;
+    usage("unknown --strategy");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model = "bert-0.64b";
+    std::string system = "pipedream";
+    std::string strategy = "mpress";
+    std::string topology = "dgx1";
+    std::string save_plan, load_plan, timeline;
+    int microbatch = 12, mb_per_mini = 8, minibatches = 2;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                usage(flag);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--model"))
+            model = need("--model needs a value");
+        else if (!std::strcmp(argv[i], "--system"))
+            system = need("--system needs a value");
+        else if (!std::strcmp(argv[i], "--strategy"))
+            strategy = need("--strategy needs a value");
+        else if (!std::strcmp(argv[i], "--topology"))
+            topology = need("--topology needs a value");
+        else if (!std::strcmp(argv[i], "--microbatch"))
+            microbatch = std::stoi(need("--microbatch"));
+        else if (!std::strcmp(argv[i], "--mb-per-mini"))
+            mb_per_mini = std::stoi(need("--mb-per-mini"));
+        else if (!std::strcmp(argv[i], "--minibatches"))
+            minibatches = std::stoi(need("--minibatches"));
+        else if (!std::strcmp(argv[i], "--save-plan"))
+            save_plan = need("--save-plan");
+        else if (!std::strcmp(argv[i], "--load-plan"))
+            load_plan = need("--load-plan");
+        else if (!std::strcmp(argv[i], "--timeline"))
+            timeline = need("--timeline");
+        else
+            usage("unknown option");
+    }
+
+    hw::Topology topo = topology == "dgx2"
+                            ? hw::Topology::dgx2A100()
+                            : hw::Topology::dgx1V100();
+    if (topology != "dgx1" && topology != "dgx2")
+        usage("--topology must be dgx1 or dgx2");
+
+    api::SessionConfig cfg;
+    cfg.model = mm::presetByName(model);
+    cfg.microbatch = microbatch;
+    cfg.system = parseSystem(system);
+    cfg.numStages = topo.numGpus();
+    cfg.microbatchesPerMinibatch = mb_per_mini;
+    cfg.minibatches = minibatches;
+    cfg.strategy = parseStrategy(strategy);
+    cfg.executor.recordTimeline = !timeline.empty();
+
+    api::SessionResult result;
+    if (!load_plan.empty()) {
+        // Run the saved plan directly through the executor.
+        std::ifstream in(load_plan);
+        if (!in)
+            usage("cannot read --load-plan file");
+        std::stringstream buf;
+        buf << in.rdbuf();
+        auto parsed = cp::planFromText(buf.str());
+        if (!parsed.ok) {
+            std::fprintf(stderr, "bad plan: %s\n",
+                         parsed.error.c_str());
+            return 1;
+        }
+        api::MPressSession session(topo, cfg);
+        result.plan = parsed.plan;
+        result.report = rt::runTraining(
+            topo, session.model(), session.partition(),
+            session.schedule(), parsed.plan, cfg.executor);
+        result.oom = result.report.oom;
+        result.samplesPerSec = result.report.samplesPerSec;
+        result.tflops = result.report.tflops;
+        result.maxGpuPeak = result.report.maxGpuPeak();
+        result.name = model + "/" + system + "/loaded-plan";
+    } else {
+        result = api::runSession(topo, cfg);
+    }
+
+    std::printf("%s on %s: ", result.name.c_str(),
+                topo.name().c_str());
+    if (result.oom) {
+        std::printf("OOM (gpu %d)\n", result.report.oomGpu);
+        return 2;
+    }
+    std::printf("%.1f samples/s, %.1f TFLOPS, max GPU peak %s\n",
+                result.samplesPerSec, result.tflops,
+                mu::formatBytes(result.maxGpuPeak).c_str());
+
+    if (!save_plan.empty()) {
+        std::ofstream out(save_plan);
+        out << cp::planToText(result.plan);
+        std::printf("plan written to %s\n", save_plan.c_str());
+    }
+    if (!timeline.empty()) {
+        std::ofstream out(timeline);
+        result.report.trace.exportChromeTrace(out);
+        std::printf("trace written to %s\n", timeline.c_str());
+    }
+    return 0;
+}

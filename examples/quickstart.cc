@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Quickstart: train a Bert model that does not fit a DGX-1's GPUs
+ * with MPress's full planner, and inspect what the planner decided.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "api/session.hh"
+#include "util/table.hh"
+#include "util/strings.hh"
+
+#include <iostream>
+
+namespace api = mpress::api;
+namespace cp = mpress::compaction;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mu = mpress::util;
+
+int
+main()
+{
+    // 1. Pick a server and a model.  Bert-0.64B at microbatch 12
+    //    overflows a 32 GB V100 on the early pipeline stages.
+    hw::Topology server = hw::Topology::dgx1V100();
+
+    api::SessionConfig cfg;
+    cfg.model = mm::presetByName("bert-0.64b");
+    cfg.microbatch = 12;
+    cfg.system = mpress::pipeline::SystemKind::PipeDream;
+    cfg.numStages = server.numGpus();
+    cfg.microbatchesPerMinibatch = 8;
+    cfg.minibatches = 2;
+    cfg.strategy = api::Strategy::MPressFull;
+
+    // 2. Run the session: profile -> device mapping -> plan ->
+    //    simulated training.
+    api::MPressSession session(server, cfg);
+    api::SessionResult result = session.run();
+
+    std::printf("=== %s on %s ===\n", result.name.c_str(),
+                server.name().c_str());
+    if (result.oom) {
+        std::printf("training failed: out of GPU memory\n");
+        return 1;
+    }
+
+    // 3. Throughput.
+    std::printf("throughput : %.1f samples/s (%.1f TFLOPS)\n",
+                result.samplesPerSec, result.tflops);
+    std::printf("max GPU peak: %s of %s per GPU\n",
+                mu::formatBytes(result.maxGpuPeak).c_str(),
+                mu::formatBytes(server.gpu().memCapacity).c_str());
+
+    // 4. What the planner decided.
+    const auto &plan = result.plan;
+    std::printf("\nplan: %d recompute, %d gpu-cpu-swap, %d d2d-swap"
+                " activation classes\n",
+                plan.countKind(cp::Kind::Recompute),
+                plan.countKind(cp::Kind::GpuCpuSwap),
+                plan.countKind(cp::Kind::D2dSwap));
+    if (!plan.stageToGpu.empty()) {
+        std::printf("stage -> GPU mapping:");
+        for (std::size_t s = 0; s < plan.stageToGpu.size(); ++s)
+            std::printf(" %zu->%d", s, plan.stageToGpu[s]);
+        std::printf("\n");
+    }
+    for (const auto &[exporter, grants] : plan.spareGrants) {
+        std::printf("GPU%d borrows:", exporter);
+        for (const auto &g : grants) {
+            std::printf(" %s from GPU%d",
+                        mu::formatBytes(g.budget).c_str(),
+                        g.importerGpu);
+        }
+        std::printf("\n");
+    }
+
+    // 5. Per-GPU memory picture.
+    mu::TextTable table({"gpu", "peak", "activations", "params",
+                         "optimizer"});
+    for (const auto &g : result.report.gpus) {
+        table.addRow({mu::strformat("%d", g.gpu),
+                      mu::formatBytes(g.peak),
+                      mu::formatBytes(g.peakActivations),
+                      mu::formatBytes(g.peakParams),
+                      mu::formatBytes(g.peakOptState)});
+    }
+    std::printf("\n");
+    table.print(std::cout);
+
+    // 6. Savings attribution (what made it fit).
+    const auto &sv = result.report.savings;
+    std::printf("\nmemory saved per iteration: recompute %s,"
+                " gpu-cpu swap %s, d2d swap %s\n",
+                mu::formatBytes(sv.recompute).c_str(),
+                mu::formatBytes(sv.gpuCpuSwap).c_str(),
+                mu::formatBytes(sv.d2dSwap).c_str());
+    return 0;
+}

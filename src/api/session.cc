@@ -1,0 +1,116 @@
+#include "api/session.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace mpress {
+namespace api {
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::None:
+        return "none";
+      case Strategy::Recompute:
+        return "recompute";
+      case Strategy::GpuCpuSwap:
+        return "gpu-cpu-swap";
+      case Strategy::D2dOnly:
+        return "mpress-d2d-only";
+      case Strategy::MPressFull:
+        return "mpress";
+      case Strategy::ZeroOffload:
+        return "zero-offload";
+      case Strategy::ZeroInfinity:
+        return "zero-infinity";
+    }
+    return "?";
+}
+
+MPressSession::MPressSession(hw::Topology topo, SessionConfig cfg)
+    : _topo(std::move(topo)), _cfg(std::move(cfg)),
+      _mdl(_cfg.model, _cfg.microbatch),
+      _part(partition::partitionModel(_mdl, _cfg.numStages,
+                                      _cfg.partition)),
+      _sched(pipeline::buildSchedule(_cfg.system, _cfg.numStages,
+                                     _cfg.microbatchesPerMinibatch,
+                                     _cfg.minibatches))
+{}
+
+SessionResult
+MPressSession::run() const
+{
+    SessionResult result;
+    result.strategy = _cfg.strategy;
+    result.name = util::strformat(
+        "%s/%s/%s", _cfg.model.name.c_str(),
+        pipeline::systemKindName(_cfg.system),
+        strategyName(_cfg.strategy));
+
+    // ZeRO baselines bypass the pipeline machinery entirely.
+    if (_cfg.strategy == Strategy::ZeroOffload ||
+        _cfg.strategy == Strategy::ZeroInfinity) {
+        baselines::ZeroConfig zc = _cfg.zero;
+        zc.variant = _cfg.strategy == Strategy::ZeroOffload
+                         ? baselines::ZeroVariant::Offload
+                         : baselines::ZeroVariant::Infinity;
+        zc.microbatch = _cfg.microbatch;
+        result.zeroReport = baselines::runZero(_topo, _cfg.model, zc);
+        result.oom = result.zeroReport.oom;
+        result.samplesPerSec = result.zeroReport.samplesPerSec;
+        result.tflops = result.zeroReport.tflops;
+        result.maxGpuPeak = result.zeroReport.gpuPeak;
+        return result;
+    }
+
+    switch (_cfg.strategy) {
+      case Strategy::None:
+        result.report = runtime::runTraining(_topo, _mdl, _part,
+                                             _sched, {},
+                                             _cfg.executor);
+        break;
+      case Strategy::Recompute:
+        result.plan = planner::recomputeAllPlan(_part);
+        result.report = runtime::runTraining(_topo, _mdl, _part,
+                                             _sched, result.plan,
+                                             _cfg.executor);
+        break;
+      case Strategy::GpuCpuSwap:
+        result.plan = planner::gpuCpuSwapAllPlan(_part);
+        result.report = runtime::runTraining(_topo, _mdl, _part,
+                                             _sched, result.plan,
+                                             _cfg.executor);
+        break;
+      case Strategy::D2dOnly:
+        result.planResult = planner::planD2dOnly(
+            _topo, _mdl, _part, _sched, _cfg.planner, _cfg.executor);
+        result.plan = result.planResult.plan;
+        result.report = result.planResult.finalReport;
+        break;
+      case Strategy::MPressFull:
+        result.planResult = planner::planMPress(
+            _topo, _mdl, _part, _sched, _cfg.planner, _cfg.executor);
+        result.plan = result.planResult.plan;
+        result.report = result.planResult.finalReport;
+        break;
+      default:
+        util::panic("unhandled strategy");
+    }
+
+    result.oom = result.report.oom;
+    result.samplesPerSec = result.report.samplesPerSec;
+    result.tflops = result.report.tflops;
+    result.maxGpuPeak = result.report.maxGpuPeak();
+    return result;
+}
+
+SessionResult
+runSession(const hw::Topology &topo, const SessionConfig &cfg)
+{
+    MPressSession session(topo, cfg);
+    return session.run();
+}
+
+} // namespace api
+} // namespace mpress

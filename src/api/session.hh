@@ -1,0 +1,121 @@
+/**
+ * @file
+ * MPressSession — the top-level public API of the library.
+ *
+ * A session describes one training job: which server, which model at
+ * which microbatch size, which inter-operator system (PipeDream /
+ * DAPPLE / GPipe) and which memory strategy.  run() simulates the job
+ * and returns a uniform result whatever the strategy, so examples and
+ * benchmark harnesses compare systems with identical code.
+ *
+ * Strategies mirror the paper's evaluated configurations:
+ *   None        — the stock inter-operator system (Fig. 7 "PipeDream")
+ *   Recompute   — recompute-everything baseline
+ *   GpuCpuSwap  — swap-everything baseline (activations + optimizer)
+ *   D2dOnly     — MPress with only D2D swap enabled
+ *   MPressFull  — the full planner (D2D + GPU-CPU swap + recompute)
+ *   ZeroOffload / ZeroInfinity — DeepSpeed data-parallel baselines
+ */
+
+#ifndef MPRESS_API_SESSION_HH
+#define MPRESS_API_SESSION_HH
+
+#include <string>
+
+#include "baselines/zero.hh"
+#include "hw/topology.hh"
+#include "model/model.hh"
+#include "partition/partition.hh"
+#include "pipeline/schedule.hh"
+#include "planner/planner.hh"
+#include "runtime/executor.hh"
+
+namespace mpress {
+namespace api {
+
+/** Memory strategy of a session. */
+enum class Strategy
+{
+    None,
+    Recompute,
+    GpuCpuSwap,
+    D2dOnly,
+    MPressFull,
+    ZeroOffload,
+    ZeroInfinity,
+};
+
+/** Returns a display name for @p s. */
+const char *strategyName(Strategy s);
+
+/** Full description of one training job. */
+struct SessionConfig
+{
+    model::ModelConfig model;
+    int microbatch = 2;
+    pipeline::SystemKind system = pipeline::SystemKind::PipeDream;
+    int numStages = 8;
+    int microbatchesPerMinibatch = 8;
+    int minibatches = 2;
+    partition::Strategy partition =
+        partition::Strategy::ComputeBalanced;
+    Strategy strategy = Strategy::None;
+
+    runtime::ExecutorConfig executor;
+    planner::PlannerConfig planner;
+    baselines::ZeroConfig zero;  ///< variant field is overridden
+};
+
+/** Uniform result across pipeline and ZeRO strategies. */
+struct SessionResult
+{
+    std::string name;
+    Strategy strategy = Strategy::None;
+    bool oom = false;
+    double samplesPerSec = 0.0;
+    double tflops = 0.0;
+    util::Bytes maxGpuPeak = 0;
+
+    /** Set for pipeline strategies (None..MPressFull). */
+    runtime::TrainingReport report;
+    /** The plan that ran (empty for None / ZeRO). */
+    compaction::CompactionPlan plan;
+    /** Planner metadata for D2dOnly / MPressFull. */
+    planner::PlanResult planResult;
+    /** Set for ZeRO strategies. */
+    baselines::ZeroReport zeroReport;
+};
+
+/**
+ * A configured training job bound to a server topology.
+ */
+class MPressSession
+{
+  public:
+    MPressSession(hw::Topology topo, SessionConfig cfg);
+
+    /** Simulate the job and return the uniform result. */
+    SessionResult run() const;
+
+    const hw::Topology &topology() const { return _topo; }
+    const SessionConfig &config() const { return _cfg; }
+    const model::TransformerModel &model() const { return _mdl; }
+    const partition::Partition &partition() const { return _part; }
+    const pipeline::Schedule &schedule() const { return _sched; }
+
+  private:
+    hw::Topology _topo;
+    SessionConfig _cfg;
+    model::TransformerModel _mdl;
+    partition::Partition _part;
+    pipeline::Schedule _sched;
+};
+
+/** One-call convenience wrapper. */
+SessionResult runSession(const hw::Topology &topo,
+                         const SessionConfig &cfg);
+
+} // namespace api
+} // namespace mpress
+
+#endif // MPRESS_API_SESSION_HH

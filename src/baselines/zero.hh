@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ZeRO-Series baselines (Sec. II-D, Fig. 8 comparators).
+ *
+ * Both variants run data parallelism with ZeRO-3 state partitioning:
+ * every GPU trains the full model on its own microbatch; parameters
+ * are all-gathered layer by layer (prefetched one layer ahead, as
+ * DeepSpeed does), gradients are reduce-scattered, and activation
+ * checkpointing is enabled.
+ *
+ *  - ZeRO-Offload keeps optimizer state + the Adam step on the CPU:
+ *    each iteration moves the gradient and parameter partitions over
+ *    PCIe and runs a host-side (memory-bound) optimizer step.
+ *  - ZeRO-Infinity additionally parks optimizer state on NVMe, adding
+ *    a shared-SSD read+write of the full state every iteration.
+ *
+ * The simulation runs one representative GPU's timeline on the event
+ * engine (all ranks are symmetric in data parallelism) with separate
+ * compute and communication streams, so gather/compute overlap and
+ * the serial offload sections behave like the real systems.
+ */
+
+#ifndef MPRESS_BASELINES_ZERO_HH
+#define MPRESS_BASELINES_ZERO_HH
+
+#include "hw/topology.hh"
+#include "model/model.hh"
+
+namespace mpress {
+namespace baselines {
+
+using util::Bytes;
+using util::Tick;
+
+/** Which ZeRO family member to emulate. */
+enum class ZeroVariant
+{
+    Offload,   ///< ZeRO-Offload: optimizer state + step on CPU
+    Infinity,  ///< ZeRO-Infinity: optimizer state on NVMe
+};
+
+/** Returns "ZeRO-Offload" or "ZeRO-Infinity". */
+const char *zeroVariantName(ZeroVariant v);
+
+/** Baseline configuration. */
+struct ZeroConfig
+{
+    ZeroVariant variant = ZeroVariant::Offload;
+    int microbatch = 2;        ///< per-GPU microbatch size
+    int gradAccumSteps = 1;    ///< microbatches per optimizer step
+    /** NCCL-style collective efficiency vs aggregate NVLink peak. */
+    double ringEfficiency = 0.7;
+    /** Kernel-efficiency discount of gather-partitioned execution:
+     *  ZeRO-3 re-materializes flattened parameter partitions into
+     *  layer modules and shuttles fp16/fp32 casts around every
+     *  gather, costing measurable compute efficiency relative to
+     *  resident-parameter execution; published ZeRO-3 numbers on
+     *  V100 at small per-GPU batch sit near 25-30%% MFU versus the
+     *  ~40%% of resident-parameter training. */
+    double computeEfficiency = 0.75;
+    /** Workspace/fragmentation reserve (same meaning as the
+     *  executor's memOverheadFactor). */
+    double memOverheadFactor = 1.10;
+};
+
+/** Result of a simulated ZeRO iteration. */
+struct ZeroReport
+{
+    bool oom = false;
+    Tick iterTime = 0;
+    double samplesPerSec = 0.0;
+    double tflops = 0.0;      ///< aggregate useful TFLOPS
+    Bytes gpuPeak = 0;        ///< per-GPU peak bytes
+    Bytes hostBytes = 0;      ///< host memory the variant needs
+    Bytes nvmeBytes = 0;      ///< NVMe footprint (Infinity)
+    Tick commTime = 0;        ///< collective time per iteration
+    Tick offloadTime = 0;     ///< PCIe/NVMe/CPU-step serial time
+};
+
+/** Simulate one training iteration of @p cfg on @p topo. */
+ZeroReport runZero(const hw::Topology &topo,
+                   const model::ModelConfig &model_cfg,
+                   ZeroConfig cfg);
+
+} // namespace baselines
+} // namespace mpress
+
+#endif // MPRESS_BASELINES_ZERO_HH

@@ -1,0 +1,71 @@
+#include "compaction/metadata.hh"
+
+#include "util/logging.hh"
+
+namespace mpress {
+namespace compaction {
+
+SwapRecord &
+SwapMetadataTable::beginSwapOut(InstanceKey key, Kind kind,
+                                StripePlan plan, Bytes bytes)
+{
+    auto [it, inserted] = _records.try_emplace(key);
+    if (!inserted) {
+        util::panic("double swap-out of tensor (%d,%d) mb %d",
+                    key.ref.stage, key.ref.layer, key.microbatch);
+    }
+    SwapRecord &rec = it->second;
+    rec.key = key;
+    rec.kind = kind;
+    rec.plan = std::move(plan);
+    rec.bytes = bytes;
+    rec.state = SwapState::SwappingOut;
+    return rec;
+}
+
+SwapRecord *
+SwapMetadataTable::find(InstanceKey key)
+{
+    auto it = _records.find(key);
+    return it == _records.end() ? nullptr : &it->second;
+}
+
+const SwapRecord *
+SwapMetadataTable::find(InstanceKey key) const
+{
+    auto it = _records.find(key);
+    return it == _records.end() ? nullptr : &it->second;
+}
+
+SwapRecord &
+SwapMetadataTable::require(InstanceKey key)
+{
+    SwapRecord *rec = find(key);
+    if (!rec) {
+        util::panic("swap record (%d,%d) mb %d not found",
+                    key.ref.stage, key.ref.layer, key.microbatch);
+    }
+    return *rec;
+}
+
+void
+SwapMetadataTable::markResident(InstanceKey key)
+{
+    require(key).state = SwapState::Resident;
+}
+
+void
+SwapMetadataTable::markSwappingIn(InstanceKey key)
+{
+    require(key).state = SwapState::SwappingIn;
+}
+
+void
+SwapMetadataTable::complete(InstanceKey key)
+{
+    require(key);
+    _records.erase(key);
+}
+
+} // namespace compaction
+} // namespace mpress

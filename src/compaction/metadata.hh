@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Swap metadata table (Sec. III-C).
+ *
+ * For every tensor instance that goes through D2D swap, MPress
+ * records the number of sub-blocks, their sizes and their target
+ * devices before the swap-out executes; the swap-in operator is
+ * driven from this record and retires it on completion.  The same
+ * table tracks GPU-CPU swapped instances (a single "stripe" to the
+ * host) so that the executor has one lookup path.
+ */
+
+#ifndef MPRESS_COMPACTION_METADATA_HH
+#define MPRESS_COMPACTION_METADATA_HH
+
+#include <map>
+
+#include "compaction/striping.hh"
+#include "memory/liveness.hh"
+
+namespace mpress {
+namespace compaction {
+
+/** Key of one swapped tensor instance: tensor class + microbatch. */
+struct InstanceKey
+{
+    TensorRef ref;
+    int microbatch = 0;
+
+    bool
+    operator<(const InstanceKey &o) const
+    {
+        if (!(ref == o.ref))
+            return ref < o.ref;
+        return microbatch < o.microbatch;
+    }
+};
+
+/** Lifecycle states of a swapped tensor instance. */
+enum class SwapState
+{
+    SwappingOut,  ///< swap-out issued, sub-blocks in flight
+    Resident,     ///< fully offloaded (host or peer GPUs)
+    SwappingIn,   ///< swap-in issued
+};
+
+/** One record in the metadata table. */
+struct SwapRecord
+{
+    InstanceKey key;
+    Kind kind = Kind::None;  ///< GpuCpuSwap or D2dSwap
+    StripePlan plan;         ///< empty for GPU-CPU swap
+    Bytes bytes = 0;
+    SwapState state = SwapState::SwappingOut;
+    /** GPU-CPU swap spilled past the host pool onto NVMe (the
+     *  multi-level hierarchy of Sec. V). */
+    bool onNvme = false;
+};
+
+/**
+ * Registry of in-flight and offloaded swap instances.
+ */
+class SwapMetadataTable
+{
+  public:
+    /** Create a record as the swap-out operator is issued; panics if
+     *  the instance is already tracked (double swap-out). */
+    SwapRecord &beginSwapOut(InstanceKey key, Kind kind,
+                             StripePlan plan, Bytes bytes);
+
+    /** Look up a record; nullptr if absent. */
+    SwapRecord *find(InstanceKey key);
+    const SwapRecord *find(InstanceKey key) const;
+
+    /** Mark an instance fully offloaded. */
+    void markResident(InstanceKey key);
+
+    /** Mark a swap-in issued. */
+    void markSwappingIn(InstanceKey key);
+
+    /** Retire a record once the swap-in lands; panics if absent. */
+    void complete(InstanceKey key);
+
+    std::size_t size() const { return _records.size(); }
+    bool empty() const { return _records.empty(); }
+
+  private:
+    SwapRecord &require(InstanceKey key);
+
+    std::map<InstanceKey, SwapRecord> _records;
+};
+
+} // namespace compaction
+} // namespace mpress
+
+#endif // MPRESS_COMPACTION_METADATA_HH

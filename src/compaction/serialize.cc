@@ -1,0 +1,167 @@
+#include "compaction/serialize.hh"
+
+#include <sstream>
+
+#include "util/strings.hh"
+
+namespace mpress {
+namespace compaction {
+
+namespace {
+
+const char *
+kindToken(Kind kind)
+{
+    switch (kind) {
+      case Kind::Recompute:
+        return "recompute";
+      case Kind::GpuCpuSwap:
+        return "gpu-cpu-swap";
+      case Kind::D2dSwap:
+        return "d2d-swap";
+      case Kind::None:
+        break;
+    }
+    return "none";
+}
+
+std::optional<Kind>
+kindFromToken(const std::string &token)
+{
+    if (token == "recompute")
+        return Kind::Recompute;
+    if (token == "gpu-cpu-swap")
+        return Kind::GpuCpuSwap;
+    if (token == "d2d-swap")
+        return Kind::D2dSwap;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::string
+planToText(const CompactionPlan &plan)
+{
+    std::ostringstream os;
+    os << "mpress-plan v1\n";
+    os << "striping " << (plan.d2dStriping ? "on" : "off") << "\n";
+    if (!plan.stageToGpu.empty()) {
+        os << "map";
+        for (int gpu : plan.stageToGpu)
+            os << ' ' << gpu;
+        os << "\n";
+    }
+    for (const auto &[ref, kind] : plan.activations) {
+        if (kind == Kind::None)
+            continue;
+        os << "act " << ref.stage << ' ' << ref.layer << ' '
+           << kindToken(kind) << "\n";
+    }
+    for (std::size_t s = 0; s < plan.offloadOptState.size(); ++s) {
+        if (plan.offloadOptState[s])
+            os << "opt " << s << "\n";
+    }
+    for (std::size_t s = 0; s < plan.offloadWeightStash.size(); ++s) {
+        if (plan.offloadWeightStash[s])
+            os << "stash " << s << "\n";
+    }
+    for (const auto &[exporter, grants] : plan.spareGrants) {
+        for (const auto &g : grants) {
+            os << "grant " << exporter << ' ' << g.importerGpu << ' '
+               << g.budget << "\n";
+        }
+    }
+    return os.str();
+}
+
+ParsedPlan
+planFromText(const std::string &text)
+{
+    ParsedPlan out;
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+
+    auto fail = [&](const std::string &why) {
+        out.ok = false;
+        out.error = util::strformat("line %d: %s", lineno,
+                                    why.c_str());
+        return out;
+    };
+
+    auto ensure_stage_flag = [](std::vector<bool> &flags, int stage) {
+        if (stage >= static_cast<int>(flags.size()))
+            flags.resize(static_cast<std::size_t>(stage) + 1, false);
+        flags[static_cast<std::size_t>(stage)] = true;
+    };
+
+    bool header_seen = false;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string word;
+        ls >> word;
+
+        if (!header_seen) {
+            std::string version;
+            ls >> version;
+            if (word != "mpress-plan" || version != "v1")
+                return fail("expected 'mpress-plan v1' header");
+            header_seen = true;
+            continue;
+        }
+
+        if (word == "striping") {
+            std::string v;
+            ls >> v;
+            if (v != "on" && v != "off")
+                return fail("striping must be on|off");
+            out.plan.d2dStriping = v == "on";
+        } else if (word == "map") {
+            out.plan.stageToGpu.clear();
+            int gpu;
+            while (ls >> gpu)
+                out.plan.stageToGpu.push_back(gpu);
+            if (out.plan.stageToGpu.empty())
+                return fail("map needs at least one GPU");
+        } else if (word == "act") {
+            int stage = -1, layer = -1;
+            std::string token;
+            if (!(ls >> stage >> layer >> token))
+                return fail("act needs <stage> <layer> <kind>");
+            auto kind = kindFromToken(token);
+            if (!kind)
+                return fail("unknown technique '" + token + "'");
+            out.plan.activations[{stage, layer}] = *kind;
+        } else if (word == "opt") {
+            int stage = -1;
+            if (!(ls >> stage) || stage < 0)
+                return fail("opt needs a stage index");
+            ensure_stage_flag(out.plan.offloadOptState, stage);
+        } else if (word == "stash") {
+            int stage = -1;
+            if (!(ls >> stage) || stage < 0)
+                return fail("stash needs a stage index");
+            ensure_stage_flag(out.plan.offloadWeightStash, stage);
+        } else if (word == "grant") {
+            int exporter = -1, importer = -1;
+            long long bytes = -1;
+            if (!(ls >> exporter >> importer >> bytes) || bytes < 0)
+                return fail("grant needs <exporter> <importer>"
+                            " <bytes>");
+            out.plan.spareGrants[exporter].push_back(
+                {importer, static_cast<Bytes>(bytes)});
+        } else {
+            return fail("unknown directive '" + word + "'");
+        }
+    }
+    if (!header_seen)
+        return fail("empty plan text");
+    out.ok = true;
+    return out;
+}
+
+} // namespace compaction
+} // namespace mpress

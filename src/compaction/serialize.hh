@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CompactionPlan serialization.
+ *
+ * MPress Static runs offline (Sec. III-B): the planner's output must
+ * outlive the planning process and be handed to the training runtime.
+ * Plans serialize to a line-oriented text format that is diff-able
+ * and hand-editable:
+ *
+ *     mpress-plan v1
+ *     striping on|off
+ *     map <gpu0> <gpu1> ...
+ *     act <stage> <layer> recompute|gpu-cpu-swap|d2d-swap
+ *     opt <stage>
+ *     stash <stage>
+ *     grant <exporterGpu> <importerGpu> <bytes>
+ *
+ * Unknown directives are rejected; parsing either succeeds completely
+ * or reports the offending line.
+ */
+
+#ifndef MPRESS_COMPACTION_SERIALIZE_HH
+#define MPRESS_COMPACTION_SERIALIZE_HH
+
+#include <optional>
+#include <string>
+
+#include "compaction/plan.hh"
+
+namespace mpress {
+namespace compaction {
+
+/** Render @p plan in the textual plan format. */
+std::string planToText(const CompactionPlan &plan);
+
+/** Parse result: either a plan or an error description. */
+struct ParsedPlan
+{
+    bool ok = false;
+    CompactionPlan plan;
+    std::string error;  ///< set when !ok, names the offending line
+};
+
+/** Parse the textual plan format. */
+ParsedPlan planFromText(const std::string &text);
+
+} // namespace compaction
+} // namespace mpress
+
+#endif // MPRESS_COMPACTION_SERIALIZE_HH

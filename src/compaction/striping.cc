@@ -1,0 +1,142 @@
+#include "compaction/striping.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mpress {
+namespace compaction {
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::None:
+        return "none";
+      case Kind::Recompute:
+        return "recompute";
+      case Kind::GpuCpuSwap:
+        return "gpu-cpu-swap";
+      case Kind::D2dSwap:
+        return "d2d-swap";
+    }
+    return "?";
+}
+
+int
+CompactionPlan::countKind(Kind kind) const
+{
+    int n = 0;
+    for (const auto &[ref, k] : activations) {
+        if (k == kind)
+            ++n;
+    }
+    return n;
+}
+
+StripePlan
+makeStripePlan(const hw::Topology &topo, int src,
+               const std::vector<SpareGrant> &grants, Bytes bytes)
+{
+    StripePlan plan;
+    if (bytes <= 0)
+        return plan;
+
+    // Reachable importers with nonzero budget, keeping grant order.
+    struct Cand { int gpu; Bytes budget; int lanes; };
+    std::vector<Cand> cands;
+    int total_lanes = 0;
+    for (const auto &g : grants) {
+        if (g.budget <= 0)
+            continue;
+        int lanes = topo.nvlinkLanes(src, g.importerGpu);
+        if (lanes <= 0)
+            continue;
+        cands.push_back({g.importerGpu, g.budget, lanes});
+        total_lanes += lanes;
+    }
+    if (cands.empty())
+        return plan;
+
+    // Lane-weighted shares (equal on symmetric fabrics where all
+    // lane counts match), with budget-capped water-filling: any
+    // overflow from a capped importer is re-spread over the rest.
+    std::vector<Bytes> share(cands.size(), 0);
+    Bytes remaining = bytes;
+    std::vector<bool> capped(cands.size(), false);
+    while (remaining > 0) {
+        int lanes_open = 0;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (!capped[i])
+                lanes_open += cands[i].lanes;
+        }
+        if (lanes_open == 0)
+            return {};  // budgets cannot absorb the tensor
+
+        Bytes distributed = 0;
+        bool newly_capped = false;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (capped[i])
+                continue;
+            Bytes want = remaining * cands[i].lanes / lanes_open;
+            // Round-off remainder goes to the last open candidate.
+            if (&cands[i] == &cands.back() ||
+                i + 1 == cands.size()) {
+                want = remaining - distributed;
+            }
+            Bytes room = cands[i].budget - share[i];
+            if (want >= room) {
+                share[i] += room;
+                distributed += room;
+                capped[i] = true;
+                newly_capped = true;
+            } else {
+                share[i] += want;
+                distributed += want;
+            }
+        }
+        remaining -= distributed;
+        if (remaining > 0 && !newly_capped) {
+            // All open candidates took their lane-weighted share but
+            // integer division left a residue; give it to the first
+            // open candidate with room.
+            for (std::size_t i = 0; i < cands.size() && remaining > 0;
+                 ++i) {
+                if (capped[i])
+                    continue;
+                Bytes room = cands[i].budget - share[i];
+                Bytes take = std::min(room, remaining);
+                share[i] += take;
+                remaining -= take;
+                if (share[i] == cands[i].budget)
+                    capped[i] = true;
+            }
+            if (remaining > 0)
+                return {};
+        }
+    }
+
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (share[i] > 0)
+            plan.stripes.push_back(
+                {cands[i].gpu, share[i], cands[i].lanes});
+    }
+    return plan;
+}
+
+Tick
+stripePlanTime(const hw::Topology &topo, int src,
+               const StripePlan &plan)
+{
+    Tick worst = 0;
+    for (const auto &s : plan.stripes) {
+        Bytes per_lane = (s.bytes + s.lanes - 1) / s.lanes;
+        Tick t = topo.linkSpecBetween(src, s.targetGpu)
+                     .transferTime(per_lane);
+        worst = std::max(worst, t);
+    }
+    return worst;
+}
+
+} // namespace compaction
+} // namespace mpress

@@ -1,0 +1,222 @@
+#include "hw/fabric.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace mpress {
+namespace hw {
+
+Fabric::Fabric(sim::Engine &engine, const Topology &topo)
+    : _engine(engine), _topo(topo)
+{
+    const int n = _topo.numGpus();
+
+    if (_topo.symmetric()) {
+        _egress.resize(n);
+        _ingress.resize(n);
+        const int ports = _topo.gpu().nvlinkPorts;
+        for (int g = 0; g < n; ++g) {
+            for (int p = 0; p < ports; ++p) {
+                _egress[g].lanes.push_back(std::make_unique<sim::Stream>(
+                    engine, util::strformat("gpu%d.out%d", g, p)));
+                _ingress[g].lanes.push_back(std::make_unique<sim::Stream>(
+                    engine, util::strformat("gpu%d.in%d", g, p)));
+            }
+        }
+    } else {
+        for (int a = 0; a < n; ++a) {
+            for (int b = 0; b < n; ++b) {
+                if (a == b)
+                    continue;
+                int lanes = _topo.nvlinkLanes(a, b);
+                if (lanes == 0)
+                    continue;
+                LanePool pool;
+                for (int l = 0; l < lanes; ++l) {
+                    pool.lanes.push_back(std::make_unique<sim::Stream>(
+                        engine,
+                        util::strformat("nv%d-%d.%d", a, b, l)));
+                }
+                _pairLanes.emplace(std::make_pair(a, b),
+                                   std::move(pool));
+            }
+        }
+    }
+
+    for (int g = 0; g < n; ++g) {
+        _pcie.push_back(std::make_unique<sim::Stream>(
+            engine, util::strformat("pcie%d", g)));
+    }
+    _nvmeWrite = std::make_unique<sim::Stream>(engine, "nvme.write");
+    _nvmeRead = std::make_unique<sim::Stream>(engine, "nvme.read");
+}
+
+std::vector<sim::Stream *>
+Fabric::pickLanes(LanePool &pool, int k)
+{
+    std::vector<sim::Stream *> all;
+    all.reserve(pool.lanes.size());
+    for (auto &lane : pool.lanes)
+        all.push_back(lane.get());
+    std::stable_sort(all.begin(), all.end(),
+                     [](const sim::Stream *a, const sim::Stream *b) {
+                         return a->busyUntil() < b->busyUntil();
+                     });
+    if (static_cast<int>(all.size()) > k)
+        all.resize(static_cast<std::size_t>(k));
+    return all;
+}
+
+void
+Fabric::stripedTransfer(std::vector<sim::Stream *> out_lanes,
+                        std::vector<sim::Stream *> in_lanes,
+                        const LinkSpec &spec, Bytes bytes, Done done)
+{
+    const int k = static_cast<int>(out_lanes.size());
+    if (k == 0) {
+        util::panic("striped transfer with no lanes");
+    }
+    Bytes per_lane = (bytes + k - 1) / k;
+    Tick dur = spec.transferTime(per_lane);
+
+    // The transfer completes when every occupied lane finishes.  The
+    // ingress side (switch fabrics) is occupied for the same duration.
+    int joins = k + static_cast<int>(in_lanes.size());
+    auto join = std::make_shared<sim::JoinCounter>(
+        joins, [cb = std::move(done)]() {
+            if (cb)
+                cb();
+        });
+    for (sim::Stream *lane : out_lanes) {
+        lane->submit(dur, [join](Tick, Tick) { join->arrive(); });
+    }
+    for (sim::Stream *lane : in_lanes) {
+        lane->submit(dur, [join](Tick, Tick) { join->arrive(); });
+    }
+}
+
+void
+Fabric::d2dTransfer(int src, int dst, Bytes bytes, int lanes, Done done)
+{
+    int avail = lanesBetween(src, dst);
+    if (avail == 0) {
+        util::panic("no NVLink path between GPU %d and GPU %d",
+                    src, dst);
+    }
+    if (lanes <= 0 || lanes > avail)
+        lanes = avail;
+
+    if (_topo.symmetric()) {
+        auto out = pickLanes(_egress[src], lanes);
+        auto in = pickLanes(_ingress[dst], lanes);
+        stripedTransfer(std::move(out), std::move(in),
+                        _topo.nvlinkSpec(), bytes, std::move(done));
+    } else {
+        auto it = _pairLanes.find({src, dst});
+        auto out = pickLanes(it->second, lanes);
+        stripedTransfer(std::move(out), {},
+                        _topo.linkSpecBetween(src, dst), bytes,
+                        std::move(done));
+    }
+}
+
+void
+Fabric::gpuToHost(int gpu, Bytes bytes, Done done)
+{
+    Tick dur = _topo.pcieSpec().transferTime(bytes);
+    _pcie[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) {
+        if (cb)
+            cb();
+    });
+}
+
+void
+Fabric::hostToGpu(int gpu, Bytes bytes, Done done)
+{
+    Tick dur = _topo.pcieSpec().transferTime(bytes);
+    _pcie[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) {
+        if (cb)
+            cb();
+    });
+}
+
+void
+Fabric::hostToNvme(Bytes bytes, Done done)
+{
+    Tick dur = _topo.nvmeSpec().transferTime(bytes);
+    _nvmeWrite->submit(dur, [cb = std::move(done)](Tick, Tick) {
+        if (cb)
+            cb();
+    });
+}
+
+void
+Fabric::nvmeToHost(Bytes bytes, Done done)
+{
+    Tick dur = _topo.nvmeSpec().transferTime(bytes);
+    _nvmeRead->submit(dur, [cb = std::move(done)](Tick, Tick) {
+        if (cb)
+            cb();
+    });
+}
+
+Tick
+Fabric::estimateD2d(int src, int dst, Bytes bytes, int lanes) const
+{
+    int avail = lanesBetween(src, dst);
+    if (avail == 0)
+        return -1;
+    if (lanes <= 0 || lanes > avail)
+        lanes = avail;
+    Bytes per_lane = (bytes + lanes - 1) / lanes;
+    return _topo.linkSpecBetween(src, dst).transferTime(per_lane);
+}
+
+Tick
+Fabric::estimatePcie(Bytes bytes) const
+{
+    return _topo.pcieSpec().transferTime(bytes);
+}
+
+Tick
+Fabric::estimateNvme(Bytes bytes) const
+{
+    return _topo.nvmeSpec().transferTime(bytes);
+}
+
+int
+Fabric::lanesBetween(int src, int dst) const
+{
+    if (src == dst)
+        return 0;
+    return _topo.nvlinkLanes(src, dst);
+}
+
+Tick
+Fabric::nvlinkBusyTime() const
+{
+    Tick total = 0;
+    for (const auto &[key, pool] : _pairLanes) {
+        for (const auto &lane : pool.lanes)
+            total += lane->busyTime();
+    }
+    for (const auto &pool : _egress) {
+        for (const auto &lane : pool.lanes)
+            total += lane->busyTime();
+    }
+    return total;
+}
+
+Tick
+Fabric::pcieBusyTime() const
+{
+    Tick total = 0;
+    for (const auto &lane : _pcie)
+        total += lane->busyTime();
+    return total;
+}
+
+} // namespace hw
+} // namespace mpress

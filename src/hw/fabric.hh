@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The simulated interconnect fabric: executes D2D (NVLink), GPU-host
+ * (PCIe/C2C) and host-NVMe transfers on the discrete-event engine with
+ * real lane occupancy, so that contention and compute/transfer overlap
+ * emerge from the simulation rather than being assumed.
+ *
+ * Lanes are modelled as in-order streams.  A transfer striped over k
+ * lanes places bytes/k on each lane and completes when the slowest
+ * lane finishes — exactly the data-striping execution model of
+ * Sec. III-C.
+ */
+
+#ifndef MPRESS_HW_FABRIC_HH
+#define MPRESS_HW_FABRIC_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hw/topology.hh"
+#include "sim/engine.hh"
+#include "sim/stream.hh"
+
+namespace mpress {
+namespace hw {
+
+/**
+ * Runtime transfer engine bound to one Engine and one Topology.
+ */
+class Fabric
+{
+  public:
+    using Done = std::function<void()>;
+
+    Fabric(sim::Engine &engine, const Topology &topo);
+
+    Fabric(const Fabric &) = delete;
+    Fabric &operator=(const Fabric &) = delete;
+
+    /**
+     * Move @p bytes from GPU @p src to GPU @p dst striped over
+     * @p lanes NVLink lanes.  @p lanes is clamped to the lanes
+     * available between the pair.  Fires @p done when the slowest
+     * stripe lands.  Passing lanes <= 0 uses all available lanes.
+     */
+    void d2dTransfer(int src, int dst, Bytes bytes, int lanes,
+                     Done done);
+
+    /** GPU -> host over the GPU's PCIe down-link. */
+    void gpuToHost(int gpu, Bytes bytes, Done done);
+
+    /** Host -> GPU over the GPU's PCIe up-link. */
+    void hostToGpu(int gpu, Bytes bytes, Done done);
+
+    /** Host memory -> NVMe. */
+    void hostToNvme(Bytes bytes, Done done);
+
+    /** NVMe -> host memory. */
+    void nvmeToHost(Bytes bytes, Done done);
+
+    /**
+     * Uncontended D2D latency estimate matching the executed striping
+     * math; used by the planner's cost model.
+     */
+    Tick estimateD2d(int src, int dst, Bytes bytes, int lanes) const;
+
+    /** Uncontended PCIe one-way estimate. */
+    Tick estimatePcie(Bytes bytes) const;
+
+    /** Uncontended NVMe one-way estimate. */
+    Tick estimateNvme(Bytes bytes) const;
+
+    /** Lanes available between @p src and @p dst (direct NVLink). */
+    int lanesBetween(int src, int dst) const;
+
+    /** Accumulated busy time over all NVLink lanes (for stats). */
+    Tick nvlinkBusyTime() const;
+
+    /** Accumulated busy time over all PCIe lanes (for stats). */
+    Tick pcieBusyTime() const;
+
+    const Topology &topology() const { return _topo; }
+
+  private:
+    /** Lane pool shared by transfers in one direction of a resource. */
+    struct LanePool
+    {
+        std::vector<std::unique_ptr<sim::Stream>> lanes;
+    };
+
+    /** Pick the @p k least-busy lanes of @p pool. */
+    static std::vector<sim::Stream *> pickLanes(LanePool &pool, int k);
+
+    void stripedTransfer(std::vector<sim::Stream *> out_lanes,
+                         std::vector<sim::Stream *> in_lanes,
+                         const LinkSpec &spec, Bytes bytes, Done done);
+
+    sim::Engine &_engine;
+    const Topology &_topo;
+
+    // Asymmetric fabrics: per ordered pair (src,dst) a pool with one
+    // stream per physical lane.
+    std::map<std::pair<int, int>, LanePool> _pairLanes;
+
+    // Symmetric fabrics: per-GPU egress and ingress port pools.
+    std::vector<LanePool> _egress;
+    std::vector<LanePool> _ingress;
+
+    // Per-GPU PCIe channel.  Modelled half-duplex: swap-out and
+    // swap-in traffic of one GPU contend, reflecting the shared
+    // PCIe-switch uplinks of DGX-class servers (two GPUs per switch);
+    // this is what makes stand-alone GPU-CPU swap as expensive as the
+    // paper measures (Sec. II-D).
+    std::vector<std::unique_ptr<sim::Stream>> _pcie;
+
+    std::unique_ptr<sim::Stream> _nvmeWrite;
+    std::unique_ptr<sim::Stream> _nvmeRead;
+};
+
+} // namespace hw
+} // namespace mpress
+
+#endif // MPRESS_HW_FABRIC_HH

@@ -1,0 +1,113 @@
+#include "hw/link.hh"
+
+namespace mpress {
+namespace hw {
+
+const char *
+linkKindName(LinkKind kind)
+{
+    switch (kind) {
+      case LinkKind::NvLink:
+        return "NVLink";
+      case LinkKind::NvSwitch:
+        return "NVSwitch";
+      case LinkKind::Pcie:
+        return "PCIe";
+      case LinkKind::C2C:
+        return "NVLink-C2C";
+      case LinkKind::Nvme:
+        return "NVMe";
+    }
+    return "unknown";
+}
+
+LinkSpec
+LinkSpec::nvlink1()
+{
+    LinkSpec s;
+    s.kind = LinkKind::NvLink;
+    s.peak = Bandwidth::fromGBps(20.0);
+    s.rampBytes = 4 * util::kMiB;
+    s.latency = 10 * util::kUsec;
+    return s;
+}
+
+LinkSpec
+LinkSpec::nvlink2()
+{
+    LinkSpec s;
+    s.kind = LinkKind::NvLink;
+    s.peak = Bandwidth::fromGBps(25.0);
+    s.rampBytes = 4 * util::kMiB;
+    s.latency = 10 * util::kUsec;
+    return s;
+}
+
+LinkSpec
+LinkSpec::nvswitch3()
+{
+    LinkSpec s;
+    s.kind = LinkKind::NvSwitch;
+    s.peak = Bandwidth::fromGBps(25.0);
+    s.rampBytes = 4 * util::kMiB;
+    s.latency = 12 * util::kUsec;  // one switch hop
+    return s;
+}
+
+LinkSpec
+LinkSpec::nvlink4()
+{
+    LinkSpec s;
+    s.kind = LinkKind::NvSwitch;
+    s.peak = Bandwidth::fromGBps(50.0);
+    s.rampBytes = 4 * util::kMiB;
+    s.latency = 10 * util::kUsec;
+    return s;
+}
+
+LinkSpec
+LinkSpec::pcie3x16()
+{
+    LinkSpec s;
+    s.kind = LinkKind::Pcie;
+    s.peak = Bandwidth::fromGBps(11.7);
+    s.rampBytes = 2 * util::kMiB;
+    s.latency = 15 * util::kUsec;
+    return s;
+}
+
+LinkSpec
+LinkSpec::pcie4x16()
+{
+    LinkSpec s;
+    s.kind = LinkKind::Pcie;
+    s.peak = Bandwidth::fromGBps(23.0);
+    s.rampBytes = 2 * util::kMiB;
+    s.latency = 15 * util::kUsec;
+    return s;
+}
+
+LinkSpec
+LinkSpec::c2c()
+{
+    LinkSpec s;
+    s.kind = LinkKind::C2C;
+    s.peak = Bandwidth::fromGBps(64.0);
+    s.rampBytes = 4 * util::kMiB;
+    s.latency = 5 * util::kUsec;
+    return s;
+}
+
+LinkSpec
+LinkSpec::nvme()
+{
+    LinkSpec s;
+    s.kind = LinkKind::Nvme;
+    s.peak = Bandwidth::fromGBps(3.0);
+    s.rampBytes = 8 * util::kMiB;
+    s.latency = 80 * util::kUsec;
+    return s;
+}
+
+} // namespace hw
+} // namespace mpress

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Server topology description: GPUs, the NVLink adjacency between
+ * them, PCIe host links, host memory and NVMe storage.
+ *
+ * Two stock builders replicate the paper's testbeds:
+ *   - dgx1V100(): 8x V100, asymmetric hybrid cube-mesh NVLink 2.0
+ *     (Figure 3; GPU pairs have 0, 1 or 2 lanes).
+ *   - dgx2A100(): 8x A100 behind NVSwitch, symmetric all-to-all.
+ */
+
+#ifndef MPRESS_HW_TOPOLOGY_HH
+#define MPRESS_HW_TOPOLOGY_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hw/gpu.hh"
+#include "hw/link.hh"
+
+namespace mpress {
+namespace hw {
+
+/**
+ * A single multi-GPU server.
+ *
+ * The NVLink fabric is described by a per-pair lane-count matrix.  For
+ * switch-based (symmetric) servers the matrix is full and the
+ * @ref symmetric flag is set, which the device mapper uses to skip its
+ * mapping search (Sec. III-C).
+ */
+class Topology
+{
+  public:
+    /**
+     * @param name      display name of the server
+     * @param gpu       spec shared by all GPUs
+     * @param num_gpus  number of GPUs
+     */
+    Topology(std::string name, GpuSpec gpu, int num_gpus);
+
+    /** Declare @p lanes NVLink lanes between @p a and @p b (both
+     *  directions). Replaces any previous declaration for the pair. */
+    void setNvlinkLanes(int a, int b, int lanes);
+
+    /** Mark the fabric as switch-based symmetric with @p lanes usable
+     *  lanes per GPU port (fills the lane matrix implicitly). */
+    void setSymmetric(int lanes_per_gpu);
+
+    const std::string &name() const { return _name; }
+    const GpuSpec &gpu() const { return _gpu; }
+    int numGpus() const { return _numGpus; }
+    bool symmetric() const { return _symmetric; }
+
+    /** NVLink lanes directly connecting @p a and @p b (0 if none).
+     *  For symmetric fabrics this is the per-pair usable lane cap. */
+    int nvlinkLanes(int a, int b) const;
+
+    /** Total NVLink lanes on GPU @p a (its port count in use). */
+    int totalLanes(int a) const;
+
+    /** GPUs reachable from @p a over at least one NVLink lane. */
+    std::vector<int> nvlinkNeighbors(int a) const;
+
+    /** Per-lane GPU-GPU link spec. */
+    const LinkSpec &nvlinkSpec() const { return _nvlinkSpec; }
+    void setNvlinkSpec(const LinkSpec &spec) { _nvlinkSpec = spec; }
+
+    /** Override the per-lane spec of one GPU pair (both directions).
+     *  Used for heterogeneous fabrics, e.g. the inter-node links of
+     *  a multi-server cluster. */
+    void setLinkSpecOverride(int a, int b, const LinkSpec &spec);
+
+    /** Per-lane spec between @p a and @p b: the pair override when
+     *  present, the fabric-wide NVLink spec otherwise. */
+    const LinkSpec &linkSpecBetween(int a, int b) const;
+
+    /** GPU<->host PCIe spec (per GPU). */
+    const LinkSpec &pcieSpec() const { return _pcieSpec; }
+    void setPcieSpec(const LinkSpec &spec) { _pcieSpec = spec; }
+
+    /** Host<->NVMe channel spec. */
+    const LinkSpec &nvmeSpec() const { return _nvmeSpec; }
+    void setNvmeSpec(const LinkSpec &spec) { _nvmeSpec = spec; }
+
+    Bytes hostMemory() const { return _hostMemory; }
+    void setHostMemory(Bytes bytes) { _hostMemory = bytes; }
+
+    Bytes nvmeCapacity() const { return _nvmeCapacity; }
+    void setNvmeCapacity(Bytes bytes) { _nvmeCapacity = bytes; }
+
+    /** Aggregate NVLink bandwidth between @p a and @p b for transfers
+     *  of @p bytes, over all direct lanes. */
+    Bandwidth pairBandwidth(int a, int b, Bytes bytes) const;
+
+    /** Total GPU memory of the server. */
+    Bytes totalGpuMemory() const;
+
+    /** The paper's DGX-1 testbed (AWS p3dn.24xlarge equivalent). */
+    static Topology dgx1V100();
+
+    /** First-generation DGX-1 with P100s and NVLink 1.0 (the 2016
+     *  hardware Sec. II-E opens with). */
+    static Topology dgx1P100();
+
+    /** HGX-H100 8-GPU baseboard: NVLink 4 through NVSwitch. */
+    static Topology hgxH100();
+
+    /** Two-GPU workstation: a pair of A100s joined by an NVLink
+     *  bridge, no switch. */
+    static Topology dualA100();
+
+    /** The paper's DGX-2 generation testbed (8x A100, NVSwitch). */
+    static Topology dgx2A100();
+
+    /** Section V projection: Grace-Hopper node (NVLink-C2C host). */
+    static Topology graceHopperNode(int num_gpus);
+
+    /**
+     * A cluster of @p num_nodes copies of @p node, chained into a
+     * pipeline-friendly ring: the last GPU of node i connects to the
+     * first GPU of node i+1 over @p inter_lanes lanes of
+     * @p inter_spec (e.g. InfiniBand HDR NICs).  The intro's
+     * "building block for cross-server giant model training".
+     */
+    static Topology multiNode(const Topology &node, int num_nodes,
+                              int inter_lanes,
+                              const LinkSpec &inter_spec);
+
+    /** One 200 Gb/s InfiniBand HDR NIC modeled as a lane. */
+    static LinkSpec infinibandHdr();
+
+  private:
+    void checkGpu(int idx) const;
+
+    std::string _name;
+    GpuSpec _gpu;
+    int _numGpus;
+    bool _symmetric = false;
+    std::vector<std::vector<int>> _lanes;
+    LinkSpec _nvlinkSpec;
+    std::map<std::pair<int, int>, LinkSpec> _pairSpec;
+    LinkSpec _pcieSpec;
+    LinkSpec _nvmeSpec;
+    Bytes _hostMemory = 0;
+    Bytes _nvmeCapacity = 0;
+};
+
+} // namespace hw
+} // namespace mpress
+
+#endif // MPRESS_HW_TOPOLOGY_HH

@@ -1,0 +1,47 @@
+#include "memory/liveness.hh"
+
+#include "util/logging.hh"
+
+namespace mpress {
+namespace memory {
+
+void
+LivenessTable::record(TensorRef ref, Bytes size, int microbatch,
+                      Tick generated, Tick next_use)
+{
+    if (next_use < generated) {
+        util::panic("tensor (%d,%d) used at %lld before generation"
+                    " at %lld",
+                    ref.stage, ref.layer,
+                    static_cast<long long>(next_use),
+                    static_cast<long long>(generated));
+    }
+    auto &entry = _table[ref];
+    entry.ref = ref;
+    if (entry.size != 0 && entry.size != size) {
+        util::panic("tensor (%d,%d) recorded with differing sizes",
+                    ref.stage, ref.layer);
+    }
+    entry.size = size;
+    entry.windows.push_back({microbatch, generated, next_use});
+}
+
+std::vector<const LiveInterval *>
+LivenessTable::all() const
+{
+    std::vector<const LiveInterval *> out;
+    out.reserve(_table.size());
+    for (const auto &[ref, interval] : _table)
+        out.push_back(&interval);
+    return out;
+}
+
+const LiveInterval *
+LivenessTable::find(TensorRef ref) const
+{
+    auto it = _table.find(ref);
+    return it == _table.end() ? nullptr : &it->second;
+}
+
+} // namespace memory
+} // namespace mpress

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Live-interval records for activation tensors.
+ *
+ * A tensor's live interval is the time between its generation (end of
+ * the producing forward pass) and its next use (start of the matching
+ * backward pass) — footnote 1 of the paper.  The profiler fills these
+ * records from an instrumented emulator run; the planner compares
+ * intervals against per-technique costs to pick compaction strategies
+ * (Sec. III-D).
+ */
+
+#ifndef MPRESS_MEMORY_LIVENESS_HH
+#define MPRESS_MEMORY_LIVENESS_HH
+
+#include <map>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace mpress {
+namespace memory {
+
+using util::Bytes;
+using util::Tick;
+
+/** Identifies one activation tensor class: a layer within a stage.
+ *  (Each microbatch creates an instance of the class; instances share
+ *  size and compaction strategy.) */
+struct TensorRef
+{
+    int stage = 0;
+    int layer = 0;  ///< global layer index in the model
+
+    bool
+    operator<(const TensorRef &o) const
+    {
+        if (stage != o.stage)
+            return stage < o.stage;
+        return layer < o.layer;
+    }
+
+    bool
+    operator==(const TensorRef &o) const
+    {
+        return stage == o.stage && layer == o.layer;
+    }
+};
+
+/** One observed generation->use window for a tensor instance. */
+struct LiveWindow
+{
+    int microbatch = 0;
+    Tick generated = 0;  ///< producing forward completed
+    Tick nextUse = 0;    ///< consuming backward started
+};
+
+/**
+ * Aggregated liveness data for one tensor class.
+ */
+struct LiveInterval
+{
+    TensorRef ref;
+    Bytes size = 0;
+    std::vector<LiveWindow> windows;
+
+    /** Shortest observed window: the budget any swap of this tensor
+     *  must fit inside to stay off the critical path. */
+    Tick
+    minInterval() const
+    {
+        Tick best = -1;
+        for (const auto &w : windows) {
+            Tick span = w.nextUse - w.generated;
+            if (best < 0 || span < best)
+                best = span;
+        }
+        return best;
+    }
+
+    /** Mean observed window. */
+    Tick
+    meanInterval() const
+    {
+        if (windows.empty())
+            return 0;
+        Tick total = 0;
+        for (const auto &w : windows)
+            total += w.nextUse - w.generated;
+        return total / static_cast<Tick>(windows.size());
+    }
+};
+
+/**
+ * The result of live-variable analysis over one emulated iteration:
+ * per tensor class, its size and observed windows.
+ */
+class LivenessTable
+{
+  public:
+    /** Record that @p ref (of @p size bytes) was generated at
+     *  @p generated and next used at @p next_use by @p microbatch. */
+    void record(TensorRef ref, Bytes size, int microbatch,
+                Tick generated, Tick next_use);
+
+    /** All tensor classes with at least one observed window. */
+    std::vector<const LiveInterval *> all() const;
+
+    /** Lookup; nullptr if @p ref was never recorded. */
+    const LiveInterval *find(TensorRef ref) const;
+
+    std::size_t size() const { return _table.size(); }
+
+  private:
+    std::map<TensorRef, LiveInterval> _table;
+};
+
+} // namespace memory
+} // namespace mpress
+
+#endif // MPRESS_MEMORY_LIVENESS_HH

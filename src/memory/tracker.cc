@@ -1,0 +1,72 @@
+#include "memory/tracker.hh"
+
+#include "util/logging.hh"
+
+namespace mpress {
+namespace memory {
+
+DeviceMemoryTracker::DeviceMemoryTracker(std::string name,
+                                         Bytes capacity)
+    : _name(std::move(name)), _capacity(capacity)
+{
+    if (capacity < 0)
+        util::fatal("negative capacity for %s", _name.c_str());
+}
+
+bool
+DeviceMemoryTracker::alloc(TensorKind kind, Bytes bytes)
+{
+    if (bytes < 0)
+        util::panic("negative allocation on %s", _name.c_str());
+    _used += bytes;
+    _byKind[static_cast<std::size_t>(kind)] += bytes;
+    if (_used > _peak) {
+        _peak = _used;
+        _byKindAtPeak = _byKind;
+    }
+    if (_used > _capacity) {
+        _oom = true;
+        return false;
+    }
+    return true;
+}
+
+void
+DeviceMemoryTracker::free(TensorKind kind, Bytes bytes)
+{
+    if (bytes < 0)
+        util::panic("negative free on %s", _name.c_str());
+    auto &k = _byKind[static_cast<std::size_t>(kind)];
+    if (bytes > k) {
+        util::panic("double free on %s: releasing %lld %s bytes but"
+                    " only %lld live",
+                    _name.c_str(), static_cast<long long>(bytes),
+                    model::tensorKindName(kind),
+                    static_cast<long long>(k));
+    }
+    k -= bytes;
+    _used -= bytes;
+}
+
+Bytes
+DeviceMemoryTracker::usedByKind(TensorKind kind) const
+{
+    return _byKind[static_cast<std::size_t>(kind)];
+}
+
+Bytes
+DeviceMemoryTracker::peakByKind(TensorKind kind) const
+{
+    return _byKindAtPeak[static_cast<std::size_t>(kind)];
+}
+
+void
+DeviceMemoryTracker::resetStats()
+{
+    _peak = _used;
+    _byKindAtPeak = _byKind;
+    _oom = _used > _capacity;
+}
+
+} // namespace memory
+} // namespace mpress

@@ -1,0 +1,273 @@
+#include "model/model.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace mpress {
+namespace model {
+
+const char *
+tensorKindName(TensorKind kind)
+{
+    switch (kind) {
+      case TensorKind::Activation:
+        return "activation";
+      case TensorKind::Parameter:
+        return "parameter";
+      case TensorKind::Gradient:
+        return "gradient";
+      case TensorKind::OptimizerState:
+        return "optimizer";
+    }
+    return "unknown";
+}
+
+std::int64_t
+ModelConfig::paramsPerBlock() const
+{
+    std::int64_t h = hidden;
+    return 12 * h * h + 13 * h;
+}
+
+std::int64_t
+ModelConfig::embeddingParams() const
+{
+    // Token table plus learned positions (input length capped at the
+    // training sequence length here).
+    return static_cast<std::int64_t>(vocab) * hidden +
+           static_cast<std::int64_t>(seqLen) * hidden;
+}
+
+std::int64_t
+ModelConfig::totalParams() const
+{
+    return static_cast<std::int64_t>(numBlocks) * paramsPerBlock() +
+           embeddingParams();
+}
+
+Bytes
+ModelConfig::optimizerBytesPerParam() const
+{
+    switch (optimizer) {
+      case OptimizerKind::AdamFp32:
+        return 8;   // fp32 momentum + variance
+      case OptimizerKind::AdamMixed:
+        return 12;  // fp32 master copy + momentum + variance
+    }
+    return 0;
+}
+
+namespace {
+
+/**
+ * Activation bytes one transformer block keeps from forward to
+ * backward, per microbatch.
+ *
+ * Mixed-precision training with fused kernels (DAPPLE's fp16 path)
+ * stores s*b*h*(34 + 1.75*a*s/h) bytes: the fused softmax+dropout
+ * kernels avoid materializing most of the attention-matrix
+ * intermediates of the unfused form (Korthikanti et al. coefficient
+ * 5*a*s/h).  PipeDream-era unfused fp32 training stores the full
+ * coefficient in 4-byte elements plus framework slop; the slop factor
+ * is calibrated so the per-stage demands of the Bert variants land
+ * on the paper's Table II (e.g. Bert-1.67B max-stage = 78 GB).
+ */
+Bytes
+blockActivationBytes(const ModelConfig &cfg, int b)
+{
+    double s = cfg.seqLen;
+    double h = cfg.hidden;
+    double a = cfg.heads;
+    double base;
+    if (cfg.precision == Precision::Fp16) {
+        base = s * static_cast<double>(b) * h *
+               (34.0 + 1.75 * a * s / h);
+    } else {
+        constexpr double unfused_slop = 1.5;
+        base = s * static_cast<double>(b) * h *
+               (34.0 + 5.0 * a * s / h) * 2.0 * unfused_slop;
+    }
+    return static_cast<Bytes>(base);
+}
+
+/**
+ * Forward FLOPs of one transformer block per microbatch:
+ * 24*b*s*h^2 (GEMMs) + 4*b*s^2*h (attention scores/context).
+ */
+Flops
+blockFwdFlops(const ModelConfig &cfg, int b)
+{
+    double s = cfg.seqLen;
+    double h = cfg.hidden;
+    double bb = b;
+    return 24.0 * bb * s * h * h + 4.0 * bb * s * s * h;
+}
+
+} // namespace
+
+TransformerModel::TransformerModel(ModelConfig config,
+                                   int microbatch_size)
+    : _config(std::move(config)), _microbatch(microbatch_size)
+{
+    if (_microbatch <= 0)
+        util::fatal("microbatch size must be positive");
+    if (_config.numBlocks <= 0 || _config.hidden <= 0)
+        util::fatal("model config %s is incomplete",
+                    _config.name.c_str());
+
+    const Bytes elem = _config.elemBytes();
+    const Bytes hidden_act = static_cast<Bytes>(_config.seqLen) *
+                             _microbatch * _config.hidden * elem;
+
+    Layer emb;
+    emb.name = "embedding";
+    emb.params = _config.embeddingParams();
+    // Table lookups and additions: ~b*s*h FLOPs, negligible next to
+    // the blocks but nonzero so the layer occupies the stream.
+    emb.fwdFlops = static_cast<double>(hidden_act / elem);
+    emb.activationStash = hidden_act;
+    emb.outputBytes = hidden_act;
+    _layers.push_back(emb);
+
+    for (int i = 0; i < _config.numBlocks; ++i) {
+        Layer blk;
+        blk.name = util::strformat("block%d", i);
+        blk.params = _config.paramsPerBlock();
+        blk.fwdFlops = blockFwdFlops(_config, _microbatch);
+        blk.activationStash = blockActivationBytes(_config, _microbatch);
+        blk.outputBytes = hidden_act;
+        _layers.push_back(blk);
+    }
+
+    Layer head;
+    head.name = "head";
+    head.params = 0;  // tied to the embedding table
+    head.fwdFlops = 2.0 * static_cast<double>(_microbatch) *
+                    _config.seqLen * _config.hidden * _config.vocab;
+    head.activationStash = hidden_act;
+    head.outputBytes = 0;
+    _layers.push_back(head);
+}
+
+std::int64_t
+TransformerModel::totalParams() const
+{
+    std::int64_t total = 0;
+    for (const auto &l : _layers)
+        total += l.params;
+    return total;
+}
+
+Bytes
+TransformerModel::paramBytes(std::int64_t params) const
+{
+    return params * _config.elemBytes();
+}
+
+Bytes
+TransformerModel::gradBytes(std::int64_t params) const
+{
+    return params * _config.elemBytes();
+}
+
+Bytes
+TransformerModel::optStateBytes(std::int64_t params) const
+{
+    return params * _config.optimizerBytesPerParam();
+}
+
+Flops
+TransformerModel::totalFwdFlops() const
+{
+    Flops total = 0.0;
+    for (const auto &l : _layers)
+        total += l.fwdFlops;
+    return total;
+}
+
+namespace {
+
+ModelConfig
+makeBert(const std::string &name, int blocks, int hidden, int heads)
+{
+    ModelConfig cfg;
+    cfg.name = name;
+    cfg.numBlocks = blocks;
+    cfg.hidden = hidden;
+    cfg.heads = heads;
+    cfg.seqLen = 384;      // SQuAD v1.1 fine-tuning length
+    cfg.vocab = 30522;
+    cfg.precision = Precision::Fp32;       // PipeDream trains fp32
+    cfg.optimizer = OptimizerKind::AdamFp32;
+    return cfg;
+}
+
+ModelConfig
+makeGpt(const std::string &name, int blocks, int hidden, int heads)
+{
+    ModelConfig cfg;
+    cfg.name = name;
+    cfg.numBlocks = blocks;
+    cfg.hidden = hidden;
+    cfg.heads = heads;
+    cfg.seqLen = 1024;
+    cfg.vocab = 50257;
+    cfg.precision = Precision::Fp16;       // DAPPLE enables fp16
+    cfg.optimizer = OptimizerKind::AdamMixed;
+    return cfg;
+}
+
+} // namespace
+
+std::vector<ModelConfig>
+bertVariants()
+{
+    // Shapes chosen "deeper and wider" per the paper's methodology so
+    // that total parameters land within ~1.5% of the Table II counts.
+    return {
+        makeBert("bert-0.35b", 24, 1024, 16),   // 0.34B (BERT-large)
+        makeBert("bert-0.64b", 30, 1280, 20),   // 0.63B
+        makeBert("bert-1.67b", 42, 1792, 28),   // 1.67B
+        makeBert("bert-4.0b", 50, 2560, 40),    // 4.01B
+        makeBert("bert-6.2b", 54, 3072, 48),    // 6.21B
+    };
+}
+
+std::vector<ModelConfig>
+gptVariants()
+{
+    return {
+        makeGpt("gpt-5.3b", 42, 3200, 50),      // 5.32B
+        makeGpt("gpt-10.3b", 50, 4096, 64),     // 10.27B
+        makeGpt("gpt-15.4b", 60, 4608, 72),     // 15.52B
+        makeGpt("gpt-20.4b", 64, 5120, 80),     // 20.39B
+        makeGpt("gpt-25.5b", 80, 5120, 80),     // 25.42B
+    };
+}
+
+ModelConfig
+presetByName(const std::string &name)
+{
+    for (const auto &cfg : bertVariants()) {
+        if (cfg.name == name)
+            return cfg;
+    }
+    for (const auto &cfg : gptVariants()) {
+        if (cfg.name == name)
+            return cfg;
+    }
+    if (name == "gpt3-175b")
+        return gpt3_175b();
+    util::fatal("unknown model preset '%s'", name.c_str());
+}
+
+ModelConfig
+gpt3_175b()
+{
+    ModelConfig cfg = makeGpt("gpt3-175b", 96, 12288, 96);
+    cfg.seqLen = 2048;
+    return cfg;
+}
+
+} // namespace model
+} // namespace mpress

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Analytic transformer model description.
+ *
+ * MPress' planner and runtime need, for every layer: parameter count,
+ * forward FLOPs, and the activation bytes stashed between forward and
+ * backward.  For transformer LMs all three have standard closed forms
+ * (Megatron-LM / Korthikanti et al.), which lets the simulator train
+ * "Bert" and "GPT" without datasets while keeping the memory and
+ * compute ratios of the real models.
+ *
+ * Named presets replicate the paper's Table II variants: Bert with
+ * 0.35-6.2 billion parameters (SQuAD sequence length 384) and GPT with
+ * 5.3-25.5 billion parameters (sequence length 1024).
+ */
+
+#ifndef MPRESS_MODEL_MODEL_HH
+#define MPRESS_MODEL_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/gpu.hh"
+#include "util/units.hh"
+
+namespace mpress {
+namespace model {
+
+using hw::Precision;
+using util::Bytes;
+using util::Flops;
+
+/** Classes of model data tracked by the memory system (Table I). */
+enum class TensorKind
+{
+    Activation,
+    Parameter,
+    Gradient,
+    OptimizerState,
+};
+
+/** Returns a short display name for @p kind. */
+const char *tensorKindName(TensorKind kind);
+
+/** Optimizer flavor; determines per-parameter state bytes. */
+enum class OptimizerKind
+{
+    AdamFp32,   ///< fp32 weights/grads, m+v state: 8 B/param
+    AdamMixed,  ///< fp16 weights/grads, fp32 master+m+v: 12 B/param
+};
+
+/**
+ * Hyper-parameters of a transformer language model.
+ */
+struct ModelConfig
+{
+    std::string name;
+    int numBlocks = 0;   ///< transformer blocks
+    int hidden = 0;      ///< hidden size h
+    int heads = 0;       ///< attention heads a
+    int seqLen = 0;      ///< training sequence length s
+    int vocab = 0;       ///< vocabulary size
+    Precision precision = Precision::Fp32;
+    OptimizerKind optimizer = OptimizerKind::AdamFp32;
+
+    /** Parameters in one transformer block: 12h^2 + 13h. */
+    std::int64_t paramsPerBlock() const;
+
+    /** Embedding parameters (token + position tables). */
+    std::int64_t embeddingParams() const;
+
+    /** Total trainable parameters. */
+    std::int64_t totalParams() const;
+
+    /** Bytes per parameter element at the training precision. */
+    Bytes elemBytes() const { return hw::precisionBytes(precision); }
+
+    /** Bytes of optimizer state per parameter. */
+    Bytes optimizerBytesPerParam() const;
+};
+
+/**
+ * One schedulable layer of the model graph.
+ *
+ * All byte/FLOP figures are per one microbatch.
+ */
+struct Layer
+{
+    std::string name;
+    std::int64_t params = 0;
+    Flops fwdFlops = 0.0;       ///< forward pass FLOPs
+    Bytes activationStash = 0;  ///< kept from forward until backward
+    Bytes outputBytes = 0;      ///< activation handed to the next layer
+
+    /** Backward FLOPs; the paper estimates 2x the forward pass. */
+    Flops bwdFlops() const { return 2.0 * fwdFlops; }
+};
+
+/**
+ * A transformer model instantiated for a specific microbatch size:
+ * the layer list with all per-layer costs materialized.
+ */
+class TransformerModel
+{
+  public:
+    TransformerModel(ModelConfig config, int microbatch_size);
+
+    const ModelConfig &config() const { return _config; }
+    int microbatchSize() const { return _microbatch; }
+
+    std::size_t numLayers() const { return _layers.size(); }
+    const Layer &layer(std::size_t i) const { return _layers.at(i); }
+    const std::vector<Layer> &layers() const { return _layers; }
+
+    std::int64_t totalParams() const;
+
+    /** Bytes of parameters for @p params parameter elements. */
+    Bytes paramBytes(std::int64_t params) const;
+
+    /** Bytes of gradients for @p params parameter elements. */
+    Bytes gradBytes(std::int64_t params) const;
+
+    /** Bytes of optimizer state for @p params parameter elements. */
+    Bytes optStateBytes(std::int64_t params) const;
+
+    /** Static (activation-independent) bytes for @p params. */
+    Bytes
+    staticBytes(std::int64_t params) const
+    {
+        return paramBytes(params) + gradBytes(params) +
+               optStateBytes(params);
+    }
+
+    /** Sum of fwdFlops over all layers (one microbatch). */
+    Flops totalFwdFlops() const;
+
+    /** Samples per minibatch-equivalent: the microbatch size. */
+    int samplesPerMicrobatch() const { return _microbatch; }
+
+  private:
+    ModelConfig _config;
+    int _microbatch;
+    std::vector<Layer> _layers;
+};
+
+/** The paper's Bert variants (Table II): 0.35B ... 6.2B. */
+std::vector<ModelConfig> bertVariants();
+
+/** The paper's GPT variants (Table II): 5.3B ... 25.5B. */
+std::vector<ModelConfig> gptVariants();
+
+/** Look up a preset by name, e.g. "bert-1.67b" or "gpt-20.4b";
+ *  fatal() on unknown names. */
+ModelConfig presetByName(const std::string &name);
+
+/** GPT-3 175B (Section V Grace-Hopper projection). */
+ModelConfig gpt3_175b();
+
+} // namespace model
+} // namespace mpress
+
+#endif // MPRESS_MODEL_MODEL_HH

@@ -1,0 +1,157 @@
+#include "partition/partition.hh"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace mpress {
+namespace partition {
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::ComputeBalanced:
+        return "compute-balanced";
+      case Strategy::MemoryBalanced:
+        return "memory-balanced";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/**
+ * Optimal consecutive partition minimizing the maximum stage cost.
+ *
+ * cost(s, i, j) gives the cost of stage s covering layers [i, j];
+ * it may depend on the stage position (memory balancing weighs early
+ * stages by their in-flight stash multiplicity).  DP over
+ * (stage, start layer); L ~ O(100) and S <= 8 keeps this cheap.
+ *
+ * Returns the list of stage boundaries as (first, last) pairs.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+minimaxPartition(std::size_t num_layers, int num_stages,
+                 const std::function<double(int, std::size_t,
+                                            std::size_t)> &cost)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    // best[s][i]: minimal possible max-cost of covering layers
+    // [i, end) with stages [s, S).
+    std::vector<std::vector<double>> best(
+        num_stages + 1, std::vector<double>(num_layers + 1, inf));
+    std::vector<std::vector<std::size_t>> cut(
+        num_stages + 1, std::vector<std::size_t>(num_layers + 1, 0));
+
+    for (std::size_t i = 0; i <= num_layers; ++i)
+        best[num_stages][i] = (i == num_layers) ? 0.0 : inf;
+
+    for (int s = num_stages - 1; s >= 0; --s) {
+        // Stage s must leave at least (S - s - 1) layers for the
+        // remaining stages and take at least one layer.
+        for (std::size_t i = 0; i < num_layers; ++i) {
+            std::size_t remaining_stages =
+                static_cast<std::size_t>(num_stages - s - 1);
+            if (num_layers - i - 1 < remaining_stages)
+                continue;
+            // Scan stage extents from largest to smallest so that,
+            // among minimax-optimal partitions, each stage absorbs as
+            // many layers as possible.  This keeps near-zero-cost
+            // layers (the embedding) fused with their neighbors
+            // instead of occupying a stage alone.
+            std::size_t j_max = num_layers - 1 - remaining_stages;
+            for (std::size_t j = j_max + 1; j > i; --j) {
+                double c = cost(s, i, j - 1);
+                double rest = best[s + 1][j];
+                double m = std::max(c, rest);
+                if (m < best[s][i]) {
+                    best[s][i] = m;
+                    cut[s][i] = j - 1;
+                }
+            }
+        }
+    }
+
+    if (best[0][0] == inf)
+        util::fatal("cannot partition %zu layers into %d stages",
+                    num_layers, num_stages);
+
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    std::size_t i = 0;
+    for (int s = 0; s < num_stages; ++s) {
+        std::size_t j = cut[s][i];
+        out.emplace_back(i, j);
+        i = j + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+Partition
+partitionModel(const TransformerModel &mdl, int num_stages,
+               Strategy strategy)
+{
+    const std::size_t L = mdl.numLayers();
+    if (num_stages <= 0)
+        util::fatal("need at least one stage");
+    if (static_cast<std::size_t>(num_stages) > L)
+        util::fatal("more stages (%d) than layers (%zu)", num_stages, L);
+
+    // Prefix sums for O(1) range costs.
+    std::vector<double> flops(L + 1, 0.0);
+    std::vector<double> stash(L + 1, 0.0);
+    std::vector<double> stat(L + 1, 0.0);
+    for (std::size_t i = 0; i < L; ++i) {
+        const auto &layer = mdl.layer(i);
+        flops[i + 1] = flops[i] + layer.fwdFlops;
+        stash[i + 1] = stash[i] +
+                       static_cast<double>(layer.activationStash);
+        stat[i + 1] = stat[i] +
+                      static_cast<double>(mdl.staticBytes(layer.params));
+    }
+
+    std::function<double(int, std::size_t, std::size_t)> cost;
+    if (strategy == Strategy::ComputeBalanced) {
+        cost = [&](int, std::size_t i, std::size_t j) {
+            return flops[j + 1] - flops[i];
+        };
+    } else {
+        cost = [&](int s, std::size_t i, std::size_t j) {
+            // Stage s of S holds up to (S - s) in-flight activation
+            // stashes in a 1F1B pipeline (Figure 1 / Figure 2).
+            double inflight = static_cast<double>(num_stages - s);
+            return (stat[j + 1] - stat[i]) +
+                   inflight * (stash[j + 1] - stash[i]);
+        };
+    }
+
+    auto bounds = minimaxPartition(L, num_stages, cost);
+
+    Partition part;
+    for (int s = 0; s < num_stages; ++s) {
+        Stage stage;
+        stage.index = s;
+        stage.firstLayer = bounds[s].first;
+        stage.lastLayer = bounds[s].second;
+        for (std::size_t i = stage.firstLayer; i <= stage.lastLayer;
+             ++i) {
+            const auto &layer = mdl.layer(i);
+            stage.params += layer.params;
+            stage.fwdFlops += layer.fwdFlops;
+            stage.activationStash += layer.activationStash;
+        }
+        stage.outputBytes = mdl.layer(stage.lastLayer).outputBytes;
+        stage.paramBytes = mdl.paramBytes(stage.params);
+        stage.gradBytes = mdl.gradBytes(stage.params);
+        stage.optStateBytes = mdl.optStateBytes(stage.params);
+        part.stages.push_back(stage);
+    }
+    return part;
+}
+
+} // namespace partition
+} // namespace mpress

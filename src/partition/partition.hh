@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Stage partitioning for inter-operator parallelism.
+ *
+ * A partition cuts the layer list into consecutive stages, one per
+ * GPU.  Two strategies are implemented, matching Sec. II-D of the
+ * paper:
+ *
+ *  - ComputeBalanced: equalizes per-stage forward FLOPs (the default
+ *    recommended by PipeDream and DAPPLE);
+ *  - MemoryBalanced: equalizes per-stage peak memory, accounting for
+ *    the stage-position-dependent number of in-flight activation
+ *    stashes; the paper measures this costs ~34% throughput.
+ */
+
+#ifndef MPRESS_PARTITION_PARTITION_HH
+#define MPRESS_PARTITION_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/model.hh"
+
+namespace mpress {
+namespace partition {
+
+using model::TransformerModel;
+using util::Bytes;
+using util::Flops;
+
+/** How to weigh layers when balancing stages. */
+enum class Strategy
+{
+    ComputeBalanced,
+    MemoryBalanced,
+};
+
+/** Returns a display name for @p s. */
+const char *strategyName(Strategy s);
+
+/**
+ * One pipeline stage: a consecutive slice of model layers plus its
+ * aggregate cost figures (all per one microbatch where applicable).
+ */
+struct Stage
+{
+    int index = 0;
+    std::size_t firstLayer = 0;  ///< inclusive
+    std::size_t lastLayer = 0;   ///< inclusive
+    std::int64_t params = 0;
+    Flops fwdFlops = 0.0;
+    Bytes activationStash = 0;   ///< stash per in-flight microbatch
+    Bytes outputBytes = 0;       ///< P2P traffic to the next stage
+    Bytes paramBytes = 0;
+    Bytes gradBytes = 0;
+    Bytes optStateBytes = 0;
+
+    /** Parameter+gradient+optimizer bytes resident on the stage. */
+    Bytes staticBytes() const
+    {
+        return paramBytes + gradBytes + optStateBytes;
+    }
+
+    std::size_t numLayers() const { return lastLayer - firstLayer + 1; }
+};
+
+/** A complete partition of a model into pipeline stages. */
+struct Partition
+{
+    std::vector<Stage> stages;
+
+    int numStages() const { return static_cast<int>(stages.size()); }
+};
+
+/**
+ * Partition @p mdl into @p num_stages consecutive stages.
+ *
+ * @param mdl         the instantiated model
+ * @param num_stages  number of pipeline stages (== GPUs)
+ * @param strategy    balancing objective
+ * @param stash_weight for MemoryBalanced: multiplier applied to a
+ *        stage's activation stash per additional in-flight microbatch
+ *        (stage s of S holds up to S-s stashes in 1F1B pipelines)
+ */
+Partition partitionModel(const TransformerModel &mdl, int num_stages,
+                         Strategy strategy);
+
+} // namespace partition
+} // namespace mpress
+
+#endif // MPRESS_PARTITION_PARTITION_HH

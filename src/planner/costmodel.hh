@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Per-tensor cost model for the three memory-compaction techniques
+ * (the machinery behind the paper's Table III).
+ *
+ * For a tensor of a given size the model answers: how long would
+ * recomputation, GPU-CPU swap, or D2D swap take, and — given the
+ * tensor's observed live interval — how much of that cost lands on
+ * the training critical path.  The planner ranks techniques by this
+ * "extra overhead" exactly as Sec. III-D describes.
+ */
+
+#ifndef MPRESS_PLANNER_COSTMODEL_HH
+#define MPRESS_PLANNER_COSTMODEL_HH
+
+#include "compaction/striping.hh"
+#include "hw/topology.hh"
+#include "model/model.hh"
+
+namespace mpress {
+namespace planner {
+
+using util::Bytes;
+using util::Tick;
+
+/** Raw per-technique time costs for one tensor instance. */
+struct TechniqueCosts
+{
+    Tick recompute = 0;   ///< forward re-execution time
+    Tick gpuCpuSwap = 0;  ///< one-way PCIe transfer time
+    Tick d2dSwap = 0;     ///< striped NVLink transfer time
+};
+
+/**
+ * Cost model bound to a topology and training precision.
+ */
+class CostModel
+{
+  public:
+    CostModel(const hw::Topology &topo, hw::Precision precision)
+        : _topo(topo), _precision(precision)
+    {}
+
+    /** Recomputation time of @p layer (its forward pass). */
+    Tick
+    recomputeTime(const model::Layer &layer) const
+    {
+        return _topo.gpu().computeTime(layer.fwdFlops, _precision);
+    }
+
+    /** One-way GPU-CPU swap time for @p bytes. */
+    Tick
+    gpuCpuSwapTime(Bytes bytes) const
+    {
+        return _topo.pcieSpec().transferTime(bytes);
+    }
+
+    /** One-way D2D swap time for @p bytes striped over @p lanes. */
+    Tick
+    d2dSwapTime(Bytes bytes, int lanes) const
+    {
+        if (lanes <= 0)
+            lanes = 1;
+        Bytes per_lane = (bytes + lanes - 1) / lanes;
+        return _topo.nvlinkSpec().transferTime(per_lane);
+    }
+
+    /** One-way D2D swap time for @p bytes under concrete grants from
+     *  @p src (the striping the runtime would actually execute);
+     *  returns -1 when the grants cannot absorb the tensor. */
+    Tick
+    d2dSwapTime(int src, const std::vector<compaction::SpareGrant>
+                              &grants,
+                Bytes bytes) const
+    {
+        auto plan = compaction::makeStripePlan(_topo, src, grants,
+                                               bytes);
+        if (plan.empty())
+            return -1;
+        return compaction::stripePlanTime(_topo, src, plan);
+    }
+
+    /** All three raw costs for a @p bytes tensor of @p layer, with
+     *  D2D striped over @p lanes (Table III rows). */
+    TechniqueCosts
+    costsFor(const model::Layer &layer, int d2d_lanes) const
+    {
+        TechniqueCosts c;
+        c.recompute = recomputeTime(layer);
+        c.gpuCpuSwap = gpuCpuSwapTime(layer.activationStash);
+        c.d2dSwap = d2dSwapTime(layer.activationStash, d2d_lanes);
+        return c;
+    }
+
+    /**
+     * Critical-path overhead of GPU-CPU swapping a tensor whose live
+     * interval is @p interval: the round trip shares one half-duplex
+     * PCIe channel, and only the part not covered by the interval is
+     * paid (footnote 2 of the paper).
+     */
+    Tick
+    gpuCpuSwapExtra(Bytes bytes, Tick interval) const
+    {
+        Tick round_trip = 2 * gpuCpuSwapTime(bytes);
+        return round_trip > interval ? round_trip - interval : 0;
+    }
+
+    /** Critical-path overhead of D2D swap under @p grants. */
+    Tick
+    d2dSwapExtra(int src,
+                 const std::vector<compaction::SpareGrant> &grants,
+                 Bytes bytes, Tick interval) const
+    {
+        Tick one_way = d2dSwapTime(src, grants, bytes);
+        if (one_way < 0)
+            return -1;
+        Tick round_trip = 2 * one_way;
+        return round_trip > interval ? round_trip - interval : 0;
+    }
+
+    /** Critical-path overhead of recomputation: the re-executed
+     *  forward always occupies the compute queue. */
+    Tick
+    recomputeExtra(const model::Layer &layer) const
+    {
+        return recomputeTime(layer);
+    }
+
+    const hw::Topology &topology() const { return _topo; }
+
+  private:
+    const hw::Topology &_topo;
+    hw::Precision _precision;
+};
+
+} // namespace planner
+} // namespace mpress
+
+#endif // MPRESS_PLANNER_COSTMODEL_HH

@@ -1,0 +1,292 @@
+#include "planner/mapper.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "compaction/striping.hh"
+#include "util/logging.hh"
+
+namespace mpress {
+namespace planner {
+
+namespace {
+
+using compaction::SpareGrant;
+
+/**
+ * Assign importer spare budgets to exporters for a fixed placement.
+ *
+ * Each importer's usable spare is split among the NVLink-reachable
+ * exporters in proportion to (exporter overflow x lane count), which
+ * both drains big exporters faster and prefers fat links — the
+ * "assign_mem" step of Figure 6, with the per-GPU plans combined by
+ * proportional sharing instead of exhaustive permutation.
+ */
+std::map<int, std::vector<SpareGrant>>
+assignSpare(const hw::Topology &topo,
+            const std::vector<int> &stage_to_gpu,
+            const std::vector<Bytes> &stage_demand, Bytes capacity,
+            double spare_safety,
+            const std::vector<Bytes> &stage_desire)
+{
+    const int num_stages = static_cast<int>(stage_demand.size());
+    std::vector<Bytes> demand_on_gpu(
+        static_cast<std::size_t>(topo.numGpus()), 0);
+    for (int s = 0; s < num_stages; ++s) {
+        demand_on_gpu[static_cast<std::size_t>(stage_to_gpu[
+            static_cast<std::size_t>(s)])] +=
+            stage_demand[static_cast<std::size_t>(s)];
+    }
+
+    auto overflow_of = [&](int gpu) {
+        Bytes d = demand_on_gpu[static_cast<std::size_t>(gpu)];
+        return d > capacity ? d - capacity : 0;
+    };
+    auto spare_of = [&](int gpu) {
+        Bytes d = demand_on_gpu[static_cast<std::size_t>(gpu)];
+        Bytes spare = d < capacity ? capacity - d : 0;
+        return static_cast<Bytes>(static_cast<double>(spare) *
+                                  spare_safety);
+    };
+
+    // Each exporter wants comfortably more budget than its raw
+    // overflow: swap classes are whole layers with all in-flight
+    // instances resident on importers at once, so the concurrent
+    // footprint exceeds the peak overshoot.  An explicit desire
+    // vector (the planner's post-compaction re-map) overrides the
+    // overflow heuristic.
+    std::vector<Bytes> desire(
+        static_cast<std::size_t>(topo.numGpus()), 0);
+    if (stage_desire.empty()) {
+        for (int exp = 0; exp < topo.numGpus(); ++exp) {
+            Bytes over = overflow_of(exp);
+            if (over > 0)
+                desire[static_cast<std::size_t>(exp)] =
+                    2 * over + 2 * util::kGB;
+        }
+    } else {
+        for (int s = 0; s < num_stages; ++s) {
+            desire[static_cast<std::size_t>(
+                stage_to_gpu[static_cast<std::size_t>(s)])] +=
+                stage_desire[static_cast<std::size_t>(s)];
+        }
+    }
+
+    // Remaining spare per importer and its contention (how many
+    // exporters can reach it).
+    std::vector<Bytes> spare(
+        static_cast<std::size_t>(topo.numGpus()), 0);
+    std::vector<int> contention(
+        static_cast<std::size_t>(topo.numGpus()), 0);
+    for (int imp = 0; imp < topo.numGpus(); ++imp) {
+        spare[static_cast<std::size_t>(imp)] = spare_of(imp);
+        for (int exp = 0; exp < topo.numGpus(); ++exp) {
+            if (desire[static_cast<std::size_t>(exp)] > 0 &&
+                topo.nvlinkLanes(exp, imp) > 0)
+                ++contention[static_cast<std::size_t>(imp)];
+        }
+    }
+
+    // Exporter-major greedy, big demands first; each exporter drains
+    // its least-contended importers before touching shared pools, so
+    // exporters with few reachable peers are not starved.
+    std::vector<int> exporters;
+    for (int exp = 0; exp < topo.numGpus(); ++exp) {
+        if (desire[static_cast<std::size_t>(exp)] > 0)
+            exporters.push_back(exp);
+    }
+    std::stable_sort(exporters.begin(), exporters.end(),
+                     [&](int a, int b) {
+                         return desire[static_cast<std::size_t>(a)] >
+                                desire[static_cast<std::size_t>(b)];
+                     });
+
+    std::map<int, std::vector<SpareGrant>> grants;
+    for (int exp : exporters) {
+        std::vector<int> importers;
+        for (int imp = 0; imp < topo.numGpus(); ++imp) {
+            if (topo.nvlinkLanes(exp, imp) > 0 &&
+                spare[static_cast<std::size_t>(imp)] > 0)
+                importers.push_back(imp);
+        }
+        std::stable_sort(
+            importers.begin(), importers.end(), [&](int a, int b) {
+                auto ca = contention[static_cast<std::size_t>(a)];
+                auto cb = contention[static_cast<std::size_t>(b)];
+                if (ca != cb)
+                    return ca < cb;
+                return spare[static_cast<std::size_t>(a)] >
+                       spare[static_cast<std::size_t>(b)];
+            });
+        auto &want = desire[static_cast<std::size_t>(exp)];
+        for (int imp : importers) {
+            if (want <= 0)
+                break;
+            Bytes take = std::min(
+                spare[static_cast<std::size_t>(imp)], want);
+            if (take <= 0)
+                continue;
+            spare[static_cast<std::size_t>(imp)] -= take;
+            want -= take;
+            grants[exp].push_back({imp, take});
+        }
+    }
+
+    // Order each exporter's grants by lane count (fat links first) so
+    // the runtime's striping prefers them.
+    for (auto &[exp, list] : grants) {
+        std::stable_sort(list.begin(), list.end(),
+                         [&](const SpareGrant &a, const SpareGrant &b) {
+                             return topo.nvlinkLanes(exp,
+                                                     a.importerGpu) >
+                                    topo.nvlinkLanes(exp,
+                                                     b.importerGpu);
+                         });
+    }
+    return grants;
+}
+
+/** Coverage and worst-exporter drain time for a candidate. */
+struct Evaluation
+{
+    double coverage = 1.0;
+    Tick worstDrain = 0;
+    int brokenAdjacency = 0;
+};
+
+Evaluation
+evaluate(const hw::Topology &topo,
+         const std::vector<int> &stage_to_gpu,
+         const std::vector<Bytes> &stage_demand, Bytes capacity,
+         const std::map<int, std::vector<SpareGrant>> &grants)
+{
+    const int num_stages = static_cast<int>(stage_demand.size());
+    std::vector<Bytes> demand_on_gpu(
+        static_cast<std::size_t>(topo.numGpus()), 0);
+    for (int s = 0; s < num_stages; ++s) {
+        demand_on_gpu[static_cast<std::size_t>(stage_to_gpu[
+            static_cast<std::size_t>(s)])] +=
+            stage_demand[static_cast<std::size_t>(s)];
+    }
+
+    Evaluation ev;
+    Bytes total_overflow = 0, covered = 0;
+    for (int gpu = 0; gpu < topo.numGpus(); ++gpu) {
+        Bytes d = demand_on_gpu[static_cast<std::size_t>(gpu)];
+        if (d <= capacity)
+            continue;
+        Bytes over = d - capacity;
+        total_overflow += over;
+
+        auto it = grants.find(gpu);
+        if (it == grants.end())
+            continue;
+        Bytes granted = 0;
+        for (const auto &g : it->second)
+            granted += g.budget;
+        Bytes placed = std::min(over, granted);
+        covered += placed;
+        if (placed > 0) {
+            auto plan = compaction::makeStripePlan(topo, gpu,
+                                                   it->second, placed);
+            if (!plan.empty()) {
+                ev.worstDrain = std::max(
+                    ev.worstDrain,
+                    compaction::stripePlanTime(topo, gpu, plan));
+            }
+        }
+    }
+    ev.coverage =
+        total_overflow == 0
+            ? 1.0
+            : static_cast<double>(covered) /
+                  static_cast<double>(total_overflow);
+
+    for (int s = 0; s + 1 < num_stages; ++s) {
+        int a = stage_to_gpu[static_cast<std::size_t>(s)];
+        int b = stage_to_gpu[static_cast<std::size_t>(s + 1)];
+        if (topo.nvlinkLanes(a, b) == 0)
+            ++ev.brokenAdjacency;
+    }
+    return ev;
+}
+
+double
+scoreOf(const Evaluation &ev, const MapperConfig &config)
+{
+    // Coverage dominates; among full-coverage mappings the fastest
+    // drain wins (the reciprocal-of-max-cost score of Figure 6);
+    // broken pipeline adjacency is charged like extra drain time.
+    double drain_ms = util::toMs(ev.worstDrain) +
+                      config.adjacencyPenaltyMs * ev.brokenAdjacency;
+    return ev.coverage * 1e6 - drain_ms;
+}
+
+} // namespace
+
+MappingResult
+searchDeviceMapping(const hw::Topology &topo,
+                    const std::vector<Bytes> &stage_demand,
+                    Bytes capacity, MapperConfig config,
+                    const std::vector<Bytes> &stage_desire)
+{
+    const int num_stages = static_cast<int>(stage_demand.size());
+    if (num_stages > topo.numGpus())
+        util::fatal("more stages (%d) than GPUs (%d)", num_stages,
+                    topo.numGpus());
+
+    MappingResult best;
+
+    // 8! placements are cheap; beyond 8 GPUs the factorial explodes,
+    // so clusters keep the identity placement (stages already follow
+    // the node chain).
+    if (topo.symmetric() || !config.searchPlacement ||
+        topo.numGpus() > 8) {
+        // Switch fabrics make every placement equivalent; with the
+        // search disabled we likewise keep the identity mapping.
+        // Either way all spare memory is granted (Sec. III-C).
+        std::vector<int> identity(
+            static_cast<std::size_t>(num_stages));
+        std::iota(identity.begin(), identity.end(), 0);
+        auto grants = assignSpare(topo, identity, stage_demand,
+                                  capacity, config.spareSafety,
+                                  stage_desire);
+        auto ev = evaluate(topo, identity, stage_demand, capacity,
+                           grants);
+        best.stageToGpu = identity;
+        best.grants = std::move(grants);
+        best.coverage = ev.coverage;
+        best.score = scoreOf(ev, config);
+        best.evaluated = 1;
+        return best;
+    }
+
+    std::vector<int> perm(static_cast<std::size_t>(topo.numGpus()));
+    std::iota(perm.begin(), perm.end(), 0);
+    long evaluated = 0;
+    bool have_best = false;
+    do {
+        std::vector<int> stage_to_gpu(
+            perm.begin(), perm.begin() + num_stages);
+        auto grants = assignSpare(topo, stage_to_gpu, stage_demand,
+                                  capacity, config.spareSafety,
+                                  stage_desire);
+        auto ev = evaluate(topo, stage_to_gpu, stage_demand, capacity,
+                           grants);
+        double score = scoreOf(ev, config);
+        ++evaluated;
+        if (!have_best || score > best.score) {
+            have_best = true;
+            best.stageToGpu = std::move(stage_to_gpu);
+            best.grants = std::move(grants);
+            best.coverage = ev.coverage;
+            best.score = score;
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    best.evaluated = evaluated;
+    return best;
+}
+
+} // namespace planner
+} // namespace mpress

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Stage-to-device mapping search (the paper's Figure 6 algorithm).
+ *
+ * Given per-stage memory demand, the mapper places stages on GPUs so
+ * that overflowing ("exporter") stages sit next to NVLink neighbors
+ * with spare memory, and assigns each importer's spare capacity to
+ * the exporters that can reach it.  Mappings are scored by the
+ * reciprocal of the worst exporter's D2D drain time (higher is
+ * better), with full overflow coverage taking precedence and a
+ * penalty for separating consecutive pipeline stages from a direct
+ * NVLink path.
+ *
+ * For symmetric (switch-based) fabrics the search short-circuits:
+ * every placement is equivalent, so the identity mapping is used and
+ * all spare memory is aggressively granted (Sec. III-C).
+ */
+
+#ifndef MPRESS_PLANNER_MAPPER_HH
+#define MPRESS_PLANNER_MAPPER_HH
+
+#include <map>
+#include <vector>
+
+#include "compaction/plan.hh"
+#include "hw/topology.hh"
+
+namespace mpress {
+namespace planner {
+
+using util::Bytes;
+using util::Tick;
+
+/** Tunables for the mapping search. */
+struct MapperConfig
+{
+    /** When false, skip the placement search and keep the base
+     *  system's suggested (identity) mapping — the Figure 9
+     *  ablation baseline.  Spare-memory grants are still computed. */
+    bool searchPlacement = true;
+
+    /** Fraction of an importer's spare bytes that may be granted
+     *  (the rest is headroom against estimation error). */
+    double spareSafety = 0.85;
+
+    /** Score penalty (in ms of equivalent drain time) per pair of
+     *  consecutive stages without a direct NVLink, reflecting the
+     *  P2P activation traffic that would bounce through the host. */
+    double adjacencyPenaltyMs = 50.0;
+};
+
+/** Result of the mapping search. */
+struct MappingResult
+{
+    std::vector<int> stageToGpu;
+    std::map<int, std::vector<compaction::SpareGrant>> grants;
+    double score = 0.0;
+    /** Fraction of total overflow the grants can absorb. */
+    double coverage = 0.0;
+    /** Number of permutations evaluated (1 for symmetric fabrics). */
+    long evaluated = 0;
+};
+
+/**
+ * Search the stage-to-device mapping.
+ *
+ * @param topo          the server
+ * @param stage_demand  peak memory demand per stage (profile output)
+ * @param capacity      usable per-GPU capacity
+ * @param stage_desire  optional explicit per-stage D2D byte demand;
+ *        when empty, each overflowing stage desires 2x its overflow
+ *        (the pre-compaction call).  The planner's post-compaction
+ *        re-map passes the flippable savings per stage here so spare
+ *        memory revealed by compaction can be granted even though no
+ *        stage overflows anymore.
+ */
+MappingResult searchDeviceMapping(const hw::Topology &topo,
+                                  const std::vector<Bytes>
+                                      &stage_demand,
+                                  Bytes capacity,
+                                  MapperConfig config = {},
+                                  const std::vector<Bytes>
+                                      &stage_desire = {});
+
+} // namespace planner
+} // namespace mpress
+
+#endif // MPRESS_PLANNER_MAPPER_HH

@@ -1,0 +1,678 @@
+#include "planner/planner.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mpress {
+namespace planner {
+
+using compaction::CompactionPlan;
+using compaction::Kind;
+using memory::TensorRef;
+
+ProfileResult
+profileJob(const hw::Topology &topo,
+           const model::TransformerModel &mdl,
+           const partition::Partition &part,
+           const pipeline::Schedule &sched,
+           runtime::ExecutorConfig exec_cfg)
+{
+    exec_cfg.recordLiveness = true;
+    exec_cfg.failFastOnOom = false;  // measure true demand
+    ProfileResult out;
+    out.report = runtime::runTraining(topo, mdl, part, sched, {},
+                                      exec_cfg);
+    out.usableCapacity = static_cast<Bytes>(
+        static_cast<double>(topo.gpu().memCapacity) /
+        exec_cfg.memOverheadFactor);
+    // With the identity mapping, stage s ran on GPU s.
+    out.stagePeak.resize(static_cast<std::size_t>(part.numStages()));
+    for (int s = 0; s < part.numStages(); ++s) {
+        out.stagePeak[static_cast<std::size_t>(s)] =
+            out.report.gpus[static_cast<std::size_t>(s)].peak;
+    }
+    return out;
+}
+
+CompactionPlan
+recomputeAllPlan(const partition::Partition &part)
+{
+    CompactionPlan plan;
+    for (const auto &stage : part.stages) {
+        for (std::size_t l = stage.firstLayer; l <= stage.lastLayer;
+             ++l) {
+            plan.activations[{stage.index, static_cast<int>(l)}] =
+                Kind::Recompute;
+        }
+    }
+    return plan;
+}
+
+CompactionPlan
+gpuCpuSwapAllPlan(const partition::Partition &part)
+{
+    CompactionPlan plan;
+    plan.offloadOptState.assign(
+        static_cast<std::size_t>(part.numStages()), true);
+    plan.offloadWeightStash.assign(
+        static_cast<std::size_t>(part.numStages()), true);
+    for (const auto &stage : part.stages) {
+        for (std::size_t l = stage.firstLayer; l <= stage.lastLayer;
+             ++l) {
+            plan.activations[{stage.index, static_cast<int>(l)}] =
+                Kind::GpuCpuSwap;
+        }
+    }
+    return plan;
+}
+
+namespace {
+
+/** One assignable activation class with its planning statistics. */
+struct Candidate
+{
+    TensorRef ref;
+    Bytes stash = 0;       ///< bytes per instance
+    Bytes savings = 0;     ///< stash x in-flight instances
+    Tick interval = 0;     ///< observed min live interval
+    Tick recomputeExtra = 0;
+    Tick gpuCpuExtra = 0;
+    Kind chosen = Kind::None;
+
+    Tick
+    chosenExtra() const
+    {
+        switch (chosen) {
+          case Kind::Recompute:
+            return recomputeExtra;
+          case Kind::GpuCpuSwap:
+            return gpuCpuExtra;
+          default:
+            return 0;
+        }
+    }
+};
+
+/** Collect per-stage candidates from a profile. */
+std::vector<std::vector<Candidate>>
+collectCandidates(const model::TransformerModel &mdl,
+                  const partition::Partition &part,
+                  const pipeline::Schedule &sched,
+                  const ProfileResult &profile,
+                  const CostModel &cost)
+{
+    std::vector<std::vector<Candidate>> per_stage(
+        static_cast<std::size_t>(part.numStages()));
+    for (const auto &stage : part.stages) {
+        int inflight = sched.maxInFlight(stage.index);
+        for (std::size_t l = stage.firstLayer; l <= stage.lastLayer;
+             ++l) {
+            const auto &layer = mdl.layer(l);
+            if (layer.activationStash <= 0)
+                continue;
+            Candidate c;
+            c.ref = {stage.index, static_cast<int>(l)};
+            c.stash = layer.activationStash;
+            c.savings = layer.activationStash * inflight;
+            const auto *li = profile.report.liveness.find(c.ref);
+            c.interval = li ? li->minInterval() : 0;
+            c.recomputeExtra = cost.recomputeExtra(layer);
+            c.gpuCpuExtra = cost.gpuCpuSwapExtra(
+                layer.activationStash, c.interval);
+            per_stage[static_cast<std::size_t>(stage.index)]
+                .push_back(c);
+        }
+    }
+    return per_stage;
+}
+
+runtime::TrainingReport
+emulate(const hw::Topology &topo, const model::TransformerModel &mdl,
+        const partition::Partition &part,
+        const pipeline::Schedule &sched, const CompactionPlan &plan,
+        runtime::ExecutorConfig exec_cfg)
+{
+    exec_cfg.recordLiveness = false;
+    exec_cfg.failFastOnOom = true;
+    return runtime::runTraining(topo, mdl, part, sched, plan,
+                                exec_cfg);
+}
+
+/** Build a CompactionPlan from candidate choices + mapping. */
+CompactionPlan
+materialize(const std::vector<std::vector<Candidate>> &per_stage,
+            const std::vector<bool> &offload_opt,
+            const std::vector<bool> &offload_stash,
+            const MappingResult &mapping, bool d2d_striping)
+{
+    CompactionPlan plan;
+    plan.d2dStriping = d2d_striping;
+    plan.offloadOptState.assign(offload_opt.begin(),
+                                offload_opt.end());
+    plan.offloadWeightStash.assign(offload_stash.begin(),
+                                   offload_stash.end());
+    plan.stageToGpu = mapping.stageToGpu;
+    plan.spareGrants = mapping.grants;
+    for (const auto &stage : per_stage) {
+        for (const auto &c : stage) {
+            if (c.chosen != Kind::None)
+                plan.activations[c.ref] = c.chosen;
+        }
+    }
+    return plan;
+}
+
+} // namespace
+
+PlanResult
+planMPress(const hw::Topology &topo,
+           const model::TransformerModel &mdl,
+           const partition::Partition &part,
+           const pipeline::Schedule &sched, PlannerConfig cfg,
+           runtime::ExecutorConfig exec_cfg)
+{
+    PlanResult result;
+
+    // (1) Profile.
+    ProfileResult profile =
+        profileJob(topo, mdl, part, sched, exec_cfg);
+    const Bytes capacity = profile.usableCapacity;
+
+    // No memory pressure: train as-is.
+    bool any_overflow = false;
+    for (Bytes peak : profile.stagePeak)
+        any_overflow |= peak > capacity;
+    if (!any_overflow) {
+        result.finalReport = std::move(profile.report);
+        result.feasible = !result.finalReport.oom;
+        return result;
+    }
+
+    // (2) Device mapping + spare-memory grants.
+    result.mapping = searchDeviceMapping(topo, profile.stagePeak,
+                                         capacity, cfg.mapper);
+
+    CostModel cost(topo, mdl.config().precision);
+    auto candidates =
+        collectCandidates(mdl, part, sched, profile, cost);
+
+    // (3) Seed assignment per overflowing stage.
+    std::vector<bool> offload_opt(
+        static_cast<std::size_t>(part.numStages()), false);
+    std::vector<bool> offload_stash(
+        static_cast<std::size_t>(part.numStages()), false);
+    for (const auto &stage : part.stages) {
+        auto s = static_cast<std::size_t>(stage.index);
+        double over = static_cast<double>(profile.stagePeak[s]) *
+                          (1.0 + cfg.headroom) -
+                      static_cast<double>(capacity);
+        if (over <= 0)
+            continue;
+        Bytes need = static_cast<Bytes>(over);
+
+        // Activations first, cheapest critical-path cost first.  The
+        // per-tensor swap cost is only hidden while the stage's PCIe
+        // channel keeps up: each microbatch gives the stage roughly
+        // its fwd+bwd compute time of channel budget, and swap
+        // round-trips beyond that budget pay full price.  Without
+        // this, a long live interval makes every tensor look free to
+        // swap and the seed plan saturates PCIe.
+        Tick pcie_budget = static_cast<Tick>(
+            0.9 * static_cast<double>(cost.topology().gpu().computeTime(
+                      3.0 * stage.fwdFlops,
+                      mdl.config().precision)));
+        auto &cands = candidates[s];
+        std::stable_sort(cands.begin(), cands.end(),
+                         [](const Candidate &a, const Candidate &b) {
+                             return std::min(a.recomputeExtra,
+                                             a.gpuCpuExtra) <
+                                    std::min(b.recomputeExtra,
+                                             b.gpuCpuExtra);
+                         });
+        for (auto &c : cands) {
+            if (need <= 0)
+                break;
+            Tick round_trip = 2 * cost.gpuCpuSwapTime(c.stash);
+            Tick gcs_extra = pcie_budget >= round_trip
+                                 ? c.gpuCpuExtra
+                                 : std::max(c.gpuCpuExtra, round_trip);
+            if (c.recomputeExtra <= gcs_extra) {
+                c.chosen = Kind::Recompute;
+            } else {
+                c.chosen = Kind::GpuCpuSwap;
+                pcie_budget -= round_trip;
+            }
+            // Record the contended cost so refinement can target it.
+            c.gpuCpuExtra = gcs_extra;
+            need -= c.savings;
+        }
+
+        // Optimizer state goes to the host only when activation
+        // savings cannot cover the overflow (Table IV: small jobs
+        // keep the optimizer resident, huge jobs must offload).
+        if (need > 0) {
+            offload_opt[s] = true;
+            need -= stage.optStateBytes;
+        }
+        // Last resort within GPU-CPU swap: park stashed weight
+        // versions (PipeDream) in host memory.
+        int versions = sched.weightVersions(stage.index);
+        if (need > 0 && versions > 2) {
+            offload_stash[s] = true;
+            need -= stage.paramBytes * (versions - 2);
+        }
+    }
+
+    // (4) Emulate the seed; escalate if it still OOMs.
+    CompactionPlan plan =
+        materialize(candidates, offload_opt, offload_stash,
+                    result.mapping, cfg.d2dStriping);
+    runtime::TrainingReport current =
+        emulate(topo, mdl, part, sched, plan, exec_cfg);
+    int escalations = 0;
+    while (current.oom && escalations < part.numStages() + 2) {
+        // Escalate only on the stages mapped to the OOM GPU (or
+        // everywhere once targeted escalation is exhausted): first
+        // assign their remaining activation classes, then offload
+        // their optimizer state.
+        bool assigned_more = false;
+        for (auto &stage_cands : candidates) {
+            auto stage_idx = static_cast<std::size_t>(
+                &stage_cands - candidates.data());
+            bool target_stage =
+                current.oomGpu < 0 ||
+                plan.gpuForStage(static_cast<int>(stage_idx)) ==
+                    current.oomGpu ||
+                escalations >= part.numStages();
+            if (!target_stage)
+                continue;
+            bool stage_assigned = false;
+            for (auto &c : stage_cands) {
+                if (c.chosen == Kind::None) {
+                    // The seed's PCIe budget is already spent, so
+                    // escalation prioritizes recomputation (the
+                    // paper's Sec. III-D observation).
+                    c.chosen = Kind::Recompute;
+                    stage_assigned = true;
+                }
+            }
+            if (!stage_assigned && !offload_opt[stage_idx]) {
+                offload_opt[stage_idx] = true;
+                stage_assigned = true;
+            }
+            if (!stage_assigned && !offload_stash[stage_idx] &&
+                sched.weightVersions(static_cast<int>(stage_idx)) >
+                    2) {
+                offload_stash[stage_idx] = true;
+                stage_assigned = true;
+            }
+            assigned_more |= stage_assigned;
+        }
+        if (!assigned_more)
+            break;
+        ++escalations;
+        plan = materialize(candidates, offload_opt, offload_stash,
+                    result.mapping, cfg.d2dStriping);
+        current = emulate(topo, mdl, part, sched, plan, exec_cfg);
+    }
+    if (current.oom) {
+        result.plan = std::move(plan);
+        result.finalReport = std::move(current);
+        result.feasible = false;
+        return result;
+    }
+
+    // (4a) Re-map with post-compaction demand.  The profile-based
+    // mapping saw every stage overflowing, so importers had nothing
+    // to lend; once the seed plan compacts the heavy stages, the
+    // emulator-measured peaks reveal the real spare memory, and a
+    // second mapping pass turns it into D2D grants (the emulator
+    // feedback loop of Fig. 5).
+    {
+        std::vector<Bytes> demand2(
+            static_cast<std::size_t>(part.numStages()), 0);
+        std::vector<Bytes> desire2(
+            static_cast<std::size_t>(part.numStages()), 0);
+        Bytes total_spare = 0;
+        for (int s = 0; s < part.numStages(); ++s) {
+            Bytes peak =
+                current.gpus[static_cast<std::size_t>(
+                                 plan.gpuForStage(s))]
+                    .peak;
+            demand2[static_cast<std::size_t>(s)] = peak;
+            if (peak < capacity) {
+                total_spare += static_cast<Bytes>(
+                    static_cast<double>(capacity - peak) *
+                    cfg.mapper.spareSafety);
+            }
+            for (const auto &c :
+                 candidates[static_cast<std::size_t>(s)]) {
+                if (c.chosen == Kind::Recompute ||
+                    c.chosen == Kind::GpuCpuSwap)
+                    desire2[static_cast<std::size_t>(s)] += c.savings;
+            }
+        }
+        // Throughput follows the slowest stage, so spare must be
+        // spread fairly: capping each stage's desire near the fair
+        // share relieves compaction pressure everywhere instead of
+        // fully draining a few stages while the rest stay
+        // recompute-bound.
+        Bytes fair = static_cast<Bytes>(
+            1.2 * static_cast<double>(total_spare) /
+            part.numStages());
+        for (auto &d : desire2)
+            d = std::min(d, fair);
+        MappingResult mapping2 = searchDeviceMapping(
+            topo, demand2, capacity, cfg.mapper, desire2);
+        CompactionPlan plan2 =
+            materialize(candidates, offload_opt, offload_stash,
+                        mapping2, cfg.d2dStriping);
+        runtime::TrainingReport rep2 =
+            emulate(topo, mdl, part, sched, plan2, exec_cfg);
+        if (!rep2.oom &&
+            rep2.samplesPerSec >=
+                current.samplesPerSec * (1.0 - cfg.acceptGain)) {
+            result.mapping = std::move(mapping2);
+            plan = std::move(plan2);
+            current = std::move(rep2);
+        }
+    }
+
+    // (5) Refinement: flip the costliest assignments to D2D swap
+    // while spare budget remains; accept on measured improvement.
+    for (int iter = 0; iter < cfg.maxIterations; ++iter) {
+        // Remaining grant budget per exporter GPU.
+        std::map<int, Bytes> budget;
+        for (const auto &[gpu, grants] : result.mapping.grants) {
+            Bytes total = 0;
+            for (const auto &g : grants)
+                total += g.budget;
+            budget[gpu] = total;
+        }
+        for (const auto &stage_cands : candidates) {
+            for (const auto &c : stage_cands) {
+                if (c.chosen == Kind::D2dSwap) {
+                    budget[plan.gpuForStage(c.ref.stage)] -=
+                        c.savings;
+                }
+            }
+        }
+
+        // All surviving assignments are flip candidates: the static
+        // extra-cost model underestimates contention (PCIe swaps
+        // share a channel with P2P bounces and optimizer traffic),
+        // so even "hidden" classes may measurably improve when moved
+        // to NVLink.  Throughput follows the slowest stage, so the
+        // batch is drawn round-robin across stages (costliest first
+        // within each stage); the emulator-based acceptance check
+        // keeps the search honest.
+        std::vector<std::vector<Candidate *>> per_stage_flips(
+            candidates.size());
+        for (std::size_t s = 0; s < candidates.size(); ++s) {
+            for (auto &c : candidates[s]) {
+                if (c.chosen == Kind::Recompute ||
+                    c.chosen == Kind::GpuCpuSwap)
+                    per_stage_flips[s].push_back(&c);
+            }
+            std::stable_sort(
+                per_stage_flips[s].begin(), per_stage_flips[s].end(),
+                [](const Candidate *a, const Candidate *b) {
+                    if (a->chosenExtra() != b->chosenExtra())
+                        return a->chosenExtra() > b->chosenExtra();
+                    return a->savings > b->savings;
+                });
+        }
+        std::vector<Candidate *> flippable;
+        for (std::size_t round = 0;; ++round) {
+            bool any = false;
+            for (const auto &stage_flips : per_stage_flips) {
+                if (round < stage_flips.size()) {
+                    flippable.push_back(stage_flips[round]);
+                    any = true;
+                }
+            }
+            if (!any)
+                break;
+        }
+
+        std::vector<Candidate *> flipped;
+        for (Candidate *c : flippable) {
+            if (static_cast<int>(flipped.size()) >=
+                cfg.d2dBatchPerStep)
+                break;
+            int gpu = plan.gpuForStage(c->ref.stage);
+            auto it = budget.find(gpu);
+            // Partial coverage is fine: the runtime falls back to
+            // keeping instances resident when the grant runs dry,
+            // and the acceptance check rejects plans that then OOM.
+            if (it == budget.end() || it->second < c->stash)
+                continue;
+            it->second -= std::min(it->second, c->savings);
+            c->chosen = Kind::D2dSwap;
+            flipped.push_back(c);
+        }
+        if (flipped.empty())
+            break;
+
+        CompactionPlan trial =
+            materialize(candidates, offload_opt, offload_stash,
+                    result.mapping, cfg.d2dStriping);
+        runtime::TrainingReport trial_report =
+            emulate(topo, mdl, part, sched, trial, exec_cfg);
+        bool better = !trial_report.oom &&
+                      trial_report.samplesPerSec >
+                          current.samplesPerSec *
+                              (1.0 + cfg.acceptGain);
+        if (better) {
+            plan = std::move(trial);
+            current = std::move(trial_report);
+            ++result.iterations;
+        } else {
+            for (Candidate *c : flipped) {
+                c->chosen = c->recomputeExtra <= c->gpuCpuExtra
+                                ? Kind::Recompute
+                                : Kind::GpuCpuSwap;
+            }
+            break;
+        }
+    }
+
+    // (6) Second refinement: GPU-CPU swap classes picked as "hidden"
+    // by the static model can still lose to recomputation once the
+    // PCIe channel also carries optimizer/stash offload traffic, and
+    // an optimizer offload seeded for safety may be unnecessary once
+    // activations are compacted.  Incremental flips plateau when the
+    // channel stays saturated, so evaluate the three coarse variants
+    // jointly and keep the best measured one: (a) all swap classes
+    // recomputed, (b) optimizer offload retired, (c) both.
+    {
+        auto apply_variant = [&](bool rc_max, bool keep_offload)
+            -> CompactionPlan {
+            for (auto &stage_cands : candidates) {
+                for (auto &c : stage_cands) {
+                    if (rc_max && c.chosen == Kind::GpuCpuSwap)
+                        c.chosen = Kind::Recompute;
+                }
+            }
+            std::vector<bool> opt =
+                keep_offload ? offload_opt
+                             : std::vector<bool>(offload_opt.size(),
+                                                 false);
+            return materialize(candidates, opt, offload_stash,
+                               result.mapping, cfg.d2dStriping);
+        };
+        auto snapshot = [&]() {
+            std::vector<Kind> kinds;
+            for (const auto &stage_cands : candidates)
+                for (const auto &c : stage_cands)
+                    kinds.push_back(c.chosen);
+            return kinds;
+        };
+        auto restore = [&](const std::vector<Kind> &kinds) {
+            std::size_t i = 0;
+            for (auto &stage_cands : candidates)
+                for (auto &c : stage_cands)
+                    c.chosen = kinds[i++];
+        };
+
+        const auto seed_kinds = snapshot();
+        struct Variant { bool rcMax; bool keepOffload; };
+        const Variant variants[] = {
+            {true, true}, {false, false}, {true, false}};
+        std::vector<Kind> best_kinds = seed_kinds;
+        bool best_keep_offload = true;
+        bool improved = false;
+        for (const auto &v : variants) {
+            restore(seed_kinds);
+            CompactionPlan trial =
+                apply_variant(v.rcMax, v.keepOffload);
+            runtime::TrainingReport trial_report =
+                emulate(topo, mdl, part, sched, trial, exec_cfg);
+            if (!trial_report.oom &&
+                trial_report.samplesPerSec >
+                    current.samplesPerSec * (1.0 + cfg.acceptGain)) {
+                best_kinds = snapshot();
+                best_keep_offload = v.keepOffload;
+                plan = std::move(trial);
+                current = std::move(trial_report);
+                improved = true;
+            }
+        }
+        restore(best_kinds);
+        if (improved) {
+            if (!best_keep_offload)
+                offload_opt.assign(offload_opt.size(), false);
+            ++result.iterations;
+        }
+    }
+
+    // ... then fine-tune with bounded per-step flips.
+    for (int iter = 0; iter < cfg.maxIterations; ++iter) {
+        std::vector<Candidate *> swaps;
+        for (auto &stage_cands : candidates) {
+            for (auto &c : stage_cands) {
+                if (c.chosen == Kind::GpuCpuSwap)
+                    swaps.push_back(&c);
+            }
+        }
+        if (swaps.empty())
+            break;
+        std::stable_sort(swaps.begin(), swaps.end(),
+                         [](const Candidate *a, const Candidate *b) {
+                             return a->savings > b->savings;
+                         });
+        std::vector<Candidate *> flipped;
+        for (Candidate *c : swaps) {
+            if (static_cast<int>(flipped.size()) >=
+                cfg.d2dBatchPerStep)
+                break;
+            c->chosen = Kind::Recompute;
+            flipped.push_back(c);
+        }
+        CompactionPlan trial =
+            materialize(candidates, offload_opt, offload_stash,
+                        result.mapping, cfg.d2dStriping);
+        runtime::TrainingReport trial_report =
+            emulate(topo, mdl, part, sched, trial, exec_cfg);
+        bool better = !trial_report.oom &&
+                      trial_report.samplesPerSec >
+                          current.samplesPerSec *
+                              (1.0 + cfg.acceptGain);
+        if (better) {
+            plan = std::move(trial);
+            current = std::move(trial_report);
+            ++result.iterations;
+        } else {
+            for (Candidate *c : flipped)
+                c->chosen = Kind::GpuCpuSwap;
+            break;
+        }
+    }
+
+    result.plan = std::move(plan);
+    result.finalReport = std::move(current);
+    result.feasible = true;
+    return result;
+}
+
+PlanResult
+planD2dOnly(const hw::Topology &topo,
+            const model::TransformerModel &mdl,
+            const partition::Partition &part,
+            const pipeline::Schedule &sched, PlannerConfig cfg,
+            runtime::ExecutorConfig exec_cfg)
+{
+    PlanResult result;
+    ProfileResult profile =
+        profileJob(topo, mdl, part, sched, exec_cfg);
+    const Bytes capacity = profile.usableCapacity;
+
+    bool any_overflow = false;
+    for (Bytes peak : profile.stagePeak)
+        any_overflow |= peak > capacity;
+    if (!any_overflow) {
+        result.finalReport = std::move(profile.report);
+        result.feasible = !result.finalReport.oom;
+        return result;
+    }
+
+    result.mapping = searchDeviceMapping(topo, profile.stagePeak,
+                                         capacity, cfg.mapper);
+    CostModel cost(topo, mdl.config().precision);
+    auto candidates =
+        collectCandidates(mdl, part, sched, profile, cost);
+
+    std::map<int, Bytes> budget;
+    for (const auto &[gpu, grants] : result.mapping.grants) {
+        Bytes total = 0;
+        for (const auto &g : grants)
+            total += g.budget;
+        budget[gpu] = total;
+    }
+
+    std::vector<bool> offload_opt(
+        static_cast<std::size_t>(part.numStages()), false);
+    std::vector<bool> offload_stash(
+        static_cast<std::size_t>(part.numStages()), false);
+    for (const auto &stage : part.stages) {
+        auto s = static_cast<std::size_t>(stage.index);
+        double over = static_cast<double>(profile.stagePeak[s]) *
+                          (1.0 + cfg.headroom) -
+                      static_cast<double>(capacity);
+        if (over <= 0)
+            continue;
+        Bytes need = static_cast<Bytes>(over);
+        int gpu = result.mapping.stageToGpu.empty()
+                      ? stage.index
+                      : result.mapping.stageToGpu[s];
+        for (auto &c : candidates[s]) {
+            if (need <= 0)
+                break;
+            auto it = budget.find(gpu);
+            // A class may be partially covered (per-instance
+            // fallback at runtime); require room for at least one
+            // instance so the assignment is not a pure no-op.
+            if (it == budget.end() || it->second < c.stash)
+                continue;
+            Bytes debit = std::min(it->second, c.savings);
+            it->second -= debit;
+            c.chosen = Kind::D2dSwap;
+            need -= debit;
+        }
+        // D2D-only cannot fall back: leftover need means OOM, which
+        // the emulation below will surface.
+    }
+
+    CompactionPlan plan =
+        materialize(candidates, offload_opt, offload_stash,
+                    result.mapping, cfg.d2dStriping);
+    result.finalReport =
+        emulate(topo, mdl, part, sched, plan, exec_cfg);
+    result.feasible = !result.finalReport.oom;
+    result.plan = std::move(plan);
+    return result;
+}
+
+} // namespace planner
+} // namespace mpress

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * MPress Static: the memory-compaction planner (Fig. 5, Sec. III-D).
+ *
+ * The pipeline is profile -> map -> seed -> refine:
+ *
+ *  1. Profiler: one emulated iteration with no compaction records
+ *     per-stage peak memory and per-tensor live intervals.
+ *  2. Device mapping (Fig. 6) places stages and produces spare-memory
+ *     grants for D2D swap.
+ *  3. Seed assignment: optimizer states of overflowing stages go to
+ *     GPU-CPU swap (extremely long live intervals); activation
+ *     classes are assigned Recompute or GPU-CPU swap — whichever
+ *     costs less on the critical path — until the projected savings
+ *     cover the stage's overflow.
+ *  4. Refinement: the emulator (one-iteration executor run) measures
+ *     the current plan; the most expensive assignments are flipped to
+ *     D2D swap while spare budget lasts, and each step is accepted
+ *     only if measured throughput improves.
+ *
+ * Helper constructors for the paper's baseline configurations
+ * (recompute-everything, GPU-CPU-swap-everything, D2D-only) live here
+ * too so that benches and examples share one implementation.
+ */
+
+#ifndef MPRESS_PLANNER_PLANNER_HH
+#define MPRESS_PLANNER_PLANNER_HH
+
+#include "compaction/plan.hh"
+#include "planner/costmodel.hh"
+#include "planner/mapper.hh"
+#include "runtime/executor.hh"
+
+namespace mpress {
+namespace planner {
+
+/** Planner tunables. */
+struct PlannerConfig
+{
+    /** Refinement iterations (each runs one emulated iteration). */
+    int maxIterations = 10;
+
+    /** Activation classes flipped to D2D swap per refinement step. */
+    int d2dBatchPerStep = 8;
+
+    /** Required relative throughput gain to accept a refinement. */
+    double acceptGain = 0.002;
+
+    /** Extra savings margin over the measured overflow. */
+    double headroom = 0.03;
+
+    /** Forwarded to CompactionPlan::d2dStriping (Fig. 9 ablation). */
+    bool d2dStriping = true;
+
+    MapperConfig mapper;
+};
+
+/** Output of a profiling run. */
+struct ProfileResult
+{
+    runtime::TrainingReport report;   ///< includes the liveness table
+    std::vector<Bytes> stagePeak;     ///< peak per stage
+    Bytes usableCapacity = 0;         ///< per-GPU capacity after
+                                      ///< workspace reserve
+};
+
+/** Run one uncompacted, OOM-tolerant iteration and collect stats. */
+ProfileResult profileJob(const hw::Topology &topo,
+                         const model::TransformerModel &mdl,
+                         const partition::Partition &part,
+                         const pipeline::Schedule &sched,
+                         runtime::ExecutorConfig exec_cfg = {});
+
+/** Result of planning. */
+struct PlanResult
+{
+    compaction::CompactionPlan plan;
+    runtime::TrainingReport finalReport;
+    MappingResult mapping;
+    int iterations = 0;
+    bool feasible = false;  ///< final emulated run completed w/o OOM
+};
+
+/** Full MPress planning: all three techniques + device mapping. */
+PlanResult planMPress(const hw::Topology &topo,
+                      const model::TransformerModel &mdl,
+                      const partition::Partition &part,
+                      const pipeline::Schedule &sched,
+                      PlannerConfig cfg = {},
+                      runtime::ExecutorConfig exec_cfg = {});
+
+/** MPress restricted to D2D swap only (the Fig. 7 ablation variant).
+ *  Infeasible (OOM) when spare memory cannot absorb the overflow. */
+PlanResult planD2dOnly(const hw::Topology &topo,
+                       const model::TransformerModel &mdl,
+                       const partition::Partition &part,
+                       const pipeline::Schedule &sched,
+                       PlannerConfig cfg = {},
+                       runtime::ExecutorConfig exec_cfg = {});
+
+/** Baseline: recompute every activation (no swaps). */
+compaction::CompactionPlan
+recomputeAllPlan(const partition::Partition &part);
+
+/** Baseline: GPU-CPU swap every activation and offload optimizer
+ *  state on every stage. */
+compaction::CompactionPlan
+gpuCpuSwapAllPlan(const partition::Partition &part);
+
+} // namespace planner
+} // namespace mpress
+
+#endif // MPRESS_PLANNER_PLANNER_HH

@@ -1,0 +1,1084 @@
+#include "runtime/executor.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace mpress {
+namespace runtime {
+
+using compaction::InstanceKey;
+using compaction::Kind;
+using compaction::SwapState;
+using memory::TensorRef;
+using model::TensorKind;
+using pipeline::TaskKind;
+using util::Tick;
+
+namespace {
+
+/** Per-instance swap-in tracking state. */
+enum class InState
+{
+    NotNeeded,
+    Pending,   ///< instance offloaded, swap-in not yet issued
+    InFlight,  ///< swap-in issued
+    Done,
+};
+
+} // namespace
+
+struct Executor::Impl
+{
+    const hw::Topology &topo;
+    const model::TransformerModel &mdl;
+    const partition::Partition &part;
+    const pipeline::Schedule &sched;
+    const compaction::CompactionPlan &plan;
+    ExecutorConfig cfg;
+
+    sim::Engine engine;
+    std::unique_ptr<hw::Fabric> fabric;
+    std::vector<std::unique_ptr<sim::Stream>> compute;
+    std::vector<std::unique_ptr<memory::DeviceMemoryTracker>> gpuMem;
+    std::unique_ptr<memory::PinnedHostPool> host;
+
+    compaction::SwapMetadataTable swapTable;
+    std::map<int, std::vector<compaction::SpareGrant>> grantsLeft;
+
+    // Schedule progress.
+    std::vector<char> taskDone;
+    std::vector<char> arrivalDone;
+    std::vector<std::size_t> cursor;
+    std::vector<char> stageBusy;
+
+    // Per-instance compaction state.
+    std::map<InstanceKey, Tick> genTime;
+    std::map<InstanceKey, InState> inState;
+
+    // Backward chains blocked on a swap-in, keyed by instance.
+    struct BwdChain;
+    std::map<InstanceKey, BwdChain *> blockedOn;
+
+    TrainingReport report;
+    std::vector<Tick> minibatchDone;
+    std::vector<int> optRemaining;
+
+    /** Weight-version fetch progress for stash-offloaded backward
+     *  tasks: absent = not issued, 1 = in flight, 2 = landed. */
+    std::map<int, int> versionFetch;
+
+    hw::Precision precision;
+
+    Impl(const hw::Topology &t, const model::TransformerModel &m,
+         const partition::Partition &p, const pipeline::Schedule &s,
+         const compaction::CompactionPlan &pl, ExecutorConfig c)
+        : topo(t), mdl(m), part(p), sched(s), plan(pl), cfg(c)
+    {
+        if (part.numStages() != sched.numStages)
+            util::fatal("partition has %d stages, schedule %d",
+                        part.numStages(), sched.numStages);
+        if (sched.numStages > topo.numGpus()) {
+            // More stages than GPUs is legal only with an explicit
+            // stage-to-GPU mapping (interleaved virtual stages, as in
+            // Megatron's interleaved 1F1B): several stages then share
+            // one device's compute queue and memory.
+            if (static_cast<int>(plan.stageToGpu.size()) !=
+                sched.numStages)
+                util::fatal("schedule needs %d GPUs, topology has %d"
+                            " (interleaving requires an explicit"
+                            " stage-to-GPU mapping)",
+                            sched.numStages, topo.numGpus());
+        }
+        for (int g : plan.stageToGpu) {
+            if (g < 0 || g >= topo.numGpus())
+                util::fatal("stage mapped to invalid GPU %d", g);
+        }
+
+        precision = mdl.config().precision;
+        fabric = std::make_unique<hw::Fabric>(engine, topo);
+        const Bytes effective = static_cast<Bytes>(
+            static_cast<double>(topo.gpu().memCapacity) /
+            cfg.memOverheadFactor);
+        for (int g = 0; g < topo.numGpus(); ++g) {
+            compute.push_back(std::make_unique<sim::Stream>(
+                engine, util::strformat("gpu%d.compute", g)));
+            gpuMem.push_back(
+                std::make_unique<memory::DeviceMemoryTracker>(
+                    util::strformat("gpu%d", g), effective));
+        }
+        host = std::make_unique<memory::PinnedHostPool>(
+            topo.hostMemory());
+        allocQueue.resize(static_cast<std::size_t>(topo.numGpus()));
+        pendingFreeBytes.assign(
+            static_cast<std::size_t>(topo.numGpus()), 0);
+
+        grantsLeft = plan.spareGrants;
+
+        taskDone.assign(sched.tasks.size(), 0);
+        arrivalDone.assign(sched.tasks.size(), 0);
+        for (const auto &t2 : sched.tasks) {
+            bool needs_transfer =
+                (t2.kind == TaskKind::Forward && t2.stage > 0) ||
+                (t2.kind == TaskKind::Backward &&
+                 t2.stage < sched.numStages - 1);
+            arrivalDone[static_cast<std::size_t>(t2.id)] =
+                needs_transfer ? 0 : 1;
+        }
+        cursor.assign(static_cast<std::size_t>(sched.numStages), 0);
+        stageBusy.assign(static_cast<std::size_t>(sched.numStages), 0);
+
+        report.trace.setEnabled(c.recordTimeline);
+        report.jobName = util::strformat(
+            "%s/%s/%s", mdl.config().name.c_str(), sched.name.c_str(),
+            topo.name().c_str());
+        report.overheads.resize(
+            static_cast<std::size_t>(sched.numStages));
+        for (int st = 0; st < sched.numStages; ++st)
+            report.overheads[static_cast<std::size_t>(st)].stage = st;
+        minibatchDone.assign(
+            static_cast<std::size_t>(sched.numMinibatches), 0);
+        optRemaining.assign(
+            static_cast<std::size_t>(sched.numMinibatches),
+            sched.numStages);
+    }
+
+    int gpuOf(int stage) const { return plan.gpuForStage(stage); }
+
+    // ---- timeline -------------------------------------------------
+
+    void
+    sampleMem(int gpu)
+    {
+        if (!cfg.recordTimeline)
+            return;
+        report.memTimeline.push_back(
+            {engine.now(), gpu,
+             gpuMem[static_cast<std::size_t>(gpu)]->used()});
+    }
+
+    void
+    traceSpan(const char *kind, int stage, int mb, int gpu,
+              Tick start, Tick end)
+    {
+        if (!cfg.recordTimeline)
+            return;
+        report.trace.record(
+            util::strformat("%s s%d mb%d", kind, stage, mb),
+            kind, gpu, start, end);
+    }
+
+    // ---- memory helpers -------------------------------------------
+
+    void
+    gpuAlloc(int gpu, TensorKind kind, Bytes bytes)
+    {
+        bool ok = gpuMem[static_cast<std::size_t>(gpu)]->alloc(kind,
+                                                               bytes);
+        sampleMem(gpu);
+        if (!ok && cfg.failFastOnOom && !report.oom) {
+            report.oom = true;
+            report.oomGpu = gpu;
+            report.oomTime = engine.now();
+            engine.stop();
+        }
+    }
+
+    void
+    gpuFree(int gpu, TensorKind kind, Bytes bytes)
+    {
+        gpuMem[static_cast<std::size_t>(gpu)]->free(kind, bytes);
+        sampleMem(gpu);
+        drainAllocQueue(gpu);
+    }
+
+    // ---- allocation backpressure ----------------------------------
+    //
+    // The memory manager blocks a requester when the allocation does
+    // not fit but in-flight swap-outs will free memory soon — this is
+    // what lets swap-everything plans run arbitrarily large models at
+    // reduced speed instead of crashing (Fig. 7's GPU-CPU swap bars).
+    // A request that cannot ever be satisfied (no pending frees) is a
+    // genuine OOM.
+
+    struct PendingAlloc
+    {
+        TensorKind kind;
+        Bytes bytes;
+        std::function<void()> fn;
+    };
+    std::vector<std::deque<PendingAlloc>> allocQueue;
+    std::vector<Bytes> pendingFreeBytes;
+    Bytes nvmeUsed = 0;
+
+    /** Allocate, stalling the continuation until memory frees.
+     *  A request that can never be satisfied leaves the simulation
+     *  deadlocked with the waiter queued; run() detects the drained
+     *  event queue with unfinished work and reports it as OOM —
+     *  mirroring a real allocator that blocks on pending frees and
+     *  raises OOM only when none can arrive. */
+    void
+    gpuAllocBlocking(int gpu, TensorKind kind, Bytes bytes,
+                     std::function<void()> fn)
+    {
+        auto g = static_cast<std::size_t>(gpu);
+        auto &mem = *gpuMem[g];
+        if (!cfg.failFastOnOom) {
+            // Profiling mode measures true demand: never block.
+            gpuAlloc(gpu, kind, bytes);
+            fn();
+            return;
+        }
+        if (allocQueue[g].empty() && mem.available() >= bytes) {
+            mem.alloc(kind, bytes);
+            sampleMem(gpu);
+            fn();
+            return;
+        }
+        allocQueue[g].push_back({kind, bytes, std::move(fn)});
+    }
+
+    void
+    drainAllocQueue(int gpu)
+    {
+        auto g = static_cast<std::size_t>(gpu);
+        auto &mem = *gpuMem[g];
+        while (!allocQueue[g].empty() &&
+               mem.available() >= allocQueue[g].front().bytes) {
+            PendingAlloc req = std::move(allocQueue[g].front());
+            allocQueue[g].pop_front();
+            mem.alloc(req.kind, req.bytes);
+            sampleMem(gpu);
+            req.fn();
+        }
+    }
+
+    // ---- P2P stage-to-stage transfers -----------------------------
+
+    void
+    p2pTransfer(int src_gpu, int dst_gpu, Bytes bytes,
+                std::function<void()> done)
+    {
+        if (bytes <= 0 || src_gpu == dst_gpu) {
+            engine.scheduleIn(0, std::move(done));
+            return;
+        }
+        if (fabric->lanesBetween(src_gpu, dst_gpu) > 0) {
+            fabric->d2dTransfer(src_gpu, dst_gpu, bytes, 1,
+                                std::move(done));
+        } else {
+            // No direct NVLink: bounce through host memory.
+            fabric->gpuToHost(src_gpu, bytes,
+                              [this, dst_gpu, bytes,
+                               cb = std::move(done)]() mutable {
+                                  fabric->hostToGpu(dst_gpu, bytes,
+                                                    std::move(cb));
+                              });
+        }
+    }
+
+    // ---- schedule driving -----------------------------------------
+
+    bool
+    eligible(const pipeline::Task &t) const
+    {
+        for (int dep : t.deps) {
+            if (!taskDone[static_cast<std::size_t>(dep)])
+                return false;
+        }
+        return arrivalDone[static_cast<std::size_t>(t.id)] != 0;
+    }
+
+    void
+    tryAdvance(int stage)
+    {
+        auto s = static_cast<std::size_t>(stage);
+        if (stageBusy[s])
+            return;
+        const auto &order = sched.perStageOrder[s];
+        if (cursor[s] >= order.size())
+            return;
+        const pipeline::Task &t = sched.task(order[cursor[s]]);
+        // Stash-offloaded backward tasks need their weight version
+        // fetched from the host; the fetch is independent of the
+        // gradient arrival, so issue it as soon as the task reaches
+        // the queue head and let it overlap the wait.
+        if (t.kind == TaskKind::Backward &&
+            plan.stashOffloaded(t.stage)) {
+            auto fetch = versionFetch.find(t.id);
+            if (fetch == versionFetch.end()) {
+                versionFetch[t.id] = 1;
+                const int gpu = gpuOf(t.stage);
+                const auto &stage =
+                    part.stages[static_cast<std::size_t>(t.stage)];
+                const Tick t0 = engine.now();
+                fabric->gpuToHost(gpu, stage.paramBytes, [] {});
+                fabric->hostToGpu(
+                    gpu, stage.paramBytes, [this, &t, t0]() {
+                        versionFetch[t.id] = 2;
+                        // Only the unhidden part is overhead; if the
+                        // task was already runnable we stalled.
+                        (void)t0;
+                        tryAdvance(t.stage);
+                    });
+                return;
+            }
+            if (fetch->second != 2)
+                return;
+        }
+        if (!eligible(t))
+            return;
+        ++cursor[s];
+        stageBusy[s] = 1;
+        switch (t.kind) {
+          case TaskKind::Forward:
+            launchForward(t);
+            break;
+          case TaskKind::Backward:
+            launchBackward(t);
+            break;
+          case TaskKind::OptimStep:
+            launchOptim(t);
+            break;
+        }
+    }
+
+    void
+    finishTask(const pipeline::Task &t)
+    {
+        taskDone[static_cast<std::size_t>(t.id)] = 1;
+        stageBusy[static_cast<std::size_t>(t.stage)] = 0;
+
+        if (t.kind == TaskKind::Forward &&
+            t.stage < sched.numStages - 1) {
+            // Ship the boundary activation downstream.
+            int nxt = sched.fwdId(t.stage + 1, t.microbatch);
+            Bytes bytes =
+                part.stages[static_cast<std::size_t>(t.stage)]
+                    .outputBytes;
+            int dst_stage = t.stage + 1;
+            p2pTransfer(gpuOf(t.stage), gpuOf(dst_stage), bytes,
+                        [this, nxt, dst_stage]() {
+                            arrivalDone[static_cast<std::size_t>(nxt)] =
+                                1;
+                            tryAdvance(dst_stage);
+                        });
+        } else if (t.kind == TaskKind::Backward && t.stage > 0) {
+            // Ship the input gradient upstream (same size as the
+            // upstream stage's boundary activation).
+            int nxt = sched.bwdId(t.stage - 1, t.microbatch);
+            Bytes bytes =
+                part.stages[static_cast<std::size_t>(t.stage - 1)]
+                    .outputBytes;
+            int dst_stage = t.stage - 1;
+            p2pTransfer(gpuOf(t.stage), gpuOf(dst_stage), bytes,
+                        [this, nxt, dst_stage]() {
+                            arrivalDone[static_cast<std::size_t>(nxt)] =
+                                1;
+                            tryAdvance(dst_stage);
+                        });
+        } else if (t.kind == TaskKind::OptimStep) {
+            auto k = static_cast<std::size_t>(t.minibatch);
+            if (--optRemaining[k] == 0)
+                minibatchDone[k] = engine.now();
+        }
+
+        tryAdvance(t.stage);
+    }
+
+    // ---- forward pass ---------------------------------------------
+
+    /** True when this instance's activation-saving bytes should count
+     *  toward the per-iteration savings breakdown (one steady
+     *  minibatch is sampled to avoid warmup skew). */
+    bool
+    countsForSavings(int minibatch) const
+    {
+        int sample = sched.numMinibatches > 1 ? 1 : 0;
+        return minibatch == sample;
+    }
+
+    void
+    launchForward(const pipeline::Task &t)
+    {
+        runFwdLayer(t,
+                    part.stages[static_cast<std::size_t>(t.stage)]
+                        .firstLayer);
+    }
+
+    void
+    runFwdLayer(const pipeline::Task &t, std::size_t pos)
+    {
+        const auto &stage =
+            part.stages[static_cast<std::size_t>(t.stage)];
+        if (pos > stage.lastLayer) {
+            finishTask(t);
+            return;
+        }
+        const model::Layer &layer = mdl.layer(pos);
+        const int gpu = gpuOf(t.stage);
+
+        // Allocation may stall behind in-flight swap-outs; the layer
+        // kernel launches once the stash fits.
+        gpuAllocBlocking(
+            gpu, TensorKind::Activation, layer.activationStash,
+            [this, &t, pos, gpu, &layer]() {
+                Tick dur = topo.gpu().computeTime(layer.fwdFlops,
+                                                  precision);
+                compute[static_cast<std::size_t>(gpu)]->submit(
+                    dur, [this, &t, pos, gpu](Tick a, Tick b) {
+                        traceSpan("fwd", t.stage, t.microbatch, gpu,
+                                  a, b);
+                        onFwdLayerDone(t, pos);
+                    });
+            });
+    }
+
+    void
+    onFwdLayerDone(const pipeline::Task &t, std::size_t pos)
+    {
+        InstanceKey key{{t.stage, static_cast<int>(pos)},
+                        t.microbatch};
+        genTime[key] = engine.now();
+
+        const model::Layer &layer = mdl.layer(pos);
+        const int gpu = gpuOf(t.stage);
+        Kind kind = plan.kindFor(key.ref);
+
+        switch (kind) {
+          case Kind::None:
+            break;
+          case Kind::Recompute: {
+            // Drop the stash, keep the segment boundary.
+            gpuFree(gpu, TensorKind::Activation,
+                    layer.activationStash);
+            gpuAlloc(gpu, TensorKind::Activation, layer.outputBytes);
+            inState[key] = InState::NotNeeded;
+            if (countsForSavings(t.minibatch)) {
+                report.savings.recompute +=
+                    layer.activationStash - layer.outputBytes;
+            }
+            break;
+          }
+          case Kind::GpuCpuSwap: {
+            const Bytes bytes = layer.activationStash;
+            bool to_nvme = false;
+            if (!host->reserve(bytes)) {
+                host->release(bytes);
+                // Host pool exhausted: spill to NVMe when the server
+                // has one (Sec. V multi-level hierarchy), otherwise
+                // keep resident.
+                if (nvmeUsed + bytes <= topo.nvmeCapacity()) {
+                    to_nvme = true;
+                    nvmeUsed += bytes;
+                    report.nvmeSpill += bytes;
+                } else {
+                    break;
+                }
+            }
+            auto &rec0 = swapTable.beginSwapOut(key, kind, {}, bytes);
+            rec0.onNvme = to_nvme;
+            inState[key] = InState::Pending;
+            pendingFreeBytes[static_cast<std::size_t>(gpu)] += bytes;
+            fabric->gpuToHost(
+                gpu, bytes, [this, key, gpu]() {
+                    auto *rec = swapTable.find(key);
+                    pendingFreeBytes[static_cast<std::size_t>(gpu)] -=
+                        rec->bytes;
+                    gpuFree(gpu, TensorKind::Activation, rec->bytes);
+                    if (countsForSavings(key.microbatch /
+                                         sched
+                                             .microbatchesPerMinibatch))
+                        report.savings.gpuCpuSwap += rec->bytes;
+                    if (!rec->onNvme) {
+                        swapTable.markResident(key);
+                        wakeIfBlocked(key);
+                        return;
+                    }
+                    // Second leg: stream through to the SSD.
+                    fabric->hostToNvme(rec->bytes, [this, key]() {
+                        swapTable.markResident(key);
+                        wakeIfBlocked(key);
+                    });
+                });
+            break;
+          }
+          case Kind::D2dSwap: {
+            startD2dSwapOut(key, gpu, layer.activationStash,
+                            t.minibatch);
+            break;
+          }
+        }
+
+        runFwdLayer(t, pos + 1);
+    }
+
+    void
+    startD2dSwapOut(InstanceKey key, int gpu, Bytes bytes,
+                    int minibatch)
+    {
+        auto it = grantsLeft.find(gpu);
+        if (it == grantsLeft.end()) {
+            report.d2dOverflow += bytes;
+            return;
+        }
+        compaction::StripePlan stripe_plan;
+        if (plan.d2dStriping) {
+            stripe_plan = compaction::makeStripePlan(topo, gpu,
+                                                     it->second,
+                                                     bytes);
+        } else {
+            // Figure 9 ablation baseline: the whole tensor goes to
+            // one importer over a single lane.
+            for (const auto &grant : it->second) {
+                if (grant.budget >= bytes &&
+                    topo.nvlinkLanes(gpu, grant.importerGpu) > 0) {
+                    stripe_plan.stripes.push_back(
+                        {grant.importerGpu, bytes, 1});
+                    break;
+                }
+            }
+        }
+        if (stripe_plan.empty()) {
+            report.d2dOverflow += bytes;
+            return;
+        }
+        // Debit budgets and reserve importer memory.
+        for (const auto &stripe : stripe_plan.stripes) {
+            for (auto &grant : it->second) {
+                if (grant.importerGpu == stripe.targetGpu) {
+                    grant.budget -= stripe.bytes;
+                    break;
+                }
+            }
+            gpuAlloc(stripe.targetGpu, TensorKind::Activation,
+                     stripe.bytes);
+        }
+        auto &rec = swapTable.beginSwapOut(key, Kind::D2dSwap,
+                                           stripe_plan, bytes);
+        inState[key] = InState::Pending;
+        pendingFreeBytes[static_cast<std::size_t>(gpu)] += bytes;
+
+        auto join = std::make_shared<sim::JoinCounter>(
+            static_cast<int>(rec.plan.stripes.size()),
+            [this, key, gpu, minibatch]() {
+                const auto *r = swapTable.find(key);
+                pendingFreeBytes[static_cast<std::size_t>(gpu)] -=
+                    r->bytes;
+                gpuFree(gpu, TensorKind::Activation, r->bytes);
+                swapTable.markResident(key);
+                if (countsForSavings(minibatch))
+                    report.savings.d2dSwap += r->bytes;
+                wakeIfBlocked(key);
+            });
+        for (const auto &stripe : rec.plan.stripes) {
+            fabric->d2dTransfer(gpu, stripe.targetGpu, stripe.bytes,
+                                stripe.lanes,
+                                [join]() { join->arrive(); });
+        }
+    }
+
+    // ---- backward pass --------------------------------------------
+
+    struct BwdChain
+    {
+        const pipeline::Task *task = nullptr;
+        std::vector<std::size_t> layersRev;
+        std::size_t next = 0;
+        std::size_t nextPrefetch = 0;
+        int inflightSwapIns = 0;
+        Tick stallStart = -1;
+    };
+
+    std::map<int, BwdChain> bwdChains;  // keyed by task id
+
+    void
+    launchBackward(const pipeline::Task &t)
+    {
+        const auto &stage =
+            part.stages[static_cast<std::size_t>(t.stage)];
+        BwdChain chain;
+        chain.task = &t;
+        for (std::size_t pos = stage.lastLayer + 1;
+             pos > stage.firstLayer; --pos)
+            chain.layersRev.push_back(pos - 1);
+        auto [it, ok] = bwdChains.emplace(t.id, std::move(chain));
+        (void)ok;
+
+        issuePrefetches(it->second);
+        runBwdLayer(it->second);
+    }
+
+    InState
+    swapInStateOf(InstanceKey key) const
+    {
+        auto it = inState.find(key);
+        return it == inState.end() ? InState::NotNeeded : it->second;
+    }
+
+    void
+    issuePrefetches(BwdChain &chain)
+    {
+        while (chain.nextPrefetch < chain.layersRev.size() &&
+               chain.inflightSwapIns < cfg.swapInLookahead) {
+            std::size_t pos = chain.layersRev[chain.nextPrefetch];
+            InstanceKey key{{chain.task->stage,
+                             static_cast<int>(pos)},
+                            chain.task->microbatch};
+            ++chain.nextPrefetch;
+            if (swapInStateOf(key) != InState::Pending)
+                continue;
+            issueSwapIn(chain, key);
+        }
+    }
+
+    void
+    issueSwapIn(BwdChain &chain, InstanceKey key)
+    {
+        auto *rec = swapTable.find(key);
+        if (!rec || rec->state != SwapState::Resident)
+            return;  // swap-out still in flight; will stall later
+        inState[key] = InState::InFlight;
+        ++chain.inflightSwapIns;
+        swapTable.markSwappingIn(key);
+        const int gpu = gpuOf(chain.task->stage);
+
+        // Re-materialize the stash on the exporter GPU; the transfer
+        // waits if the allocation must stall behind pending frees.
+        gpuAllocBlocking(
+            gpu, TensorKind::Activation, rec->bytes,
+            [this, key, gpu]() {
+                const auto *r = swapTable.find(key);
+                if (r->kind == Kind::GpuCpuSwap && r->onNvme) {
+                    fabric->nvmeToHost(r->bytes, [this, key, gpu]() {
+                        const auto *rec = swapTable.find(key);
+                        fabric->hostToGpu(gpu, rec->bytes,
+                                          [this, key]() {
+                                              onSwapInDone(key);
+                                          });
+                    });
+                } else if (r->kind == Kind::GpuCpuSwap) {
+                    fabric->hostToGpu(gpu, r->bytes, [this, key]() {
+                        onSwapInDone(key);
+                    });
+                } else {
+                    auto join = std::make_shared<sim::JoinCounter>(
+                        static_cast<int>(r->plan.stripes.size()),
+                        [this, key]() { onSwapInDone(key); });
+                    for (const auto &stripe : r->plan.stripes) {
+                        fabric->d2dTransfer(stripe.targetGpu, gpu,
+                                            stripe.bytes,
+                                            stripe.lanes,
+                                            [join]() {
+                                                join->arrive();
+                                            });
+                    }
+                }
+            });
+    }
+
+    /** A swap-out just finished: if a backward chain is already
+     *  stalled on this instance, issue its swap-in immediately. */
+    void
+    wakeIfBlocked(InstanceKey key)
+    {
+        auto blocked = blockedOn.find(key);
+        if (blocked != blockedOn.end() &&
+            swapInStateOf(key) == InState::Pending) {
+            issueSwapIn(*blocked->second, key);
+        }
+    }
+
+    void
+    onSwapInDone(InstanceKey key)
+    {
+        auto *rec = swapTable.find(key);
+        const int gpu = gpuOf(key.ref.stage);
+        if (rec->kind == Kind::GpuCpuSwap) {
+            if (rec->onNvme)
+                nvmeUsed -= rec->bytes;
+            else
+                host->release(rec->bytes);
+        } else {
+            for (const auto &stripe : rec->plan.stripes) {
+                gpuFree(stripe.targetGpu, TensorKind::Activation,
+                        stripe.bytes);
+                auto &grants = grantsLeft[gpu];
+                for (auto &grant : grants) {
+                    if (grant.importerGpu == stripe.targetGpu) {
+                        grant.budget += stripe.bytes;
+                        break;
+                    }
+                }
+            }
+        }
+        swapTable.complete(key);
+        inState[key] = InState::Done;
+
+        auto blocked = blockedOn.find(key);
+        if (blocked != blockedOn.end()) {
+            BwdChain *chain = blocked->second;
+            blockedOn.erase(blocked);
+            --chain->inflightSwapIns;
+            if (chain->stallStart >= 0) {
+                report
+                    .overheads[static_cast<std::size_t>(
+                        chain->task->stage)]
+                    .swapInStall += engine.now() - chain->stallStart;
+                chain->stallStart = -1;
+            }
+            issuePrefetches(*chain);
+            runBwdLayer(*chain);
+        } else {
+            // Not blocked: find the chain to decrement its counter.
+            for (auto &[id, chain] : bwdChains) {
+                if (chain.task->stage == key.ref.stage &&
+                    chain.task->microbatch == key.microbatch) {
+                    --chain.inflightSwapIns;
+                    issuePrefetches(chain);
+                    break;
+                }
+            }
+        }
+    }
+
+    void
+    runBwdLayer(BwdChain &chain)
+    {
+        const pipeline::Task &t = *chain.task;
+        if (chain.next >= chain.layersRev.size()) {
+            bwdChains.erase(t.id);
+            finishTask(t);
+            return;
+        }
+        std::size_t pos = chain.layersRev[chain.next];
+        InstanceKey key{{t.stage, static_cast<int>(pos)},
+                        t.microbatch};
+        InState st = swapInStateOf(key);
+
+        if (st == InState::Pending || st == InState::InFlight) {
+            // Needed tensor is off-device: stall the compute queue.
+            if (st == InState::Pending) {
+                // Prefetch window missed it (e.g. swap-out was still
+                // in flight); issue now.
+                auto *rec = swapTable.find(key);
+                if (rec && rec->state == SwapState::Resident)
+                    issueSwapIn(chain, key);
+            }
+            chain.stallStart = engine.now();
+            blockedOn[key] = &chain;
+            return;
+        }
+
+        const model::Layer &layer = mdl.layer(pos);
+        const int gpu = gpuOf(t.stage);
+        Kind kind = plan.kindFor(key.ref);
+
+        if (cfg.recordLiveness) {
+            auto gen = genTime.find(key);
+            if (gen != genTime.end()) {
+                report.liveness.record(key.ref, layer.activationStash,
+                                       t.microbatch, gen->second,
+                                       engine.now());
+            }
+        }
+
+        auto submit_bwd = [this, &chain, &t, pos, gpu, layer]() {
+            Tick dur =
+                topo.gpu().computeTime(layer.bwdFlops(), precision);
+            compute[static_cast<std::size_t>(gpu)]->submit(
+                dur, [this, &chain, pos, gpu, layer](Tick a, Tick b) {
+                    traceSpan("bwd", chain.task->stage,
+                              chain.task->microbatch, gpu, a, b);
+                    gpuFree(gpu, TensorKind::Activation,
+                            layer.activationStash);
+                    ++chain.next;
+                    issuePrefetches(chain);
+                    runBwdLayer(chain);
+                });
+        };
+
+        if (kind == Kind::Recompute) {
+            // Re-run the forward pass on the compute queue, then do
+            // the backward.
+            Tick redo = topo.gpu().computeTime(layer.fwdFlops,
+                                               precision);
+            report.overheads[static_cast<std::size_t>(t.stage)]
+                .recomputeTime += redo;
+            compute[static_cast<std::size_t>(gpu)]->submit(
+                redo,
+                [this, &chain, gpu, layer, submit_bwd](Tick a,
+                                                       Tick b) {
+                    traceSpan("recompute", chain.task->stage,
+                              chain.task->microbatch, gpu, a, b);
+                    gpuAlloc(gpu, TensorKind::Activation,
+                             layer.activationStash);
+                    gpuFree(gpu, TensorKind::Activation,
+                            layer.outputBytes);
+                    submit_bwd();
+                });
+        } else {
+            submit_bwd();
+        }
+    }
+
+    // ---- optimizer step -------------------------------------------
+
+    void
+    launchOptim(const pipeline::Task &t)
+    {
+        const auto &stage =
+            part.stages[static_cast<std::size_t>(t.stage)];
+        const int gpu = gpuOf(t.stage);
+        // Adam is memory-bound: touches params, grads and state.
+        Bytes touched = stage.paramBytes + stage.gradBytes +
+                        stage.optStateBytes;
+        Tick dur = topo.gpu().hbm.transferTime(touched);
+
+        bool offload =
+            static_cast<std::size_t>(t.stage) <
+                plan.offloadOptState.size() &&
+            plan.offloadOptState[static_cast<std::size_t>(t.stage)];
+
+        if (!offload) {
+            compute[static_cast<std::size_t>(gpu)]->submit(
+                dur,
+                [this, &t](Tick, Tick) { finishTask(t); });
+            return;
+        }
+
+        // Optimizer state lives on the host permanently; the step
+        // runs on the CPU (gradients down, fresh parameters up),
+        // which moves 1/3 the bytes of a state round-trip — the same
+        // mechanism ZeRO-Offload uses.  The CPU-side Adam is
+        // host-memory-bound.
+        (void)dur;
+        const Tick t0 = engine.now();
+        const Bytes grad_bytes = stage.gradBytes;
+        const Bytes param_bytes = stage.paramBytes;
+        const Tick cpu_step = util::Bandwidth::fromGBps(25.0)
+                                  .transferTime(stage.optStateBytes);
+        fabric->gpuToHost(gpu, grad_bytes, [this, &t, gpu, t0,
+                                            param_bytes, cpu_step]() {
+            engine.scheduleIn(cpu_step, [this, &t, gpu, t0,
+                                         param_bytes]() {
+                fabric->hostToGpu(gpu, param_bytes, [this, &t, t0]() {
+                    report.overheads[static_cast<std::size_t>(t.stage)]
+                        .optimStall += engine.now() - t0;
+                    finishTask(t);
+                });
+            });
+        });
+    }
+
+    // ---- top level -------------------------------------------------
+
+    void
+    allocateStatic()
+    {
+        for (const auto &stage : part.stages) {
+            const int gpu = gpuOf(stage.index);
+            int versions = sched.weightVersions(stage.index);
+            if (plan.stashOffloaded(stage.index) && versions > 2) {
+                // Older versions live in host memory; the GPU keeps
+                // the active version plus the one being consumed.
+                host->reserve(stage.paramBytes * (versions - 2));
+                report.savings.gpuCpuSwap +=
+                    stage.paramBytes * (versions - 2);
+                versions = 2;
+            }
+            gpuAlloc(gpu, TensorKind::Parameter,
+                     stage.paramBytes * versions);
+            gpuAlloc(gpu, TensorKind::Gradient, stage.gradBytes);
+
+            bool offload =
+                static_cast<std::size_t>(stage.index) <
+                    plan.offloadOptState.size() &&
+                plan.offloadOptState[static_cast<std::size_t>(
+                    stage.index)];
+            if (offload) {
+                host->reserve(stage.optStateBytes);
+                report.savings.gpuCpuSwap += stage.optStateBytes;
+            } else {
+                gpuAlloc(gpu, TensorKind::OptimizerState,
+                         stage.optStateBytes);
+            }
+        }
+    }
+
+    TrainingReport
+    run()
+    {
+        allocateStatic();
+        if (!report.oom) {
+            engine.schedule(0, [this]() {
+                for (int s = 0; s < sched.numStages; ++s)
+                    tryAdvance(s);
+            });
+            engine.run();
+            detectDeadlock();
+        }
+        finalize();
+        return std::move(report);
+    }
+
+    /** The event queue drained but work remains: an allocation is
+     *  blocked with no free ever coming — memory exhaustion. */
+    void
+    detectDeadlock()
+    {
+        if (report.oom)
+            return;
+        bool complete = true;
+        for (int s = 0; s < sched.numStages; ++s) {
+            complete &=
+                cursor[static_cast<std::size_t>(s)] ==
+                    sched.perStageOrder[static_cast<std::size_t>(s)]
+                        .size() &&
+                !stageBusy[static_cast<std::size_t>(s)];
+        }
+        if (complete)
+            return;
+        report.oom = true;
+        report.oomTime = engine.now();
+        for (std::size_t g = 0; g < allocQueue.size(); ++g) {
+            if (!allocQueue[g].empty()) {
+                report.oomGpu = static_cast<int>(g);
+                break;
+            }
+        }
+    }
+
+    void
+    finalize()
+    {
+        report.makespan = engine.now();
+        if (cfg.recordTimeline) {
+            for (int g = 0; g < topo.numGpus(); ++g) {
+                report.trace.nameLane(
+                    g, util::strformat("gpu%d", g));
+            }
+        }
+
+        for (int g = 0; g < topo.numGpus(); ++g) {
+            const auto &mem = *gpuMem[static_cast<std::size_t>(g)];
+            GpuMemStats stats;
+            stats.gpu = g;
+            stats.capacity = topo.gpu().memCapacity;
+            if (report.makespan > 0) {
+                stats.computeUtilization =
+                    static_cast<double>(
+                        compute[static_cast<std::size_t>(g)]
+                            ->busyTime()) /
+                    static_cast<double>(report.makespan);
+            }
+            stats.peak = mem.peak();
+            stats.peakActivations =
+                mem.peakByKind(TensorKind::Activation);
+            stats.peakParams = mem.peakByKind(TensorKind::Parameter);
+            stats.peakGrads = mem.peakByKind(TensorKind::Gradient);
+            stats.peakOptState =
+                mem.peakByKind(TensorKind::OptimizerState);
+            stats.finalUsed = mem.used();
+            stats.oom = mem.oomOccurred();
+            report.gpus.push_back(stats);
+        }
+        report.hostPeak = host->peak();
+        report.nvlinkBusyTime = fabric->nvlinkBusyTime();
+        report.pcieBusyTime = fabric->pcieBusyTime();
+
+        if (report.oom)
+            return;
+
+        const int n = sched.numMinibatches;
+        Tick steady;
+        if (n > 1) {
+            steady = (minibatchDone[static_cast<std::size_t>(n - 1)] -
+                      minibatchDone[0]) /
+                     static_cast<Tick>(n - 1);
+        } else {
+            steady = report.makespan;
+        }
+        if (steady <= 0)
+            steady = report.makespan;
+        report.steadyIterTime = steady;
+
+        double secs = util::toSeconds(steady);
+        double samples_per_mini =
+            static_cast<double>(sched.microbatchesPerMinibatch) *
+            mdl.microbatchSize();
+        report.samplesPerSec = samples_per_mini / secs;
+
+        double flops_per_mini =
+            3.0 * mdl.totalFwdFlops() *
+            sched.microbatchesPerMinibatch;
+        report.tflops = flops_per_mini / secs / 1e12;
+    }
+};
+
+Executor::Executor(const hw::Topology &topo,
+                   const model::TransformerModel &mdl,
+                   const partition::Partition &part,
+                   const pipeline::Schedule &sched,
+                   const compaction::CompactionPlan &plan,
+                   ExecutorConfig config)
+    : _impl(std::make_unique<Impl>(topo, mdl, part, sched, plan,
+                                   config))
+{}
+
+Executor::~Executor() = default;
+
+TrainingReport
+Executor::run()
+{
+    return _impl->run();
+}
+
+TrainingReport
+runTraining(const hw::Topology &topo,
+            const model::TransformerModel &mdl,
+            const partition::Partition &part,
+            const pipeline::Schedule &sched,
+            const compaction::CompactionPlan &plan,
+            ExecutorConfig config)
+{
+    Executor exec(topo, mdl, part, sched, plan, config);
+    return exec.run();
+}
+
+Bytes
+TrainingReport::maxGpuPeak() const
+{
+    Bytes best = 0;
+    for (const auto &g : gpus)
+        best = std::max(best, g.peak);
+    return best;
+}
+
+Bytes
+TrainingReport::minGpuPeak() const
+{
+    if (gpus.empty())
+        return 0;
+    Bytes best = gpus.front().peak;
+    for (const auto &g : gpus) {
+        if (g.peak > 0)
+            best = std::min(best, g.peak);
+    }
+    return best;
+}
+
+Bytes
+TrainingReport::totalGpuPeak() const
+{
+    Bytes total = 0;
+    for (const auto &g : gpus)
+        total += g.peak;
+    return total;
+}
+
+} // namespace runtime
+} // namespace mpress

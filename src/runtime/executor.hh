@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The MPress runtime executor.
+ *
+ * Replays a pipeline schedule on the discrete-event simulator:
+ * per-layer forward/backward kernels on per-GPU compute queues,
+ * activation/gradient hand-offs over the fabric, and the three
+ * memory-compaction techniques (drop/recompute, GPU-CPU swap, D2D
+ * swap with striping) as asynchronous operators on their own
+ * transfer lanes — mirroring the paper's executor + memory manager +
+ * compaction library split (Fig. 5).
+ *
+ * Every tensor allocation and release flows through per-GPU memory
+ * trackers, so peak usage, imbalance (Fig. 2) and OOM crossovers
+ * (Fig. 7/8) are emergent results, not inputs.
+ */
+
+#ifndef MPRESS_RUNTIME_EXECUTOR_HH
+#define MPRESS_RUNTIME_EXECUTOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "compaction/metadata.hh"
+#include "compaction/plan.hh"
+#include "hw/fabric.hh"
+#include "hw/topology.hh"
+#include "memory/tracker.hh"
+#include "model/model.hh"
+#include "partition/partition.hh"
+#include "pipeline/schedule.hh"
+#include "runtime/report.hh"
+#include "sim/engine.hh"
+#include "sim/stream.hh"
+
+namespace mpress {
+namespace runtime {
+
+/** Executor tunables. */
+struct ExecutorConfig
+{
+    /** Fraction of HBM reserved for framework workspace, fragmentation
+     *  and comm buffers; effective capacity = capacity / factor. */
+    double memOverheadFactor = 1.10;
+
+    /** Maximum swap-ins kept in flight ahead of the backward pass. */
+    int swapInLookahead = 4;
+
+    /** Record per-tensor live intervals (profiling runs). */
+    bool recordLiveness = false;
+
+    /** Record the per-GPU memory timeline and an execution trace
+     *  (Fig. 1 curves / chrome-trace export). */
+    bool recordTimeline = false;
+
+    /** Stop the simulation at the first OOM (matches real runs); when
+     *  false, keep accounting to observe the overshoot. */
+    bool failFastOnOom = true;
+};
+
+/**
+ * One-shot executor: construct, run(), read the report.
+ */
+class Executor
+{
+  public:
+    /**
+     * @param topo     the server
+     * @param mdl      instantiated model (layers with costs)
+     * @param part     stage partition (stages == schedule stages)
+     * @param sched    pipeline schedule to replay
+     * @param plan     memory-compaction plan (may be empty)
+     * @param config   tunables
+     */
+    Executor(const hw::Topology &topo,
+             const model::TransformerModel &mdl,
+             const partition::Partition &part,
+             const pipeline::Schedule &sched,
+             const compaction::CompactionPlan &plan,
+             ExecutorConfig config = {});
+
+    ~Executor();
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** Run the whole window and return the report. */
+    TrainingReport run();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+};
+
+/** Convenience wrapper: build and run in one call. */
+TrainingReport runTraining(const hw::Topology &topo,
+                           const model::TransformerModel &mdl,
+                           const partition::Partition &part,
+                           const pipeline::Schedule &sched,
+                           const compaction::CompactionPlan &plan,
+                           ExecutorConfig config = {});
+
+} // namespace runtime
+} // namespace mpress
+
+#endif // MPRESS_RUNTIME_EXECUTOR_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Training-run reports produced by the executor: throughput, per-GPU
+ * memory statistics, per-technique memory savings and overhead
+ * breakdowns.  Every number the paper's tables and figures plot is
+ * derived from these records.
+ */
+
+#ifndef MPRESS_RUNTIME_REPORT_HH
+#define MPRESS_RUNTIME_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "memory/liveness.hh"
+#include "memory/tracker.hh"
+#include "sim/trace.hh"
+#include "util/units.hh"
+
+namespace mpress {
+namespace runtime {
+
+using util::Bytes;
+using util::Tick;
+
+/** One point of the per-GPU memory-over-time curve (Fig. 1). */
+struct MemorySample
+{
+    Tick time = 0;
+    int gpu = 0;
+    Bytes used = 0;
+};
+
+/** Memory statistics for one GPU after a run. */
+struct GpuMemStats
+{
+    int gpu = 0;
+    Bytes capacity = 0;
+    /** Fraction of the makespan the compute queue was busy. */
+    double computeUtilization = 0.0;
+    Bytes peak = 0;
+    Bytes peakActivations = 0;
+    Bytes peakParams = 0;
+    Bytes peakGrads = 0;
+    Bytes peakOptState = 0;
+    /** Bytes still allocated when the window ended; equals the static
+     *  allocation when every activation was properly released. */
+    Bytes finalUsed = 0;
+    bool oom = false;
+};
+
+/** Per-stage overhead attribution. */
+struct StageOverhead
+{
+    int stage = 0;
+    Tick recomputeTime = 0;   ///< extra forward compute
+    Tick swapInStall = 0;     ///< backward blocked on swap-in
+    Tick optimStall = 0;      ///< optimizer blocked on state swap
+};
+
+/** Per-technique memory-saving accounting (Table IV columns). */
+struct SavingsBreakdown
+{
+    Bytes recompute = 0;   ///< activation bytes dropped per iteration
+    Bytes gpuCpuSwap = 0;  ///< bytes offloaded to host per iteration
+    Bytes d2dSwap = 0;     ///< bytes offloaded to peers per iteration
+
+    Bytes total() const { return recompute + gpuCpuSwap + d2dSwap; }
+};
+
+/**
+ * The outcome of one simulated training window.
+ */
+struct TrainingReport
+{
+    std::string jobName;
+
+    bool oom = false;
+    int oomGpu = -1;
+    Tick oomTime = 0;
+
+    Tick makespan = 0;          ///< whole window, includes warmup
+    Tick steadyIterTime = 0;    ///< marginal time per minibatch
+    double samplesPerSec = 0.0;
+    double tflops = 0.0;        ///< aggregate sustained TFLOPS
+
+    std::vector<GpuMemStats> gpus;
+    Bytes hostPeak = 0;
+
+    SavingsBreakdown savings;
+    Bytes d2dOverflow = 0;      ///< bytes that missed spare budgets
+    Bytes nvmeSpill = 0;        ///< swap bytes that overflowed the
+                                ///< host pool onto NVMe
+
+    /** Aggregate busy time across all NVLink lanes (P2P + D2D). */
+    Tick nvlinkBusyTime = 0;
+    /** Aggregate busy time across all PCIe channels. */
+    Tick pcieBusyTime = 0;
+
+    std::vector<StageOverhead> overheads;
+
+    memory::LivenessTable liveness;  ///< filled in profiling runs
+
+    /** Per-GPU memory-over-time samples (ExecutorConfig
+     *  recordTimeline); one entry per allocation change. */
+    std::vector<MemorySample> memTimeline;
+
+    /** Execution trace (compute/swap spans per device lane);
+     *  populated when recordTimeline is set. */
+    sim::TraceRecorder trace;
+
+    /** Highest per-GPU peak across devices. */
+    Bytes maxGpuPeak() const;
+
+    /** Lowest per-GPU peak across devices. */
+    Bytes minGpuPeak() const;
+
+    /** Sum of per-GPU peaks (Table II "total" analogue). */
+    Bytes totalGpuPeak() const;
+};
+
+} // namespace runtime
+} // namespace mpress
+
+#endif // MPRESS_RUNTIME_REPORT_HH

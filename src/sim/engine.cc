@@ -1,0 +1,59 @@
+#include "sim/engine.hh"
+
+#include "util/logging.hh"
+
+namespace mpress {
+namespace sim {
+
+void
+Engine::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < _now) {
+        util::panic("event scheduled in the past (%lld < %lld)",
+                    static_cast<long long>(when),
+                    static_cast<long long>(_now));
+    }
+    _queue.push(Event{when, _nextSeq++, std::move(fn)});
+}
+
+void
+Engine::run()
+{
+    _stopped = false;
+    while (!_queue.empty() && !_stopped) {
+        Event ev = _queue.top();
+        _queue.pop();
+        _now = ev.when;
+        ++_eventsExecuted;
+        ev.fn();
+    }
+}
+
+bool
+Engine::runUntil(Tick limit)
+{
+    _stopped = false;
+    while (!_queue.empty() && !_stopped) {
+        if (_queue.top().when > limit)
+            return false;
+        Event ev = _queue.top();
+        _queue.pop();
+        _now = ev.when;
+        ++_eventsExecuted;
+        ev.fn();
+    }
+    return _queue.empty();
+}
+
+void
+Engine::reset()
+{
+    _queue = {};
+    _now = 0;
+    _nextSeq = 0;
+    _eventsExecuted = 0;
+    _stopped = false;
+}
+
+} // namespace sim
+} // namespace mpress

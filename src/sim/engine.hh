@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * The engine owns a time-ordered event queue.  Events scheduled for the
+ * same tick fire in scheduling order (a monotonically increasing
+ * sequence number breaks ties), which makes every simulation fully
+ * deterministic.
+ */
+
+#ifndef MPRESS_SIM_ENGINE_HH
+#define MPRESS_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace mpress {
+namespace sim {
+
+using util::Tick;
+
+/**
+ * The event-driven simulation core.
+ *
+ * Usage: schedule closures at absolute ticks (or relative via
+ * scheduleIn), then run() to drain the queue.  Closures may schedule
+ * further events; the simulation ends when the queue empties or an
+ * explicit stop() is requested.
+ */
+class Engine
+{
+  public:
+    Engine() = default;
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p fn at absolute tick @p when (>= now()). */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, std::function<void()> fn)
+    {
+        schedule(_now + delay, std::move(fn));
+    }
+
+    /** Run until the event queue drains or stop() is called. */
+    void run();
+
+    /**
+     * Run until simulated time would exceed @p limit; events at
+     * exactly @p limit still fire.  Returns true if the queue drained.
+     */
+    bool runUntil(Tick limit);
+
+    /** Request that run() return after the current event. */
+    void stop() { _stopped = true; }
+
+    /** Number of events executed since construction or reset(). */
+    std::uint64_t eventsExecuted() const { return _eventsExecuted; }
+
+    /** True if no events remain. */
+    bool empty() const { return _queue.empty(); }
+
+    /** Clear all pending events and rewind time to zero. */
+    void reset();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct EventLater
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, EventLater> _queue;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _eventsExecuted = 0;
+    bool _stopped = false;
+};
+
+} // namespace sim
+} // namespace mpress
+
+#endif // MPRESS_SIM_ENGINE_HH

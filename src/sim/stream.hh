@@ -1,0 +1,116 @@
+/**
+ * @file
+ * In-order execution streams, the building block for simulated GPU
+ * compute queues, copy engines, NVLink lanes, PCIe lanes and NVMe
+ * channels.
+ *
+ * A Stream serializes submitted work items: a task starts at
+ * max(submission time, previous task's end) and occupies the stream
+ * for its duration.  This mirrors CUDA stream semantics, which is
+ * exactly what MPress' runtime relies on for overlapping swap traffic
+ * with computation.
+ */
+
+#ifndef MPRESS_SIM_STREAM_HH
+#define MPRESS_SIM_STREAM_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/engine.hh"
+#include "util/units.hh"
+
+namespace mpress {
+namespace sim {
+
+/**
+ * An in-order, single-server execution resource attached to an Engine.
+ */
+class Stream
+{
+  public:
+    /** Callback fired when a task completes: (start_tick, end_tick). */
+    using Completion = std::function<void(Tick, Tick)>;
+
+    Stream(Engine &engine, std::string name)
+        : _engine(engine), _name(std::move(name))
+    {}
+
+    Stream(const Stream &) = delete;
+    Stream &operator=(const Stream &) = delete;
+
+    /**
+     * Submit a task of @p duration ticks.  The task begins at
+     * max(now, busyUntil) and @p on_complete fires at its end.
+     * Zero-duration tasks are legal and complete at their start tick.
+     */
+    void
+    submit(Tick duration, Completion on_complete)
+    {
+        Tick start = std::max(_engine.now(), _busyUntil);
+        Tick end = start + duration;
+        _busyUntil = end;
+        _busyTime += duration;
+        ++_tasks;
+        _engine.schedule(end, [start, end,
+                               cb = std::move(on_complete)]() {
+            if (cb)
+                cb(start, end);
+        });
+    }
+
+    /** Tick at which the last submitted task ends. */
+    Tick busyUntil() const { return _busyUntil; }
+
+    /** Total busy (occupied) time accumulated across tasks. */
+    Tick busyTime() const { return _busyTime; }
+
+    /** Number of tasks submitted. */
+    std::uint64_t tasks() const { return _tasks; }
+
+    const std::string &name() const { return _name; }
+
+  private:
+    Engine &_engine;
+    std::string _name;
+    Tick _busyUntil = 0;
+    Tick _busyTime = 0;
+    std::uint64_t _tasks = 0;
+};
+
+/**
+ * Fires a callback once a fixed number of dependencies have completed.
+ *
+ * Used to express join points in the pipeline task DAG (e.g. a
+ * backward task waiting on both the downstream gradient arrival and
+ * a swap-in completing).
+ */
+class JoinCounter
+{
+  public:
+    JoinCounter(int count, std::function<void()> fn)
+        : _remaining(count), _fn(std::move(fn))
+    {
+        if (count <= 0 && _fn)
+            _fn();
+    }
+
+    /** Mark one dependency complete; fires the callback on the last. */
+    void
+    arrive()
+    {
+        if (--_remaining == 0 && _fn)
+            _fn();
+    }
+
+    int remaining() const { return _remaining; }
+
+  private:
+    int _remaining;
+    std::function<void()> _fn;
+};
+
+} // namespace sim
+} // namespace mpress
+
+#endif // MPRESS_SIM_STREAM_HH

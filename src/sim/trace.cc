@@ -1,0 +1,56 @@
+#include "sim/trace.hh"
+
+namespace mpress {
+namespace sim {
+
+namespace {
+
+/** Minimal JSON string escaping for span names. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+TraceRecorder::exportChromeTrace(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t lane = 0; lane < _laneNames.size(); ++lane) {
+        if (_laneNames[lane].empty())
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":" << lane << ",\"args\":{\"name\":\""
+           << escape(_laneNames[lane]) << "\"}}";
+    }
+    for (const auto &span : _spans) {
+        if (!first)
+            os << ",";
+        first = false;
+        // Chrome trace timestamps are in microseconds.
+        double us = static_cast<double>(span.start) / 1000.0;
+        double dur = static_cast<double>(span.end - span.start) /
+                     1000.0;
+        os << "{\"name\":\"" << escape(span.name) << "\",\"cat\":\""
+           << escape(span.category) << "\",\"ph\":\"X\",\"pid\":0,"
+           << "\"tid\":" << span.lane << ",\"ts\":" << us
+           << ",\"dur\":" << dur << "}";
+    }
+    os << "]}";
+}
+
+} // namespace sim
+} // namespace mpress

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Execution tracing: named spans on named lanes, exportable as a
+ * Chrome-trace JSON file (chrome://tracing, Perfetto) for visual
+ * inspection of pipeline schedules, swap streams and link occupancy.
+ */
+
+#ifndef MPRESS_SIM_TRACE_HH
+#define MPRESS_SIM_TRACE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace mpress {
+namespace sim {
+
+using util::Tick;
+
+/** One traced span. */
+struct TraceSpan
+{
+    std::string name;      ///< e.g. "fwd s0 mb3"
+    std::string category;  ///< e.g. "compute", "swap", "p2p"
+    int lane = 0;          ///< row in the viewer (device/stream id)
+    Tick start = 0;
+    Tick end = 0;
+};
+
+/**
+ * Collects spans; cheap when disabled.
+ */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(bool enabled = false) : _enabled(enabled) {}
+
+    bool enabled() const { return _enabled; }
+    void setEnabled(bool on) { _enabled = on; }
+
+    /** Record a finished span (no-op when disabled). */
+    void
+    record(std::string name, std::string category, int lane,
+           Tick start, Tick end)
+    {
+        if (!_enabled)
+            return;
+        _spans.push_back({std::move(name), std::move(category), lane,
+                          start, end});
+    }
+
+    const std::vector<TraceSpan> &spans() const { return _spans; }
+    std::size_t size() const { return _spans.size(); }
+    void clear() { _spans.clear(); }
+
+    /** Emit Chrome-trace JSON ("traceEvents" array of X events;
+     *  timestamps in microseconds). */
+    void exportChromeTrace(std::ostream &os) const;
+
+    /** Register a display name for @p lane in the exported trace. */
+    void
+    nameLane(int lane, std::string name)
+    {
+        if (static_cast<std::size_t>(lane) >= _laneNames.size())
+            _laneNames.resize(static_cast<std::size_t>(lane) + 1);
+        _laneNames[static_cast<std::size_t>(lane)] = std::move(name);
+    }
+
+  private:
+    bool _enabled;
+    std::vector<TraceSpan> _spans;
+    std::vector<std::string> _laneNames;
+};
+
+} // namespace sim
+} // namespace mpress
+
+#endif // MPRESS_SIM_TRACE_HH

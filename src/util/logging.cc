@@ -1,0 +1,91 @@
+#include "util/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hh"
+
+namespace mpress {
+namespace util {
+
+namespace {
+
+LogLevel global_level = LogLevel::Warn;
+
+void
+emit(const char *tag, const char *fmt, std::va_list args)
+{
+    std::string msg = vstrformat(fmt, args);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (global_level < LogLevel::Info)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("info", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (global_level < LogLevel::Warn)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("warn", fmt, args);
+    va_end(args);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (global_level < LogLevel::Debug)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("debug", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    emit("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    emit("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace util
+} // namespace mpress

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64).
+ *
+ * The simulator itself is deterministic; randomness is only used by
+ * randomized property tests and by the DGX-2 "random stage-to-device
+ * mapping" path of the device mapper (Sec. III-C), where determinism
+ * across runs still matters for reproducible benchmarks.
+ */
+
+#ifndef MPRESS_UTIL_RANDOM_HH
+#define MPRESS_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace mpress {
+namespace util {
+
+/** SplitMix64 generator: tiny, fast, and statistically adequate. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : _state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (_state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+} // namespace util
+} // namespace mpress
+
+#endif // MPRESS_UTIL_RANDOM_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * printf-style string formatting helpers.
+ *
+ * GCC 12 does not ship std::format, so MPress uses a thin snprintf
+ * wrapper for the handful of places that need formatted strings.
+ */
+
+#ifndef MPRESS_UTIL_STRINGS_HH
+#define MPRESS_UTIL_STRINGS_HH
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace mpress {
+namespace util {
+
+/** Format @p fmt with printf semantics into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf counterpart of strformat(). */
+std::string vstrformat(const char *fmt, std::va_list args);
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+} // namespace util
+} // namespace mpress
+
+#endif // MPRESS_UTIL_STRINGS_HH

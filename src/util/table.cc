@@ -1,0 +1,73 @@
+#include "util/table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mpress {
+namespace util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    if (_headers.empty())
+        panic("TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != _headers.size()) {
+        panic("TextTable row arity %zu != header arity %zu",
+              row.size(), _headers.size());
+    }
+    _rows.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(_headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : _rows)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit_row(_headers);
+    for (const auto &row : _rows)
+        emit_row(row);
+}
+
+} // namespace util
+} // namespace mpress

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table and CSV writers used by the benchmark harnesses to
+ * print paper-shaped rows (Tables I-IV, Figures 2/4/7/8/9 series).
+ */
+
+#ifndef MPRESS_UTIL_TABLE_HH
+#define MPRESS_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mpress {
+namespace util {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Columns are sized to their widest cell; numeric alignment is not
+ * attempted — callers pre-format numbers (strformat) so that benchmark
+ * output is stable and diffable.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table, header first, followed by a rule and rows. */
+    void print(std::ostream &os) const;
+
+    /** Render the same content as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return _rows.size(); }
+    std::size_t numCols() const { return _headers.size(); }
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace util
+} // namespace mpress
+
+#endif // MPRESS_UTIL_TABLE_HH

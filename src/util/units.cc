@@ -1,0 +1,47 @@
+#include "util/units.hh"
+
+#include "util/strings.hh"
+
+namespace mpress {
+namespace util {
+
+std::string
+formatBytes(Bytes bytes)
+{
+    const bool neg = bytes < 0;
+    double v = static_cast<double>(neg ? -bytes : bytes);
+    const char *suffix = "B";
+    if (v >= static_cast<double>(kGiB)) {
+        v /= static_cast<double>(kGiB);
+        suffix = "GiB";
+    } else if (v >= static_cast<double>(kMiB)) {
+        v /= static_cast<double>(kMiB);
+        suffix = "MiB";
+    } else if (v >= static_cast<double>(kKiB)) {
+        v /= static_cast<double>(kKiB);
+        suffix = "KiB";
+    }
+    return strformat("%s%.2f %s", neg ? "-" : "", v, suffix);
+}
+
+std::string
+formatTime(Tick t)
+{
+    const bool neg = t < 0;
+    double v = static_cast<double>(neg ? -t : t);
+    const char *suffix = "ns";
+    if (v >= static_cast<double>(kSec)) {
+        v /= static_cast<double>(kSec);
+        suffix = "s";
+    } else if (v >= static_cast<double>(kMsec)) {
+        v /= static_cast<double>(kMsec);
+        suffix = "ms";
+    } else if (v >= static_cast<double>(kUsec)) {
+        v /= static_cast<double>(kUsec);
+        suffix = "us";
+    }
+    return strformat("%s%.2f %s", neg ? "-" : "", v, suffix);
+}
+
+} // namespace util
+} // namespace mpress

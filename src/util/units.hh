@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Units used throughout MPress: byte counts, simulated time, bandwidth
+ * and FLOP quantities, plus formatting helpers.
+ *
+ * All simulated time is kept in integer nanoseconds (Tick) so that the
+ * discrete-event engine is deterministic and free of floating-point
+ * ordering artifacts.  Byte counts are signed 64-bit so that deltas can
+ * be expressed without casts.
+ */
+
+#ifndef MPRESS_UTIL_UNITS_HH
+#define MPRESS_UTIL_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mpress {
+namespace util {
+
+/** Byte count.  Signed so that memory deltas can be negative. */
+using Bytes = std::int64_t;
+
+/** Simulated time in nanoseconds. */
+using Tick = std::int64_t;
+
+/** Floating point operation count. */
+using Flops = double;
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+
+/** Decimal gigabyte, as used by GPU spec sheets (e.g. "32 GB" V100). */
+constexpr Bytes kGB = 1000LL * 1000 * 1000;
+constexpr Bytes kMB = 1000LL * 1000;
+
+constexpr Tick kNsec = 1;
+constexpr Tick kUsec = 1000 * kNsec;
+constexpr Tick kMsec = 1000 * kUsec;
+constexpr Tick kSec = 1000 * kMsec;
+
+/** Convert a byte count to (binary) gibibytes. */
+constexpr double
+toGiB(Bytes bytes)
+{
+    return static_cast<double>(bytes) / static_cast<double>(kGiB);
+}
+
+/** Convert a byte count to decimal gigabytes. */
+constexpr double
+toGB(Bytes bytes)
+{
+    return static_cast<double>(bytes) / static_cast<double>(kGB);
+}
+
+/** Convert a tick count to fractional milliseconds. */
+constexpr double
+toMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMsec);
+}
+
+/** Convert a tick count to fractional seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/**
+ * Unidirectional bandwidth of a link or device.
+ *
+ * Stored as bytes per second.  Provides the transfer-time arithmetic
+ * used by the hardware model; callers that need a size-dependent
+ * effective bandwidth apply their ramp model before calling
+ * transferTime().
+ */
+class Bandwidth
+{
+  public:
+    constexpr Bandwidth() : _bytesPerSec(0.0) {}
+
+    constexpr explicit Bandwidth(double bytes_per_sec)
+        : _bytesPerSec(bytes_per_sec)
+    {}
+
+    /** Construct from a GB/s figure as quoted on spec sheets. */
+    static constexpr Bandwidth
+    fromGBps(double gbps)
+    {
+        return Bandwidth(gbps * 1e9);
+    }
+
+    constexpr double bytesPerSec() const { return _bytesPerSec; }
+    constexpr double gbps() const { return _bytesPerSec / 1e9; }
+
+    constexpr bool valid() const { return _bytesPerSec > 0.0; }
+
+    /**
+     * Time to move @p bytes at this bandwidth, rounded up to a whole
+     * tick so that nonzero transfers always take nonzero time.
+     */
+    Tick
+    transferTime(Bytes bytes) const
+    {
+        if (bytes <= 0 || _bytesPerSec <= 0.0)
+            return 0;
+        double secs = static_cast<double>(bytes) / _bytesPerSec;
+        double ticks = secs * static_cast<double>(kSec);
+        Tick t = static_cast<Tick>(ticks);
+        return t < 1 ? 1 : t;
+    }
+
+    constexpr Bandwidth
+    operator*(double factor) const
+    {
+        return Bandwidth(_bytesPerSec * factor);
+    }
+
+    constexpr Bandwidth
+    operator+(Bandwidth other) const
+    {
+        return Bandwidth(_bytesPerSec + other._bytesPerSec);
+    }
+
+    constexpr bool
+    operator<(Bandwidth other) const
+    {
+        return _bytesPerSec < other._bytesPerSec;
+    }
+
+  private:
+    double _bytesPerSec;
+};
+
+/** Render a byte count with an adaptive binary suffix ("12.3 GiB"). */
+std::string formatBytes(Bytes bytes);
+
+/** Render a tick count with an adaptive suffix ("4.20 ms"). */
+std::string formatTime(Tick t);
+
+} // namespace util
+} // namespace mpress
+
+#endif // MPRESS_UTIL_UNITS_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Determinism guarantees: the simulator, planner and serializer are
+ * pure functions of their inputs.  The planner's emulator-feedback
+ * loop compares throughputs across candidate plans, so any
+ * nondeterminism would make planning unreproducible — these tests
+ * pin that property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/common.hh"
+#include "compaction/serialize.hh"
+#include "util/random.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace cp = mpress::compaction;
+namespace hw = mpress::hw;
+namespace mu = mpress::util;
+
+TEST(Determinism, IdenticalRunsProduceIdenticalReports)
+{
+    auto run = [] {
+        return api::runSession(
+            hw::Topology::dgx1V100(),
+            bench::bertJob("bert-0.64b", api::Strategy::GpuCpuSwap));
+    };
+    auto a = run();
+    auto b = run();
+    ASSERT_FALSE(a.oom);
+    EXPECT_EQ(a.report.makespan, b.report.makespan);
+    EXPECT_EQ(a.report.steadyIterTime, b.report.steadyIterTime);
+    EXPECT_EQ(a.report.savings.gpuCpuSwap,
+              b.report.savings.gpuCpuSwap);
+    for (std::size_t g = 0; g < a.report.gpus.size(); ++g) {
+        EXPECT_EQ(a.report.gpus[g].peak, b.report.gpus[g].peak);
+        EXPECT_EQ(a.report.gpus[g].finalUsed,
+                  b.report.gpus[g].finalUsed);
+    }
+}
+
+TEST(Determinism, PlannerProducesTheSamePlanTwice)
+{
+    auto plan_text = [] {
+        auto result = api::runSession(
+            hw::Topology::dgx1V100(),
+            bench::bertJob("bert-1.67b", api::Strategy::MPressFull));
+        EXPECT_FALSE(result.oom);
+        return cp::planToText(result.plan);
+    };
+    EXPECT_EQ(plan_text(), plan_text());
+}
+
+TEST(Determinism, MapperIsStableAcrossCalls)
+{
+    std::vector<mu::Bytes> demand = {
+        45 * mu::kGB, 38 * mu::kGB, 31 * mu::kGB, 25 * mu::kGB,
+        19 * mu::kGB, 14 * mu::kGB, 9 * mu::kGB, 4 * mu::kGB};
+    auto a = mpress::planner::searchDeviceMapping(
+        hw::Topology::dgx1V100(), demand, 28 * mu::kGB);
+    auto b = mpress::planner::searchDeviceMapping(
+        hw::Topology::dgx1V100(), demand, 28 * mu::kGB);
+    EXPECT_EQ(a.stageToGpu, b.stageToGpu);
+    EXPECT_EQ(a.score, b.score);
+}
+
+TEST(Determinism, RandomPlansSurviveSerializationRoundTrips)
+{
+    mu::SplitMix64 rng(424242);
+    for (int round = 0; round < 50; ++round) {
+        cp::CompactionPlan plan;
+        plan.d2dStriping = rng.nextBounded(2) != 0;
+        int acts = static_cast<int>(rng.nextBounded(20));
+        for (int i = 0; i < acts; ++i) {
+            plan.activations[{static_cast<int>(rng.nextBounded(8)),
+                              static_cast<int>(rng.nextBounded(64))}] =
+                static_cast<cp::Kind>(1 + rng.nextBounded(3));
+        }
+        if (rng.nextBounded(2)) {
+            for (int s = 0; s < 8; ++s)
+                plan.stageToGpu.push_back(
+                    static_cast<int>(rng.nextBounded(8)));
+        }
+        plan.offloadOptState.resize(rng.nextBounded(9));
+        for (std::size_t s = 0; s < plan.offloadOptState.size(); ++s)
+            plan.offloadOptState[s] = rng.nextBounded(2) != 0;
+        int grants = static_cast<int>(rng.nextBounded(6));
+        for (int i = 0; i < grants; ++i) {
+            plan.spareGrants[static_cast<int>(rng.nextBounded(8))]
+                .push_back({static_cast<int>(rng.nextBounded(8)),
+                            static_cast<mu::Bytes>(
+                                rng.nextBounded(1ULL << 34))});
+        }
+
+        auto text1 = cp::planToText(plan);
+        auto parsed = cp::planFromText(text1);
+        ASSERT_TRUE(parsed.ok) << parsed.error;
+        auto text2 = cp::planToText(parsed.plan);
+        // Canonical after one round trip: text is a fixpoint.
+        // (offloadOptState may shrink trailing 'false' entries, so
+        // compare the re-serialized forms.)
+        EXPECT_EQ(text2, cp::planToText(cp::planFromText(text2).plan))
+            << "round " << round;
+        // And the semantic content survives.
+        EXPECT_EQ(parsed.plan.activations.size(),
+                  plan.activations.size());
+        EXPECT_EQ(parsed.plan.d2dStriping, plan.d2dStriping);
+        EXPECT_EQ(parsed.plan.stageToGpu, plan.stageToGpu);
+    }
+}
+
+TEST(Determinism, ZeroBaselineIsPure)
+{
+    mpress::baselines::ZeroConfig cfg;
+    cfg.gradAccumSteps = 4;
+    auto a = mpress::baselines::runZero(
+        bench::dgx1ForZero(), mpress::model::presetByName("gpt-5.3b"),
+        cfg);
+    auto b = mpress::baselines::runZero(
+        bench::dgx1ForZero(), mpress::model::presetByName("gpt-5.3b"),
+        cfg);
+    EXPECT_EQ(a.iterTime, b.iterTime);
+    EXPECT_EQ(a.commTime, b.commTime);
+}

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Unit tests for the hardware model: GPU specs, link bandwidth curve,
+ * topologies and the transfer fabric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/fabric.hh"
+#include "hw/gpu.hh"
+#include "hw/link.hh"
+#include "hw/topology.hh"
+#include "sim/engine.hh"
+
+namespace hw = mpress::hw;
+namespace mu = mpress::util;
+using mpress::sim::Engine;
+using mu::Tick;
+
+TEST(Gpu, SpecSanity)
+{
+    auto v100 = hw::GpuSpec::v100();
+    EXPECT_EQ(v100.memCapacity, 32 * mu::kGB);
+    EXPECT_EQ(v100.nvlinkPorts, 6);
+    auto a100 = hw::GpuSpec::a100();
+    EXPECT_EQ(a100.memCapacity, 40 * mu::kGB);
+    EXPECT_GT(a100.fp16Tflops, v100.fp16Tflops);
+}
+
+TEST(Gpu, ComputeTimeScalesWithFlops)
+{
+    auto v100 = hw::GpuSpec::v100();
+    Tick t1 = v100.computeTime(1e12, hw::Precision::Fp32);
+    Tick t2 = v100.computeTime(2e12, hw::Precision::Fp32);
+    EXPECT_NEAR(static_cast<double>(t2),
+                2.0 * static_cast<double>(t1),
+                static_cast<double>(t1) * 0.01);
+    // fp16 is much faster than fp32 on tensor cores.
+    Tick t16 = v100.computeTime(1e12, hw::Precision::Fp16);
+    EXPECT_LT(t16, t1);
+    EXPECT_EQ(v100.computeTime(0.0, hw::Precision::Fp32), 0);
+}
+
+TEST(Link, EffectiveBandwidthRamps)
+{
+    auto nv = hw::LinkSpec::nvlink2();
+    auto small = nv.effectiveBandwidth(64 * mu::kKiB);
+    auto large = nv.effectiveBandwidth(256 * mu::kMiB);
+    EXPECT_LT(small.gbps(), large.gbps());
+    // Large transfers approach the 25 GB/s peak.
+    EXPECT_GT(large.gbps(), 24.0);
+    EXPECT_LT(large.gbps(), 25.0);
+}
+
+TEST(Link, SixNvlinksBeatPcieByPaperRatio)
+{
+    // Fig. 4: six aggregated NVLinks are ~12.5x a single PCIe link
+    // for large transfers.
+    auto nv = hw::LinkSpec::nvlink2();
+    auto pcie = hw::LinkSpec::pcie3x16();
+    mu::Bytes big = 512 * mu::kMiB;
+    double nv6 = nv.effectiveBandwidth(big / 6).gbps() * 6.0;
+    double p = pcie.effectiveBandwidth(big).gbps();
+    EXPECT_GT(nv6 / p, 10.0);
+    EXPECT_LT(nv6 / p, 14.0);
+}
+
+TEST(Topology, Dgx1LaneMatrix)
+{
+    auto t = hw::Topology::dgx1V100();
+    EXPECT_EQ(t.numGpus(), 8);
+    EXPECT_FALSE(t.symmetric());
+    // Figure 3: GPU0-GPU3 is a double link (50 GB/s).
+    EXPECT_EQ(t.nvlinkLanes(0, 3), 2);
+    EXPECT_EQ(t.nvlinkLanes(3, 0), 2);
+    EXPECT_EQ(t.nvlinkLanes(0, 1), 1);
+    // No direct link between GPU0 and GPU7.
+    EXPECT_EQ(t.nvlinkLanes(0, 7), 0);
+    // Every V100 uses its 6 NVLink ports.
+    for (int g = 0; g < 8; ++g)
+        EXPECT_EQ(t.totalLanes(g), 6) << "gpu " << g;
+}
+
+TEST(Topology, Dgx1Neighbors)
+{
+    auto t = hw::Topology::dgx1V100();
+    auto nbhs = t.nvlinkNeighbors(0);
+    EXPECT_EQ(nbhs, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Topology, Dgx2Symmetric)
+{
+    auto t = hw::Topology::dgx2A100();
+    EXPECT_TRUE(t.symmetric());
+    for (int a = 0; a < 8; ++a) {
+        for (int b = 0; b < 8; ++b) {
+            if (a != b) {
+                EXPECT_GT(t.nvlinkLanes(a, b), 0);
+            }
+        }
+    }
+    EXPECT_EQ(t.nvlinkNeighbors(0).size(), 7u);
+    EXPECT_EQ(t.totalLanes(0), 12);
+}
+
+TEST(Topology, PairBandwidthWeighting)
+{
+    auto t = hw::Topology::dgx1V100();
+    mu::Bytes big = 256 * mu::kMiB;
+    auto bw_double = t.pairBandwidth(0, 3, big);
+    auto bw_single = t.pairBandwidth(0, 1, big);
+    // Double-lane pairs carry roughly 2x the single-lane bandwidth.
+    EXPECT_NEAR(bw_double.gbps() / bw_single.gbps(), 2.0, 0.05);
+    EXPECT_FALSE(t.pairBandwidth(0, 7, big).valid());
+}
+
+TEST(Topology, TotalGpuMemory)
+{
+    auto t = hw::Topology::dgx1V100();
+    EXPECT_EQ(t.totalGpuMemory(), 8 * 32 * mu::kGB);
+}
+
+TEST(Fabric, D2dFasterWithMoreLanes)
+{
+    auto topo = hw::Topology::dgx1V100();
+    mu::Bytes size = 128 * mu::kMiB;
+
+    Engine e1;
+    hw::Fabric f1(e1, topo);
+    Tick end_single = 0;
+    e1.schedule(0, [&] {
+        f1.d2dTransfer(0, 1, size, 0, [&] { end_single = e1.now(); });
+    });
+    e1.run();
+
+    Engine e2;
+    hw::Fabric f2(e2, topo);
+    Tick end_double = 0;
+    e2.schedule(0, [&] {
+        f2.d2dTransfer(0, 3, size, 0, [&] { end_double = e2.now(); });
+    });
+    e2.run();
+
+    EXPECT_GT(end_single, 0);
+    EXPECT_GT(end_double, 0);
+    // The 2-lane pair should be roughly twice as fast.
+    double ratio = static_cast<double>(end_single) /
+                   static_cast<double>(end_double);
+    EXPECT_GT(ratio, 1.6);
+    EXPECT_LT(ratio, 2.2);
+}
+
+TEST(Fabric, EstimateMatchesUncontendedExecution)
+{
+    auto topo = hw::Topology::dgx1V100();
+    Engine eng;
+    hw::Fabric fab(eng, topo);
+    mu::Bytes size = 64 * mu::kMiB;
+    Tick est = fab.estimateD2d(0, 3, size, 0);
+    Tick end = 0;
+    eng.schedule(0, [&] {
+        fab.d2dTransfer(0, 3, size, 0, [&] { end = eng.now(); });
+    });
+    eng.run();
+    EXPECT_EQ(end, est);
+}
+
+TEST(Fabric, ContendedTransfersSerialize)
+{
+    auto topo = hw::Topology::dgx1V100();
+    Engine eng;
+    hw::Fabric fab(eng, topo);
+    mu::Bytes size = 64 * mu::kMiB;
+    Tick first = 0, second = 0;
+    eng.schedule(0, [&] {
+        fab.d2dTransfer(0, 1, size, 0, [&] { first = eng.now(); });
+        fab.d2dTransfer(0, 1, size, 0, [&] { second = eng.now(); });
+    });
+    eng.run();
+    // Same single-lane pair: the second transfer waits for the first.
+    EXPECT_NEAR(static_cast<double>(second),
+                2.0 * static_cast<double>(first),
+                static_cast<double>(first) * 0.01);
+}
+
+TEST(Fabric, DisjointPairsRunInParallel)
+{
+    auto topo = hw::Topology::dgx1V100();
+    Engine eng;
+    hw::Fabric fab(eng, topo);
+    mu::Bytes size = 64 * mu::kMiB;
+    Tick a = 0, b = 0;
+    eng.schedule(0, [&] {
+        fab.d2dTransfer(0, 1, size, 0, [&] { a = eng.now(); });
+        fab.d2dTransfer(2, 6, size, 0, [&] { b = eng.now(); });
+    });
+    eng.run();
+    EXPECT_EQ(a, b);  // identical single-lane transfers, no contention
+}
+
+TEST(Fabric, SymmetricFabricParallelEgress)
+{
+    auto topo = hw::Topology::dgx2A100();
+    Engine eng;
+    hw::Fabric fab(eng, topo);
+    mu::Bytes size = 96 * mu::kMiB;
+    // Stripe to three different peers with 4 lanes each: all twelve
+    // egress lanes of GPU0 carry a share in parallel.
+    Tick done_at = 0;
+    int remaining = 3;
+    eng.schedule(0, [&] {
+        for (int peer : {1, 2, 3}) {
+            fab.d2dTransfer(0, peer, size / 3, 4, [&] {
+                if (--remaining == 0)
+                    done_at = eng.now();
+            });
+        }
+    });
+    eng.run();
+    EXPECT_EQ(remaining, 0);
+    // All three transfers overlap, so the makespan is one transfer's
+    // duration, not three.
+    Tick single = fab.estimateD2d(0, 1, size / 3, 4);
+    EXPECT_EQ(done_at, single);
+}
+
+TEST(Fabric, PcieRoundTrip)
+{
+    auto topo = hw::Topology::dgx1V100();
+    Engine eng;
+    hw::Fabric fab(eng, topo);
+    mu::Bytes size = 32 * mu::kMiB;
+    Tick out_done = 0, back_done = 0;
+    eng.schedule(0, [&] {
+        fab.gpuToHost(0, size, [&] {
+            out_done = eng.now();
+            fab.hostToGpu(0, size, [&] { back_done = eng.now(); });
+        });
+    });
+    eng.run();
+    EXPECT_GT(out_done, 0);
+    EXPECT_NEAR(static_cast<double>(back_done),
+                2.0 * static_cast<double>(out_done),
+                static_cast<double>(out_done) * 0.01);
+}
+
+TEST(Fabric, PcieDirectionsShareTheChannel)
+{
+    // Per-GPU PCIe is modelled half-duplex (shared switch uplinks on
+    // DGX servers): concurrent swap-out and swap-in serialize.
+    auto topo = hw::Topology::dgx1V100();
+    Engine eng;
+    hw::Fabric fab(eng, topo);
+    mu::Bytes size = 32 * mu::kMiB;
+    Tick down = 0, up = 0;
+    eng.schedule(0, [&] {
+        fab.gpuToHost(0, size, [&] { down = eng.now(); });
+        fab.hostToGpu(0, size, [&] { up = eng.now(); });
+    });
+    eng.run();
+    EXPECT_NEAR(static_cast<double>(up),
+                2.0 * static_cast<double>(down),
+                static_cast<double>(down) * 0.01);
+
+    // Different GPUs' PCIe channels are independent.
+    Tick other = 0;
+    eng.schedule(eng.now(), [&] {
+        fab.gpuToHost(1, size, [&] { other = eng.now() - down * 2; });
+    });
+    eng.run();
+    EXPECT_EQ(other, fab.estimatePcie(size));
+}
+
+TEST(Fabric, NvmeSlowerThanPcie)
+{
+    auto topo = hw::Topology::dgx2A100();
+    Engine eng;
+    hw::Fabric fab(eng, topo);
+    mu::Bytes size = 256 * mu::kMiB;
+    EXPECT_GT(fab.estimateNvme(size), fab.estimatePcie(size));
+}
+
+TEST(Fabric, D2dMuchFasterThanPcie)
+{
+    // The core D2D swap motivation: GPU-GPU via multiple NVLinks
+    // beats GPU-CPU via PCIe by a large factor.
+    auto topo = hw::Topology::dgx1V100();
+    Engine eng;
+    hw::Fabric fab(eng, topo);
+    mu::Bytes size = 216 * mu::kMB;  // Table III t1/t3 size
+    Tick d2d = fab.estimateD2d(0, 3, size, 0);
+    Tick pcie = fab.estimatePcie(size);
+    EXPECT_GT(static_cast<double>(pcie) / static_cast<double>(d2d), 3.0);
+}
+
+TEST(Topology, P100GenerationPreset)
+{
+    auto t = hw::Topology::dgx1P100();
+    EXPECT_EQ(t.numGpus(), 8);
+    EXPECT_FALSE(t.symmetric());
+    // NVLink 1.0: 4 single lanes per GPU (160 GB/s bidirectional).
+    for (int g = 0; g < 8; ++g)
+        EXPECT_EQ(t.totalLanes(g), 4) << "gpu " << g;
+    EXPECT_DOUBLE_EQ(t.nvlinkSpec().peak.gbps(), 20.0);
+    EXPECT_EQ(t.gpu().memCapacity, 16 * mu::kGB);
+}
+
+TEST(Topology, HgxH100Preset)
+{
+    auto t = hw::Topology::hgxH100();
+    EXPECT_TRUE(t.symmetric());
+    EXPECT_EQ(t.totalLanes(0), 18);
+    EXPECT_DOUBLE_EQ(t.nvlinkSpec().peak.gbps(), 50.0);
+    EXPECT_EQ(t.gpu().memCapacity, 80 * mu::kGB);
+    EXPECT_GT(t.nvmeCapacity(), 0);
+}
+
+TEST(Topology, DualA100Workstation)
+{
+    auto t = hw::Topology::dualA100();
+    EXPECT_EQ(t.numGpus(), 2);
+    EXPECT_EQ(t.nvlinkLanes(0, 1), 4);
+    EXPECT_EQ(t.nvlinkNeighbors(0), (std::vector<int>{1}));
+}
+
+TEST(Topology, NvlinkGenerationsGetFaster)
+{
+    // Per-lane peaks: NVLink 1 < 2 < 4.
+    EXPECT_LT(hw::LinkSpec::nvlink1().peak.gbps(),
+              hw::LinkSpec::nvlink2().peak.gbps());
+    EXPECT_LT(hw::LinkSpec::nvlink2().peak.gbps(),
+              hw::LinkSpec::nvlink4().peak.gbps());
+}
+
+TEST(Topology, MultiNodeClusterShape)
+{
+    auto node = hw::Topology::dgx1V100();
+    auto cluster = hw::Topology::multiNode(
+        node, 2, 1, hw::Topology::infinibandHdr());
+    EXPECT_EQ(cluster.numGpus(), 16);
+    // Intra-node fabric replicated on both islands.
+    EXPECT_EQ(cluster.nvlinkLanes(0, 3), 2);
+    EXPECT_EQ(cluster.nvlinkLanes(8, 11), 2);
+    // No cross-island NVLink except the chain link 7<->8.
+    EXPECT_EQ(cluster.nvlinkLanes(0, 8), 0);
+    EXPECT_EQ(cluster.nvlinkLanes(7, 8), 1);
+    // The chain link carries the InfiniBand spec; intra-node pairs
+    // keep NVLink.
+    EXPECT_GT(cluster.linkSpecBetween(7, 8).latency,
+              cluster.linkSpecBetween(0, 3).latency);
+    EXPECT_DOUBLE_EQ(cluster.linkSpecBetween(0, 3).peak.gbps(), 25.0);
+    // Host memory doubled.
+    EXPECT_EQ(cluster.hostMemory(), 2 * node.hostMemory());
+}
+
+TEST(Topology, LinkSpecOverrideAffectsTransfers)
+{
+    auto node = hw::Topology::dgx1V100();
+    auto cluster = hw::Topology::multiNode(
+        node, 2, 2, hw::Topology::infinibandHdr());
+    Engine eng;
+    hw::Fabric fab(eng, cluster);
+    mu::Bytes size = 64 * mu::kMiB;
+    // Same lane count (2), but the IB pair is slower per lane than
+    // the NVLink double pair.
+    Tick ib = fab.estimateD2d(7, 8, size, 0);
+    Tick nv = fab.estimateD2d(0, 3, size, 0);
+    EXPECT_GT(ib, nv);
+}
+
+TEST(Topology, MultiNodeRejectsZeroNodes)
+{
+    auto node = hw::Topology::dgx1V100();
+    EXPECT_DEATH(hw::Topology::multiNode(
+                     node, 0, 1, hw::Topology::infinibandHdr()),
+                 "at least one node");
+}

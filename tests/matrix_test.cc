@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Integration matrix: every (memory strategy x pipeline system x
+ * server) combination runs through the public API on a small model
+ * and must either complete with sane numbers or fail with a clean
+ * OOM — no hangs, panics, negative stats or leaked allocations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "api/session.hh"
+
+namespace api = mpress::api;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace pl = mpress::pipeline;
+namespace mu = mpress::util;
+
+namespace {
+
+enum class Server
+{
+    Dgx1,
+    Dgx2,
+    Dual,
+};
+
+hw::Topology
+serverOf(Server s)
+{
+    switch (s) {
+      case Server::Dgx1:
+        return hw::Topology::dgx1V100();
+      case Server::Dgx2:
+        return hw::Topology::dgx2A100();
+      case Server::Dual:
+        return hw::Topology::dualA100();
+    }
+    return hw::Topology::dgx1V100();
+}
+
+} // namespace
+
+using MatrixParam = std::tuple<api::Strategy, pl::SystemKind, Server>;
+
+class SessionMatrix : public ::testing::TestWithParam<MatrixParam>
+{};
+
+TEST_P(SessionMatrix, CompletesOrFailsCleanly)
+{
+    auto [strategy, system, server] = GetParam();
+    auto topo = serverOf(server);
+
+    api::SessionConfig cfg;
+    cfg.model = mm::presetByName("bert-0.64b");
+    cfg.microbatch = 6;
+    cfg.system = system;
+    cfg.numStages = topo.numGpus();
+    cfg.microbatchesPerMinibatch = 4;
+    cfg.minibatches = 2;
+    cfg.strategy = strategy;
+    // Keep planner cost bounded across the 63-point matrix.
+    cfg.planner.maxIterations = 2;
+
+    auto result = api::runSession(topo, cfg);
+
+    if (result.oom) {
+        // Clean failure: a device is identified (or the failure was
+        // a deadlocked allocation, reported with oomTime set).
+        SUCCEED();
+        return;
+    }
+    EXPECT_GT(result.samplesPerSec, 0.0);
+    EXPECT_GT(result.tflops, 0.0);
+    EXPECT_GT(result.maxGpuPeak, 0);
+
+    if (strategy == api::Strategy::ZeroOffload ||
+        strategy == api::Strategy::ZeroInfinity) {
+        EXPECT_GT(result.zeroReport.iterTime, 0);
+        return;
+    }
+    const auto &rep = result.report;
+    EXPECT_EQ(rep.gpus.size(),
+              static_cast<std::size_t>(topo.numGpus()));
+    mu::Tick span = rep.makespan;
+    EXPECT_GT(span, 0);
+    for (const auto &g : rep.gpus) {
+        EXPECT_GE(g.peak, 0);
+        EXPECT_GE(g.finalUsed, 0);
+        EXPECT_LE(g.finalUsed, g.peak);
+        EXPECT_GE(g.computeUtilization, 0.0);
+        EXPECT_LE(g.computeUtilization, 1.0);
+    }
+    for (const auto &o : rep.overheads) {
+        EXPECT_GE(o.recomputeTime, 0);
+        EXPECT_GE(o.swapInStall, 0);
+        EXPECT_GE(o.optimStall, 0);
+    }
+    EXPECT_GE(rep.savings.recompute, 0);
+    EXPECT_GE(rep.savings.gpuCpuSwap, 0);
+    EXPECT_GE(rep.savings.d2dSwap, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Full, SessionMatrix,
+    ::testing::Combine(
+        ::testing::Values(api::Strategy::None,
+                          api::Strategy::Recompute,
+                          api::Strategy::GpuCpuSwap,
+                          api::Strategy::D2dOnly,
+                          api::Strategy::MPressFull,
+                          api::Strategy::ZeroOffload,
+                          api::Strategy::ZeroInfinity),
+        ::testing::Values(pl::SystemKind::PipeDream,
+                          pl::SystemKind::Dapple,
+                          pl::SystemKind::Gpipe),
+        ::testing::Values(Server::Dgx1, Server::Dgx2,
+                          Server::Dual)));

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for memory tracking and live-interval analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/liveness.hh"
+#include "memory/tracker.hh"
+
+namespace mem = mpress::memory;
+namespace mu = mpress::util;
+using mpress::model::TensorKind;
+
+TEST(Tracker, AllocFreeRoundTrip)
+{
+    mem::DeviceMemoryTracker t("gpu0", 1000);
+    EXPECT_TRUE(t.alloc(TensorKind::Activation, 400));
+    EXPECT_EQ(t.used(), 400);
+    EXPECT_EQ(t.available(), 600);
+    t.free(TensorKind::Activation, 400);
+    EXPECT_EQ(t.used(), 0);
+    EXPECT_EQ(t.peak(), 400);
+    EXPECT_FALSE(t.oomOccurred());
+}
+
+TEST(Tracker, PerKindBreakdown)
+{
+    mem::DeviceMemoryTracker t("gpu0", 1000);
+    t.alloc(TensorKind::Parameter, 100);
+    t.alloc(TensorKind::Gradient, 200);
+    t.alloc(TensorKind::OptimizerState, 300);
+    t.alloc(TensorKind::Activation, 150);
+    EXPECT_EQ(t.usedByKind(TensorKind::Parameter), 100);
+    EXPECT_EQ(t.usedByKind(TensorKind::Gradient), 200);
+    EXPECT_EQ(t.usedByKind(TensorKind::OptimizerState), 300);
+    EXPECT_EQ(t.usedByKind(TensorKind::Activation), 150);
+    EXPECT_EQ(t.used(), 750);
+}
+
+TEST(Tracker, PeakBreakdownSnapshotsAtOverallPeak)
+{
+    mem::DeviceMemoryTracker t("gpu0", 1000);
+    t.alloc(TensorKind::Parameter, 300);
+    t.alloc(TensorKind::Activation, 400);  // peak: 700
+    t.free(TensorKind::Activation, 400);
+    t.alloc(TensorKind::Activation, 100);  // 400, below peak
+    EXPECT_EQ(t.peak(), 700);
+    EXPECT_EQ(t.peakByKind(TensorKind::Activation), 400);
+    EXPECT_EQ(t.peakByKind(TensorKind::Parameter), 300);
+}
+
+TEST(Tracker, OomFlagSticksAndAccountingContinues)
+{
+    mem::DeviceMemoryTracker t("gpu0", 100);
+    EXPECT_TRUE(t.alloc(TensorKind::Activation, 90));
+    EXPECT_FALSE(t.alloc(TensorKind::Activation, 20));
+    EXPECT_TRUE(t.oomOccurred());
+    EXPECT_EQ(t.used(), 110);  // overshoot visible
+    t.free(TensorKind::Activation, 110);
+    EXPECT_TRUE(t.oomOccurred());  // sticky
+}
+
+TEST(Tracker, DoubleFreePanics)
+{
+    mem::DeviceMemoryTracker t("gpu0", 100);
+    t.alloc(TensorKind::Gradient, 10);
+    EXPECT_DEATH(t.free(TensorKind::Gradient, 20), "double free");
+    // Freeing a kind that was never allocated also panics.
+    EXPECT_DEATH(t.free(TensorKind::Parameter, 1), "double free");
+}
+
+TEST(Tracker, ResetStatsKeepsLiveBytes)
+{
+    mem::DeviceMemoryTracker t("gpu0", 100);
+    t.alloc(TensorKind::Activation, 60);
+    t.free(TensorKind::Activation, 30);
+    t.resetStats();
+    EXPECT_EQ(t.used(), 30);
+    EXPECT_EQ(t.peak(), 30);
+}
+
+TEST(PinnedPool, ReserveRelease)
+{
+    mem::PinnedHostPool pool(1000);
+    EXPECT_TRUE(pool.reserve(600));
+    EXPECT_EQ(pool.used(), 600);
+    pool.release(600);
+    EXPECT_EQ(pool.used(), 0);
+    EXPECT_EQ(pool.peak(), 600);
+    EXPECT_FALSE(pool.exhausted());
+    EXPECT_FALSE(pool.reserve(2000));
+    EXPECT_TRUE(pool.exhausted());
+}
+
+TEST(Liveness, RecordAndAggregate)
+{
+    mem::LivenessTable table;
+    mem::TensorRef ref{0, 3};
+    table.record(ref, 1000, 0, 100, 500);
+    table.record(ref, 1000, 1, 200, 450);
+    const auto *li = table.find(ref);
+    ASSERT_NE(li, nullptr);
+    EXPECT_EQ(li->size, 1000);
+    EXPECT_EQ(li->windows.size(), 2u);
+    EXPECT_EQ(li->minInterval(), 250);   // 450 - 200
+    EXPECT_EQ(li->meanInterval(), 325);  // (400 + 250) / 2
+}
+
+TEST(Liveness, FindMissingReturnsNull)
+{
+    mem::LivenessTable table;
+    EXPECT_EQ(table.find({1, 1}), nullptr);
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(Liveness, AllReturnsEveryClass)
+{
+    mem::LivenessTable table;
+    table.record({0, 1}, 10, 0, 0, 10);
+    table.record({0, 2}, 20, 0, 5, 15);
+    table.record({1, 3}, 30, 0, 8, 12);
+    EXPECT_EQ(table.all().size(), 3u);
+}
+
+TEST(Liveness, UseBeforeGenerationPanics)
+{
+    mem::LivenessTable table;
+    EXPECT_DEATH(table.record({0, 0}, 10, 0, 100, 50), "before");
+}
+
+TEST(Liveness, InconsistentSizePanics)
+{
+    mem::LivenessTable table;
+    table.record({0, 0}, 10, 0, 0, 10);
+    EXPECT_DEATH(table.record({0, 0}, 20, 1, 0, 10), "differing");
+}
+
+TEST(Liveness, TensorRefOrdering)
+{
+    mem::TensorRef a{0, 1}, b{0, 2}, c{1, 0};
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b < c);
+    EXPECT_TRUE(a < c);
+    EXPECT_TRUE(a == a);
+    EXPECT_FALSE(a == b);
+}

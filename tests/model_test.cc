@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the analytic transformer model: parameter counts
+ * versus the paper's Table II variants, byte accounting, FLOPs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/model.hh"
+
+namespace mm = mpress::model;
+namespace mu = mpress::util;
+
+TEST(ModelConfig, BertVariantParamCounts)
+{
+    // Paper Table II: 0.35, 0.64, 1.67, 4.0, 6.2 billion.
+    const double targets[] = {0.35e9, 0.64e9, 1.67e9, 4.0e9, 6.2e9};
+    auto variants = mm::bertVariants();
+    ASSERT_EQ(variants.size(), 5u);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        double p = static_cast<double>(variants[i].totalParams());
+        EXPECT_NEAR(p / targets[i], 1.0, 0.05)
+            << variants[i].name << " has " << p;
+    }
+}
+
+TEST(ModelConfig, GptVariantParamCounts)
+{
+    const double targets[] = {5.3e9, 10.3e9, 15.4e9, 20.4e9, 25.5e9};
+    auto variants = mm::gptVariants();
+    ASSERT_EQ(variants.size(), 5u);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        double p = static_cast<double>(variants[i].totalParams());
+        EXPECT_NEAR(p / targets[i], 1.0, 0.05)
+            << variants[i].name << " has " << p;
+    }
+}
+
+TEST(ModelConfig, PrecisionConventions)
+{
+    // PipeDream/Bert trains fp32; DAPPLE/GPT trains fp16 (Sec. IV-C).
+    for (const auto &cfg : mm::bertVariants()) {
+        EXPECT_EQ(cfg.precision, mm::Precision::Fp32);
+        EXPECT_EQ(cfg.optimizerBytesPerParam(), 8);
+    }
+    for (const auto &cfg : mm::gptVariants()) {
+        EXPECT_EQ(cfg.precision, mm::Precision::Fp16);
+        EXPECT_EQ(cfg.optimizerBytesPerParam(), 12);
+    }
+}
+
+TEST(ModelConfig, PresetLookup)
+{
+    auto cfg = mm::presetByName("gpt-20.4b");
+    EXPECT_EQ(cfg.hidden, 5120);
+    EXPECT_EQ(cfg.numBlocks, 64);
+    auto bert = mm::presetByName("bert-0.35b");
+    EXPECT_EQ(bert.hidden, 1024);
+    EXPECT_DEATH(mm::presetByName("nonexistent"), "unknown model");
+}
+
+TEST(TransformerModel, LayerStructure)
+{
+    auto cfg = mm::presetByName("bert-0.35b");
+    mm::TransformerModel mdl(cfg, 12);
+    // embedding + blocks + head
+    EXPECT_EQ(mdl.numLayers(),
+              static_cast<std::size_t>(cfg.numBlocks) + 2);
+    EXPECT_EQ(mdl.layer(0).name, "embedding");
+    EXPECT_EQ(mdl.layer(mdl.numLayers() - 1).name, "head");
+    EXPECT_EQ(mdl.totalParams(), cfg.totalParams());
+}
+
+TEST(TransformerModel, ActivationScalesWithMicrobatch)
+{
+    auto cfg = mm::presetByName("gpt-5.3b");
+    mm::TransformerModel m1(cfg, 1);
+    mm::TransformerModel m2(cfg, 2);
+    const auto &b1 = m1.layer(1);
+    const auto &b2 = m2.layer(1);
+    EXPECT_NEAR(static_cast<double>(b2.activationStash) /
+                    static_cast<double>(b1.activationStash),
+                2.0, 0.01);
+    EXPECT_NEAR(b2.fwdFlops / b1.fwdFlops, 2.0, 0.01);
+}
+
+TEST(TransformerModel, Fp32StoresFarMoreActivationThanFp16)
+{
+    // Unfused fp32 training (PipeDream era) keeps 4-byte unfused
+    // intermediates; fused mixed-precision kernels store far less.
+    auto cfg = mm::presetByName("gpt-5.3b");
+    auto cfg32 = cfg;
+    cfg32.precision = mm::Precision::Fp32;
+    mm::TransformerModel m16(cfg, 2);
+    mm::TransformerModel m32(cfg32, 2);
+    double ratio =
+        static_cast<double>(m32.layer(1).activationStash) /
+        static_cast<double>(m16.layer(1).activationStash);
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 8.0);
+}
+
+TEST(TransformerModel, TableIIPerStageDemandCalibration)
+{
+    // The fp32 activation model is calibrated against Table II:
+    // Bert-1.67B @ microbatch 12 reports a 78 GB max-stage demand on
+    // 8 stages with 8 in-flight microbatches at stage 0.
+    auto cfg = mm::presetByName("bert-1.67b");
+    mm::TransformerModel mdl(cfg, 12);
+    // Max-stage ~ stage 0: ~1/8 of the blocks, 8 stashes in flight.
+    double per_block =
+        static_cast<double>(mdl.layer(1).activationStash);
+    double stage0 = per_block * cfg.numBlocks / 8.0 * 8.0;
+    EXPECT_NEAR(stage0 / (78.0 * 1e9), 1.0, 0.30);
+}
+
+TEST(TransformerModel, ByteAccounting)
+{
+    auto cfg = mm::presetByName("gpt-10.3b");
+    mm::TransformerModel mdl(cfg, 2);
+    std::int64_t p = 1000;
+    EXPECT_EQ(mdl.paramBytes(p), 2000);      // fp16
+    EXPECT_EQ(mdl.gradBytes(p), 2000);       // fp16
+    EXPECT_EQ(mdl.optStateBytes(p), 12000);  // mixed Adam
+    EXPECT_EQ(mdl.staticBytes(p), 16000);
+
+    // Whole model static memory ~16 B/param matches the ZeRO papers'
+    // accounting for mixed-precision Adam.
+    double static_total =
+        static_cast<double>(mdl.staticBytes(mdl.totalParams()));
+    EXPECT_NEAR(static_total /
+                    static_cast<double>(mdl.totalParams()),
+                16.0, 0.01);
+}
+
+TEST(TransformerModel, BackwardIsTwiceForward)
+{
+    auto cfg = mm::presetByName("bert-0.64b");
+    mm::TransformerModel mdl(cfg, 12);
+    const auto &blk = mdl.layer(1);
+    EXPECT_DOUBLE_EQ(blk.bwdFlops(), 2.0 * blk.fwdFlops);
+}
+
+TEST(TransformerModel, BadConfigsRejected)
+{
+    auto cfg = mm::presetByName("bert-0.35b");
+    EXPECT_DEATH(mm::TransformerModel(cfg, 0), "microbatch");
+    mm::ModelConfig empty;
+    empty.name = "empty";
+    EXPECT_DEATH(mm::TransformerModel(empty, 1), "incomplete");
+}
+
+TEST(TransformerModel, Gpt3Preset)
+{
+    auto cfg = mm::gpt3_175b();
+    double p = static_cast<double>(cfg.totalParams());
+    EXPECT_NEAR(p / 175e9, 1.0, 0.03);
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for stage partitioning: coverage invariants,
+ * compute-balance quality, and the memory-balanced alternative.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/model.hh"
+#include "partition/partition.hh"
+
+namespace mm = mpress::model;
+namespace mp = mpress::partition;
+
+namespace {
+
+mp::Partition
+makePartition(const std::string &preset, int mb, int stages,
+              mp::Strategy strat)
+{
+    auto cfg = mm::presetByName(preset);
+    mm::TransformerModel mdl(cfg, mb);
+    return mp::partitionModel(mdl, stages, strat);
+}
+
+} // namespace
+
+class PartitionCoverage
+    : public ::testing::TestWithParam<mp::Strategy>
+{};
+
+TEST_P(PartitionCoverage, StagesCoverAllLayersExactlyOnce)
+{
+    auto cfg = mm::presetByName("bert-1.67b");
+    mm::TransformerModel mdl(cfg, 2);
+    auto part = mp::partitionModel(mdl, 8, GetParam());
+
+    ASSERT_EQ(part.numStages(), 8);
+    std::size_t expect_first = 0;
+    std::int64_t params = 0;
+    for (const auto &stage : part.stages) {
+        EXPECT_EQ(stage.firstLayer, expect_first);
+        EXPECT_LE(stage.firstLayer, stage.lastLayer);
+        expect_first = stage.lastLayer + 1;
+        params += stage.params;
+    }
+    EXPECT_EQ(expect_first, mdl.numLayers());
+    EXPECT_EQ(params, mdl.totalParams());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, PartitionCoverage,
+                         ::testing::Values(
+                             mp::Strategy::ComputeBalanced,
+                             mp::Strategy::MemoryBalanced));
+
+TEST(Partition, ComputeBalancedEqualizesFlops)
+{
+    auto part = makePartition("gpt-10.3b", 2, 8,
+                              mp::Strategy::ComputeBalanced);
+    double total = 0, max_f = 0;
+    for (const auto &s : part.stages) {
+        total += s.fwdFlops;
+        max_f = std::max(max_f, s.fwdFlops);
+    }
+    // The minimax objective bounds the largest stage near the ideal
+    // per-stage share (block granularity adds slack).
+    EXPECT_LT(max_f / (total / part.numStages()), 1.25);
+}
+
+TEST(Partition, MemoryBalancedReducesPeakMemory)
+{
+    auto cfg = mm::presetByName("bert-1.67b");
+    mm::TransformerModel mdl(cfg, 2);
+    auto comp = mp::partitionModel(mdl, 8,
+                                   mp::Strategy::ComputeBalanced);
+    auto memb = mp::partitionModel(mdl, 8,
+                                   mp::Strategy::MemoryBalanced);
+
+    // Weighted peak memory proxy: static + inflight * stash where
+    // inflight = stages - index (1F1B).
+    auto peak = [](const mp::Partition &p) {
+        double peak_val = 0;
+        int n = p.numStages();
+        for (const auto &s : p.stages) {
+            double v = static_cast<double>(s.staticBytes()) +
+                       static_cast<double>(n - s.index) *
+                           static_cast<double>(s.activationStash);
+            peak_val = std::max(peak_val, v);
+        }
+        return peak_val;
+    };
+    EXPECT_LT(peak(memb), peak(comp));
+}
+
+TEST(Partition, MemoryBalancedGivesEarlyStagesFewerLayers)
+{
+    // Early stages hold more in-flight stashes, so the memory
+    // balancer assigns them fewer layers than late stages.
+    auto part = makePartition("bert-1.67b", 2, 8,
+                              mp::Strategy::MemoryBalanced);
+    EXPECT_LT(part.stages.front().numLayers(),
+              part.stages.back().numLayers());
+}
+
+TEST(Partition, StageAggregatesConsistent)
+{
+    auto cfg = mm::presetByName("gpt-5.3b");
+    mm::TransformerModel mdl(cfg, 2);
+    auto part = mp::partitionModel(mdl, 4,
+                                   mp::Strategy::ComputeBalanced);
+    for (const auto &s : part.stages) {
+        EXPECT_EQ(s.paramBytes, mdl.paramBytes(s.params));
+        EXPECT_EQ(s.gradBytes, mdl.gradBytes(s.params));
+        EXPECT_EQ(s.optStateBytes, mdl.optStateBytes(s.params));
+        EXPECT_EQ(s.staticBytes(),
+                  s.paramBytes + s.gradBytes + s.optStateBytes);
+        if (s.index + 1 < part.numStages()) {
+            EXPECT_GT(s.outputBytes, 0);
+        }
+    }
+    // Last stage emits no activation downstream.
+    EXPECT_EQ(part.stages.back().outputBytes, 0);
+}
+
+TEST(Partition, SingleStageTakesWholeModel)
+{
+    auto cfg = mm::presetByName("bert-0.35b");
+    mm::TransformerModel mdl(cfg, 2);
+    auto part = mp::partitionModel(mdl, 1,
+                                   mp::Strategy::ComputeBalanced);
+    ASSERT_EQ(part.numStages(), 1);
+    EXPECT_EQ(part.stages[0].params, mdl.totalParams());
+}
+
+TEST(Partition, RejectsImpossibleShapes)
+{
+    auto cfg = mm::presetByName("bert-0.35b");
+    mm::TransformerModel mdl(cfg, 2);
+    EXPECT_DEATH(mp::partitionModel(mdl, 0,
+                                    mp::Strategy::ComputeBalanced),
+                 "at least one stage");
+    EXPECT_DEATH(mp::partitionModel(mdl, 1000,
+                                    mp::Strategy::ComputeBalanced),
+                 "more stages");
+}
+
+class PartitionStageSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PartitionStageSweep, BalanceHoldsAcrossStageCounts)
+{
+    int stages = GetParam();
+    auto part = makePartition("gpt-15.4b", 2, stages,
+                              mp::Strategy::ComputeBalanced);
+    ASSERT_EQ(part.numStages(), stages);
+    double total = 0, max_f = 0;
+    for (const auto &s : part.stages) {
+        total += s.fwdFlops;
+        max_f = std::max(max_f, s.fwdFlops);
+    }
+    // Max stage is within 2x of the ideal share for all stage counts.
+    EXPECT_LT(max_f / (total / stages), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(StageCounts, PartitionStageSweep,
+                         ::testing::Values(2, 3, 4, 6, 8));

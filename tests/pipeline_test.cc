@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit tests for pipeline schedule generation: 1F1B structure,
+ * dependency correctness, in-flight stash depths and weight-version
+ * counts for PipeDream / DAPPLE / GPipe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pipeline/schedule.hh"
+
+namespace pl = mpress::pipeline;
+
+namespace {
+
+/** Count tasks of @p kind in @p sched. */
+int
+countKind(const pl::Schedule &sched, pl::TaskKind kind)
+{
+    int n = 0;
+    for (const auto &t : sched.tasks) {
+        if (t.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+/** Position of task @p id within its stage's order list. */
+int
+orderPos(const pl::Schedule &sched, int id)
+{
+    const auto &order = sched.perStageOrder[sched.task(id).stage];
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (order[i] == id)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace
+
+struct ScheduleCase
+{
+    pl::SystemKind system;
+    int stages;
+    int mbPerMini;
+    int minibatches;
+};
+
+class ScheduleInvariants
+    : public ::testing::TestWithParam<ScheduleCase>
+{};
+
+TEST_P(ScheduleInvariants, TaskCountsMatchShape)
+{
+    auto c = GetParam();
+    auto sched = pl::buildSchedule(c.system, c.stages, c.mbPerMini,
+                                   c.minibatches);
+    int M = c.mbPerMini * c.minibatches;
+    EXPECT_EQ(countKind(sched, pl::TaskKind::Forward), c.stages * M);
+    EXPECT_EQ(countKind(sched, pl::TaskKind::Backward), c.stages * M);
+    EXPECT_EQ(countKind(sched, pl::TaskKind::OptimStep),
+              c.stages * c.minibatches);
+}
+
+TEST_P(ScheduleInvariants, BackwardFollowsForwardInStageOrder)
+{
+    auto c = GetParam();
+    auto sched = pl::buildSchedule(c.system, c.stages, c.mbPerMini,
+                                   c.minibatches);
+    int M = c.mbPerMini * c.minibatches;
+    for (int s = 0; s < c.stages; ++s) {
+        for (int m = 0; m < M; ++m) {
+            int f = sched.fwdId(s, m);
+            int b = sched.bwdId(s, m);
+            ASSERT_GE(f, 0);
+            ASSERT_GE(b, 0);
+            EXPECT_LT(orderPos(sched, f), orderPos(sched, b));
+        }
+    }
+}
+
+TEST_P(ScheduleInvariants, CrossStageDepsAreCorrect)
+{
+    auto c = GetParam();
+    auto sched = pl::buildSchedule(c.system, c.stages, c.mbPerMini,
+                                   c.minibatches);
+    for (const auto &t : sched.tasks) {
+        if (t.kind == pl::TaskKind::Forward && t.stage > 0) {
+            ASSERT_EQ(t.deps.size(), 1u);
+            const auto &d = sched.task(t.deps[0]);
+            EXPECT_EQ(d.kind, pl::TaskKind::Forward);
+            EXPECT_EQ(d.stage, t.stage - 1);
+            EXPECT_EQ(d.microbatch, t.microbatch);
+        }
+        if (t.kind == pl::TaskKind::Backward) {
+            ASSERT_EQ(t.deps.size(), 1u);
+            const auto &d = sched.task(t.deps[0]);
+            if (t.stage < sched.numStages - 1) {
+                EXPECT_EQ(d.kind, pl::TaskKind::Backward);
+                EXPECT_EQ(d.stage, t.stage + 1);
+            } else {
+                EXPECT_EQ(d.kind, pl::TaskKind::Forward);
+                EXPECT_EQ(d.stage, t.stage);
+            }
+            EXPECT_EQ(d.microbatch, t.microbatch);
+        }
+    }
+}
+
+TEST_P(ScheduleInvariants, InFlightDepthDecreasesDownThePipeline)
+{
+    // The root cause of the paper's Figure 2 memory imbalance:
+    // earlier stages keep more activation stashes.
+    auto c = GetParam();
+    auto sched = pl::buildSchedule(c.system, c.stages, c.mbPerMini,
+                                   c.minibatches);
+    for (int s = 1; s < c.stages; ++s)
+        EXPECT_GE(sched.maxInFlight(s - 1), sched.maxInFlight(s));
+    EXPECT_GE(sched.maxInFlight(0), sched.maxInFlight(c.stages - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ScheduleInvariants,
+    ::testing::Values(
+        ScheduleCase{pl::SystemKind::PipeDream, 3, 6, 2},
+        ScheduleCase{pl::SystemKind::PipeDream, 8, 4, 2},
+        ScheduleCase{pl::SystemKind::PipeDream, 4, 2, 3},
+        ScheduleCase{pl::SystemKind::Dapple, 3, 6, 2},
+        ScheduleCase{pl::SystemKind::Dapple, 8, 4, 2},
+        ScheduleCase{pl::SystemKind::Dapple, 2, 8, 1},
+        ScheduleCase{pl::SystemKind::Gpipe, 4, 4, 2},
+        ScheduleCase{pl::SystemKind::Gpipe, 8, 8, 1}));
+
+TEST(PipeDream, OneFOneBInFlightBound)
+{
+    // Stage s of S keeps at most S - s microbatches in flight.
+    auto sched = pl::buildPipeDream(8, 6, 2);
+    for (int s = 0; s < 8; ++s)
+        EXPECT_EQ(sched.maxInFlight(s), 8 - s) << "stage " << s;
+}
+
+TEST(PipeDream, WeightStashingVersions)
+{
+    auto sched = pl::buildPipeDream(8, 6, 3);
+    EXPECT_TRUE(sched.weightStashing);
+    // Early stages run ahead across minibatch boundaries and need
+    // more than one weight version; the last stage needs one.
+    EXPECT_GT(sched.weightVersions(0), 1);
+    EXPECT_GE(sched.weightVersions(0), sched.weightVersions(7));
+    // With 6-microbatch minibatches and depth 8, stage 0 spans at
+    // most two open minibatches.
+    EXPECT_LE(sched.weightVersions(0), 3);
+}
+
+TEST(Dapple, NoWeightStashing)
+{
+    auto sched = pl::buildDapple(8, 6, 2);
+    EXPECT_FALSE(sched.weightStashing);
+    for (int s = 0; s < 8; ++s)
+        EXPECT_EQ(sched.weightVersions(s), 1);
+}
+
+TEST(Dapple, MinibatchesAreSerializedByOptim)
+{
+    // On every stage, all work of minibatch k precedes the optimizer
+    // step of minibatch k, which precedes any work of minibatch k+1.
+    auto sched = pl::buildDapple(4, 4, 3);
+    for (int s = 0; s < 4; ++s) {
+        int last_minibatch = 0;
+        bool opt_seen_for[3] = {false, false, false};
+        for (int id : sched.perStageOrder[s]) {
+            const auto &t = sched.task(id);
+            if (t.kind == pl::TaskKind::OptimStep) {
+                opt_seen_for[t.minibatch] = true;
+                continue;
+            }
+            EXPECT_GE(t.minibatch, last_minibatch);
+            if (t.minibatch > last_minibatch) {
+                EXPECT_TRUE(opt_seen_for[last_minibatch]);
+                last_minibatch = t.minibatch;
+            }
+        }
+    }
+}
+
+TEST(Dapple, LastStageAlternatesFB)
+{
+    // Depth 1 on the last stage: forward of mb m immediately followed
+    // by its backward.
+    auto sched = pl::buildDapple(4, 4, 1);
+    const auto &order = sched.perStageOrder[3];
+    ASSERT_GE(order.size(), 8u);
+    for (int m = 0; m < 4; ++m) {
+        EXPECT_EQ(sched.task(order[2 * m]).kind,
+                  pl::TaskKind::Forward);
+        EXPECT_EQ(sched.task(order[2 * m]).microbatch, m);
+        EXPECT_EQ(sched.task(order[2 * m + 1]).kind,
+                  pl::TaskKind::Backward);
+        EXPECT_EQ(sched.task(order[2 * m + 1]).microbatch, m);
+    }
+}
+
+TEST(Gpipe, FillDrainKeepsAllMicrobatchesInFlight)
+{
+    auto sched = pl::buildGpipe(4, 8, 1);
+    for (int s = 0; s < 4; ++s)
+        EXPECT_EQ(sched.maxInFlight(s), 8);
+}
+
+TEST(Gpipe, BackwardInReverseOrder)
+{
+    auto sched = pl::buildGpipe(2, 4, 1);
+    const auto &order = sched.perStageOrder[1];
+    std::vector<int> bwd_mbs;
+    for (int id : order) {
+        if (sched.task(id).kind == pl::TaskKind::Backward)
+            bwd_mbs.push_back(sched.task(id).microbatch);
+    }
+    EXPECT_EQ(bwd_mbs, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Schedule, PipeDreamStashDeeperThanDapple)
+{
+    // PipeDream streams microbatches across minibatch boundaries, so
+    // with small minibatches its stage-0 stash depth exceeds
+    // DAPPLE's, which drains at each boundary.  With mb/mini >= S
+    // both reach depth S at stage 0.
+    auto pd = pl::buildPipeDream(8, 2, 4);
+    auto dp = pl::buildDapple(8, 2, 4);
+    EXPECT_GT(pd.maxInFlight(0), dp.maxInFlight(0));
+}
+
+TEST(Schedule, RejectsBadShapes)
+{
+    EXPECT_DEATH(pl::buildPipeDream(0, 4, 1), "invalid schedule");
+    EXPECT_DEATH(pl::buildDapple(4, 0, 1), "invalid schedule");
+    EXPECT_DEATH(pl::buildGpipe(4, 4, 0), "invalid schedule");
+}
+
+TEST(Schedule, ValidatePassesOnGeneratedSchedules)
+{
+    // validate() panics on malformed schedules; generated ones pass.
+    auto sched = pl::buildPipeDream(4, 4, 2);
+    sched.validate();
+    auto d = pl::buildDapple(4, 4, 2);
+    d.validate();
+    SUCCEED();
+}
+
+TEST(Schedule, ValidateCatchesCorruption)
+{
+    auto sched = pl::buildDapple(2, 2, 1);
+    sched.perStageOrder[0].pop_back();
+    EXPECT_DEATH(sched.validate(), "appears");
+}

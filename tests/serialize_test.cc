@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for CompactionPlan serialization: round-trips, format
+ * stability, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compaction/serialize.hh"
+
+namespace cp = mpress::compaction;
+namespace mu = mpress::util;
+
+namespace {
+
+cp::CompactionPlan
+samplePlan()
+{
+    cp::CompactionPlan plan;
+    plan.d2dStriping = false;
+    plan.stageToGpu = {2, 6, 4, 5, 7, 3, 1, 0};
+    plan.activations[{0, 1}] = cp::Kind::D2dSwap;
+    plan.activations[{0, 2}] = cp::Kind::Recompute;
+    plan.activations[{3, 17}] = cp::Kind::GpuCpuSwap;
+    plan.offloadOptState = {true, false, true};
+    plan.offloadWeightStash = {false, false, false, true};
+    plan.spareGrants[2] = {{3, 1024}, {4, 2048}};
+    plan.spareGrants[6] = {{5, 4096}};
+    return plan;
+}
+
+} // namespace
+
+TEST(Serialize, RoundTripPreservesEverything)
+{
+    auto plan = samplePlan();
+    auto text = cp::planToText(plan);
+    auto parsed = cp::planFromText(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+
+    const auto &p = parsed.plan;
+    EXPECT_EQ(p.d2dStriping, plan.d2dStriping);
+    EXPECT_EQ(p.stageToGpu, plan.stageToGpu);
+    EXPECT_EQ(p.activations.size(), plan.activations.size());
+    EXPECT_EQ(p.kindFor({0, 1}), cp::Kind::D2dSwap);
+    EXPECT_EQ(p.kindFor({0, 2}), cp::Kind::Recompute);
+    EXPECT_EQ(p.kindFor({3, 17}), cp::Kind::GpuCpuSwap);
+    EXPECT_EQ(p.kindFor({9, 9}), cp::Kind::None);
+
+    ASSERT_GE(p.offloadOptState.size(), 3u);
+    EXPECT_TRUE(p.offloadOptState[0]);
+    EXPECT_FALSE(p.offloadOptState[1]);
+    EXPECT_TRUE(p.offloadOptState[2]);
+    EXPECT_TRUE(p.stashOffloaded(3));
+    EXPECT_FALSE(p.stashOffloaded(0));
+
+    ASSERT_EQ(p.spareGrants.at(2).size(), 2u);
+    EXPECT_EQ(p.spareGrants.at(2)[0].importerGpu, 3);
+    EXPECT_EQ(p.spareGrants.at(2)[0].budget, 1024);
+    EXPECT_EQ(p.spareGrants.at(6)[0].budget, 4096);
+}
+
+TEST(Serialize, EmptyPlanRoundTrips)
+{
+    cp::CompactionPlan empty;
+    auto parsed = cp::planFromText(cp::planToText(empty));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_TRUE(parsed.plan.empty());
+    EXPECT_TRUE(parsed.plan.d2dStriping);
+    EXPECT_TRUE(parsed.plan.stageToGpu.empty());
+}
+
+TEST(Serialize, TextFormatIsStable)
+{
+    cp::CompactionPlan plan;
+    plan.activations[{1, 5}] = cp::Kind::Recompute;
+    auto text = cp::planToText(plan);
+    EXPECT_NE(text.find("mpress-plan v1"), std::string::npos);
+    EXPECT_NE(text.find("striping on"), std::string::npos);
+    EXPECT_NE(text.find("act 1 5 recompute"), std::string::npos);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored)
+{
+    std::string text = "mpress-plan v1\n"
+                       "\n"
+                       "# a comment\n"
+                       "act 0 3 d2d-swap\n";
+    auto parsed = cp::planFromText(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.plan.kindFor({0, 3}), cp::Kind::D2dSwap);
+}
+
+TEST(Serialize, RejectsBadHeader)
+{
+    auto parsed = cp::planFromText("not-a-plan v1\nact 0 0 recompute\n");
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_NE(parsed.error.find("header"), std::string::npos);
+}
+
+TEST(Serialize, RejectsUnknownTechnique)
+{
+    auto parsed =
+        cp::planFromText("mpress-plan v1\nact 0 0 teleport\n");
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_NE(parsed.error.find("teleport"), std::string::npos);
+    EXPECT_NE(parsed.error.find("line 2"), std::string::npos);
+}
+
+TEST(Serialize, RejectsMalformedDirectives)
+{
+    EXPECT_FALSE(cp::planFromText("mpress-plan v1\nact 0\n").ok);
+    EXPECT_FALSE(cp::planFromText("mpress-plan v1\nopt\n").ok);
+    EXPECT_FALSE(
+        cp::planFromText("mpress-plan v1\ngrant 0 1 -5\n").ok);
+    EXPECT_FALSE(cp::planFromText("mpress-plan v1\nwarp 0\n").ok);
+    EXPECT_FALSE(cp::planFromText("").ok);
+    EXPECT_FALSE(
+        cp::planFromText("mpress-plan v1\nstriping maybe\n").ok);
+    EXPECT_FALSE(cp::planFromText("mpress-plan v1\nmap\n").ok);
+}

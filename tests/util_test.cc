@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for mpress::util — units, formatting, tables, strings,
+ * deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/random.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace mu = mpress::util;
+
+TEST(Units, ByteConstants)
+{
+    EXPECT_EQ(mu::kKiB, 1024);
+    EXPECT_EQ(mu::kMiB, 1024 * 1024);
+    EXPECT_EQ(mu::kGiB, 1024LL * 1024 * 1024);
+    EXPECT_EQ(mu::kGB, 1000000000LL);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(mu::toGiB(mu::kGiB), 1.0);
+    EXPECT_DOUBLE_EQ(mu::toGB(32 * mu::kGB), 32.0);
+    EXPECT_DOUBLE_EQ(mu::toMs(mu::kMsec), 1.0);
+    EXPECT_DOUBLE_EQ(mu::toSeconds(mu::kSec), 1.0);
+}
+
+TEST(Units, BandwidthTransferTime)
+{
+    auto bw = mu::Bandwidth::fromGBps(10.0);
+    EXPECT_DOUBLE_EQ(bw.gbps(), 10.0);
+    // 10 GB at 10 GB/s = 1 second.
+    EXPECT_EQ(bw.transferTime(10 * mu::kGB), mu::kSec);
+    // Zero bytes moves in zero time.
+    EXPECT_EQ(bw.transferTime(0), 0);
+    // Tiny transfers still take at least one tick.
+    EXPECT_GE(bw.transferTime(1), 1);
+}
+
+TEST(Units, BandwidthArithmetic)
+{
+    auto a = mu::Bandwidth::fromGBps(25.0);
+    auto b = a * 2.0;
+    EXPECT_DOUBLE_EQ(b.gbps(), 50.0);
+    auto c = a + b;
+    EXPECT_DOUBLE_EQ(c.gbps(), 75.0);
+    EXPECT_TRUE(a < b);
+    EXPECT_FALSE(b < a);
+    EXPECT_FALSE(mu::Bandwidth().valid());
+    EXPECT_TRUE(a.valid());
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(mu::formatBytes(512), "512.00 B");
+    EXPECT_EQ(mu::formatBytes(2 * mu::kKiB), "2.00 KiB");
+    EXPECT_EQ(mu::formatBytes(3 * mu::kMiB), "3.00 MiB");
+    EXPECT_EQ(mu::formatBytes(5 * mu::kGiB), "5.00 GiB");
+    EXPECT_EQ(mu::formatBytes(-2 * mu::kKiB), "-2.00 KiB");
+}
+
+TEST(Units, FormatTime)
+{
+    EXPECT_EQ(mu::formatTime(500), "500.00 ns");
+    EXPECT_EQ(mu::formatTime(2 * mu::kUsec), "2.00 us");
+    EXPECT_EQ(mu::formatTime(3 * mu::kMsec), "3.00 ms");
+    EXPECT_EQ(mu::formatTime(4 * mu::kSec), "4.00 s");
+}
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(mu::strformat("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+    EXPECT_EQ(mu::strformat("%.2f", 1.5), "1.50");
+    EXPECT_EQ(mu::strformat("empty"), "empty");
+}
+
+TEST(Strings, SplitJoin)
+{
+    auto parts = mu::split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(mu::join(parts, "-"), "a-b--c");
+    EXPECT_EQ(mu::join({}, ","), "");
+    auto single = mu::split("solo", ',');
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single[0], "solo");
+}
+
+TEST(Table, PrintAligned)
+{
+    mu::TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, Csv)
+{
+    mu::TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Random, Deterministic)
+{
+    mu::SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, BoundsRespected)
+{
+    mu::SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBounded(10), 10u);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
