@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_generations"
+  "../bench/bench_generations.pdb"
+  "CMakeFiles/bench_generations.dir/bench_generations.cc.o"
+  "CMakeFiles/bench_generations.dir/bench_generations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

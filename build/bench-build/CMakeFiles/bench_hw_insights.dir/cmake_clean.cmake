@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hw_insights"
+  "../bench/bench_hw_insights.pdb"
+  "CMakeFiles/bench_hw_insights.dir/bench_hw_insights.cc.o"
+  "CMakeFiles/bench_hw_insights.dir/bench_hw_insights.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multinode"
+  "../bench/bench_multinode.pdb"
+  "CMakeFiles/bench_multinode.dir/bench_multinode.cc.o"
+  "CMakeFiles/bench_multinode.dir/bench_multinode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallelism_comparison.cc" "bench-build/CMakeFiles/bench_parallelism_comparison.dir/bench_parallelism_comparison.cc.o" "gcc" "bench-build/CMakeFiles/bench_parallelism_comparison.dir/bench_parallelism_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/mpress_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mpress_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/mpress_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mpress_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compaction/CMakeFiles/mpress_compaction.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mpress_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mpress_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpress_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mpress_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpress_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/mpress_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpress_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_cli.dir/mpress_cli.cc.o"
+  "CMakeFiles/mpress_cli.dir/mpress_cli.cc.o.d"
+  "mpress_cli"
+  "mpress_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oom_rescue.dir/oom_rescue.cc.o"
+  "CMakeFiles/oom_rescue.dir/oom_rescue.cc.o.d"
+  "oom_rescue"
+  "oom_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oom_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_comparison.dir/zero_comparison.cc.o"
+  "CMakeFiles/zero_comparison.dir/zero_comparison.cc.o.d"
+  "zero_comparison"
+  "zero_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

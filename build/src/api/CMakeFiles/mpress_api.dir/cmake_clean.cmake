@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_api.dir/session.cc.o"
+  "CMakeFiles/mpress_api.dir/session.cc.o.d"
+  "libmpress_api.a"
+  "libmpress_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/tensor_parallel.cc" "src/baselines/CMakeFiles/mpress_baselines.dir/tensor_parallel.cc.o" "gcc" "src/baselines/CMakeFiles/mpress_baselines.dir/tensor_parallel.cc.o.d"
+  "/root/repo/src/baselines/zero.cc" "src/baselines/CMakeFiles/mpress_baselines.dir/zero.cc.o" "gcc" "src/baselines/CMakeFiles/mpress_baselines.dir/zero.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/mpress_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpress_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpress_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpress_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_baselines.dir/tensor_parallel.cc.o"
+  "CMakeFiles/mpress_baselines.dir/tensor_parallel.cc.o.d"
+  "CMakeFiles/mpress_baselines.dir/zero.cc.o"
+  "CMakeFiles/mpress_baselines.dir/zero.cc.o.d"
+  "libmpress_baselines.a"
+  "libmpress_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

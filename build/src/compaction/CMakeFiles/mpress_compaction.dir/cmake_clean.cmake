@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_compaction.dir/metadata.cc.o"
+  "CMakeFiles/mpress_compaction.dir/metadata.cc.o.d"
+  "CMakeFiles/mpress_compaction.dir/serialize.cc.o"
+  "CMakeFiles/mpress_compaction.dir/serialize.cc.o.d"
+  "CMakeFiles/mpress_compaction.dir/striping.cc.o"
+  "CMakeFiles/mpress_compaction.dir/striping.cc.o.d"
+  "libmpress_compaction.a"
+  "libmpress_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/fabric.cc" "src/hw/CMakeFiles/mpress_hw.dir/fabric.cc.o" "gcc" "src/hw/CMakeFiles/mpress_hw.dir/fabric.cc.o.d"
+  "/root/repo/src/hw/gpu.cc" "src/hw/CMakeFiles/mpress_hw.dir/gpu.cc.o" "gcc" "src/hw/CMakeFiles/mpress_hw.dir/gpu.cc.o.d"
+  "/root/repo/src/hw/link.cc" "src/hw/CMakeFiles/mpress_hw.dir/link.cc.o" "gcc" "src/hw/CMakeFiles/mpress_hw.dir/link.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/hw/CMakeFiles/mpress_hw.dir/topology.cc.o" "gcc" "src/hw/CMakeFiles/mpress_hw.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mpress_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpress_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

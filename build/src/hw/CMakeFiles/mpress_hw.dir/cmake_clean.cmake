@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_hw.dir/fabric.cc.o"
+  "CMakeFiles/mpress_hw.dir/fabric.cc.o.d"
+  "CMakeFiles/mpress_hw.dir/gpu.cc.o"
+  "CMakeFiles/mpress_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/mpress_hw.dir/link.cc.o"
+  "CMakeFiles/mpress_hw.dir/link.cc.o.d"
+  "CMakeFiles/mpress_hw.dir/topology.cc.o"
+  "CMakeFiles/mpress_hw.dir/topology.cc.o.d"
+  "libmpress_hw.a"
+  "libmpress_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/liveness.cc" "src/memory/CMakeFiles/mpress_memory.dir/liveness.cc.o" "gcc" "src/memory/CMakeFiles/mpress_memory.dir/liveness.cc.o.d"
+  "/root/repo/src/memory/tracker.cc" "src/memory/CMakeFiles/mpress_memory.dir/tracker.cc.o" "gcc" "src/memory/CMakeFiles/mpress_memory.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mpress_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpress_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mpress_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpress_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_memory.dir/liveness.cc.o"
+  "CMakeFiles/mpress_memory.dir/liveness.cc.o.d"
+  "CMakeFiles/mpress_memory.dir/tracker.cc.o"
+  "CMakeFiles/mpress_memory.dir/tracker.cc.o.d"
+  "libmpress_memory.a"
+  "libmpress_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_model.dir/model.cc.o"
+  "CMakeFiles/mpress_model.dir/model.cc.o.d"
+  "libmpress_model.a"
+  "libmpress_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpress_model.a"
+)

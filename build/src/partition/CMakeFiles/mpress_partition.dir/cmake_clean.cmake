@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_partition.dir/partition.cc.o"
+  "CMakeFiles/mpress_partition.dir/partition.cc.o.d"
+  "libmpress_partition.a"
+  "libmpress_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

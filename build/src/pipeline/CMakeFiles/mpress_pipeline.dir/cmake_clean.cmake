@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_pipeline.dir/schedule.cc.o"
+  "CMakeFiles/mpress_pipeline.dir/schedule.cc.o.d"
+  "libmpress_pipeline.a"
+  "libmpress_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_planner.dir/mapper.cc.o"
+  "CMakeFiles/mpress_planner.dir/mapper.cc.o.d"
+  "CMakeFiles/mpress_planner.dir/planner.cc.o"
+  "CMakeFiles/mpress_planner.dir/planner.cc.o.d"
+  "libmpress_planner.a"
+  "libmpress_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_runtime.dir/executor.cc.o"
+  "CMakeFiles/mpress_runtime.dir/executor.cc.o.d"
+  "libmpress_runtime.a"
+  "libmpress_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_sim.dir/engine.cc.o"
+  "CMakeFiles/mpress_sim.dir/engine.cc.o.d"
+  "CMakeFiles/mpress_sim.dir/trace.cc.o"
+  "CMakeFiles/mpress_sim.dir/trace.cc.o.d"
+  "libmpress_sim.a"
+  "libmpress_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpress_util.dir/logging.cc.o"
+  "CMakeFiles/mpress_util.dir/logging.cc.o.d"
+  "CMakeFiles/mpress_util.dir/strings.cc.o"
+  "CMakeFiles/mpress_util.dir/strings.cc.o.d"
+  "CMakeFiles/mpress_util.dir/table.cc.o"
+  "CMakeFiles/mpress_util.dir/table.cc.o.d"
+  "CMakeFiles/mpress_util.dir/units.cc.o"
+  "CMakeFiles/mpress_util.dir/units.cc.o.d"
+  "libmpress_util.a"
+  "libmpress_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpress_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
