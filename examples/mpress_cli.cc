@@ -16,9 +16,14 @@
  *     --save-plan <file>      write the executed plan (plan format)
  *     --load-plan <file>      run a previously saved plan instead of
  *                             planning (forces a custom strategy)
+ *     --verify-mode <name>    off|permissive|strict [permissive];
+ *                             loaded plans are statically verified
+ *                             and rejected on errors (strict also
+ *                             rejects on warnings)
  *     --timeline <file>       write a chrome-trace JSON
  *
- * Exit status: 0 on success, 2 on OOM, 1 on usage errors.
+ * Exit status: 0 on success, 2 on OOM, 3 on plan rejected by
+ * verification, 1 on usage errors.
  */
 
 #include <cstdio>
@@ -82,6 +87,18 @@ parseStrategy(const std::string &name)
     usage("unknown --strategy");
 }
 
+api::VerifyMode
+parseVerifyMode(const std::string &name)
+{
+    if (name == "off")
+        return api::VerifyMode::Off;
+    if (name == "permissive")
+        return api::VerifyMode::Permissive;
+    if (name == "strict")
+        return api::VerifyMode::Strict;
+    usage("unknown --verify-mode");
+}
+
 } // namespace
 
 int
@@ -92,6 +109,7 @@ main(int argc, char **argv)
     std::string strategy = "mpress";
     std::string topology = "dgx1";
     std::string save_plan, load_plan, timeline;
+    std::string verify_mode = "permissive";
     int microbatch = 12, mb_per_mini = 8, minibatches = 2;
 
     for (int i = 1; i < argc; ++i) {
@@ -118,6 +136,8 @@ main(int argc, char **argv)
             save_plan = need("--save-plan");
         else if (!std::strcmp(argv[i], "--load-plan"))
             load_plan = need("--load-plan");
+        else if (!std::strcmp(argv[i], "--verify-mode"))
+            verify_mode = need("--verify-mode");
         else if (!std::strcmp(argv[i], "--timeline"))
             timeline = need("--timeline");
         else
@@ -138,6 +158,7 @@ main(int argc, char **argv)
     cfg.microbatchesPerMinibatch = mb_per_mini;
     cfg.minibatches = minibatches;
     cfg.strategy = parseStrategy(strategy);
+    cfg.verifyMode = parseVerifyMode(verify_mode);
     cfg.executor.recordTimeline = !timeline.empty();
 
     api::SessionResult result;
@@ -155,6 +176,17 @@ main(int argc, char **argv)
             return 1;
         }
         api::MPressSession session(topo, cfg);
+        if (cfg.verifyMode != api::VerifyMode::Off) {
+            result.verification = session.verifyPlan(parsed.plan);
+            if (!result.verification.clean())
+                std::fputs(result.verification.render().c_str(),
+                           stderr);
+            if (!result.verification.ok()) {
+                std::fprintf(stderr, "plan rejected: %s\n",
+                             result.verification.summary().c_str());
+                return 3;
+            }
+        }
         result.plan = parsed.plan;
         result.report = rt::runTraining(
             topo, session.model(), session.partition(),
@@ -166,6 +198,12 @@ main(int argc, char **argv)
         result.name = model + "/" + system + "/loaded-plan";
     } else {
         result = api::runSession(topo, cfg);
+        if (result.rejected) {
+            std::fputs(result.verification.render().c_str(), stderr);
+            std::fprintf(stderr, "plan rejected: %s\n",
+                         result.verification.summary().c_str());
+            return 3;
+        }
     }
 
     std::printf("%s on %s: ", result.name.c_str(),

@@ -28,6 +28,20 @@ strategyName(Strategy s)
     return "?";
 }
 
+const char *
+verifyModeName(VerifyMode m)
+{
+    switch (m) {
+      case VerifyMode::Off:
+        return "off";
+      case VerifyMode::Permissive:
+        return "permissive";
+      case VerifyMode::Strict:
+        return "strict";
+    }
+    return "?";
+}
+
 MPressSession::MPressSession(hw::Topology topo, SessionConfig cfg)
     : _topo(std::move(topo)), _cfg(std::move(cfg)),
       _mdl(_cfg.model, _cfg.microbatch),
@@ -64,38 +78,55 @@ MPressSession::run() const
         return result;
     }
 
+    // Build the strategy's plan first so static verification can
+    // gate execution.  The planner strategies emulate while planning,
+    // so their training report arrives with the plan.
     switch (_cfg.strategy) {
       case Strategy::None:
-        result.report = runtime::runTraining(_topo, _mdl, _part,
-                                             _sched, {},
-                                             _cfg.executor);
         break;
       case Strategy::Recompute:
         result.plan = planner::recomputeAllPlan(_part);
-        result.report = runtime::runTraining(_topo, _mdl, _part,
-                                             _sched, result.plan,
-                                             _cfg.executor);
         break;
       case Strategy::GpuCpuSwap:
         result.plan = planner::gpuCpuSwapAllPlan(_part);
-        result.report = runtime::runTraining(_topo, _mdl, _part,
-                                             _sched, result.plan,
-                                             _cfg.executor);
         break;
       case Strategy::D2dOnly:
         result.planResult = planner::planD2dOnly(
             _topo, _mdl, _part, _sched, _cfg.planner, _cfg.executor);
         result.plan = result.planResult.plan;
-        result.report = result.planResult.finalReport;
         break;
       case Strategy::MPressFull:
         result.planResult = planner::planMPress(
             _topo, _mdl, _part, _sched, _cfg.planner, _cfg.executor);
         result.plan = result.planResult.plan;
-        result.report = result.planResult.finalReport;
         break;
       default:
         util::panic("unhandled strategy");
+    }
+
+    if (_cfg.verifyMode != VerifyMode::Off) {
+        result.verification = verifyPlan(result.plan);
+        if (_cfg.verifyMode == VerifyMode::Strict &&
+            !result.verification.ok()) {
+            result.rejected = true;
+            util::warn("session %s: plan rejected by strict"
+                       " verification (%s)",
+                       result.name.c_str(),
+                       result.verification.summary().c_str());
+            return result;
+        }
+    }
+
+    switch (_cfg.strategy) {
+      case Strategy::D2dOnly:
+      case Strategy::MPressFull:
+        result.report = result.planResult.finalReport;
+        break;
+      default:
+        result.report = runtime::runTraining(_topo, _mdl, _part,
+                                             _sched, result.plan,
+                                             _cfg.executor);
+        break;
     }
 
     result.oom = result.report.oom;
@@ -103,6 +134,18 @@ MPressSession::run() const
     result.tflops = result.report.tflops;
     result.maxGpuPeak = result.report.maxGpuPeak();
     return result;
+}
+
+verify::Report
+MPressSession::verifyPlan(const compaction::CompactionPlan &plan) const
+{
+    verify::Options opts = _cfg.verifyOptions;
+    // Keep the capacity model consistent with what would execute.
+    opts.memOverheadFactor = _cfg.executor.memOverheadFactor;
+    opts.strict =
+        opts.strict || _cfg.verifyMode == VerifyMode::Strict;
+    return verify::verifyPlan(_topo, _mdl, _part, _sched, plan,
+                              opts);
 }
 
 SessionResult

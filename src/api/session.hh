@@ -29,6 +29,7 @@
 #include "pipeline/schedule.hh"
 #include "planner/planner.hh"
 #include "runtime/executor.hh"
+#include "verify/verify.hh"
 
 namespace mpress {
 namespace api {
@@ -48,6 +49,17 @@ enum class Strategy
 /** Returns a display name for @p s. */
 const char *strategyName(Strategy s);
 
+/** How a session treats static plan verification. */
+enum class VerifyMode
+{
+    Off,         ///< skip verification entirely
+    Permissive,  ///< verify and record findings, run regardless
+    Strict,      ///< warnings promote to errors; errors reject the run
+};
+
+/** Returns a display name for @p m. */
+const char *verifyModeName(VerifyMode m);
+
 /** Full description of one training job. */
 struct SessionConfig
 {
@@ -64,6 +76,11 @@ struct SessionConfig
     runtime::ExecutorConfig executor;
     planner::PlannerConfig planner;
     baselines::ZeroConfig zero;  ///< variant field is overridden
+
+    /** Static plan verification before execution (pipeline
+     *  strategies only; ZeRO baselines carry no plan). */
+    VerifyMode verifyMode = VerifyMode::Permissive;
+    verify::Options verifyOptions;
 };
 
 /** Uniform result across pipeline and ZeRO strategies. */
@@ -84,6 +101,12 @@ struct SessionResult
     planner::PlanResult planResult;
     /** Set for ZeRO strategies. */
     baselines::ZeroReport zeroReport;
+
+    /** Verification findings (empty when verifyMode is Off). */
+    verify::Report verification;
+    /** True when strict verification rejected the plan; the training
+     *  run was skipped and throughput fields are zero. */
+    bool rejected = false;
 };
 
 /**
@@ -96,6 +119,11 @@ class MPressSession
 
     /** Simulate the job and return the uniform result. */
     SessionResult run() const;
+
+    /** Statically verify @p plan against this session's job (used by
+     *  run() and by callers loading serialized plans). */
+    verify::Report
+    verifyPlan(const compaction::CompactionPlan &plan) const;
 
     const hw::Topology &topology() const { return _topo; }
     const SessionConfig &config() const { return _cfg; }

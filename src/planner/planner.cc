@@ -139,6 +139,29 @@ emulate(const hw::Topology &topo, const model::TransformerModel &mdl,
                                 exec_cfg);
 }
 
+/** Verifier options consistent with the emulator's capacity model. */
+verify::Options
+verifierOptions(const runtime::ExecutorConfig &exec_cfg)
+{
+    verify::Options opts;
+    opts.memOverheadFactor = exec_cfg.memOverheadFactor;
+    return opts;
+}
+
+/** True when @p plan passes static verification (refinements whose
+ *  trial plan regresses to an invalid state are rejected even if the
+ *  emulator happens to survive them). */
+bool
+verifies(const hw::Topology &topo, const model::TransformerModel &mdl,
+         const partition::Partition &part,
+         const pipeline::Schedule &sched, const CompactionPlan &plan,
+         const runtime::ExecutorConfig &exec_cfg)
+{
+    return verify::verifyPlan(topo, mdl, part, sched, plan,
+                              verifierOptions(exec_cfg))
+        .ok();
+}
+
 /** Build a CompactionPlan from candidate choices + mapping. */
 CompactionPlan
 materialize(const std::vector<std::vector<Candidate>> &per_stage,
@@ -186,6 +209,9 @@ planMPress(const hw::Topology &topo,
     if (!any_overflow) {
         result.finalReport = std::move(profile.report);
         result.feasible = !result.finalReport.oom;
+        result.verification = verify::verifyPlan(
+            topo, mdl, part, sched, result.plan,
+            verifierOptions(exec_cfg));
         return result;
     }
 
@@ -320,6 +346,9 @@ planMPress(const hw::Topology &topo,
         result.plan = std::move(plan);
         result.finalReport = std::move(current);
         result.feasible = false;
+        result.verification = verify::verifyPlan(
+            topo, mdl, part, sched, result.plan,
+            verifierOptions(exec_cfg));
         return result;
     }
 
@@ -372,7 +401,8 @@ planMPress(const hw::Topology &topo,
             emulate(topo, mdl, part, sched, plan2, exec_cfg);
         if (!rep2.oom &&
             rep2.samplesPerSec >=
-                current.samplesPerSec * (1.0 - cfg.acceptGain)) {
+                current.samplesPerSec * (1.0 - cfg.acceptGain) &&
+            verifies(topo, mdl, part, sched, plan2, exec_cfg)) {
             result.mapping = std::move(mapping2);
             plan = std::move(plan2);
             current = std::move(rep2);
@@ -463,7 +493,9 @@ planMPress(const hw::Topology &topo,
         bool better = !trial_report.oom &&
                       trial_report.samplesPerSec >
                           current.samplesPerSec *
-                              (1.0 + cfg.acceptGain);
+                              (1.0 + cfg.acceptGain) &&
+                      verifies(topo, mdl, part, sched, trial,
+                               exec_cfg);
         if (better) {
             plan = std::move(trial);
             current = std::move(trial_report);
@@ -531,7 +563,8 @@ planMPress(const hw::Topology &topo,
                 emulate(topo, mdl, part, sched, trial, exec_cfg);
             if (!trial_report.oom &&
                 trial_report.samplesPerSec >
-                    current.samplesPerSec * (1.0 + cfg.acceptGain)) {
+                    current.samplesPerSec * (1.0 + cfg.acceptGain) &&
+                verifies(topo, mdl, part, sched, trial, exec_cfg)) {
                 best_kinds = snapshot();
                 best_keep_offload = v.keepOffload;
                 plan = std::move(trial);
@@ -578,7 +611,9 @@ planMPress(const hw::Topology &topo,
         bool better = !trial_report.oom &&
                       trial_report.samplesPerSec >
                           current.samplesPerSec *
-                              (1.0 + cfg.acceptGain);
+                              (1.0 + cfg.acceptGain) &&
+                      verifies(topo, mdl, part, sched, trial,
+                               exec_cfg);
         if (better) {
             plan = std::move(trial);
             current = std::move(trial_report);
@@ -593,6 +628,9 @@ planMPress(const hw::Topology &topo,
     result.plan = std::move(plan);
     result.finalReport = std::move(current);
     result.feasible = true;
+    result.verification = verify::verifyPlan(
+        topo, mdl, part, sched, result.plan,
+        verifierOptions(exec_cfg));
     return result;
 }
 
@@ -614,6 +652,9 @@ planD2dOnly(const hw::Topology &topo,
     if (!any_overflow) {
         result.finalReport = std::move(profile.report);
         result.feasible = !result.finalReport.oom;
+        result.verification = verify::verifyPlan(
+            topo, mdl, part, sched, result.plan,
+            verifierOptions(exec_cfg));
         return result;
     }
 
@@ -671,6 +712,9 @@ planD2dOnly(const hw::Topology &topo,
         emulate(topo, mdl, part, sched, plan, exec_cfg);
     result.feasible = !result.finalReport.oom;
     result.plan = std::move(plan);
+    result.verification = verify::verifyPlan(
+        topo, mdl, part, sched, result.plan,
+        verifierOptions(exec_cfg));
     return result;
 }
 

@@ -30,6 +30,7 @@
 #include "planner/costmodel.hh"
 #include "planner/mapper.hh"
 #include "runtime/executor.hh"
+#include "verify/verify.hh"
 
 namespace mpress {
 namespace planner {
@@ -79,6 +80,11 @@ struct PlanResult
     MappingResult mapping;
     int iterations = 0;
     bool feasible = false;  ///< final emulated run completed w/o OOM
+
+    /** Static verification of the returned plan.  Refinement steps
+     *  whose trial plan fails verification are rejected, so a
+     *  feasible result always satisfies verification.ok(). */
+    verify::Report verification;
 };
 
 /** Full MPress planning: all three techniques + device mapping. */

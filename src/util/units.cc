@@ -8,8 +8,11 @@ namespace util {
 std::string
 formatBytes(Bytes bytes)
 {
+    // Negate in the double domain: -INT64_MIN overflows int64_t.
     const bool neg = bytes < 0;
-    double v = static_cast<double>(neg ? -bytes : bytes);
+    double v = static_cast<double>(bytes);
+    if (neg)
+        v = -v;
     const char *suffix = "B";
     if (v >= static_cast<double>(kGiB)) {
         v /= static_cast<double>(kGiB);
@@ -28,7 +31,9 @@ std::string
 formatTime(Tick t)
 {
     const bool neg = t < 0;
-    double v = static_cast<double>(neg ? -t : t);
+    double v = static_cast<double>(t);
+    if (neg)
+        v = -v;
     const char *suffix = "ns";
     if (v >= static_cast<double>(kSec)) {
         v /= static_cast<double>(kSec);

@@ -275,6 +275,36 @@ TEST(Planner, D2dOnlyFailsForHugeModels)
     EXPECT_FALSE(result.feasible);
 }
 
+TEST(Planner, PlansAlwaysPassStaticVerification)
+{
+    // planMPress must never return a plan the verifier rejects —
+    // refinement steps are gated on verification, and the result
+    // carries the final report.
+    for (const char *preset : {"bert-0.35b", "bert-1.67b"}) {
+        PlannerJob job(preset);
+        auto result = pn::planMPress(job.topo, job.mdl, job.part,
+                                     job.sched);
+        EXPECT_TRUE(result.verification.ok())
+            << preset << ":\n"
+            << result.verification.render();
+        // Re-verifying externally agrees with the stored report.
+        auto again = mpress::verify::verifyPlan(
+            job.topo, job.mdl, job.part, job.sched, result.plan);
+        EXPECT_TRUE(again.ok()) << again.render();
+    }
+}
+
+TEST(Planner, D2dOnlyPlansPassStaticVerification)
+{
+    PlannerJob job("bert-0.64b");
+    auto result = pn::planD2dOnly(job.topo, job.mdl, job.part,
+                                  job.sched);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_TRUE(result.verification.ok())
+        << result.verification.render();
+    EXPECT_GT(result.plan.countKind(cp::Kind::D2dSwap), 0);
+}
+
 TEST(Planner, BaselinePlansCoverEveryLayer)
 {
     PlannerJob job("bert-0.64b");

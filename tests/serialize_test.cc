@@ -7,9 +7,14 @@
 #include <gtest/gtest.h>
 
 #include "compaction/serialize.hh"
+#include "model/model.hh"
+#include "partition/partition.hh"
+#include "pipeline/schedule.hh"
+#include "verify/verify.hh"
 
 namespace cp = mpress::compaction;
 namespace mu = mpress::util;
+namespace vf = mpress::verify;
 
 namespace {
 
@@ -105,6 +110,46 @@ TEST(Serialize, RejectsUnknownTechnique)
     EXPECT_FALSE(parsed.ok);
     EXPECT_NE(parsed.error.find("teleport"), std::string::npos);
     EXPECT_NE(parsed.error.find("line 2"), std::string::npos);
+}
+
+TEST(Serialize, RejectedPlanStaysRejectedAcrossRoundTrip)
+{
+    // A plan the verifier rejects must still be rejected — for the
+    // same rules — after serialize -> deserialize -> verify.  The
+    // text format happily carries corrupt stage/GPU indices, so the
+    // verifier is the only guard on load.
+    namespace hw = mpress::hw;
+    namespace mm = mpress::model;
+    namespace mp = mpress::partition;
+    namespace pl = mpress::pipeline;
+
+    auto topo = hw::Topology::dgx1V100();
+    mm::TransformerModel mdl(mm::presetByName("bert-0.35b"), 4);
+    auto part =
+        mp::partitionModel(mdl, 8, mp::Strategy::ComputeBalanced);
+    auto sched =
+        pl::buildSchedule(pl::SystemKind::PipeDream, 8, 8, 2);
+
+    cp::CompactionPlan plan;
+    plan.activations[{9, 0}] = cp::Kind::GpuCpuSwap;  // unknown stage
+    plan.spareGrants[2] = {{2, mu::kGiB}};            // self-grant
+    plan.offloadOptState = {true, false};             // wrong shape
+
+    auto before = vf::verifyPlan(topo, mdl, part, sched, plan);
+    ASSERT_FALSE(before.ok());
+    ASSERT_TRUE(before.hasRule(vf::Rule::SwapUnknownTensor));
+    ASSERT_TRUE(before.hasRule(vf::Rule::D2dSelfGrant));
+    ASSERT_TRUE(before.hasRule(vf::Rule::CfgShape));
+
+    auto parsed = cp::planFromText(cp::planToText(plan));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    auto after = vf::verifyPlan(topo, mdl, part, sched, parsed.plan);
+    EXPECT_FALSE(after.ok());
+    EXPECT_TRUE(after.hasRule(vf::Rule::SwapUnknownTensor));
+    EXPECT_TRUE(after.hasRule(vf::Rule::D2dSelfGrant));
+    EXPECT_TRUE(after.hasRule(vf::Rule::CfgShape));
+    EXPECT_EQ(after.errorCount(), before.errorCount());
+    EXPECT_EQ(after.warningCount(), before.warningCount());
 }
 
 TEST(Serialize, RejectsMalformedDirectives)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "util/random.hh"
@@ -63,6 +65,18 @@ TEST(Units, FormatBytes)
     EXPECT_EQ(mu::formatBytes(3 * mu::kMiB), "3.00 MiB");
     EXPECT_EQ(mu::formatBytes(5 * mu::kGiB), "5.00 GiB");
     EXPECT_EQ(mu::formatBytes(-2 * mu::kKiB), "-2.00 KiB");
+}
+
+TEST(Units, FormatExtremesDoNotOverflow)
+{
+    // -INT64_MIN is UB in the integer domain; the formatters must
+    // negate as doubles.  Checked under -fsanitize=undefined.
+    auto lo = std::numeric_limits<std::int64_t>::min();
+    auto hi = std::numeric_limits<std::int64_t>::max();
+    EXPECT_EQ(mu::formatBytes(lo)[0], '-');
+    EXPECT_NE(mu::formatBytes(hi).find("GiB"), std::string::npos);
+    EXPECT_EQ(mu::formatTime(lo)[0], '-');
+    EXPECT_NE(mu::formatTime(hi).find(" s"), std::string::npos);
 }
 
 TEST(Units, FormatTime)

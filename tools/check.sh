@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Full local gate: plain build + tests, sanitizer build + tests, and
+# (when a clang-tidy binary exists) lint over the source tree.
+#
+# Usage: tools/check.sh [--no-tidy] [--no-asan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tidy=1
+run_asan=1
+for arg in "$@"; do
+    case "$arg" in
+    --no-tidy) run_tidy=0 ;;
+    --no-asan) run_asan=0 ;;
+    *)
+        echo "usage: tools/check.sh [--no-tidy] [--no-asan]" >&2
+        exit 1
+        ;;
+    esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== plain build =="
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [ "$run_asan" = 1 ]; then
+    echo "== sanitizer build (ASan + UBSan) =="
+    cmake -B build-asan -S . -DMPRESS_SANITIZE=ON >/dev/null
+    cmake --build build-asan -j "$jobs"
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+fi
+
+if [ "$run_tidy" = 1 ]; then
+    if command -v clang-tidy >/dev/null 2>&1; then
+        echo "== clang-tidy =="
+        git ls-files 'src/*.cc' 'examples/*.cc' |
+            xargs -P "$jobs" -n 1 clang-tidy -p build --quiet
+    else
+        echo "== clang-tidy not installed; skipping lint =="
+    fi
+fi
+
+echo "== all checks passed =="
