@@ -129,4 +129,26 @@ BM_FullIteration(benchmark::State &state)
 }
 BENCHMARK(BM_FullIteration);
 
+static void
+BM_FullIterationObserved(benchmark::State &state)
+{
+    // Same workload with the observability layer fully on; the gap
+    // to BM_FullIteration is the recording overhead.
+    auto topo = hw::Topology::dgx1V100();
+    auto cfg = mm::presetByName("bert-0.35b");
+    mm::TransformerModel mdl(cfg, 4);
+    auto part = mp::partitionModel(mdl, 8,
+                                   mp::Strategy::ComputeBalanced);
+    auto sched = pl::buildPipeDream(8, 4, 2);
+    rt::ExecutorConfig ec;
+    ec.recordMetrics = true;
+    ec.recordTimeline = true;
+    for (auto _ : state) {
+        auto report = rt::runTraining(topo, mdl, part, sched, {}, ec);
+        benchmark::DoNotOptimize(
+            report.observability.utilization.channels().size());
+    }
+}
+BENCHMARK(BM_FullIterationObserved);
+
 BENCHMARK_MAIN();

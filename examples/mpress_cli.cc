@@ -20,7 +20,11 @@
  *                             loaded plans are statically verified
  *                             and rejected on errors (strict also
  *                             rejects on warnings)
- *     --timeline <file>       write a chrome-trace JSON
+ *     --timeline <file>       write a chrome-trace JSON (includes
+ *                             counter tracks when --metrics is on)
+ *     --metrics <file>        write the observability bundle as JSON
+ *                             (metrics, per-GPU memory timelines,
+ *                             per-stream utilization)
  *
  * Exit status: 0 on success, 2 on OOM, 3 on plan rejected by
  * verification, 1 on usage errors.
@@ -34,6 +38,7 @@
 
 #include "api/session.hh"
 #include "compaction/serialize.hh"
+#include "obs/export.hh"
 #include "util/strings.hh"
 
 namespace api = mpress::api;
@@ -108,7 +113,7 @@ main(int argc, char **argv)
     std::string system = "pipedream";
     std::string strategy = "mpress";
     std::string topology = "dgx1";
-    std::string save_plan, load_plan, timeline;
+    std::string save_plan, load_plan, timeline, metrics;
     std::string verify_mode = "permissive";
     int microbatch = 12, mb_per_mini = 8, minibatches = 2;
 
@@ -140,6 +145,8 @@ main(int argc, char **argv)
             verify_mode = need("--verify-mode");
         else if (!std::strcmp(argv[i], "--timeline"))
             timeline = need("--timeline");
+        else if (!std::strcmp(argv[i], "--metrics"))
+            metrics = need("--metrics");
         else
             usage("unknown option");
     }
@@ -160,6 +167,7 @@ main(int argc, char **argv)
     cfg.strategy = parseStrategy(strategy);
     cfg.verifyMode = parseVerifyMode(verify_mode);
     cfg.executor.recordTimeline = !timeline.empty();
+    cfg.executor.recordMetrics = !metrics.empty();
 
     api::SessionResult result;
     if (!load_plan.empty()) {
@@ -225,6 +233,12 @@ main(int argc, char **argv)
         std::ofstream out(timeline);
         result.report.trace.exportChromeTrace(out);
         std::printf("trace written to %s\n", timeline.c_str());
+    }
+    if (!metrics.empty()) {
+        std::ofstream out(metrics);
+        mpress::obs::exportJson(out, result.report.observability);
+        out << "\n";
+        std::printf("metrics written to %s\n", metrics.c_str());
     }
     return 0;
 }

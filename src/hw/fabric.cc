@@ -8,6 +8,26 @@
 namespace mpress {
 namespace hw {
 
+const char *
+fabricResourceName(FabricResource r)
+{
+    switch (r) {
+      case FabricResource::NvlinkEgress:
+        return "nvlink.egress";
+      case FabricResource::NvlinkIngress:
+        return "nvlink.ingress";
+      case FabricResource::PcieH2D:
+        return "pcie.h2d";
+      case FabricResource::PcieD2H:
+        return "pcie.d2h";
+      case FabricResource::NvmeWrite:
+        return "nvme.write";
+      case FabricResource::NvmeRead:
+        return "nvme.read";
+    }
+    return "?";
+}
+
 Fabric::Fabric(sim::Engine &engine, const Topology &topo)
     : _engine(engine), _topo(topo)
 {
@@ -46,8 +66,10 @@ Fabric::Fabric(sim::Engine &engine, const Topology &topo)
     }
 
     for (int g = 0; g < n; ++g) {
-        _pcie.push_back(std::make_unique<sim::Stream>(
-            engine, util::strformat("pcie%d", g)));
+        _pcieDown.push_back(std::make_unique<sim::Stream>(
+            engine, util::strformat("pcie%d.d2h", g)));
+        _pcieUp.push_back(std::make_unique<sim::Stream>(
+            engine, util::strformat("pcie%d.h2d", g)));
     }
     _nvmeWrite = std::make_unique<sim::Stream>(engine, "nvme.write");
     _nvmeRead = std::make_unique<sim::Stream>(engine, "nvme.read");
@@ -126,7 +148,7 @@ void
 Fabric::gpuToHost(int gpu, Bytes bytes, Done done)
 {
     Tick dur = _topo.pcieSpec().transferTime(bytes);
-    _pcie[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) {
+    _pcieDown[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) {
         if (cb)
             cb();
     });
@@ -136,7 +158,7 @@ void
 Fabric::hostToGpu(int gpu, Bytes bytes, Done done)
 {
     Tick dur = _topo.pcieSpec().transferTime(bytes);
-    _pcie[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) {
+    _pcieUp[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) {
         if (cb)
             cb();
     });
@@ -202,7 +224,15 @@ Fabric::nvlinkBusyTime() const
         for (const auto &lane : pool.lanes)
             total += lane->busyTime();
     }
+    // Switch fabrics occupy an egress port on the source and an
+    // ingress port on the destination for every stripe; both are real
+    // lane-seconds.  Pair-lane (mesh) fabrics keep these pools empty,
+    // so nothing is double-counted.
     for (const auto &pool : _egress) {
+        for (const auto &lane : pool.lanes)
+            total += lane->busyTime();
+    }
+    for (const auto &pool : _ingress) {
         for (const auto &lane : pool.lanes)
             total += lane->busyTime();
     }
@@ -213,9 +243,37 @@ Tick
 Fabric::pcieBusyTime() const
 {
     Tick total = 0;
-    for (const auto &lane : _pcie)
+    for (const auto &lane : _pcieDown)
+        total += lane->busyTime();
+    for (const auto &lane : _pcieUp)
         total += lane->busyTime();
     return total;
+}
+
+void
+Fabric::visitStreams(const StreamVisitor &fn)
+{
+    for (auto &[key, pool] : _pairLanes) {
+        for (auto &lane : pool.lanes)
+            fn(FabricResource::NvlinkEgress, key.first, *lane);
+    }
+    for (std::size_t g = 0; g < _egress.size(); ++g) {
+        for (auto &lane : _egress[g].lanes)
+            fn(FabricResource::NvlinkEgress, static_cast<int>(g),
+               *lane);
+    }
+    for (std::size_t g = 0; g < _ingress.size(); ++g) {
+        for (auto &lane : _ingress[g].lanes)
+            fn(FabricResource::NvlinkIngress, static_cast<int>(g),
+               *lane);
+    }
+    for (std::size_t g = 0; g < _pcieDown.size(); ++g)
+        fn(FabricResource::PcieD2H, static_cast<int>(g),
+           *_pcieDown[g]);
+    for (std::size_t g = 0; g < _pcieUp.size(); ++g)
+        fn(FabricResource::PcieH2D, static_cast<int>(g), *_pcieUp[g]);
+    fn(FabricResource::NvmeWrite, -1, *_nvmeWrite);
+    fn(FabricResource::NvmeRead, -1, *_nvmeRead);
 }
 
 } // namespace hw

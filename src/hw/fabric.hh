@@ -26,6 +26,20 @@
 namespace mpress {
 namespace hw {
 
+/** Classification of a fabric lane stream, for observability. */
+enum class FabricResource
+{
+    NvlinkEgress,  ///< NVLink lane leaving a GPU (pair lanes too)
+    NvlinkIngress, ///< NVLink switch-port lane entering a GPU
+    PcieH2D,       ///< host-to-device PCIe copy engine
+    PcieD2H,       ///< device-to-host PCIe copy engine
+    NvmeWrite,
+    NvmeRead,
+};
+
+/** Returns a display name for @p r ("nvlink.egress", ...). */
+const char *fabricResourceName(FabricResource r);
+
 /**
  * Runtime transfer engine bound to one Engine and one Topology.
  */
@@ -33,6 +47,10 @@ class Fabric
 {
   public:
     using Done = std::function<void()>;
+
+    /** Visitor over fabric streams: (class, owning GPU or -1, lane). */
+    using StreamVisitor =
+        std::function<void(FabricResource, int, sim::Stream &)>;
 
     Fabric(sim::Engine &engine, const Topology &topo);
 
@@ -75,11 +93,21 @@ class Fabric
     /** Lanes available between @p src and @p dst (direct NVLink). */
     int lanesBetween(int src, int dst) const;
 
-    /** Accumulated busy time over all NVLink lanes (for stats). */
+    /** Accumulated busy time over all NVLink lanes (for stats).
+     *  On switch fabrics both the egress and ingress port occupancy
+     *  count — a transfer holds ports on both sides. */
     Tick nvlinkBusyTime() const;
 
-    /** Accumulated busy time over all PCIe lanes (for stats). */
+    /** Accumulated busy time over all PCIe engines, both
+     *  directions (for stats). */
     Tick pcieBusyTime() const;
+
+    /**
+     * Visit every lane stream with its resource class and owning GPU
+     * (-1 for the host-wide NVMe channels).  The observability layer
+     * uses this to attach per-stream utilization recording.
+     */
+    void visitStreams(const StreamVisitor &fn);
 
     const Topology &topology() const { return _topo; }
 
@@ -108,12 +136,14 @@ class Fabric
     std::vector<LanePool> _egress;
     std::vector<LanePool> _ingress;
 
-    // Per-GPU PCIe channel.  Modelled half-duplex: swap-out and
-    // swap-in traffic of one GPU contend, reflecting the shared
-    // PCIe-switch uplinks of DGX-class servers (two GPUs per switch);
-    // this is what makes stand-alone GPU-CPU swap as expensive as the
-    // paper measures (Sec. II-D).
-    std::vector<std::unique_ptr<sim::Stream>> _pcie;
+    // Per-GPU, per-direction PCIe engines.  Real GPUs expose separate
+    // H2D and D2H DMA copy engines, so a swap-out streams concurrently
+    // with a swap-in on the same device — the full-duplex overlap the
+    // paper's swap pipelining (Sec. III-B) depends on.  Traffic in one
+    // direction still serializes on its engine, which is what keeps
+    // stand-alone GPU-CPU swap as expensive as Sec. II-D measures.
+    std::vector<std::unique_ptr<sim::Stream>> _pcieDown;  ///< D2H
+    std::vector<std::unique_ptr<sim::Stream>> _pcieUp;    ///< H2D
 
     std::unique_ptr<sim::Stream> _nvmeWrite;
     std::unique_ptr<sim::Stream> _nvmeRead;

@@ -24,6 +24,8 @@ DeviceMemoryTracker::alloc(TensorKind kind, Bytes bytes)
         _peak = _used;
         _byKindAtPeak = _byKind;
     }
+    if (_observer)
+        _observer(kind, bytes);
     if (_used > _capacity) {
         _oom = true;
         return false;
@@ -46,6 +48,8 @@ DeviceMemoryTracker::free(TensorKind kind, Bytes bytes)
     }
     k -= bytes;
     _used -= bytes;
+    if (_observer)
+        _observer(kind, -bytes);
 }
 
 Bytes

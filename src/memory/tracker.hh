@@ -14,6 +14,7 @@
 #define MPRESS_MEMORY_TRACKER_HH
 
 #include <array>
+#include <functional>
 #include <string>
 
 #include "model/model.hh"
@@ -67,6 +68,15 @@ class DeviceMemoryTracker
     /** True if any allocation ever exceeded capacity. */
     bool oomOccurred() const { return _oom; }
 
+    /** Observer fired on every alloc (+bytes) and free (-bytes),
+     *  after the books are updated.  The observability layer installs
+     *  one to timestamp allocation events; the tracker itself stays
+     *  clock-free. */
+    using Observer = std::function<void(TensorKind, Bytes)>;
+
+    /** Install (or clear) the allocation-event observer. */
+    void setObserver(Observer obs) { _observer = std::move(obs); }
+
     const std::string &name() const { return _name; }
 
     /** Forget peaks and the OOM flag, keep live allocations. */
@@ -80,6 +90,7 @@ class DeviceMemoryTracker
     bool _oom = false;
     std::array<Bytes, kNumTensorKinds> _byKind{};
     std::array<Bytes, kNumTensorKinds> _byKindAtPeak{};
+    Observer _observer;
 };
 
 /**
@@ -111,6 +122,13 @@ class PinnedHostPool
     Bytes peak() const { return _tracker.peak(); }
     Bytes capacity() const { return _tracker.capacity(); }
     bool exhausted() const { return _tracker.oomOccurred(); }
+
+    /** Install (or clear) the allocation-event observer. */
+    void
+    setObserver(DeviceMemoryTracker::Observer obs)
+    {
+        _tracker.setObserver(std::move(obs));
+    }
 
   private:
     DeviceMemoryTracker _tracker;

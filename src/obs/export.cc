@@ -1,0 +1,154 @@
+#include "obs/export.hh"
+
+#include "util/strings.hh"
+#include "util/units.hh"
+
+namespace mpress {
+namespace obs {
+
+namespace {
+
+/** JSON string escaping (same rules as the trace exporter). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char raw : s) {
+        auto c = static_cast<unsigned char>(raw);
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(raw);
+        } else if (c < 0x20) {
+            out += util::strformat("\\u%04x", c);
+        } else {
+            out.push_back(raw);
+        }
+    }
+    return out;
+}
+
+double
+utilizationOf(Tick busy, Tick makespan)
+{
+    if (makespan <= 0)
+        return 0.0;
+    return static_cast<double>(busy) /
+           static_cast<double>(makespan);
+}
+
+} // namespace
+
+void
+exportJson(std::ostream &os, const Observability &o)
+{
+    os << "{\"makespan_ns\":" << o.makespan;
+
+    os << ",\"metrics\":[";
+    bool first = true;
+    for (const auto &m : o.metrics.series()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << escape(m.name) << "\",\"kind\":\""
+           << metricKindName(m.kind) << "\",\"value\":" << m.value
+           << ",\"samples\":[";
+        for (std::size_t i = 0; i < m.samples.size(); ++i) {
+            if (i)
+                os << ",";
+            os << "[" << m.samples[i].time << ","
+               << m.samples[i].value << "]";
+        }
+        os << "]}";
+    }
+    os << "]";
+
+    os << ",\"memory\":[";
+    first = true;
+    for (int gpu : o.memory.gpus()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"gpu\":" << gpu
+           << ",\"peak_bytes\":" << o.memory.peak(gpu)
+           << ",\"final_bytes\":" << o.memory.finalUsed(gpu)
+           << ",\"curve\":[";
+        auto curve = o.memory.curve(gpu);
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+            if (i)
+                os << ",";
+            os << "[" << curve[i].time << "," << curve[i].used
+               << "]";
+        }
+        os << "]}";
+    }
+    os << "]";
+
+    os << ",\"utilization\":[";
+    first = true;
+    for (const auto &ch : o.utilization.channels()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"resource\":\"" << resourceName(ch.resource)
+           << "\",\"gpu\":" << ch.gpu << ",\"name\":\""
+           << escape(ch.name) << "\",\"busy_ns\":" << ch.busy
+           << ",\"utilization\":"
+           << utilizationOf(ch.busy, o.makespan)
+           << ",\"intervals\":[";
+        for (std::size_t i = 0; i < ch.intervals.size(); ++i) {
+            if (i)
+                os << ",";
+            os << "[" << ch.intervals[i].start << ","
+               << ch.intervals[i].end << "]";
+        }
+        os << "]}";
+    }
+    os << "]}";
+}
+
+void
+exportMemoryCsv(std::ostream &os, const Observability &o)
+{
+    os << "time_ms,gpu,used_gb\n";
+    for (int gpu : o.memory.gpus()) {
+        for (const auto &p : o.memory.curve(gpu)) {
+            os << util::strformat("%.3f,%d,%.3f\n",
+                                  util::toMs(p.time), gpu,
+                                  util::toGB(p.used));
+        }
+    }
+}
+
+void
+exportUtilizationCsv(std::ostream &os, const Observability &o)
+{
+    os << "resource,gpu,name,busy_ns,utilization\n";
+    for (const auto &ch : o.utilization.channels()) {
+        os << util::strformat(
+            "%s,%d,%s,%lld,%.4f\n", resourceName(ch.resource),
+            ch.gpu, ch.name.c_str(),
+            static_cast<long long>(ch.busy),
+            utilizationOf(ch.busy, o.makespan));
+    }
+}
+
+void
+mergeCounterEvents(const Observability &o, sim::TraceRecorder &trace)
+{
+    if (!o.enabled || !trace.enabled())
+        return;
+    for (int gpu : o.memory.gpus()) {
+        std::string name = util::strformat("gpu%d mem (GB)", gpu);
+        for (const auto &p : o.memory.curve(gpu))
+            trace.recordCounter(name, gpu, p.time,
+                                util::toGB(p.used));
+    }
+    for (const auto &m : o.metrics.series()) {
+        for (const auto &s : m.samples)
+            trace.recordCounter(m.name, 0, s.time, s.value);
+    }
+}
+
+} // namespace obs
+} // namespace mpress

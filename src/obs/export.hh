@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Exporters for the observability bundle: a JSON document (metrics,
+ * memory timelines, utilization), CSV dumps of the memory curves and
+ * per-channel utilization, and Chrome-trace counter events merged
+ * into a TraceRecorder so Perfetto shows memory/metric curves
+ * alongside the execution spans.
+ */
+
+#ifndef MPRESS_OBS_EXPORT_HH
+#define MPRESS_OBS_EXPORT_HH
+
+#include <ostream>
+
+#include "obs/observability.hh"
+#include "sim/trace.hh"
+
+namespace mpress {
+namespace obs {
+
+/**
+ * Emit the whole bundle as one JSON document:
+ *
+ *   { "makespan_ns": N,
+ *     "metrics":   [ {"name","kind","value","samples":[[t,v],..]} ],
+ *     "memory":    [ {"gpu","peak_bytes","final_bytes",
+ *                     "curve":[[t,bytes],..]} ],
+ *     "utilization":[ {"resource","gpu","name","busy_ns",
+ *                      "utilization","intervals":[[s,e],..]} ] }
+ */
+void exportJson(std::ostream &os, const Observability &o);
+
+/** Memory curves as CSV: time_ms,gpu,used_gb (header included). */
+void exportMemoryCsv(std::ostream &os, const Observability &o);
+
+/** Per-channel utilization as CSV:
+ *  resource,gpu,name,busy_ns,utilization. */
+void exportUtilizationCsv(std::ostream &os, const Observability &o);
+
+/**
+ * Append Chrome-trace counter events ("ph":"C") to @p trace: one
+ * per-GPU memory series (decimal GB, on the GPU's lane) and one
+ * series per registry metric.  No-op when either side is disabled.
+ */
+void mergeCounterEvents(const Observability &o,
+                        sim::TraceRecorder &trace);
+
+} // namespace obs
+} // namespace mpress
+
+#endif // MPRESS_OBS_EXPORT_HH

@@ -1,0 +1,78 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+
+namespace mpress {
+namespace obs {
+
+std::vector<int>
+MemoryTimeline::gpus() const
+{
+    std::vector<int> ids;
+    for (const auto &e : _events) {
+        if (std::find(ids.begin(), ids.end(), e.gpu) == ids.end())
+            ids.push_back(e.gpu);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+std::vector<MemoryPoint>
+MemoryTimeline::curve(int gpu) const
+{
+    std::vector<MemoryPoint> points;
+    Bytes used = 0;
+    for (const auto &e : _events) {
+        if (e.gpu != gpu)
+            continue;
+        used += e.delta;
+        if (!points.empty() && points.back().time == e.time)
+            points.back().used = used;
+        else
+            points.push_back({e.time, used});
+    }
+    return points;
+}
+
+Bytes
+MemoryTimeline::peak(int gpu) const
+{
+    // Peak over raw events, not the collapsed curve: a same-tick
+    // alloc+free sequence (recompute's stash swap) still peaks at
+    // the intermediate total, exactly as the tracker records it.
+    Bytes used = 0, peak = 0;
+    for (const auto &e : _events) {
+        if (e.gpu != gpu)
+            continue;
+        used += e.delta;
+        peak = std::max(peak, used);
+    }
+    return peak;
+}
+
+Bytes
+MemoryTimeline::peakByKind(int gpu, TensorKind kind) const
+{
+    Bytes used = 0, peak = 0;
+    for (const auto &e : _events) {
+        if (e.gpu != gpu || e.kind != kind)
+            continue;
+        used += e.delta;
+        peak = std::max(peak, used);
+    }
+    return peak;
+}
+
+Bytes
+MemoryTimeline::finalUsed(int gpu) const
+{
+    Bytes used = 0;
+    for (const auto &e : _events) {
+        if (e.gpu == gpu)
+            used += e.delta;
+    }
+    return used;
+}
+
+} // namespace obs
+} // namespace mpress

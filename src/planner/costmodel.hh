@@ -94,9 +94,11 @@ class CostModel
 
     /**
      * Critical-path overhead of GPU-CPU swapping a tensor whose live
-     * interval is @p interval: the round trip shares one half-duplex
-     * PCIe channel, and only the part not covered by the interval is
-     * paid (footnote 2 of the paper).
+     * interval is @p interval: the swap-out and the later swap-in
+     * never overlap each other (the tensor must fully leave before it
+     * can return), so the round trip costs two one-way transfers, and
+     * only the part not covered by the interval is paid (footnote 2
+     * of the paper).
      */
     Tick
     gpuCpuSwapExtra(Bytes bytes, Tick interval) const

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 
+#include "obs/export.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -67,6 +68,23 @@ struct Executor::Impl
     std::vector<Tick> minibatchDone;
     std::vector<int> optRemaining;
 
+    // Observability (cfg.recordMetrics).  Lives here — hooks on
+    // trackers and streams point at it — and moves into the report
+    // only in finalize(), after the engine has drained.
+    obs::Observability obsData;
+    obs::MetricsRegistry::Id mSwapOut = obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mSwapIn = obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mD2dOut = obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mD2dIn = obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mNvmeSpill =
+        obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mRecompute =
+        obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mAllocStalls =
+        obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mHostUsed =
+        obs::MetricsRegistry::kInvalid;
+
     /** Weight-version fetch progress for stash-offloaded backward
      *  tasks: absent = not issued, 1 = in flight, 2 = landed. */
     std::map<int, int> versionFetch;
@@ -97,6 +115,10 @@ struct Executor::Impl
             if (g < 0 || g >= topo.numGpus())
                 util::fatal("stage mapped to invalid GPU %d", g);
         }
+
+        if (!(cfg.memOverheadFactor > 0.0))
+            util::fatal("memOverheadFactor must be positive, got %g",
+                        cfg.memOverheadFactor);
 
         precision = mdl.config().precision;
         fabric = std::make_unique<hw::Fabric>(engine, topo);
@@ -144,6 +166,70 @@ struct Executor::Impl
         optRemaining.assign(
             static_cast<std::size_t>(sched.numMinibatches),
             sched.numStages);
+
+        if (cfg.recordMetrics)
+            setupObservability();
+    }
+
+    /** Enable the bundle and hook every tracker and stream.  With
+     *  recordMetrics off none of this runs, the metric ids stay
+     *  kInvalid, and the instrumented call sites below are no-ops. */
+    void
+    setupObservability()
+    {
+        obsData.enabled = true;
+        obsData.metrics = obs::MetricsRegistry(true);
+        obsData.memory = obs::MemoryTimeline(true);
+        obsData.utilization = obs::UtilizationRecorder(true);
+
+        mSwapOut = obsData.metrics.counter("swap.out.bytes");
+        mSwapIn = obsData.metrics.counter("swap.in.bytes");
+        mD2dOut = obsData.metrics.counter("d2d.out.bytes");
+        mD2dIn = obsData.metrics.counter("d2d.in.bytes");
+        mNvmeSpill = obsData.metrics.counter("nvme.spill.bytes");
+        mRecompute = obsData.metrics.counter("recompute.ticks");
+        mAllocStalls = obsData.metrics.counter("alloc.stalls");
+        mHostUsed = obsData.metrics.gauge("host.pinned.used.bytes");
+
+        for (int g = 0; g < topo.numGpus(); ++g) {
+            gpuMem[static_cast<std::size_t>(g)]->setObserver(
+                [this, g](TensorKind kind, Bytes delta) {
+                    obsData.memory.record(engine.now(), g, kind,
+                                          delta);
+                });
+            obsData.utilization.attach(
+                *compute[static_cast<std::size_t>(g)],
+                obs::Resource::Compute, g);
+        }
+        host->setObserver([this](TensorKind, Bytes) {
+            obsData.metrics.set(
+                mHostUsed, engine.now(),
+                static_cast<double>(host->used()));
+        });
+        fabric->visitStreams([this](hw::FabricResource res, int gpu,
+                                    sim::Stream &stream) {
+            obsData.utilization.attach(stream, obsResource(res), gpu);
+        });
+    }
+
+    static obs::Resource
+    obsResource(hw::FabricResource res)
+    {
+        switch (res) {
+          case hw::FabricResource::NvlinkEgress:
+            return obs::Resource::NvlinkEgress;
+          case hw::FabricResource::NvlinkIngress:
+            return obs::Resource::NvlinkIngress;
+          case hw::FabricResource::PcieH2D:
+            return obs::Resource::PcieH2D;
+          case hw::FabricResource::PcieD2H:
+            return obs::Resource::PcieD2H;
+          case hw::FabricResource::NvmeWrite:
+            return obs::Resource::NvmeWrite;
+          case hw::FabricResource::NvmeRead:
+            return obs::Resource::NvmeRead;
+        }
+        return obs::Resource::Compute;
     }
 
     int gpuOf(int stage) const { return plan.gpuForStage(stage); }
@@ -238,6 +324,7 @@ struct Executor::Impl
             fn();
             return;
         }
+        obsData.metrics.add(mAllocStalls, engine.now(), 1.0);
         allocQueue[g].push_back({kind, bytes, std::move(fn)});
     }
 
@@ -475,10 +562,15 @@ struct Executor::Impl
                     to_nvme = true;
                     nvmeUsed += bytes;
                     report.nvmeSpill += bytes;
+                    obsData.metrics.add(
+                        mNvmeSpill, engine.now(),
+                        static_cast<double>(bytes));
                 } else {
                     break;
                 }
             }
+            obsData.metrics.add(mSwapOut, engine.now(),
+                                static_cast<double>(bytes));
             auto &rec0 = swapTable.beginSwapOut(key, kind, {}, bytes);
             rec0.onNvme = to_nvme;
             inState[key] = InState::Pending;
@@ -557,6 +649,8 @@ struct Executor::Impl
             gpuAlloc(stripe.targetGpu, TensorKind::Activation,
                      stripe.bytes);
         }
+        obsData.metrics.add(mD2dOut, engine.now(),
+                            static_cast<double>(bytes));
         auto &rec = swapTable.beginSwapOut(key, Kind::D2dSwap,
                                            stripe_plan, bytes);
         inState[key] = InState::Pending;
@@ -643,6 +737,10 @@ struct Executor::Impl
             return;  // swap-out still in flight; will stall later
         inState[key] = InState::InFlight;
         ++chain.inflightSwapIns;
+        obsData.metrics.add(rec->kind == Kind::D2dSwap ? mD2dIn
+                                                       : mSwapIn,
+                            engine.now(),
+                            static_cast<double>(rec->bytes));
         swapTable.markSwappingIn(key);
         const int gpu = gpuOf(chain.task->stage);
 
@@ -808,6 +906,8 @@ struct Executor::Impl
                                                precision);
             report.overheads[static_cast<std::size_t>(t.stage)]
                 .recomputeTime += redo;
+            obsData.metrics.add(mRecompute, engine.now(),
+                                static_cast<double>(redo));
             compute[static_cast<std::size_t>(gpu)]->submit(
                 redo,
                 [this, &chain, gpu, layer, submit_bwd](Tick a,
@@ -989,6 +1089,12 @@ struct Executor::Impl
         report.hostPeak = host->peak();
         report.nvlinkBusyTime = fabric->nvlinkBusyTime();
         report.pcieBusyTime = fabric->pcieBusyTime();
+
+        if (cfg.recordMetrics) {
+            obsData.makespan = engine.now();
+            obs::mergeCounterEvents(obsData, report.trace);
+            report.observability = std::move(obsData);
+        }
 
         if (report.oom)
             return;

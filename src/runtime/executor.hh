@@ -53,6 +53,12 @@ struct ExecutorConfig
      *  (Fig. 1 curves / chrome-trace export). */
     bool recordTimeline = false;
 
+    /** Record the observability bundle: metrics registry samples,
+     *  per-GPU memory timelines and per-stream utilization intervals
+     *  (TrainingReport::observability).  Off by default; when off no
+     *  hooks are installed and the run costs nothing extra. */
+    bool recordMetrics = false;
+
     /** Stop the simulation at the first OOM (matches real runs); when
      *  false, keep accounting to observe the overshoot. */
     bool failFastOnOom = true;

@@ -14,6 +14,7 @@
 
 #include "memory/liveness.hh"
 #include "memory/tracker.hh"
+#include "obs/observability.hh"
 #include "sim/trace.hh"
 #include "util/units.hh"
 
@@ -108,6 +109,10 @@ struct TrainingReport
     /** Execution trace (compute/swap spans per device lane);
      *  populated when recordTimeline is set. */
     sim::TraceRecorder trace;
+
+    /** Metrics registry, memory timelines and per-stream utilization
+     *  (ExecutorConfig recordMetrics). */
+    obs::Observability observability;
 
     /** Highest per-GPU peak across devices. */
     Bytes maxGpuPeak() const;

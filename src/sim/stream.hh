@@ -32,6 +32,12 @@ class Stream
     /** Callback fired when a task completes: (start_tick, end_tick). */
     using Completion = std::function<void(Tick, Tick)>;
 
+    /** Observer fired synchronously for every submitted task with its
+     *  computed (start_tick, end_tick) occupancy interval.  Used by
+     *  the observability layer to record per-stream utilization
+     *  without growing the event queue. */
+    using TaskHook = std::function<void(Tick, Tick)>;
+
     Stream(Engine &engine, std::string name)
         : _engine(engine), _name(std::move(name))
     {}
@@ -52,12 +58,17 @@ class Stream
         _busyUntil = end;
         _busyTime += duration;
         ++_tasks;
+        if (_hook)
+            _hook(start, end);
         _engine.schedule(end, [start, end,
                                cb = std::move(on_complete)]() {
             if (cb)
                 cb(start, end);
         });
     }
+
+    /** Install (or clear) the per-task occupancy observer. */
+    void setTaskHook(TaskHook hook) { _hook = std::move(hook); }
 
     /** Tick at which the last submitted task ends. */
     Tick busyUntil() const { return _busyUntil; }
@@ -73,6 +84,7 @@ class Stream
   private:
     Engine &_engine;
     std::string _name;
+    TaskHook _hook;
     Tick _busyUntil = 0;
     Tick _busyTime = 0;
     std::uint64_t _tasks = 0;

@@ -1,20 +1,30 @@
 #include "sim/trace.hh"
 
+#include "util/strings.hh"
+
 namespace mpress {
 namespace sim {
 
 namespace {
 
-/** Minimal JSON string escaping for span names. */
+/** JSON string escaping for span/lane names.  Escapes the two JSON
+ *  metacharacters and every control character (Perfetto rejects a
+ *  trace containing a raw newline or tab inside a string). */
 std::string
 escape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
+    for (char raw : s) {
+        auto c = static_cast<unsigned char>(raw);
+        if (c == '"' || c == '\\') {
             out.push_back('\\');
-        out.push_back(c);
+            out.push_back(raw);
+        } else if (c < 0x20) {
+            out += util::strformat("\\u%04x", c);
+        } else {
+            out.push_back(raw);
+        }
     }
     return out;
 }
@@ -48,6 +58,16 @@ TraceRecorder::exportChromeTrace(std::ostream &os) const
            << escape(span.category) << "\",\"ph\":\"X\",\"pid\":0,"
            << "\"tid\":" << span.lane << ",\"ts\":" << us
            << ",\"dur\":" << dur << "}";
+    }
+    for (const auto &ctr : _counters) {
+        if (!first)
+            os << ",";
+        first = false;
+        double us = static_cast<double>(ctr.time) / 1000.0;
+        os << "{\"name\":\"" << escape(ctr.name)
+           << "\",\"ph\":\"C\",\"pid\":0,\"tid\":" << ctr.lane
+           << ",\"ts\":" << us << ",\"args\":{\"value\":"
+           << ctr.value << "}}";
     }
     os << "]}";
 }

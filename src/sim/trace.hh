@@ -29,6 +29,15 @@ struct TraceSpan
     Tick end = 0;
 };
 
+/** One sample of a counter series ("ph":"C" in Chrome trace). */
+struct TraceCounter
+{
+    std::string name;  ///< counter track, e.g. "gpu0 memory"
+    int lane = 0;      ///< tid grouping the counter with its device
+    Tick time = 0;
+    double value = 0.0;
+};
+
 /**
  * Collects spans; cheap when disabled.
  */
@@ -51,9 +60,29 @@ class TraceRecorder
                           start, end});
     }
 
+    /** Record one counter sample (no-op when disabled).  Exported as
+     *  a Chrome-trace counter event, rendered by Perfetto as a
+     *  stepwise curve alongside the span rows. */
+    void
+    recordCounter(std::string name, int lane, Tick time, double value)
+    {
+        if (!_enabled)
+            return;
+        _counters.push_back({std::move(name), lane, time, value});
+    }
+
     const std::vector<TraceSpan> &spans() const { return _spans; }
+    const std::vector<TraceCounter> &counters() const
+    {
+        return _counters;
+    }
     std::size_t size() const { return _spans.size(); }
-    void clear() { _spans.clear(); }
+    void
+    clear()
+    {
+        _spans.clear();
+        _counters.clear();
+    }
 
     /** Emit Chrome-trace JSON ("traceEvents" array of X events;
      *  timestamps in microseconds). */
@@ -71,6 +100,7 @@ class TraceRecorder
   private:
     bool _enabled;
     std::vector<TraceSpan> _spans;
+    std::vector<TraceCounter> _counters;
     std::vector<std::string> _laneNames;
 };
 

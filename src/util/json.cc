@@ -1,0 +1,228 @@
+#include "util/json.hh"
+
+#include <cctype>
+
+#include "util/strings.hh"
+
+namespace mpress {
+namespace util {
+
+namespace {
+
+/** Recursive-descent JSON syntax walker over a borrowed string. */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : _text(text) {}
+
+    bool
+    check(std::string *error)
+    {
+        bool ok = value() && (skipWs(), _pos == _text.size());
+        if (!ok && error) {
+            *error = strformat(
+                "invalid JSON at byte %zu: %s", _pos,
+                _reason.empty() ? "trailing content" : _reason.c_str());
+        }
+        return ok;
+    }
+
+  private:
+    bool
+    fail(const char *reason)
+    {
+        if (_reason.empty())
+            _reason = reason;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r'))
+            ++_pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (_pos < _text.size() && _text[_pos] == c) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    char
+    peek() const
+    {
+        return _pos < _text.size() ? _text[_pos] : '\0';
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (!consume(*p))
+                return fail("bad literal");
+        }
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        while (_pos < _text.size()) {
+            auto c = static_cast<unsigned char>(_text[_pos]);
+            if (c == '"') {
+                ++_pos;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                ++_pos;
+                char esc = peek();
+                if (esc == 'u') {
+                    ++_pos;
+                    for (int i = 0; i < 4; ++i, ++_pos) {
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(peek())))
+                            return fail("bad \\u escape");
+                    }
+                } else if (esc == '"' || esc == '\\' || esc == '/' ||
+                           esc == 'b' || esc == 'f' || esc == 'n' ||
+                           esc == 'r' || esc == 't') {
+                    ++_pos;
+                } else {
+                    return fail("bad escape");
+                }
+            } else {
+                ++_pos;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        consume('-');
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("bad number");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++_pos;
+        if (consume('.')) {
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("bad fraction");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++_pos;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++_pos;
+            if (peek() == '+' || peek() == '-')
+                ++_pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("bad exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++_pos;
+        }
+        return true;
+    }
+
+    bool
+    array()
+    {
+        ++_pos;  // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            if (!value())
+                return false;
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    object()
+    {
+        ++_pos;  // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            if (!value())
+                return false;
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    value()
+    {
+        if (++_depth > 256)
+            return fail("nesting too deep");
+        skipWs();
+        bool ok;
+        switch (peek()) {
+          case '{':
+            ok = object();
+            break;
+          case '[':
+            ok = array();
+            break;
+          case '"':
+            ok = string();
+            break;
+          case 't':
+            ok = literal("true");
+            break;
+          case 'f':
+            ok = literal("false");
+            break;
+          case 'n':
+            ok = literal("null");
+            break;
+          default:
+            ok = number();
+            break;
+        }
+        --_depth;
+        return ok;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+    int _depth = 0;
+    std::string _reason;
+};
+
+} // namespace
+
+bool
+jsonParseable(const std::string &text, std::string *error)
+{
+    return JsonChecker(text).check(error);
+}
+
+} // namespace util
+} // namespace mpress

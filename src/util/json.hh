@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal strict JSON syntax checker.
+ *
+ * The exporters (Chrome traces, metrics dumps) hand their output to
+ * external consumers — Perfetto, plotting scripts — that reject
+ * malformed JSON outright.  This validator lets tests and tools
+ * assert exported files actually parse without pulling in a JSON
+ * library dependency.  It validates syntax only (RFC 8259 grammar);
+ * it builds no document tree.
+ */
+
+#ifndef MPRESS_UTIL_JSON_HH
+#define MPRESS_UTIL_JSON_HH
+
+#include <string>
+
+namespace mpress {
+namespace util {
+
+/**
+ * Returns true when @p text is exactly one syntactically valid JSON
+ * value (with optional surrounding whitespace).  On failure, writes a
+ * byte offset and reason into @p error when non-null.
+ */
+bool jsonParseable(const std::string &text,
+                   std::string *error = nullptr);
+
+} // namespace util
+} // namespace mpress
+
+#endif // MPRESS_UTIL_JSON_HH

@@ -16,6 +16,7 @@
 #include "pipeline/schedule.hh"
 #include "planner/planner.hh"
 #include "runtime/executor.hh"
+#include "util/json.hh"
 #include "sim/trace.hh"
 
 namespace bl = mpress::baselines;
@@ -51,6 +52,34 @@ TEST(Trace, ChromeExportIsWellFormed)
     EXPECT_NE(json.find("fwd s0 mb0"), std::string::npos);
     EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
     EXPECT_NE(json.find("\"ts\":1"), std::string::npos);  // 1000ns=1us
+}
+
+TEST(Trace, AdversarialNamesStillProduceValidJson)
+{
+    // Control characters are illegal raw inside JSON strings; the
+    // exporter must emit them as \u00XX (only quote and backslash
+    // were escaped before).
+    mpress::sim::TraceRecorder trace(true);
+    trace.nameLane(0, "gpu\n0");
+    trace.record("multi\nline\tname", "compute", 0, 0, 1000);
+    trace.record(std::string("nul\0byte", 8), "swap", 0, 1000, 2000);
+    trace.record("quote\" back\\slash \x01\x1f", "compute", 0, 2000,
+                 3000);
+    trace.recordCounter("ctr\r\n", 0, 0, 1.5);
+    std::ostringstream os;
+    trace.exportChromeTrace(os);
+    std::string json = os.str();
+
+    std::string err;
+    EXPECT_TRUE(mpress::util::jsonParseable(json, &err)) << err;
+    EXPECT_NE(json.find("multi\\u000aline\\u0009name"),
+              std::string::npos);
+    EXPECT_NE(json.find("nul\\u0000byte"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001\\u001f"), std::string::npos);
+    // No raw control characters survive anywhere in the document.
+    for (char c : json)
+        EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 &&
+                     c != '\n');
 }
 
 namespace {

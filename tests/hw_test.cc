@@ -224,6 +224,31 @@ TEST(Fabric, SymmetricFabricParallelEgress)
     EXPECT_EQ(done_at, single);
 }
 
+TEST(Fabric, NvlinkBusyTimeCountsIngressLanes)
+{
+    // Switch fabrics occupy an egress port on the source AND an
+    // ingress port on the destination per stripe; nvlinkBusyTime()
+    // must report both (it used to drop the ingress side).
+    auto topo = hw::Topology::dgx2A100();
+    Engine eng;
+    hw::Fabric fab(eng, topo);
+    mu::Bytes size = 96 * mu::kMiB;
+    eng.schedule(0, [&] { fab.d2dTransfer(0, 1, size, 4, {}); });
+    eng.run();
+    Tick per_lane = fab.estimateD2d(0, 1, size, 4);
+    EXPECT_EQ(fab.nvlinkBusyTime(), 8 * per_lane);
+
+    // Pair-lane (mesh) fabrics have no separate ingress pool, so one
+    // single-lane transfer accounts exactly one lane-occupancy — no
+    // double-counting.
+    auto mesh = hw::Topology::dgx1V100();
+    Engine eng2;
+    hw::Fabric fab2(eng2, mesh);
+    eng2.schedule(0, [&] { fab2.d2dTransfer(0, 1, size, 1, {}); });
+    eng2.run();
+    EXPECT_EQ(fab2.nvlinkBusyTime(), fab2.estimateD2d(0, 1, size, 1));
+}
+
 TEST(Fabric, PcieRoundTrip)
 {
     auto topo = hw::Topology::dgx1V100();
@@ -244,10 +269,13 @@ TEST(Fabric, PcieRoundTrip)
                 static_cast<double>(out_done) * 0.01);
 }
 
-TEST(Fabric, PcieDirectionsShareTheChannel)
+TEST(Fabric, PcieDirectionsAreFullDuplex)
 {
-    // Per-GPU PCIe is modelled half-duplex (shared switch uplinks on
-    // DGX servers): concurrent swap-out and swap-in serialize.
+    // PCIe links are full duplex and GPUs have separate H2D and D2H
+    // DMA copy engines: a swap-out and a swap-in issued together on
+    // one GPU overlap, each finishing in one uncontended transfer
+    // time.  (The old half-duplex model serialized them, which broke
+    // the paper's swap-overlap claims on single-GPU stages.)
     auto topo = hw::Topology::dgx1V100();
     Engine eng;
     hw::Fabric fab(eng, topo);
@@ -258,14 +286,25 @@ TEST(Fabric, PcieDirectionsShareTheChannel)
         fab.hostToGpu(0, size, [&] { up = eng.now(); });
     });
     eng.run();
-    EXPECT_NEAR(static_cast<double>(up),
-                2.0 * static_cast<double>(down),
-                static_cast<double>(down) * 0.01);
+    EXPECT_EQ(down, fab.estimatePcie(size));
+    EXPECT_EQ(up, fab.estimatePcie(size));
+
+    // A single direction still serializes on its copy engine.
+    Tick first = 0, second = 0;
+    const Tick t0 = eng.now();
+    eng.schedule(t0, [&] {
+        fab.gpuToHost(0, size, [&] { first = eng.now() - t0; });
+        fab.gpuToHost(0, size, [&] { second = eng.now() - t0; });
+    });
+    eng.run();
+    EXPECT_EQ(first, fab.estimatePcie(size));
+    EXPECT_EQ(second, 2 * fab.estimatePcie(size));
 
     // Different GPUs' PCIe channels are independent.
     Tick other = 0;
-    eng.schedule(eng.now(), [&] {
-        fab.gpuToHost(1, size, [&] { other = eng.now() - down * 2; });
+    const Tick t1 = eng.now();
+    eng.schedule(t1, [&] {
+        fab.gpuToHost(1, size, [&] { other = eng.now() - t1; });
     });
     eng.run();
     EXPECT_EQ(other, fab.estimatePcie(size));

@@ -32,6 +32,27 @@ if [ "$run_asan" = 1 ]; then
     cmake -B build-asan -S . -DMPRESS_SANITIZE=ON >/dev/null
     cmake --build build-asan -j "$jobs"
     ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+    echo "== trace/metrics export smoke =="
+    smoke=$(mktemp -d)
+    trap 'rm -rf "$smoke"' EXIT
+    ./build-asan/examples/mpress_cli \
+        --timeline "$smoke/trace.json" \
+        --metrics "$smoke/metrics.json" >/dev/null
+    python3 - "$smoke" <<'EOF'
+import json, sys
+d = sys.argv[1]
+trace = json.load(open(d + "/trace.json"))
+events = trace["traceEvents"]
+assert any(e.get("ph") == "C" for e in events), "no counter events"
+assert any(e.get("ph") == "X" for e in events), "no span events"
+metrics = json.load(open(d + "/metrics.json"))
+assert metrics["memory"], "no memory timelines"
+assert metrics["utilization"], "no utilization channels"
+print("trace: %d events; metrics: %d GPUs, %d channels"
+      % (len(events), len(metrics["memory"]),
+         len(metrics["utilization"])))
+EOF
 fi
 
 if [ "$run_tidy" = 1 ]; then
