@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Planner-search parallelism benchmark: planning wall-clock of the
+ * emulator-feedback loop at different thread counts on the DGX-1
+ * 8-stage BERT fixture, with the determinism contract checked on
+ * every row — the serialized plan must be byte-identical to the
+ * serial (threads=1) plan, or the parallel search is wrong, not
+ * fast.
+ *
+ * On a single-core host the timing column is still reported (it
+ * shows pool overhead rather than speedup); the exit status only
+ * reflects the byte-identity check.
+ */
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+#include "compaction/serialize.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace cp = mpress::compaction;
+namespace hw = mpress::hw;
+namespace mu = mpress::util;
+
+namespace {
+
+struct Row
+{
+    int threads;
+    double planMs;
+    bool feasible;
+    std::string planText;
+};
+
+Row
+planOnce(int threads)
+{
+    auto cfg = bench::bertJob("bert-1.67b", api::Strategy::MPressFull);
+    cfg.planner.threads = threads;
+    auto start = std::chrono::steady_clock::now();
+    auto result = api::runSession(hw::Topology::dgx1V100(), cfg);
+    auto end = std::chrono::steady_clock::now();
+    Row row;
+    row.threads = threads;
+    row.planMs = std::chrono::duration<double, std::milli>(
+                     end - start)
+                     .count();
+    row.feasible = !result.oom;
+    row.planText = cp::planToText(result.plan);
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Planner emulator-feedback search: thread scaling\n");
+    std::printf("(bert-1.67b on PipeDream, 8 stages, DGX-1 V100; "
+                "hardware threads: %u)\n\n",
+                std::thread::hardware_concurrency());
+
+    const int counts[] = {1, 2, 4};
+    std::vector<Row> rows;
+    for (int threads : counts)
+        rows.push_back(planOnce(threads));
+
+    const Row &serial = rows.front();
+    mu::TextTable table(
+        {"threads", "plan+run (ms)", "speedup", "plan vs serial"});
+    bool all_identical = true;
+    for (const Row &row : rows) {
+        bool identical = row.planText == serial.planText;
+        all_identical = all_identical && identical && row.feasible;
+        table.addRow({mu::strformat("%d", row.threads),
+                      mu::strformat("%.1f", row.planMs),
+                      mu::strformat("%.2fx",
+                                    serial.planMs / row.planMs),
+                      identical ? "byte-identical" : "DIVERGED"});
+    }
+    table.print(std::cout);
+
+    if (!all_identical) {
+        std::fprintf(stderr,
+                     "\nFAIL: thread count changed the plan\n");
+        return 1;
+    }
+    std::printf("\nOK: all thread counts produce byte-identical "
+                "plans\n");
+    return 0;
+}

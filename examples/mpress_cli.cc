@@ -13,6 +13,9 @@
  *     --microbatch <n>        per-microbatch samples [12]
  *     --mb-per-mini <n>       microbatches per minibatch [8]
  *     --minibatches <n>       training window length [2]
+ *     --threads <n>           worker threads for the planner's
+ *                             emulator-feedback search, and for
+ *                             running sweep scenarios [1]
  *     --save-plan <file>      write the executed plan (plan format)
  *     --load-plan <file>      run a previously saved plan instead of
  *                             planning (forces a custom strategy)
@@ -26,19 +29,36 @@
  *                             (metrics, per-GPU memory timelines,
  *                             per-stream utilization)
  *
- * Exit status: 0 on success, 2 on OOM, 3 on plan rejected by
- * verification, 1 on usage errors.
+ *   Sweep mode — plan/emulate many configurations in one process:
+ *     --sweep <spec.json>     run every scenario in the spec across
+ *                             the --threads pool and print a combined
+ *                             JSON report to stdout
+ *     --sweep-out <file>      write the JSON report here instead
+ *     --sweep-csv <file>      also write the report as CSV
+ *
+ *   The spec is {"scenarios":[{...},...]}; each scenario object may
+ *   set "name", "model", "system", "strategy", "topology",
+ *   "microbatch", "mbPerMini", "minibatches", "verifyMode" — any
+ *   omitted field inherits the corresponding command-line option.
+ *   Report rows keep spec order whatever the thread count.
+ *
+ * Exit status: 0 on success, 2 on OOM (single run), 3 on plan
+ * rejected by verification, 1 on usage/spec errors.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/session.hh"
 #include "compaction/serialize.hh"
 #include "obs/export.hh"
+#include "util/json.hh"
+#include "util/pool.hh"
 #include "util/strings.hh"
 
 namespace api = mpress::api;
@@ -104,6 +124,115 @@ parseVerifyMode(const std::string &name)
     usage("unknown --verify-mode");
 }
 
+hw::Topology
+parseTopology(const std::string &name)
+{
+    if (name == "dgx1")
+        return hw::Topology::dgx1V100();
+    if (name == "dgx2")
+        return hw::Topology::dgx2A100();
+    usage("--topology must be dgx1 or dgx2");
+}
+
+/** One sweep scenario: the base CLI options overridden by one spec
+ *  object's fields. */
+struct Scenario
+{
+    std::string name;
+    std::string model, system, strategy, topology, verifyMode;
+    int microbatch, mbPerMini, minibatches;
+};
+
+/** Parse the --sweep spec; exits with a message on malformed input. */
+std::vector<Scenario>
+parseSweepSpec(const std::string &path, const Scenario &defaults)
+{
+    std::ifstream in(path);
+    if (!in)
+        usage("cannot read --sweep file");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    mu::ParsedJson doc = mu::jsonParse(buf.str());
+    if (!doc.ok) {
+        std::fprintf(stderr, "mpress_cli: bad sweep spec: %s\n",
+                     doc.error.c_str());
+        std::exit(1);
+    }
+    const mu::JsonValue *list = doc.value.find("scenarios");
+    if (!list || !list->isArray() || list->items().empty())
+        usage("sweep spec needs a non-empty \"scenarios\" array");
+
+    std::vector<Scenario> out;
+    for (const auto &item : list->items()) {
+        if (!item.isObject())
+            usage("every sweep scenario must be a JSON object");
+        Scenario s = defaults;
+        s.model = item.stringOr("model", defaults.model);
+        s.system = item.stringOr("system", defaults.system);
+        s.strategy = item.stringOr("strategy", defaults.strategy);
+        s.topology = item.stringOr("topology", defaults.topology);
+        s.verifyMode =
+            item.stringOr("verifyMode", defaults.verifyMode);
+        s.microbatch = static_cast<int>(item.numberOr(
+            "microbatch", defaults.microbatch));
+        s.mbPerMini = static_cast<int>(
+            item.numberOr("mbPerMini", defaults.mbPerMini));
+        s.minibatches = static_cast<int>(item.numberOr(
+            "minibatches", defaults.minibatches));
+        s.name = item.stringOr(
+            "name", s.model + "/" + s.system + "/" + s.strategy +
+                        "/" + s.topology);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+/** Run every scenario across the pool; rows come back in spec order
+ *  regardless of which worker finished first. */
+std::vector<mpress::obs::SweepRow>
+runSweep(const std::vector<Scenario> &scenarios, int threads)
+{
+    std::vector<mpress::obs::SweepRow> rows(scenarios.size());
+    mu::ThreadPool pool(threads);
+    pool.parallelFor(scenarios.size(), [&](std::size_t i) {
+        const Scenario &s = scenarios[i];
+        // Each scenario builds its own topology and session; the
+        // planner inside runs serially — the sweep parallelizes
+        // across scenarios, not within one.
+        hw::Topology topo = parseTopology(s.topology);
+        api::SessionConfig cfg;
+        cfg.model = mm::presetByName(s.model);
+        cfg.microbatch = s.microbatch;
+        cfg.system = parseSystem(s.system);
+        cfg.numStages = topo.numGpus();
+        cfg.microbatchesPerMinibatch = s.mbPerMini;
+        cfg.minibatches = s.minibatches;
+        cfg.strategy = parseStrategy(s.strategy);
+        cfg.verifyMode = parseVerifyMode(s.verifyMode);
+
+        auto t0 = std::chrono::steady_clock::now();
+        api::SessionResult result = api::runSession(topo, cfg);
+        auto t1 = std::chrono::steady_clock::now();
+
+        mpress::obs::SweepRow &row = rows[i];
+        row.name = s.name;
+        row.model = s.model;
+        row.system = s.system;
+        row.strategy = s.strategy;
+        row.topology = s.topology;
+        row.oom = result.oom;
+        row.rejected = result.rejected;
+        row.samplesPerSec = result.samplesPerSec;
+        row.tflops = result.tflops;
+        row.maxGpuPeak = result.maxGpuPeak;
+        row.planIterations = result.planResult.iterations;
+        row.planMs =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+    });
+    return rows;
+}
+
 } // namespace
 
 int
@@ -114,8 +243,10 @@ main(int argc, char **argv)
     std::string strategy = "mpress";
     std::string topology = "dgx1";
     std::string save_plan, load_plan, timeline, metrics;
+    std::string sweep, sweep_out, sweep_csv;
     std::string verify_mode = "permissive";
     int microbatch = 12, mb_per_mini = 8, minibatches = 2;
+    int threads = 1;
 
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> std::string {
@@ -137,6 +268,14 @@ main(int argc, char **argv)
             mb_per_mini = std::stoi(need("--mb-per-mini"));
         else if (!std::strcmp(argv[i], "--minibatches"))
             minibatches = std::stoi(need("--minibatches"));
+        else if (!std::strcmp(argv[i], "--threads"))
+            threads = std::stoi(need("--threads"));
+        else if (!std::strcmp(argv[i], "--sweep"))
+            sweep = need("--sweep");
+        else if (!std::strcmp(argv[i], "--sweep-out"))
+            sweep_out = need("--sweep-out");
+        else if (!std::strcmp(argv[i], "--sweep-csv"))
+            sweep_csv = need("--sweep-csv");
         else if (!std::strcmp(argv[i], "--save-plan"))
             save_plan = need("--save-plan");
         else if (!std::strcmp(argv[i], "--load-plan"))
@@ -151,11 +290,36 @@ main(int argc, char **argv)
             usage("unknown option");
     }
 
-    hw::Topology topo = topology == "dgx2"
-                            ? hw::Topology::dgx2A100()
-                            : hw::Topology::dgx1V100();
-    if (topology != "dgx1" && topology != "dgx2")
-        usage("--topology must be dgx1 or dgx2");
+    if (threads < 1)
+        usage("--threads must be >= 1");
+
+    if (!sweep.empty()) {
+        Scenario defaults{"",         model,      system,
+                          strategy,   topology,   verify_mode,
+                          microbatch, mb_per_mini, minibatches};
+        auto scenarios = parseSweepSpec(sweep, defaults);
+        auto rows = runSweep(scenarios, threads);
+        if (!sweep_csv.empty()) {
+            std::ofstream out(sweep_csv);
+            mpress::obs::exportSweepCsv(out, rows);
+            std::fprintf(stderr, "sweep CSV written to %s\n",
+                         sweep_csv.c_str());
+        }
+        if (!sweep_out.empty()) {
+            std::ofstream out(sweep_out);
+            mpress::obs::exportSweepJson(out, rows);
+            out << "\n";
+            std::fprintf(stderr, "sweep report written to %s\n",
+                         sweep_out.c_str());
+        } else {
+            std::stringstream report;
+            mpress::obs::exportSweepJson(report, rows);
+            std::printf("%s\n", report.str().c_str());
+        }
+        return 0;
+    }
+
+    hw::Topology topo = parseTopology(topology);
 
     api::SessionConfig cfg;
     cfg.model = mm::presetByName(model);
@@ -166,6 +330,7 @@ main(int argc, char **argv)
     cfg.minibatches = minibatches;
     cfg.strategy = parseStrategy(strategy);
     cfg.verifyMode = parseVerifyMode(verify_mode);
+    cfg.planner.threads = threads;
     cfg.executor.recordTimeline = !timeline.empty();
     cfg.executor.recordMetrics = !metrics.empty();
 

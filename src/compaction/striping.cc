@@ -73,17 +73,25 @@ makeStripePlan(const hw::Topology &topo, int src,
         if (lanes_open == 0)
             return {};  // budgets cannot absorb the tensor
 
+        // The integer-division remainder goes to the last *open*
+        // candidate: a capped tail importer must not be handed the
+        // round-off (it has no room), nor silently skipped so the
+        // residue drifts to whichever importer the fallback below
+        // visits first.
+        std::size_t last_open = 0;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (!capped[i])
+                last_open = i;
+        }
+
         Bytes distributed = 0;
         bool newly_capped = false;
         for (std::size_t i = 0; i < cands.size(); ++i) {
             if (capped[i])
                 continue;
             Bytes want = remaining * cands[i].lanes / lanes_open;
-            // Round-off remainder goes to the last open candidate.
-            if (&cands[i] == &cands.back() ||
-                i + 1 == cands.size()) {
+            if (i == last_open)
                 want = remaining - distributed;
-            }
             Bytes room = cands[i].budget - share[i];
             if (want >= room) {
                 share[i] += room;
@@ -98,18 +106,20 @@ makeStripePlan(const hw::Topology &topo, int src,
         remaining -= distributed;
         if (remaining > 0 && !newly_capped) {
             // All open candidates took their lane-weighted share but
-            // integer division left a residue; give it to the first
-            // open candidate with room.
-            for (std::size_t i = 0; i < cands.size() && remaining > 0;
-                 ++i) {
-                if (capped[i])
+            // a residue survived (the remainder-taker capped at its
+            // room in an earlier round); spread it from the last
+            // open candidate backwards, consistent with the
+            // remainder policy above.
+            for (std::size_t i = cands.size(); i > 0 && remaining > 0;
+                 --i) {
+                if (capped[i - 1])
                     continue;
-                Bytes room = cands[i].budget - share[i];
+                Bytes room = cands[i - 1].budget - share[i - 1];
                 Bytes take = std::min(room, remaining);
-                share[i] += take;
+                share[i - 1] += take;
                 remaining -= take;
-                if (share[i] == cands[i].budget)
-                    capped[i] = true;
+                if (share[i - 1] == cands[i - 1].budget)
+                    capped[i - 1] = true;
             }
             if (remaining > 0)
                 return {};

@@ -150,5 +150,48 @@ mergeCounterEvents(const Observability &o, sim::TraceRecorder &trace)
     }
 }
 
+void
+exportSweepJson(std::ostream &os, const std::vector<SweepRow> &rows)
+{
+    os << "{\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        if (i)
+            os << ",";
+        os << "{\"name\":\"" << escape(r.name) << "\",\"model\":\""
+           << escape(r.model) << "\",\"system\":\""
+           << escape(r.system) << "\",\"strategy\":\""
+           << escape(r.strategy) << "\",\"topology\":\""
+           << escape(r.topology) << "\",\"oom\":"
+           << (r.oom ? "true" : "false") << ",\"rejected\":"
+           << (r.rejected ? "true" : "false")
+           << util::strformat(",\"samples_per_sec\":%.6g",
+                              r.samplesPerSec)
+           << util::strformat(",\"tflops\":%.6g", r.tflops)
+           << ",\"max_gpu_peak_bytes\":" << r.maxGpuPeak
+           << ",\"plan_iterations\":" << r.planIterations
+           << util::strformat(",\"plan_ms\":%.3f", r.planMs)
+           << "}";
+    }
+    os << "]}";
+}
+
+void
+exportSweepCsv(std::ostream &os, const std::vector<SweepRow> &rows)
+{
+    os << "name,model,system,strategy,topology,oom,rejected,"
+          "samples_per_sec,tflops,max_gpu_peak_bytes,"
+          "plan_iterations,plan_ms\n";
+    for (const SweepRow &r : rows) {
+        os << util::strformat(
+            "%s,%s,%s,%s,%s,%d,%d,%.6g,%.6g,%lld,%d,%.3f\n",
+            r.name.c_str(), r.model.c_str(), r.system.c_str(),
+            r.strategy.c_str(), r.topology.c_str(), r.oom ? 1 : 0,
+            r.rejected ? 1 : 0, r.samplesPerSec, r.tflops,
+            static_cast<long long>(r.maxGpuPeak), r.planIterations,
+            r.planMs);
+    }
+}
+
 } // namespace obs
 } // namespace mpress

@@ -11,6 +11,8 @@
 #define MPRESS_OBS_EXPORT_HH
 
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "obs/observability.hh"
 #include "sim/trace.hh"
@@ -44,6 +46,38 @@ void exportUtilizationCsv(std::ostream &os, const Observability &o);
  */
 void mergeCounterEvents(const Observability &o,
                         sim::TraceRecorder &trace);
+
+/**
+ * One scenario's outcome in a sweep report (mpress_cli --sweep).
+ * Plain strings and numbers so the exporters stay independent of the
+ * session/planner layers; rows are emitted in the order given, which
+ * the sweep driver keeps equal to spec order regardless of which
+ * worker finished first.
+ */
+struct SweepRow
+{
+    std::string name;      ///< scenario name from the spec
+    std::string model;
+    std::string system;
+    std::string strategy;
+    std::string topology;
+    bool oom = false;
+    bool rejected = false; ///< plan failed strict verification
+    double samplesPerSec = 0.0;
+    double tflops = 0.0;
+    util::Bytes maxGpuPeak = 0;
+    int planIterations = 0;  ///< accepted refinement steps
+    double planMs = 0.0;     ///< wall-clock planning+run time
+};
+
+/** Sweep report as one JSON document:
+ *  { "rows": [ {"name",...,"samples_per_sec",...}, ... ] } */
+void exportSweepJson(std::ostream &os,
+                     const std::vector<SweepRow> &rows);
+
+/** Sweep report as CSV (header included), one row per scenario. */
+void exportSweepCsv(std::ostream &os,
+                    const std::vector<SweepRow> &rows);
 
 } // namespace obs
 } // namespace mpress

@@ -148,20 +148,6 @@ verifierOptions(const runtime::ExecutorConfig &exec_cfg)
     return opts;
 }
 
-/** True when @p plan passes static verification (refinements whose
- *  trial plan regresses to an invalid state are rejected even if the
- *  emulator happens to survive them). */
-bool
-verifies(const hw::Topology &topo, const model::TransformerModel &mdl,
-         const partition::Partition &part,
-         const pipeline::Schedule &sched, const CompactionPlan &plan,
-         const runtime::ExecutorConfig &exec_cfg)
-{
-    return verify::verifyPlan(topo, mdl, part, sched, plan,
-                              verifierOptions(exec_cfg))
-        .ok();
-}
-
 /** Build a CompactionPlan from candidate choices + mapping. */
 CompactionPlan
 materialize(const std::vector<std::vector<Candidate>> &per_stage,
@@ -352,6 +338,13 @@ planMPress(const hw::Topology &topo,
         return result;
     }
 
+    // Refinement evaluates batches of independent trial plans; the
+    // driver scores them as concurrent emulator runs (each on its own
+    // topology copy and executor) and the fixed tie-break keeps the
+    // result identical for every thread count.
+    util::ThreadPool pool(cfg.threads);
+    SearchDriver driver(topo, mdl, part, sched, exec_cfg, pool);
+
     // (4a) Re-map with post-compaction demand.  The profile-based
     // mapping saw every stage overflowing, so importers had nothing
     // to lend; once the seed plan compacts the heavy stages, the
@@ -397,37 +390,40 @@ planMPress(const hw::Topology &topo,
         CompactionPlan plan2 =
             materialize(candidates, offload_opt, offload_stash,
                         mapping2, cfg.d2dStriping);
-        runtime::TrainingReport rep2 =
-            emulate(topo, mdl, part, sched, plan2, exec_cfg);
-        if (!rep2.oom &&
-            rep2.samplesPerSec >=
-                current.samplesPerSec * (1.0 - cfg.acceptGain) &&
-            verifies(topo, mdl, part, sched, plan2, exec_cfg)) {
+        // Unlike refinement trials the re-map may accept a slight
+        // measured regression: better grants unlock D2D flips later.
+        TrialOutcome out2 = driver.evaluateOne(plan2);
+        if (!out2.report.oom && out2.verified &&
+            out2.report.samplesPerSec >=
+                current.samplesPerSec * (1.0 - cfg.acceptGain)) {
             result.mapping = std::move(mapping2);
             plan = std::move(plan2);
-            current = std::move(rep2);
+            current = std::move(out2.report);
         }
     }
 
     // (5) Refinement: flip the costliest assignments to D2D swap
     // while spare budget remains; accept on measured improvement.
+    // Each step generates a ladder of trial flip-batches (the full
+    // batch and its halvings) and scores them concurrently; the best
+    // accepted trial is committed.
     for (int iter = 0; iter < cfg.maxIterations; ++iter) {
-        // Remaining grant budget per exporter GPU.
-        std::map<int, Bytes> budget;
-        for (const auto &[gpu, grants] : result.mapping.grants) {
-            Bytes total = 0;
-            for (const auto &g : grants)
-                total += g.budget;
-            budget[gpu] = total;
-        }
+        // Remaining grant budget per exporter GPU: total grants minus
+        // the savings of flips committed in earlier steps — the same
+        // quantity the admission gate below checks and debits, so the
+        // ledger stays non-negative (clamped defensively in case a
+        // re-map shrank the grants under committed flips).
+        std::vector<std::pair<int, Bytes>> debits;
         for (const auto &stage_cands : candidates) {
             for (const auto &c : stage_cands) {
                 if (c.chosen == Kind::D2dSwap) {
-                    budget[plan.gpuForStage(c.ref.stage)] -=
-                        c.savings;
+                    debits.emplace_back(
+                        plan.gpuForStage(c.ref.stage), c.savings);
                 }
             }
         }
+        std::map<int, Bytes> budget =
+            remainingGrantBudget(result.mapping.grants, debits);
 
         // All surviving assignments are flip candidates: the static
         // extra-cost model underestimates contention (PCIe swaps
@@ -466,48 +462,63 @@ planMPress(const hw::Topology &topo,
                 break;
         }
 
-        std::vector<Candidate *> flipped;
-        for (Candidate *c : flippable) {
-            if (static_cast<int>(flipped.size()) >=
-                cfg.d2dBatchPerStep)
-                break;
-            int gpu = plan.gpuForStage(c->ref.stage);
-            auto it = budget.find(gpu);
-            // Partial coverage is fine: the runtime falls back to
-            // keeping instances resident when the grant runs dry,
-            // and the acceptance check rejects plans that then OOM.
-            if (it == budget.end() || it->second < c->stash)
-                continue;
-            it->second -= std::min(it->second, c->savings);
-            c->chosen = Kind::D2dSwap;
-            flipped.push_back(c);
+        // The admission gate (admitFlipBatch) checks an exporter's
+        // remaining budget against a flip's full savings and debits
+        // exactly that, so an admitted flip's instances are all
+        // covered by grants — no flip is admitted whose savings the
+        // grants cannot absorb.
+        std::vector<FlipCandidate> gate_view;
+        gate_view.reserve(flippable.size());
+        for (const Candidate *c : flippable) {
+            gate_view.push_back({plan.gpuForStage(c->ref.stage),
+                                 c->stash, c->savings});
         }
-        if (flipped.empty())
+
+        // Trial ladder: the full batch and its halvings.  Admitted
+        // sets are nested prefixes of the flippable order, so the
+        // trials differ only in flip count; larger batches come
+        // first so the fixed tie-break prefers more D2D coverage on
+        // equal measured throughput.
+        std::vector<std::vector<Candidate *>> trial_flips;
+        std::vector<CompactionPlan> trials;
+        for (int batch = cfg.d2dBatchPerStep; batch >= 1;
+             batch /= 2) {
+            std::map<int, Bytes> scratch = budget;
+            auto admitted =
+                admitFlipBatch(gate_view, scratch, batch);
+            if (admitted.empty())
+                break;
+            if (!trial_flips.empty() &&
+                admitted.size() == trial_flips.back().size())
+                continue;  // same nested prefix, same plan
+            std::vector<Candidate *> flips;
+            std::vector<Kind> prior;
+            for (std::size_t idx : admitted) {
+                flips.push_back(flippable[idx]);
+                prior.push_back(flippable[idx]->chosen);
+                flippable[idx]->chosen = Kind::D2dSwap;
+            }
+            trials.push_back(
+                materialize(candidates, offload_opt, offload_stash,
+                            result.mapping, cfg.d2dStriping));
+            for (std::size_t k = 0; k < flips.size(); ++k)
+                flips[k]->chosen = prior[k];
+            trial_flips.push_back(std::move(flips));
+        }
+        if (trials.empty())
             break;
 
-        CompactionPlan trial =
-            materialize(candidates, offload_opt, offload_stash,
-                    result.mapping, cfg.d2dStriping);
-        runtime::TrainingReport trial_report =
-            emulate(topo, mdl, part, sched, trial, exec_cfg);
-        bool better = !trial_report.oom &&
-                      trial_report.samplesPerSec >
-                          current.samplesPerSec *
-                              (1.0 + cfg.acceptGain) &&
-                      verifies(topo, mdl, part, sched, trial,
-                               exec_cfg);
-        if (better) {
-            plan = std::move(trial);
-            current = std::move(trial_report);
-            ++result.iterations;
-        } else {
-            for (Candidate *c : flipped) {
-                c->chosen = c->recomputeExtra <= c->gpuCpuExtra
-                                ? Kind::Recompute
-                                : Kind::GpuCpuSwap;
-            }
+        auto outcomes = driver.evaluate(trials);
+        int best = SearchDriver::pickBest(
+            outcomes, current.samplesPerSec, cfg.acceptGain);
+        if (best < 0)
             break;
-        }
+        auto b = static_cast<std::size_t>(best);
+        for (Candidate *c : trial_flips[b])
+            c->chosen = Kind::D2dSwap;
+        plan = std::move(trials[b]);
+        current = std::move(outcomes[b].report);
+        ++result.iterations;
     }
 
     // (6) Second refinement: GPU-CPU swap classes picked as "hidden"
@@ -552,30 +563,28 @@ planMPress(const hw::Topology &topo,
         struct Variant { bool rcMax; bool keepOffload; };
         const Variant variants[] = {
             {true, true}, {false, false}, {true, false}};
-        std::vector<Kind> best_kinds = seed_kinds;
-        bool best_keep_offload = true;
-        bool improved = false;
+        // All three variants are scored against the same baseline as
+        // one concurrent batch; the fixed tie-break (best measured
+        // throughput, lowest variant index on ties) makes the choice
+        // independent of evaluation order and thread count.
+        std::vector<CompactionPlan> trials;
+        std::vector<std::vector<Kind>> trial_kinds;
         for (const auto &v : variants) {
             restore(seed_kinds);
-            CompactionPlan trial =
-                apply_variant(v.rcMax, v.keepOffload);
-            runtime::TrainingReport trial_report =
-                emulate(topo, mdl, part, sched, trial, exec_cfg);
-            if (!trial_report.oom &&
-                trial_report.samplesPerSec >
-                    current.samplesPerSec * (1.0 + cfg.acceptGain) &&
-                verifies(topo, mdl, part, sched, trial, exec_cfg)) {
-                best_kinds = snapshot();
-                best_keep_offload = v.keepOffload;
-                plan = std::move(trial);
-                current = std::move(trial_report);
-                improved = true;
-            }
+            trials.push_back(apply_variant(v.rcMax, v.keepOffload));
+            trial_kinds.push_back(snapshot());
         }
-        restore(best_kinds);
-        if (improved) {
-            if (!best_keep_offload)
+        restore(seed_kinds);
+        auto outcomes = driver.evaluate(trials);
+        int best = SearchDriver::pickBest(
+            outcomes, current.samplesPerSec, cfg.acceptGain);
+        if (best >= 0) {
+            auto b = static_cast<std::size_t>(best);
+            restore(trial_kinds[b]);
+            if (!variants[b].keepOffload)
                 offload_opt.assign(offload_opt.size(), false);
+            plan = std::move(trials[b]);
+            current = std::move(outcomes[b].report);
             ++result.iterations;
         }
     }
@@ -595,34 +604,41 @@ planMPress(const hw::Topology &topo,
                          [](const Candidate *a, const Candidate *b) {
                              return a->savings > b->savings;
                          });
-        std::vector<Candidate *> flipped;
-        for (Candidate *c : swaps) {
-            if (static_cast<int>(flipped.size()) >=
-                cfg.d2dBatchPerStep)
-                break;
-            c->chosen = Kind::Recompute;
-            flipped.push_back(c);
-        }
-        CompactionPlan trial =
-            materialize(candidates, offload_opt, offload_stash,
-                        result.mapping, cfg.d2dStriping);
-        runtime::TrainingReport trial_report =
-            emulate(topo, mdl, part, sched, trial, exec_cfg);
-        bool better = !trial_report.oom &&
-                      trial_report.samplesPerSec >
-                          current.samplesPerSec *
-                              (1.0 + cfg.acceptGain) &&
-                      verifies(topo, mdl, part, sched, trial,
-                               exec_cfg);
-        if (better) {
-            plan = std::move(trial);
-            current = std::move(trial_report);
-            ++result.iterations;
-        } else {
-            for (Candidate *c : flipped)
+        // Same trial-ladder shape as stage (5): prefixes of the
+        // savings-ordered swap list, all scored concurrently.
+        std::vector<std::vector<Candidate *>> trial_flips;
+        std::vector<CompactionPlan> trials;
+        for (int batch = cfg.d2dBatchPerStep; batch >= 1;
+             batch /= 2) {
+            std::size_t take = std::min(
+                static_cast<std::size_t>(batch), swaps.size());
+            if (!trial_flips.empty() &&
+                take == trial_flips.back().size())
+                continue;
+            std::vector<Candidate *> flips(swaps.begin(),
+                                           swaps.begin() +
+                                               static_cast<long>(
+                                                   take));
+            for (Candidate *c : flips)
+                c->chosen = Kind::Recompute;
+            trials.push_back(
+                materialize(candidates, offload_opt, offload_stash,
+                            result.mapping, cfg.d2dStriping));
+            for (Candidate *c : flips)
                 c->chosen = Kind::GpuCpuSwap;
-            break;
+            trial_flips.push_back(std::move(flips));
         }
+        auto outcomes = driver.evaluate(trials);
+        int best = SearchDriver::pickBest(
+            outcomes, current.samplesPerSec, cfg.acceptGain);
+        if (best < 0)
+            break;
+        auto b = static_cast<std::size_t>(best);
+        for (Candidate *c : trial_flips[b])
+            c->chosen = Kind::Recompute;
+        plan = std::move(trials[b]);
+        current = std::move(outcomes[b].report);
+        ++result.iterations;
     }
 
     result.plan = std::move(plan);

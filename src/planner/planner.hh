@@ -29,6 +29,7 @@
 #include "compaction/plan.hh"
 #include "planner/costmodel.hh"
 #include "planner/mapper.hh"
+#include "planner/search.hh"
 #include "runtime/executor.hh"
 #include "verify/verify.hh"
 
@@ -38,11 +39,22 @@ namespace planner {
 /** Planner tunables. */
 struct PlannerConfig
 {
-    /** Refinement iterations (each runs one emulated iteration). */
+    /** Refinement iterations (each evaluates a batch of trial plans,
+     *  every trial costing one emulated iteration). */
     int maxIterations = 10;
 
-    /** Activation classes flipped to D2D swap per refinement step. */
+    /** Activation classes flipped to D2D swap per refinement step.
+     *  A step evaluates this batch plus its halvings (B, B/2, ... 1)
+     *  as independent trials and keeps the best accepted one. */
     int d2dBatchPerStep = 8;
+
+    /** Worker threads for the emulator-feedback search (trial
+     *  batches and the coarse variants run concurrently, each on its
+     *  own topology + executor).  The plan is identical for every
+     *  thread count: trial generation is serial and the winner is
+     *  picked by a fixed tie-break, so threads only change
+     *  wall-clock time. */
+    int threads = 1;
 
     /** Required relative throughput gain to accept a refinement. */
     double acceptGain = 0.002;

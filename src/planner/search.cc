@@ -1,0 +1,133 @@
+#include "planner/search.hh"
+
+#include "util/logging.hh"
+
+namespace mpress {
+namespace planner {
+
+using util::Bytes;
+
+SearchDriver::SearchDriver(const hw::Topology &topo,
+                           const model::TransformerModel &mdl,
+                           const partition::Partition &part,
+                           const pipeline::Schedule &sched,
+                           runtime::ExecutorConfig exec_cfg,
+                           util::ThreadPool &pool)
+    : _topo(topo), _mdl(mdl), _part(part), _sched(sched),
+      _execCfg(exec_cfg), _pool(pool)
+{
+    // Every trial is a scoring run, never a profiling run.
+    _execCfg.recordLiveness = false;
+    _execCfg.failFastOnOom = true;
+}
+
+std::vector<TrialOutcome>
+SearchDriver::evaluate(
+    const std::vector<compaction::CompactionPlan> &trials)
+{
+    std::vector<TrialOutcome> out(trials.size());
+    _pool.parallelFor(trials.size(), [&](std::size_t i) {
+        // Own hardware description per trial: the executor and the
+        // verifier read the topology heavily, and an engine must
+        // never share state with a concurrent one.
+        hw::Topology topo = _topo;
+        out[i].report = runtime::runTraining(
+            topo, _mdl, _part, _sched, trials[i], _execCfg);
+        verify::Options opts;
+        opts.memOverheadFactor = _execCfg.memOverheadFactor;
+        out[i].verified = verify::verifyPlan(topo, _mdl, _part,
+                                             _sched, trials[i], opts)
+                              .ok();
+    });
+    return out;
+}
+
+TrialOutcome
+SearchDriver::evaluateOne(const compaction::CompactionPlan &plan)
+{
+    std::vector<compaction::CompactionPlan> one(1, plan);
+    return evaluate(one).front();
+}
+
+int
+SearchDriver::pickBest(const std::vector<TrialOutcome> &outcomes,
+                       double baseline_samples_per_sec,
+                       double accept_gain)
+{
+    int best = -1;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].accepted(baseline_samples_per_sec,
+                                  accept_gain))
+            continue;
+        if (best < 0 ||
+            outcomes[i].report.samplesPerSec >
+                outcomes[static_cast<std::size_t>(best)]
+                    .report.samplesPerSec) {
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+std::map<int, Bytes>
+remainingGrantBudget(
+    const std::map<int, std::vector<compaction::SpareGrant>> &grants,
+    const std::vector<std::pair<int, Bytes>> &debits)
+{
+    std::map<int, Bytes> budget;
+    for (const auto &[gpu, gs] : grants) {
+        Bytes total = 0;
+        for (const auto &g : gs)
+            total += g.budget;
+        budget[gpu] = total;
+    }
+    for (const auto &[gpu, savings] : debits) {
+        auto it = budget.find(gpu);
+        if (it == budget.end()) {
+            // A committed flip against a GPU with no grants: stale
+            // state from a re-map.  Nothing to debit.
+            continue;
+        }
+        if (savings > it->second) {
+            util::debug("grant ledger for GPU %d short by %lld bytes"
+                        " (stale debit after re-map); clamping",
+                        gpu,
+                        static_cast<long long>(savings - it->second));
+            it->second = 0;
+        } else {
+            it->second -= savings;
+        }
+    }
+    return budget;
+}
+
+std::vector<std::size_t>
+admitFlipBatch(const std::vector<FlipCandidate> &flippable,
+               std::map<int, Bytes> &budget, int max_flips)
+{
+    std::vector<std::size_t> admitted;
+    for (std::size_t i = 0; i < flippable.size(); ++i) {
+        if (static_cast<int>(admitted.size()) >= max_flips)
+            break;
+        const FlipCandidate &c = flippable[i];
+        auto it = budget.find(c.gpu);
+        // Gate and ledger agree: a flip is admitted only when the
+        // grants can absorb its full savings (every in-flight
+        // instance), and exactly that amount is debited.  Partial
+        // admission would let the runtime silently keep instances
+        // resident (d2dOverflow) while the ledger pretended the
+        // bytes were exported.
+        if (it == budget.end() || it->second < c.savings)
+            continue;
+        it->second -= c.savings;
+        if (it->second < 0) {
+            util::panic("grant ledger went negative on GPU %d",
+                        c.gpu);
+        }
+        admitted.push_back(i);
+    }
+    return admitted;
+}
+
+} // namespace planner
+} // namespace mpress

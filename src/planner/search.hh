@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Concurrent emulator-feedback search for the planner (the hot path
+ * of Fig. 5's refine loop).
+ *
+ * Every refinement step of planMPress() and every coarse variant of
+ * its joint-flip stage costs one full emulated training iteration.
+ * The trials of one step are independent — each is a pure function of
+ * (topology, job, candidate plan) — so SearchDriver evaluates them
+ * concurrently on a util::ThreadPool, each trial on its own
+ * hw::Topology copy and runtime::Executor instance so no simulator
+ * state is ever shared between threads.
+ *
+ * Determinism contract: evaluate() returns outcomes in trial order
+ * regardless of scheduling, and pickBest() breaks ties by the fixed
+ * rule (higher measured throughput wins; equal throughput goes to the
+ * lower trial index).  A search at any thread count therefore selects
+ * the same trial as the serial threads=1 search, and the planner
+ * emits a byte-identical serialized plan.
+ *
+ * The grant-budget helpers live here too so the refinement gate and
+ * its ledger arithmetic are unit-testable: admitFlipBatch() gates and
+ * debits by the same quantity (a flip's full projected savings),
+ * which keeps the remaining budget non-negative by construction.
+ */
+
+#ifndef MPRESS_PLANNER_SEARCH_HH
+#define MPRESS_PLANNER_SEARCH_HH
+
+#include <map>
+#include <vector>
+
+#include "planner/mapper.hh"
+#include "runtime/executor.hh"
+#include "util/pool.hh"
+#include "verify/verify.hh"
+
+namespace mpress {
+namespace planner {
+
+/** Result of emulating + statically verifying one trial plan. */
+struct TrialOutcome
+{
+    runtime::TrainingReport report;
+    bool verified = false;
+
+    /** Acceptance test shared by every refinement stage: the trial
+     *  survived emulation, passed static verification and beat the
+     *  baseline throughput by the configured margin. */
+    bool
+    accepted(double baseline_samples_per_sec,
+             double accept_gain) const
+    {
+        return !report.oom && verified &&
+               report.samplesPerSec >
+                   baseline_samples_per_sec * (1.0 + accept_gain);
+    }
+};
+
+/**
+ * Evaluates batches of candidate plans as concurrent emulator runs.
+ *
+ * The driver borrows the job description (model, partition, schedule)
+ * and the pool; all are owned by the caller and must outlive it.  The
+ * topology is copied once per trial so concurrent engines never share
+ * a hardware description object.
+ */
+class SearchDriver
+{
+  public:
+    SearchDriver(const hw::Topology &topo,
+                 const model::TransformerModel &mdl,
+                 const partition::Partition &part,
+                 const pipeline::Schedule &sched,
+                 runtime::ExecutorConfig exec_cfg,
+                 util::ThreadPool &pool);
+
+    /** Emulate + verify every plan in @p trials concurrently.
+     *  Outcome i corresponds to trials[i]. */
+    std::vector<TrialOutcome>
+    evaluate(const std::vector<compaction::CompactionPlan> &trials);
+
+    /** Convenience wrapper for a single plan (runs inline). */
+    TrialOutcome evaluateOne(const compaction::CompactionPlan &plan);
+
+    /**
+     * Index of the best accepted trial, or -1 when none is accepted.
+     * Fixed tie-break: highest samplesPerSec wins; exact ties go to
+     * the lowest index.  Order-independent, hence thread-count
+     * independent.
+     */
+    static int pickBest(const std::vector<TrialOutcome> &outcomes,
+                        double baseline_samples_per_sec,
+                        double accept_gain);
+
+    util::ThreadPool &pool() { return _pool; }
+
+  private:
+    const hw::Topology &_topo;
+    const model::TransformerModel &_mdl;
+    const partition::Partition &_part;
+    const pipeline::Schedule &_sched;
+    runtime::ExecutorConfig _execCfg;
+    util::ThreadPool &_pool;
+};
+
+/** One refinement flip candidate as seen by the budget gate. */
+struct FlipCandidate
+{
+    int gpu = 0;        ///< exporter GPU of the candidate's stage
+    util::Bytes stash = 0;    ///< bytes per instance
+    util::Bytes savings = 0;  ///< stash x in-flight instances
+};
+
+/**
+ * Remaining per-exporter D2D grant budget: each exporter's total
+ * granted bytes minus the savings of flips already committed against
+ * it.  Debits are clamped at zero — the gate admits a flip only when
+ * its full savings fit, so a negative remainder indicates stale
+ * debits (e.g. grants shrunk by a re-map) rather than real
+ * overcommitment, and must not poison later gate decisions.
+ *
+ * @param grants  exporter GPU -> its spare-memory grants
+ * @param debits  (exporter GPU, savings) pairs already committed
+ */
+std::map<int, util::Bytes>
+remainingGrantBudget(
+    const std::map<int, std::vector<compaction::SpareGrant>> &grants,
+    const std::vector<std::pair<int, util::Bytes>> &debits);
+
+/**
+ * Budget gate of the refinement loop: scan @p flippable in order and
+ * admit up to @p max_flips candidates whose full savings fit the
+ * exporter's remaining @p budget, debiting exactly what was gated on.
+ * Returns the indices of admitted candidates; @p budget is left with
+ * the post-batch remainder (non-negative by construction).
+ */
+std::vector<std::size_t>
+admitFlipBatch(const std::vector<FlipCandidate> &flippable,
+               std::map<int, util::Bytes> &budget, int max_flips);
+
+} // namespace planner
+} // namespace mpress
+
+#endif // MPRESS_PLANNER_SEARCH_HH

@@ -1,19 +1,27 @@
 /**
  * @file
- * Minimal strict JSON syntax checker.
+ * Minimal strict JSON support: a syntax checker and a small document
+ * parser.
  *
  * The exporters (Chrome traces, metrics dumps) hand their output to
  * external consumers — Perfetto, plotting scripts — that reject
- * malformed JSON outright.  This validator lets tests and tools
+ * malformed JSON outright.  The validator lets tests and tools
  * assert exported files actually parse without pulling in a JSON
- * library dependency.  It validates syntax only (RFC 8259 grammar);
- * it builds no document tree.
+ * library dependency.
+ *
+ * jsonParse() additionally builds a document tree (JsonValue), used
+ * by consumers of user-supplied JSON such as the CLI's --sweep
+ * scenario specs.  Same RFC 8259 grammar; numbers are held as
+ * doubles, object member order is preserved.
  */
 
 #ifndef MPRESS_UTIL_JSON_HH
 #define MPRESS_UTIL_JSON_HH
 
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace mpress {
 namespace util {
@@ -25,6 +33,75 @@ namespace util {
  */
 bool jsonParseable(const std::string &text,
                    std::string *error = nullptr);
+
+/** One parsed JSON value (see jsonParse()). */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Type type() const { return _type; }
+    bool isNull() const { return _type == Type::Null; }
+    bool isBool() const { return _type == Type::Bool; }
+    bool isNumber() const { return _type == Type::Number; }
+    bool isString() const { return _type == Type::String; }
+    bool isArray() const { return _type == Type::Array; }
+    bool isObject() const { return _type == Type::Object; }
+
+    /** Value accessors; meaningful only for the matching type. */
+    bool boolean() const { return _bool; }
+    double number() const { return _number; }
+    const std::string &str() const { return _string; }
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<JsonValue> &items() const { return _items; }
+
+    /** Object members in source order (empty unless isObject()). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return _members;
+    }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Typed member lookups with defaults for absent keys. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+    double numberOr(const std::string &key, double fallback) const;
+    bool boolOr(const std::string &key, bool fallback) const;
+
+    // Builder interface for the parser.
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> ms);
+
+  private:
+    Type _type = Type::Null;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<JsonValue> _items;
+    std::vector<std::pair<std::string, JsonValue>> _members;
+};
+
+/** Result of jsonParse(): a document or an error description. */
+struct ParsedJson
+{
+    bool ok = false;
+    JsonValue value;
+    std::string error;  ///< set when !ok, names offset and reason
+};
+
+/** Parse @p text into a document tree (strict RFC 8259). */
+ParsedJson jsonParse(const std::string &text);
 
 } // namespace util
 } // namespace mpress

@@ -1,5 +1,6 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -11,7 +12,10 @@ namespace util {
 
 namespace {
 
-LogLevel global_level = LogLevel::Warn;
+// Relaxed atomic: the level is read from planner worker
+// threads while tests/CLIs may set it; ordering does not
+// matter, tearing must not happen.
+std::atomic<LogLevel> global_level{LogLevel::Warn};
 
 void
 emit(const char *tag, const char *fmt, std::va_list args)
@@ -25,19 +29,19 @@ emit(const char *tag, const char *fmt, std::va_list args)
 void
 setLogLevel(LogLevel level)
 {
-    global_level = level;
+    global_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return global_level;
+    return global_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (global_level < LogLevel::Info)
+    if (global_level.load(std::memory_order_relaxed) < LogLevel::Info)
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -48,7 +52,7 @@ inform(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (global_level < LogLevel::Warn)
+    if (global_level.load(std::memory_order_relaxed) < LogLevel::Warn)
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -59,7 +63,7 @@ warn(const char *fmt, ...)
 void
 debug(const char *fmt, ...)
 {
-    if (global_level < LogLevel::Debug)
+    if (global_level.load(std::memory_order_relaxed) < LogLevel::Debug)
         return;
     std::va_list args;
     va_start(args, fmt);

@@ -1,0 +1,103 @@
+#include "util/pool.hh"
+
+namespace mpress {
+namespace util {
+
+ThreadPool::ThreadPool(int threads)
+    : _threads(threads < 1 ? 1 : threads)
+{
+    for (int i = 1; i < _threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _shutdown = true;
+    }
+    _wake.notify_all();
+    for (auto &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::runIndices()
+{
+    std::unique_lock<std::mutex> lock(_mu);
+    while (_nextIndex < _batchSize) {
+        std::size_t idx = _nextIndex++;
+        const auto *fn = _fn;
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+            (*fn)(idx);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lock.lock();
+        if (err && (!_error || idx < _errorIndex)) {
+            _error = err;
+            _errorIndex = idx;
+        }
+        if (--_remaining == 0) {
+            // Caller may be asleep in parallelFor.
+            _done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(_mu);
+    std::uint64_t seen = 0;
+    while (true) {
+        _wake.wait(lock, [&] {
+            return _shutdown ||
+                   (_generation != seen && _nextIndex < _batchSize);
+        });
+        if (_shutdown)
+            return;
+        seen = _generation;
+        lock.unlock();
+        runIndices();
+        lock.lock();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (_workers.empty() || n == 1) {
+        // Serial fast path: identical to a plain loop, and the only
+        // path taken at threads=1 (the determinism baseline).
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _fn = &fn;
+        _batchSize = n;
+        _nextIndex = 0;
+        _remaining = n;
+        _error = nullptr;
+        _errorIndex = 0;
+        ++_generation;
+    }
+    _wake.notify_all();
+    runIndices();  // the caller works too
+    std::unique_lock<std::mutex> lock(_mu);
+    _done.wait(lock, [&] { return _remaining == 0; });
+    _fn = nullptr;
+    _batchSize = 0;
+    if (_error)
+        std::rethrow_exception(_error);
+}
+
+} // namespace util
+} // namespace mpress

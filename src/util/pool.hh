@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A small fixed-size thread pool for the planner's emulator-feedback
+ * search and the CLI's scenario sweep.
+ *
+ * The pool exposes one primitive, parallelFor(n, fn): invoke
+ * fn(0..n-1), spread across the workers, and return when every index
+ * has completed.  Callers own determinism: results must be written to
+ * index-keyed slots so the outcome is independent of which worker ran
+ * which index.  With one thread (or n == 1) the indices run inline on
+ * the calling thread — no workers are ever touched — which makes the
+ * threads=1 configuration trivially identical to a serial loop.
+ *
+ * Exceptions thrown by fn are captured; the first one (by index, not
+ * by time of occurrence, so the error is deterministic too) is
+ * rethrown from parallelFor on the calling thread after all indices
+ * finish or are abandoned.
+ */
+
+#ifndef MPRESS_UTIL_POOL_HH
+#define MPRESS_UTIL_POOL_HH
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpress {
+namespace util {
+
+/** Fixed-size worker pool; see the file comment for the contract. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; values < 1 are clamped to 1.
+     *  With 1 thread no worker threads are spawned at all. */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of threads that execute parallelFor bodies (including
+     *  the calling thread). */
+    int threads() const { return _threads; }
+
+    /**
+     * Run @p fn for every index in [0, n).  Blocks until all indices
+     * complete.  The calling thread participates, so the pool makes
+     * progress even under heavy oversubscription.  Not reentrant: a
+     * pool must not be used from inside one of its own bodies.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    void runIndices();
+
+    int _threads;
+    std::vector<std::thread> _workers;
+
+    std::mutex _mu;
+    std::condition_variable _wake;   ///< workers wait for a batch
+    std::condition_variable _done;   ///< caller waits for completion
+
+    // Current batch state (guarded by _mu; indices claimed under the
+    // lock so a plain counter suffices and TSan sees clean handoffs).
+    const std::function<void(std::size_t)> *_fn = nullptr;
+    std::size_t _batchSize = 0;
+    std::size_t _nextIndex = 0;
+    std::size_t _remaining = 0;
+    std::uint64_t _generation = 0;
+    bool _shutdown = false;
+
+    // First failure by index (smallest index wins).
+    std::exception_ptr _error;
+    std::size_t _errorIndex = 0;
+};
+
+} // namespace util
+} // namespace mpress
+
+#endif // MPRESS_UTIL_POOL_HH

@@ -142,6 +142,43 @@ TEST(Striping, ZeroBytesYieldsEmptyPlan)
     EXPECT_TRUE(cp::makeStripePlan(topo, 0, grants, 0).empty());
 }
 
+TEST(Striping, CappedTailImporterDoesNotTakeTheRemainder)
+{
+    // Regression: the integer-division remainder was assigned to the
+    // positionally-last candidate even after it had capped at its
+    // budget.  With the tail importer capped, no open candidate took
+    // the round-off and the residue fallback handed it to the *first*
+    // open importer instead of the lane-weighted remainder-taker.
+    //
+    // From GPU0 on DGX-1: GPU1 has 1 lane, GPU3 and GPU4 have 2.
+    // GPU4 (the tail) gets a 7-byte budget so it caps in round one.
+    auto topo = hw::Topology::dgx1V100();
+    std::vector<cp::SpareGrant> grants = {
+        {1, 10 * mu::kGiB}, {3, 10 * mu::kGiB}, {4, 7}};
+    mu::Bytes size = 102;
+    auto plan = cp::makeStripePlan(topo, 0, grants, size);
+    ASSERT_EQ(plan.stripes.size(), 3u);
+    EXPECT_EQ(plan.totalBytes(), size);
+
+    mu::Bytes to1 = 0, to3 = 0, to4 = 0;
+    for (const auto &s : plan.stripes) {
+        if (s.targetGpu == 1)
+            to1 = s.bytes;
+        if (s.targetGpu == 3)
+            to3 = s.bytes;
+        if (s.targetGpu == 4)
+            to4 = s.bytes;
+    }
+    // Round 1: lane-weighted over 5 lanes gives GPU1 102/5 = 20 and
+    // GPU3 204/5 = 40; GPU4 caps at its 7-byte budget, leaving 35.
+    // Round 2 (GPU4 capped): GPU1 takes 35/3 = 11 and GPU3, the last
+    // *open* candidate, absorbs the remainder 24.  The buggy version
+    // skipped the capped tail and drifted the residue to GPU1.
+    EXPECT_EQ(to4, 7);
+    EXPECT_EQ(to1, 31);
+    EXPECT_EQ(to3, 64);
+}
+
 TEST(Striping, PlanTimeTracksSlowestStripe)
 {
     auto topo = hw::Topology::dgx1V100();

@@ -52,6 +52,28 @@ TEST(Determinism, PlannerProducesTheSamePlanTwice)
     EXPECT_EQ(plan_text(), plan_text());
 }
 
+TEST(Determinism, ThreadedPlannerSearchMatchesSerial)
+{
+    // The parallel emulator-feedback search must be invisible in the
+    // output: byte-identical serialized plan and identical report at
+    // any thread count.
+    auto run = [](int threads) {
+        auto cfg =
+            bench::bertJob("bert-1.67b", api::Strategy::MPressFull);
+        cfg.planner.threads = threads;
+        return api::runSession(hw::Topology::dgx1V100(), cfg);
+    };
+    auto serial = run(1);
+    auto threaded = run(4);
+    ASSERT_FALSE(serial.oom);
+    ASSERT_FALSE(threaded.oom);
+    EXPECT_EQ(cp::planToText(serial.plan),
+              cp::planToText(threaded.plan));
+    EXPECT_EQ(serial.report.makespan, threaded.report.makespan);
+    EXPECT_EQ(serial.planResult.iterations,
+              threaded.planResult.iterations);
+}
+
 TEST(Determinism, MapperIsStableAcrossCalls)
 {
     std::vector<mu::Bytes> demand = {

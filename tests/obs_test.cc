@@ -398,3 +398,60 @@ TEST(ObsExport, EmptyBundleStillParses)
     std::string err;
     EXPECT_TRUE(mu::jsonParseable(os.str(), &err)) << err;
 }
+
+TEST(ObsExport, SweepReportKeepsRowOrderAndParses)
+{
+    std::vector<obs::SweepRow> rows(3);
+    rows[0].name = "first";
+    rows[0].model = "bert-0.64b";
+    rows[0].samplesPerSec = 13.5;
+    rows[1].name = "second \"quoted\"";
+    rows[1].oom = true;
+    rows[2].name = "third";
+    rows[2].rejected = true;
+    rows[2].planIterations = 4;
+    rows[2].maxGpuPeak = 28 * mu::kGB;
+
+    std::ostringstream js;
+    obs::exportSweepJson(js, rows);
+    auto doc = mu::jsonParse(js.str());
+    ASSERT_TRUE(doc.ok) << doc.error;
+    const auto *parsed = doc.value.find("rows");
+    ASSERT_NE(parsed, nullptr);
+    ASSERT_EQ(parsed->items().size(), 3u);
+    // Rows come out in the order given, independent of which sweep
+    // worker finished first.
+    EXPECT_EQ(parsed->items()[0].stringOr("name", ""), "first");
+    EXPECT_EQ(parsed->items()[1].stringOr("name", ""),
+              "second \"quoted\"");
+    EXPECT_EQ(parsed->items()[2].stringOr("name", ""), "third");
+    EXPECT_TRUE(parsed->items()[1].boolOr("oom", false));
+    EXPECT_TRUE(parsed->items()[2].boolOr("rejected", false));
+    EXPECT_EQ(parsed->items()[2].numberOr("plan_iterations", 0), 4);
+    EXPECT_EQ(parsed->items()[0].numberOr("samples_per_sec", 0),
+              13.5);
+
+    std::ostringstream csv;
+    obs::exportSweepCsv(csv, rows);
+    std::istringstream lines(csv.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line,
+              "name,model,system,strategy,topology,oom,rejected,"
+              "samples_per_sec,tflops,max_gpu_peak_bytes,"
+              "plan_iterations,plan_ms");
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line.rfind("first,", 0), 0u);
+    ASSERT_TRUE(std::getline(lines, line));
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line.rfind("third,", 0), 0u);
+    EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(ObsExport, EmptySweepStillParses)
+{
+    std::ostringstream js;
+    obs::exportSweepJson(js, {});
+    EXPECT_EQ(js.str(), "{\"rows\":[]}");
+    ASSERT_TRUE(mu::jsonParse(js.str()).ok);
+}

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the planner's concurrent emulator-feedback search: the
+ * util::ThreadPool primitive, the SearchDriver (parallel trial
+ * evaluation equals serial evaluation, fixed-tie-break winner) and
+ * the grant-budget helpers, including the regression for the gate
+ * that admitted flips by stash size while debiting their full
+ * savings.
+ */
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "compaction/serialize.hh"
+#include "hw/topology.hh"
+#include "model/model.hh"
+#include "partition/partition.hh"
+#include "pipeline/schedule.hh"
+#include "planner/planner.hh"
+#include "planner/search.hh"
+#include "util/pool.hh"
+
+namespace cp = mpress::compaction;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mp = mpress::partition;
+namespace pl = mpress::pipeline;
+namespace pn = mpress::planner;
+namespace rt = mpress::runtime;
+namespace mu = mpress::util;
+
+// ---------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------
+
+TEST(ThreadPool, ClampsThreadCountToOne)
+{
+    mu::ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1);
+    mu::ThreadPool neg(-3);
+    EXPECT_EQ(neg.threads(), 1);
+}
+
+TEST(ThreadPool, SerialPoolRunsInlineInOrder)
+{
+    mu::ThreadPool pool(1);
+    std::vector<std::size_t> order;
+    auto caller = std::this_thread::get_id();
+    pool.parallelFor(5, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    mu::ThreadPool pool(4);
+    constexpr std::size_t kN = 200;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallelFor(kN,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    mu::ThreadPool pool(3);
+    for (int round = 0; round < 10; ++round) {
+        std::atomic<int> sum{0};
+        pool.parallelFor(17, [&](std::size_t i) {
+            sum.fetch_add(static_cast<int>(i));
+        });
+        EXPECT_EQ(sum.load(), 16 * 17 / 2);
+    }
+}
+
+TEST(ThreadPool, PropagatesFirstErrorByIndex)
+{
+    mu::ThreadPool pool(4);
+    for (int round = 0; round < 5; ++round) {
+        try {
+            pool.parallelFor(64, [&](std::size_t i) {
+                if (i == 7 || i == 40)
+                    throw std::runtime_error(
+                        "trial " + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            // Smallest failing index wins regardless of which worker
+            // hit its error first — the propagated error must be as
+            // deterministic as the results.
+            EXPECT_STREQ(e.what(), "trial 7");
+        }
+        // Pool stays usable after a failed batch.
+        std::atomic<int> ran{0};
+        pool.parallelFor(8, [&](std::size_t) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 8);
+    }
+}
+
+TEST(ThreadPool, ZeroAndOneIndexBatches)
+{
+    mu::ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------------------
+// Grant-budget ledger (regression: gate/debit mismatch)
+// ---------------------------------------------------------------
+
+TEST(BudgetGate, GateAndDebitUseTheSameQuantity)
+{
+    // Regression for the stash/savings mismatch: the old gate
+    // admitted a flip when the budget covered one *stash* instance,
+    // then deducted the full *savings* (stash x in-flight versions),
+    // masked with std::min so the ledger silently pinned at the
+    // budget floor.  With stash < budget < savings the flip was
+    // admitted even though the grants could not absorb it.
+    std::vector<pn::FlipCandidate> flippable = {
+        {0, /*stash=*/1 * mu::kMB, /*savings=*/10 * mu::kMB}};
+    std::map<int, mu::Bytes> budget = {{0, 5 * mu::kMB}};
+
+    auto admitted = pn::admitFlipBatch(flippable, budget, 8);
+    EXPECT_TRUE(admitted.empty());
+    // A rejected flip must not touch the ledger.
+    EXPECT_EQ(budget[0], 5 * mu::kMB);
+}
+
+TEST(BudgetGate, AdmitsAndDebitsFullSavings)
+{
+    std::vector<pn::FlipCandidate> flippable = {
+        {0, 1 * mu::kMB, 4 * mu::kMB},
+        {0, 1 * mu::kMB, 4 * mu::kMB},
+        {0, 1 * mu::kMB, 4 * mu::kMB}};
+    std::map<int, mu::Bytes> budget = {{0, 10 * mu::kMB}};
+
+    auto admitted = pn::admitFlipBatch(flippable, budget, 8);
+    // 10MB of budget absorbs two 4MB flips; the third is gated out
+    // even though its 1MB stash would have fit the 2MB remainder.
+    ASSERT_EQ(admitted.size(), 2u);
+    EXPECT_EQ(admitted[0], 0u);
+    EXPECT_EQ(admitted[1], 1u);
+    EXPECT_EQ(budget[0], 2 * mu::kMB);
+}
+
+TEST(BudgetGate, RespectsBatchSizeAndPerGpuLedgers)
+{
+    std::vector<pn::FlipCandidate> flippable = {
+        {0, mu::kMB, 2 * mu::kMB},
+        {1, mu::kMB, 2 * mu::kMB},
+        {0, mu::kMB, 2 * mu::kMB},
+        {1, mu::kMB, 2 * mu::kMB},
+        {2, mu::kMB, 2 * mu::kMB}};  // GPU2 has no grants at all
+    std::map<int, mu::Bytes> budget = {{0, 10 * mu::kMB},
+                                       {1, 2 * mu::kMB}};
+
+    std::map<int, mu::Bytes> scratch = budget;
+    auto admitted = pn::admitFlipBatch(flippable, scratch, 3);
+    // GPU1's ledger covers one flip; GPU2 has none; the cap of 3
+    // stops the scan after three admissions.
+    ASSERT_EQ(admitted.size(), 3u);
+    EXPECT_EQ(admitted, (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_EQ(scratch[0], 6 * mu::kMB);
+    EXPECT_EQ(scratch[1], 0);
+
+    // Halving the batch admits a strict prefix — the ladder's nested
+    // trials depend on this.
+    std::map<int, mu::Bytes> scratch2 = budget;
+    auto halved = pn::admitFlipBatch(flippable, scratch2, 1);
+    ASSERT_EQ(halved.size(), 1u);
+    EXPECT_EQ(halved[0], 0u);
+}
+
+TEST(BudgetLedger, SumsGrantsPerExporter)
+{
+    std::map<int, std::vector<cp::SpareGrant>> grants;
+    grants[0] = {{1, 3 * mu::kMB}, {2, 4 * mu::kMB}};
+    grants[5] = {{6, 8 * mu::kMB}};
+
+    auto budget = pn::remainingGrantBudget(grants, {});
+    EXPECT_EQ(budget.at(0), 7 * mu::kMB);
+    EXPECT_EQ(budget.at(5), 8 * mu::kMB);
+
+    auto debited = pn::remainingGrantBudget(
+        grants, {{0, 2 * mu::kMB}, {0, 1 * mu::kMB}});
+    EXPECT_EQ(debited.at(0), 4 * mu::kMB);
+    EXPECT_EQ(debited.at(5), 8 * mu::kMB);
+}
+
+TEST(BudgetLedger, ClampsStaleDebitsAtZero)
+{
+    // Regression: when committed flips outweigh the grants (stale
+    // debits after a re-map shrank the grant pool), the reconstructed
+    // budget went negative and poisoned every later gate decision.
+    std::map<int, std::vector<cp::SpareGrant>> grants;
+    grants[0] = {{1, 5 * mu::kMB}};
+
+    auto budget = pn::remainingGrantBudget(
+        grants, {{0, 9 * mu::kMB}, {3, mu::kMB}});
+    EXPECT_EQ(budget.at(0), 0);
+    EXPECT_EQ(budget.count(3), 0u);  // debit w/o grants: ignored
+
+    // A zeroed ledger must gate out every further flip instead of
+    // "admitting" against negative room.
+    std::vector<pn::FlipCandidate> flippable = {{0, mu::kMB, mu::kMB}};
+    auto admitted = pn::admitFlipBatch(flippable, budget, 8);
+    EXPECT_TRUE(admitted.empty());
+}
+
+// ---------------------------------------------------------------
+// SearchDriver
+// ---------------------------------------------------------------
+
+namespace {
+
+struct Job
+{
+    hw::Topology topo = hw::Topology::dgx1V100();
+    mm::TransformerModel mdl;
+    mp::Partition part;
+    pl::Schedule sched;
+
+    explicit Job(const std::string &preset, int minibatches = 2)
+        : mdl(mm::presetByName(preset), 12),
+          part(mp::partitionModel(mdl, 8,
+                                  mp::Strategy::ComputeBalanced)),
+          sched(pl::buildSchedule(pl::SystemKind::PipeDream, 8, 1,
+                                  minibatches))
+    {}
+};
+
+cp::CompactionPlan
+recomputeAll(const mp::Partition &part)
+{
+    cp::CompactionPlan plan;
+    for (const auto &stage : part.stages) {
+        for (std::size_t l = stage.firstLayer; l <= stage.lastLayer;
+             ++l)
+            plan.activations[{stage.index, static_cast<int>(l)}] =
+                cp::Kind::Recompute;
+    }
+    return plan;
+}
+
+cp::CompactionPlan
+swapAll(const mp::Partition &part)
+{
+    cp::CompactionPlan plan;
+    for (const auto &stage : part.stages) {
+        for (std::size_t l = stage.firstLayer; l <= stage.lastLayer;
+             ++l)
+            plan.activations[{stage.index, static_cast<int>(l)}] =
+                cp::Kind::GpuCpuSwap;
+    }
+    return plan;
+}
+
+} // namespace
+
+TEST(SearchDriver, ParallelEvaluationMatchesSerial)
+{
+    // 24 in-flight minibatches: PipeDream weight stashing pushes the
+    // uncompacted plan over capacity, so trial 0 exercises the OOM
+    // path while the compacted trials survive.
+    Job job("bert-1.67b", 24);
+    std::vector<cp::CompactionPlan> trials = {
+        {}, recomputeAll(job.part), swapAll(job.part)};
+
+    mu::ThreadPool serial(1);
+    pn::SearchDriver sdrv(job.topo, job.mdl, job.part, job.sched, {},
+                          serial);
+    auto a = sdrv.evaluate(trials);
+
+    mu::ThreadPool pool(4);
+    pn::SearchDriver pdrv(job.topo, job.mdl, job.part, job.sched, {},
+                          pool);
+    auto b = pdrv.evaluate(trials);
+
+    ASSERT_EQ(a.size(), trials.size());
+    ASSERT_EQ(b.size(), trials.size());
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+        EXPECT_EQ(a[i].report.oom, b[i].report.oom) << i;
+        EXPECT_EQ(a[i].report.makespan, b[i].report.makespan) << i;
+        EXPECT_EQ(a[i].report.samplesPerSec,
+                  b[i].report.samplesPerSec)
+            << i;
+        EXPECT_EQ(a[i].verified, b[i].verified) << i;
+    }
+    // Outcomes are positional: trial 0 (no compaction) OOMs on this
+    // model while the compacted trials survive.
+    EXPECT_TRUE(a[0].report.oom);
+    EXPECT_FALSE(a[1].report.oom);
+    EXPECT_FALSE(a[2].report.oom);
+}
+
+TEST(SearchDriver, PickBestUsesFixedTieBreak)
+{
+    auto outcome = [](bool oom, bool verified, double sps) {
+        pn::TrialOutcome o;
+        o.report.oom = oom;
+        o.report.samplesPerSec = sps;
+        o.verified = verified;
+        return o;
+    };
+
+    std::vector<pn::TrialOutcome> outcomes = {
+        outcome(false, true, 10.0),   // accepted
+        outcome(false, true, 12.0),   // accepted, best
+        outcome(false, true, 12.0),   // exact tie -> lower index wins
+        outcome(false, false, 99.0),  // fails verification
+        outcome(true, true, 99.0),    // OOM
+    };
+    EXPECT_EQ(pn::SearchDriver::pickBest(outcomes, 5.0, 0.0), 1);
+
+    // Baseline + margin filters the field.
+    EXPECT_EQ(pn::SearchDriver::pickBest(outcomes, 11.0, 0.1), -1);
+    EXPECT_EQ(pn::SearchDriver::pickBest(outcomes, 11.0, 0.05), 1);
+
+    // Nothing accepted -> -1.
+    EXPECT_EQ(pn::SearchDriver::pickBest({}, 1.0, 0.0), -1);
+}
+
+TEST(SearchDriver, PlannerThreadCountDoesNotChangeThePlan)
+{
+    // The tentpole's determinism contract, at the planner level: the
+    // serialized plan is byte-identical at any thread count.
+    Job job("bert-1.67b");
+    auto plan_text = [&](int threads) {
+        pn::PlannerConfig cfg;
+        cfg.threads = threads;
+        auto result = pn::planMPress(job.topo, job.mdl, job.part,
+                                     job.sched, cfg);
+        EXPECT_TRUE(result.feasible);
+        return cp::planToText(result.plan);
+    };
+    auto serial = plan_text(1);
+    EXPECT_EQ(serial, plan_text(4));
+    EXPECT_EQ(serial, plan_text(3));
+}

@@ -10,6 +10,7 @@
 #include <limits>
 #include <sstream>
 
+#include "util/json.hh"
 #include "util/random.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -147,5 +148,72 @@ TEST(Random, BoundsRespected)
         double d = rng.nextDouble();
         EXPECT_GE(d, 0.0);
         EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(JsonParse, DocumentTreeWithMemberOrder)
+{
+    auto doc = mu::jsonParse(
+        "{\"b\": 1, \"a\": [true, null, -2.5e1, \"x\"],"
+        " \"nested\": {\"k\": \"v\"}}");
+    ASSERT_TRUE(doc.ok) << doc.error;
+    ASSERT_TRUE(doc.value.isObject());
+    ASSERT_EQ(doc.value.members().size(), 3u);
+    // Source order is preserved, not sorted.
+    EXPECT_EQ(doc.value.members()[0].first, "b");
+    EXPECT_EQ(doc.value.members()[1].first, "a");
+
+    const auto *arr = doc.value.find("a");
+    ASSERT_NE(arr, nullptr);
+    ASSERT_TRUE(arr->isArray());
+    ASSERT_EQ(arr->items().size(), 4u);
+    EXPECT_TRUE(arr->items()[0].boolean());
+    EXPECT_TRUE(arr->items()[1].isNull());
+    EXPECT_EQ(arr->items()[2].number(), -25.0);
+    EXPECT_EQ(arr->items()[3].str(), "x");
+
+    const auto *nested = doc.value.find("nested");
+    ASSERT_NE(nested, nullptr);
+    EXPECT_EQ(nested->stringOr("k", ""), "v");
+    EXPECT_EQ(nested->stringOr("missing", "dflt"), "dflt");
+    EXPECT_EQ(nested->numberOr("k", 7.0), 7.0);  // wrong type
+    EXPECT_EQ(doc.value.numberOr("b", 0.0), 1.0);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    auto doc = mu::jsonParse(
+        "\"a\\\"b\\\\c\\/d\\n\\t\\u0041\\u00e9\"");
+    ASSERT_TRUE(doc.ok) << doc.error;
+    EXPECT_EQ(doc.value.str(), "a\"b\\c/d\n\tA\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    EXPECT_FALSE(mu::jsonParse("").ok);
+    EXPECT_FALSE(mu::jsonParse("{\"a\": 1,}").ok);
+    EXPECT_FALSE(mu::jsonParse("[1, 2").ok);
+    EXPECT_FALSE(mu::jsonParse("{\"a\" 1}").ok);
+    EXPECT_FALSE(mu::jsonParse("nul").ok);
+    EXPECT_FALSE(mu::jsonParse("1 2").ok);  // trailing garbage
+    auto bad = mu::jsonParse("[1, }");
+    EXPECT_FALSE(bad.ok);
+    EXPECT_FALSE(bad.error.empty());
+}
+
+TEST(JsonParse, AgreesWithTheValidator)
+{
+    const char *cases[] = {"{}", "[]", "[[]]", "{\"a\":{}}", "3.25",
+                           "\"s\"", "true", "null",
+                           "{\"a\":1e400}",  // overflow
+                           "{\"a\":01}", "[,]", "tru"};
+    for (const char *text : cases) {
+        bool valid = mu::jsonParseable(text);
+        auto doc = mu::jsonParse(text);
+        // jsonParse may additionally reject numeric overflow, but
+        // must never accept what the validator rejects.
+        if (!valid) {
+            EXPECT_FALSE(doc.ok) << text;
+        }
     }
 }

@@ -1,26 +1,34 @@
 #!/usr/bin/env bash
-# Full local gate: plain build + tests, sanitizer build + tests, and
+# Full local gate: plain build + tests, sanitizer builds + tests
+# (ASan+UBSan, then TSan over the concurrency-relevant suites), and
 # (when a clang-tidy binary exists) lint over the source tree.
 #
-# Usage: tools/check.sh [--no-tidy] [--no-asan]
+# Usage: tools/check.sh [--no-tidy] [--no-asan] [--no-tsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tidy=1
 run_asan=1
+run_tsan=1
 for arg in "$@"; do
     case "$arg" in
     --no-tidy) run_tidy=0 ;;
     --no-asan) run_asan=0 ;;
+    --no-tsan) run_tsan=0 ;;
     *)
-        echo "usage: tools/check.sh [--no-tidy] [--no-asan]" >&2
+        echo "usage: tools/check.sh [--no-tidy] [--no-asan]" \
+             "[--no-tsan]" >&2
         exit 1
         ;;
     esac
 done
 
 jobs=$(nproc 2>/dev/null || echo 2)
+
+smoke=""
+sweep=""
+trap 'rm -rf "$smoke" "$sweep"' EXIT
 
 echo "== plain build =="
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -35,7 +43,6 @@ if [ "$run_asan" = 1 ]; then
 
     echo "== trace/metrics export smoke =="
     smoke=$(mktemp -d)
-    trap 'rm -rf "$smoke"' EXIT
     ./build-asan/examples/mpress_cli \
         --timeline "$smoke/trace.json" \
         --metrics "$smoke/metrics.json" >/dev/null
@@ -52,6 +59,42 @@ assert metrics["utilization"], "no utilization channels"
 print("trace: %d events; metrics: %d GPUs, %d channels"
       % (len(events), len(metrics["memory"]),
          len(metrics["utilization"])))
+EOF
+fi
+
+if [ "$run_tsan" = 1 ]; then
+    echo "== sanitizer build (TSan) =="
+    # The race-relevant surface: the thread pool, the planner's
+    # parallel trial search, the executor it drives concurrently and
+    # the determinism suite that exercises threads=1 vs threads=4.
+    cmake -B build-tsan -S . -DMPRESS_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$jobs"
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+        -R 'ThreadPool|SearchDriver|BudgetGate|BudgetLedger|Determinism|Planner|Runtime'
+
+    echo "== sweep smoke (TSan) =="
+    sweep=$(mktemp -d)
+    cat >"$sweep/spec.json" <<'EOF'
+{ "scenarios": [
+  {"model": "bert-0.64b", "strategy": "recompute", "minibatches": 2},
+  {"model": "bert-0.64b", "strategy": "gpu-cpu-swap", "minibatches": 2},
+  {"model": "bert-1.67b", "strategy": "mpress", "minibatches": 2}
+] }
+EOF
+    ./build-tsan/examples/mpress_cli --sweep "$sweep/spec.json" \
+        --threads 4 --sweep-csv "$sweep/rows.csv" \
+        >"$sweep/rows.json"
+    python3 - "$sweep" <<'EOF'
+import json, sys
+d = sys.argv[1]
+rows = json.load(open(d + "/rows.json"))["rows"]
+assert len(rows) == 3, rows
+csv = open(d + "/rows.csv").read().splitlines()
+assert len(csv) == 4, csv
+# Rows keep spec order regardless of worker completion order.
+assert [r["model"] for r in rows] == \
+    ["bert-0.64b", "bert-0.64b", "bert-1.67b"]
+print("sweep: %d scenarios ok" % len(rows))
 EOF
 fi
 
