@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Fault-resilience harness: what the degradation ladder buys and
+ * what injected faults cost.
+ *
+ * The paper evaluates MPress on healthy hardware; this harness probes
+ * the simulator's resilience extensions instead.  Three views:
+ *  (a) end-to-end throughput of a Bert-1.67B MPress session under
+ *      each fault kind, normalized to the healthy run, with the
+ *      ladder's counters alongside;
+ *  (b) the ladder's existence proof — a D2D-only job whose inter-GPU
+ *      swap path is killed outright completes via the GPU-CPU-swap
+ *      fallback, while the same run with the ladder disabled OOMs;
+ *  (c) a robustness matrix over one plan: per-scenario throughput
+ *      ratios reduced to deterministic nearest-rank percentiles.
+ */
+
+#include "bench/common.hh"
+
+#include "fault/scenario.hh"
+#include "partition/partition.hh"
+#include "pipeline/schedule.hh"
+#include "planner/search.hh"
+#include "util/pool.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace ft = mpress::fault;
+namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mp = mpress::partition;
+namespace pl = mpress::pipeline;
+namespace pn = mpress::planner;
+namespace rt = mpress::runtime;
+namespace mu = mpress::util;
+
+namespace {
+
+constexpr mu::Tick kMs = mu::kMsec;
+constexpr mu::Tick kForever = 1000000 * kMs;
+
+ft::FaultEvent
+transferFail(int src, double p, mu::Tick start = 0,
+             mu::Tick end = kForever)
+{
+    ft::FaultEvent e;
+    e.kind = ft::EventKind::TransferFail;
+    e.start = start;
+    e.end = end;
+    e.src = src;
+    e.probability = p;
+    return e;
+}
+
+ft::FaultEvent
+straggle(int gpu, double factor, mu::Tick start = 0,
+         mu::Tick end = kForever)
+{
+    ft::FaultEvent e;
+    e.kind = ft::EventKind::GpuStraggle;
+    e.start = start;
+    e.end = end;
+    e.gpu = gpu;
+    e.factor = factor;
+    return e;
+}
+
+ft::FaultEvent
+linkDegrade(int gpu, double factor, mu::Tick start = 0,
+            mu::Tick end = kForever)
+{
+    ft::FaultEvent e;
+    e.kind = ft::EventKind::LinkDegrade;
+    e.start = start;
+    e.end = end;
+    e.gpu = gpu;
+    e.factor = factor;
+    return e;
+}
+
+ft::FaultEvent
+hostPressure(mu::Bytes bytes, mu::Tick start = 0,
+             mu::Tick end = kForever)
+{
+    ft::FaultEvent e;
+    e.kind = ft::EventKind::HostPressure;
+    e.start = start;
+    e.end = end;
+    e.bytes = bytes;
+    return e;
+}
+
+ft::Scenario
+oneEvent(const std::string &name, const ft::FaultEvent &e)
+{
+    ft::Scenario sc;
+    sc.name = name;
+    sc.seed = 7;
+    sc.events.push_back(e);
+    return sc;
+}
+
+/** Transfer failures on every exporter: hits whichever GPUs the
+ *  planner picked as D2D sources. */
+ft::Scenario
+failEverySource(const std::string &name, double p)
+{
+    ft::Scenario sc;
+    sc.name = name;
+    sc.seed = 7;
+    for (int g = 0; g < 8; ++g)
+        sc.events.push_back(transferFail(g, p));
+    return sc;
+}
+
+/** (a) One MPress session per scenario, healthy run as the yardstick.
+ *  GPT-15.4B is the paper's flagship DGX-1 job and its MPress plan
+ *  leans on all three mechanisms (D2D swap, GPU-CPU swap and
+ *  recompute), so every fault kind has a surface to hit. */
+void
+endToEnd()
+{
+    std::printf("--- (a) GPT-15.4B MPress on DGX-1 under injected"
+                " faults ---\n");
+    auto run = [](const ft::Scenario *sc) {
+        auto cfg =
+            bench::gptJob("gpt-15.4b", api::Strategy::MPressFull);
+        cfg.executor.faults = sc;
+        return api::runSession(hw::Topology::dgx1V100(), cfg);
+    };
+    auto healthy = run(nullptr);
+    double base = healthy.oom ? 0.0 : healthy.report.samplesPerSec;
+
+    std::vector<ft::Scenario> scenarios = {
+        failEverySource("flaky d2d (p=0.4, any gpu)", 0.4),
+        failEverySource("dead d2d (p=1, any gpu)", 1.0),
+        oneEvent("straggler (gpu1 at 0.5x)", straggle(1, 0.5)),
+        oneEvent("pcie degrade (gpu0 at 0.25x)",
+                 linkDegrade(0, 0.25)),
+        oneEvent("host pressure (-400 GB)",
+                 hostPressure(400 * mu::kGB)),
+    };
+
+    mu::TextTable table({"scenario", "samples/s", "normalized",
+                         "fail", "retry", "fallback", "straggled"});
+    table.addRow({"healthy", mu::strformat("%.1f", base), "1.00x",
+                  "0", "0", "0", "0"});
+    for (const auto &sc : scenarios) {
+        auto result = run(&sc);
+        const auto &f = result.report.faults;
+        std::string rate =
+            result.oom ? "OOM"
+                       : mu::strformat("%.1f",
+                                       result.report.samplesPerSec);
+        std::string norm =
+            (result.oom || base <= 0)
+                ? "-"
+                : mu::strformat(
+                      "%.2fx", result.report.samplesPerSec / base);
+        table.addRow(
+            {sc.name, rate, norm,
+             mu::strformat("%d", f.transferFailures),
+             mu::strformat("%d", f.retries),
+             mu::strformat("%d", f.fallbackGpuCpuSwap +
+                                     f.fallbackRecompute),
+             mu::strformat("%d", f.straggledTasks)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+/** (b) Ladder on vs. off when the D2D path is killed outright. */
+void
+ladderProof()
+{
+    std::printf("--- (b) degradation ladder: Bert-1.67B D2D-only"
+                " (mb=6), every stripe from GPU0 fails ---\n");
+    auto scenario = oneEvent("dead d2d", transferFail(0, 1.0));
+    auto run = [&](bool ladder) {
+        auto cfg =
+            bench::bertJob("bert-1.67b", api::Strategy::D2dOnly);
+        cfg.microbatch = 6;  // default 12 does not fit D2D-only
+        cfg.executor.faults = &scenario;
+        cfg.executor.faultLadder = ladder;
+        return api::runSession(hw::Topology::dgx1V100(), cfg);
+    };
+    mu::TextTable table(
+        {"configuration", "outcome", "fallbacks", "host swap"});
+    for (bool ladder : {true, false}) {
+        auto result = run(ladder);
+        const auto &f = result.report.faults;
+        table.addRow(
+            {ladder ? "ladder on" : "ladder off",
+             result.oom
+                 ? "OOM"
+                 : mu::strformat("%.1f samples/s",
+                                 result.report.samplesPerSec),
+             mu::strformat("%d", f.fallbackGpuCpuSwap),
+             mu::strformat(
+                 "%.1f GB",
+                 static_cast<double>(
+                     result.report.savings.gpuCpuSwap) /
+                     static_cast<double>(mu::kGB))});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+/** (c) Robustness matrix: one plan replayed across scenarios. */
+void
+robustnessMatrix()
+{
+    std::printf("--- (c) robustness matrix: Bert-1.67B MPress plan"
+                " across a scenario matrix ---\n");
+    auto cfg =
+        bench::bertJob("bert-1.67b", api::Strategy::MPressFull);
+    auto topo = hw::Topology::dgx1V100();
+    auto session = api::runSession(topo, cfg);
+    if (session.oom) {
+        std::printf("planner rejected the job; nothing to replay\n");
+        return;
+    }
+
+    mm::TransformerModel mdl(cfg.model, cfg.microbatch);
+    auto part = mp::partitionModel(mdl, cfg.numStages, cfg.partition);
+    auto sched = pl::buildSchedule(cfg.system, cfg.numStages,
+                                   cfg.microbatchesPerMinibatch,
+                                   cfg.minibatches);
+
+    std::vector<ft::Scenario> scenarios = {
+        oneEvent("calm", straggle(7, 0.95, 0, 100 * kMs)),
+        failEverySource("flaky-d2d", 0.5),
+        oneEvent("straggler", straggle(0, 0.5)),
+        oneEvent("slow-pcie", linkDegrade(0, 0.5)),
+        oneEvent("host-squeeze", hostPressure(300 * mu::kGB)),
+    };
+
+    mu::ThreadPool pool(4);
+    pn::SearchDriver driver(topo, mdl, part, sched, cfg.executor,
+                            pool);
+    auto rb = driver.evaluateRobustness(session.plan, scenarios);
+
+    mu::TextTable table({"scenario", "samples/s", "ratio"});
+    table.addRow({"baseline (fault-free)",
+                  mu::strformat("%.1f", rb.baseline.samplesPerSec),
+                  "1.00x"});
+    for (const auto &row : rb.rows) {
+        table.addRow(
+            {row.scenario,
+             row.report.oom
+                 ? "OOM"
+                 : mu::strformat("%.1f", row.report.samplesPerSec),
+             mu::strformat("%.2fx", row.throughputRatio)});
+    }
+    table.print(std::cout);
+    std::printf("percentiles: worst %.2fx, p10 %.2fx, p50 %.2fx\n",
+                rb.worst, rb.p10, rb.p50);
+}
+
+} // namespace
+
+int
+main()
+{
+    endToEnd();
+    ladderProof();
+    robustnessMatrix();
+    return 0;
+}

@@ -28,6 +28,34 @@
  *     --metrics <file>        write the observability bundle as JSON
  *                             (metrics, per-GPU memory timelines,
  *                             per-stream utilization)
+ *     --faults <spec.json>    inject a fault scenario into the run
+ *                             (see below); the scenario is statically
+ *                             verified against the topology first and
+ *                             rejected (exit 3) on errors
+ *     --no-fault-ladder       disable the degradation ladder: an
+ *                             injected transfer failure is terminal
+ *                             instead of retried / demoted
+ *
+ *   Fault spec — {"name","seed","events":[...]} where each event is
+ *     {"type":"link-degrade",  "start_ms","end_ms","src","dst",
+ *      "factor"}                bandwidth multiplier on one NVLink
+ *     {"type":"link-degrade",  "start_ms","end_ms","gpu","factor"}
+ *                               ... or on one GPU's PCIe lanes
+ *     {"type":"transfer-fail", "start_ms","end_ms","src"[,"dst"],
+ *      "probability"}           D2D stripes fail with probability p
+ *     {"type":"gpu-straggle",  "start_ms","end_ms","gpu","factor"}
+ *                               compute slowdown on one GPU
+ *     {"type":"host-pressure", "start_ms","end_ms","bytes_gb"}
+ *                               shrink the pinned-host pool
+ *
+ *   Robustness mode — replay one plan across a scenario matrix:
+ *     --robustness <file>     {"scenarios":[<fault spec>,...]}; plans
+ *                             fault-free, then replays the final plan
+ *                             under every scenario on the --threads
+ *                             pool and prints a JSON report (rows in
+ *                             spec order, nearest-rank percentiles)
+ *     --robustness-out <file> write the JSON report here instead
+ *     --robustness-csv <file> also write the report as CSV
  *
  *   Sweep mode — plan/emulate many configurations in one process:
  *     --sweep <spec.json>     run every scenario in the spec across
@@ -56,18 +84,23 @@
 
 #include "api/session.hh"
 #include "compaction/serialize.hh"
+#include "fault/scenario.hh"
 #include "obs/export.hh"
+#include "planner/search.hh"
 #include "util/json.hh"
 #include "util/pool.hh"
 #include "util/strings.hh"
+#include "verify/verify.hh"
 
 namespace api = mpress::api;
 namespace cp = mpress::compaction;
+namespace ft = mpress::fault;
 namespace hw = mpress::hw;
 namespace mm = mpress::model;
 namespace mu = mpress::util;
 namespace pl = mpress::pipeline;
 namespace rt = mpress::runtime;
+namespace vf = mpress::verify;
 
 namespace {
 
@@ -233,6 +266,74 @@ runSweep(const std::vector<Scenario> &scenarios, int threads)
     return rows;
 }
 
+/** Slurp @p path; exits with @p what in the message on failure. */
+std::string
+readFile(const std::string &path, const char *what)
+{
+    std::ifstream in(path);
+    if (!in)
+        usage(what);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Statically verify @p scenario; prints findings and exits 3 when
+ *  the schedule is rejected. */
+void
+gateScenario(const hw::Topology &topo, const ft::Scenario &scenario)
+{
+    vf::Report report = vf::verifyScenario(topo, scenario);
+    if (!report.clean())
+        std::fputs(report.render().c_str(), stderr);
+    if (!report.ok()) {
+        std::fprintf(stderr,
+                     "fault scenario \"%s\" rejected: %s\n",
+                     scenario.name.c_str(),
+                     report.summary().c_str());
+        std::exit(3);
+    }
+}
+
+/** One-line resilience digest after a fault-injected run. */
+void
+printFaultSummary(const rt::FaultSummary &f)
+{
+    std::printf("faults: %d failed transfers, %d retries,"
+                " %d swap fallbacks, %d recompute fallbacks,"
+                " %d straggled tasks, %d pressure windows\n",
+                f.transferFailures, f.retries, f.fallbackGpuCpuSwap,
+                f.fallbackRecompute, f.straggledTasks,
+                f.hostPressureEvents);
+    std::printf("faults: %d healthy minibatches (%.1f samples/s),"
+                " %d degraded (%.1f samples/s)\n",
+                f.healthyMinibatches, f.healthySamplesPerSec,
+                f.degradedMinibatches, f.degradedSamplesPerSec);
+}
+
+/** Flatten the planner's robustness rows into the exporter shape. */
+std::vector<mpress::obs::RobustnessRow>
+toObsRows(const std::vector<mpress::planner::RobustnessRow> &rows)
+{
+    std::vector<mpress::obs::RobustnessRow> out;
+    out.reserve(rows.size());
+    for (const auto &r : rows) {
+        mpress::obs::RobustnessRow o;
+        o.scenario = r.scenario;
+        o.oom = r.report.oom;
+        o.samplesPerSec = r.report.samplesPerSec;
+        o.throughputRatio = r.throughputRatio;
+        o.transferFailures = r.report.faults.transferFailures;
+        o.retries = r.report.faults.retries;
+        o.fallbackGpuCpuSwap = r.report.faults.fallbackGpuCpuSwap;
+        o.fallbackRecompute = r.report.faults.fallbackRecompute;
+        o.straggledTasks = r.report.faults.straggledTasks;
+        o.hostPressureEvents = r.report.faults.hostPressureEvents;
+        out.push_back(std::move(o));
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -244,9 +345,11 @@ main(int argc, char **argv)
     std::string topology = "dgx1";
     std::string save_plan, load_plan, timeline, metrics;
     std::string sweep, sweep_out, sweep_csv;
+    std::string faults, robustness, robustness_out, robustness_csv;
     std::string verify_mode = "permissive";
     int microbatch = 12, mb_per_mini = 8, minibatches = 2;
     int threads = 1;
+    bool fault_ladder = true;
 
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> std::string {
@@ -286,6 +389,16 @@ main(int argc, char **argv)
             timeline = need("--timeline");
         else if (!std::strcmp(argv[i], "--metrics"))
             metrics = need("--metrics");
+        else if (!std::strcmp(argv[i], "--faults"))
+            faults = need("--faults");
+        else if (!std::strcmp(argv[i], "--no-fault-ladder"))
+            fault_ladder = false;
+        else if (!std::strcmp(argv[i], "--robustness"))
+            robustness = need("--robustness");
+        else if (!std::strcmp(argv[i], "--robustness-out"))
+            robustness_out = need("--robustness-out");
+        else if (!std::strcmp(argv[i], "--robustness-csv"))
+            robustness_csv = need("--robustness-csv");
         else
             usage("unknown option");
     }
@@ -333,6 +446,90 @@ main(int argc, char **argv)
     cfg.planner.threads = threads;
     cfg.executor.recordTimeline = !timeline.empty();
     cfg.executor.recordMetrics = !metrics.empty();
+    cfg.executor.faultLadder = fault_ladder;
+
+    // The scenario must outlive every executor that reads it
+    // (ExecutorConfig::faults is non-owning).
+    ft::Scenario scenario;
+    if (!faults.empty()) {
+        if (!robustness.empty())
+            usage("--faults and --robustness are exclusive");
+        ft::ParsedScenario parsed = ft::parseScenario(
+            readFile(faults, "cannot read --faults file"));
+        if (!parsed.ok) {
+            std::fprintf(stderr, "mpress_cli: bad fault spec: %s\n",
+                         parsed.error.c_str());
+            return 1;
+        }
+        scenario = parsed.scenario;
+        gateScenario(topo, scenario);
+        cfg.executor.faults = &scenario;
+    }
+
+    if (!robustness.empty()) {
+        if (cfg.strategy == api::Strategy::ZeroOffload ||
+            cfg.strategy == api::Strategy::ZeroInfinity)
+            usage("--robustness needs a pipeline strategy");
+        ft::ParsedScenarioMatrix matrix = ft::parseScenarioMatrix(
+            readFile(robustness, "cannot read --robustness file"));
+        if (!matrix.ok) {
+            std::fprintf(stderr,
+                         "mpress_cli: bad robustness spec: %s\n",
+                         matrix.error.c_str());
+            return 1;
+        }
+        if (matrix.scenarios.empty())
+            usage("robustness spec has no scenarios");
+        for (const auto &s : matrix.scenarios)
+            gateScenario(topo, s);
+
+        // Plan (and baseline) fault-free, then replay the finished
+        // plan under every scenario across the pool.
+        api::MPressSession session(topo, cfg);
+        api::SessionResult planned = session.run();
+        if (planned.rejected) {
+            std::fputs(planned.verification.render().c_str(),
+                       stderr);
+            return 3;
+        }
+        mu::ThreadPool pool(threads);
+        mpress::planner::SearchDriver driver(
+            topo, session.model(), session.partition(),
+            session.schedule(), cfg.executor, pool);
+        mpress::planner::RobustnessResult rr =
+            driver.evaluateRobustness(planned.plan,
+                                      matrix.scenarios);
+
+        mpress::obs::RobustnessSummary summary;
+        summary.baselineSamplesPerSec = rr.baseline.samplesPerSec;
+        summary.worst = rr.worst;
+        summary.p10 = rr.p10;
+        summary.p50 = rr.p50;
+        auto rows = toObsRows(rr.rows);
+        if (!robustness_csv.empty()) {
+            std::ofstream out(robustness_csv);
+            mpress::obs::exportRobustnessCsv(out, rows);
+            std::fprintf(stderr, "robustness CSV written to %s\n",
+                         robustness_csv.c_str());
+        }
+        if (!robustness_out.empty()) {
+            std::ofstream out(robustness_out);
+            mpress::obs::exportRobustnessJson(out, summary, rows);
+            out << "\n";
+            std::fprintf(stderr, "robustness report written to %s\n",
+                         robustness_out.c_str());
+        } else {
+            std::stringstream report;
+            mpress::obs::exportRobustnessJson(report, summary, rows);
+            std::printf("%s\n", report.str().c_str());
+        }
+        std::fprintf(stderr,
+                     "robustness over %zu scenarios: worst %.2f,"
+                     " p10 %.2f, p50 %.2f of baseline\n",
+                     matrix.scenarios.size(), rr.worst, rr.p10,
+                     rr.p50);
+        return 0;
+    }
 
     api::SessionResult result;
     if (!load_plan.empty()) {
@@ -383,11 +580,15 @@ main(int argc, char **argv)
                 topo.name().c_str());
     if (result.oom) {
         std::printf("OOM (gpu %d)\n", result.report.oomGpu);
+        if (result.report.faults.enabled)
+            printFaultSummary(result.report.faults);
         return 2;
     }
     std::printf("%.1f samples/s, %.1f TFLOPS, max GPU peak %s\n",
                 result.samplesPerSec, result.tflops,
                 mu::formatBytes(result.maxGpuPeak).c_str());
+    if (result.report.faults.enabled)
+        printFaultSummary(result.report.faults);
 
     if (!save_plan.empty()) {
         std::ofstream out(save_plan);

@@ -120,7 +120,17 @@ MPressSession::run() const
     switch (_cfg.strategy) {
       case Strategy::D2dOnly:
       case Strategy::MPressFull:
-        result.report = result.planResult.finalReport;
+        if (_cfg.executor.faults != nullptr) {
+            // Planning always emulates fault-free (SearchDriver
+            // strips ExecutorConfig::faults), so the planner's final
+            // report never saw the scenario.  Replay the finished
+            // plan under injection to get the degraded report.
+            result.report = runtime::runTraining(_topo, _mdl, _part,
+                                                 _sched, result.plan,
+                                                 _cfg.executor);
+        } else {
+            result.report = result.planResult.finalReport;
+        }
         break;
       default:
         result.report = runtime::runTraining(_topo, _mdl, _part,

@@ -73,6 +73,9 @@ struct SessionConfig
         partition::Strategy::ComputeBalanced;
     Strategy strategy = Strategy::None;
 
+    /** Executor tunables.  When executor.faults names a scenario, the
+     *  planner strategies still plan fault-free and the finished plan
+     *  is replayed under injection for the reported run. */
     runtime::ExecutorConfig executor;
     planner::PlannerConfig planner;
     baselines::ZeroConfig zero;  ///< variant field is overridden

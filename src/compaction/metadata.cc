@@ -67,5 +67,12 @@ SwapMetadataTable::complete(InstanceKey key)
     _records.erase(key);
 }
 
+void
+SwapMetadataTable::abort(InstanceKey key)
+{
+    require(key);
+    _records.erase(key);
+}
+
 } // namespace compaction
 } // namespace mpress

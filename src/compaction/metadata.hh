@@ -81,6 +81,13 @@ class SwapMetadataTable
     /** Retire a record once the swap-in lands; panics if absent. */
     void complete(InstanceKey key);
 
+    /**
+     * Drop a record whose swap-out was undone (the fault ladder
+     * demoting a failed D2D swap to another kind re-registers the
+     * instance under the fallback kind); panics if absent.
+     */
+    void abort(InstanceKey key);
+
     std::size_t size() const { return _records.size(); }
     bool empty() const { return _records.empty(); }
 

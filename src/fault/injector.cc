@@ -1,0 +1,79 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+
+namespace mpress {
+namespace fault {
+
+bool
+Injector::windowActive(const FaultEvent &e) const
+{
+    const Tick now = _engine.now();
+    return e.start <= now && now < e.end;
+}
+
+double
+Injector::computeStretch(int gpu) const
+{
+    double stretch = 1.0;
+    for (const auto &e : _scenario.events) {
+        if (e.kind != EventKind::GpuStraggle || e.gpu != gpu)
+            continue;
+        if (!windowActive(e) || e.factor <= 0.0)
+            continue;
+        stretch *= 1.0 / e.factor;
+    }
+    return stretch;
+}
+
+double
+Injector::transferStretch(hw::FabricResource res, int a, int b) const
+{
+    const bool nvlink = res == hw::FabricResource::NvlinkEgress ||
+                        res == hw::FabricResource::NvlinkIngress;
+    const bool pcie = res == hw::FabricResource::PcieH2D ||
+                      res == hw::FabricResource::PcieD2H;
+    double stretch = 1.0;
+    for (const auto &e : _scenario.events) {
+        if (e.kind != EventKind::LinkDegrade)
+            continue;
+        if (!windowActive(e) || e.factor <= 0.0)
+            continue;
+        if (e.gpu >= 0) {
+            // PCIe degrade on one GPU's link (both directions).
+            if (!pcie || a != e.gpu)
+                continue;
+        } else {
+            // NVLink degrade on an unordered GPU pair.
+            if (!nvlink)
+                continue;
+            const bool match = (a == e.src && b == e.dst) ||
+                               (a == e.dst && b == e.src);
+            if (!match)
+                continue;
+        }
+        stretch *= 1.0 / e.factor;
+    }
+    return stretch;
+}
+
+bool
+Injector::failsD2dStripe(int src, int dst)
+{
+    double p = 0.0;
+    for (const auto &e : _scenario.events) {
+        if (e.kind != EventKind::TransferFail)
+            continue;
+        if (!windowActive(e))
+            continue;
+        if (e.src != src || (e.dst >= 0 && e.dst != dst))
+            continue;
+        p = std::max(p, e.probability);
+    }
+    if (p <= 0.0)
+        return false;
+    return _rng.nextDouble() < p;
+}
+
+} // namespace fault
+} // namespace mpress

@@ -1,0 +1,196 @@
+#include "fault/scenario.hh"
+
+#include <cmath>
+
+#include "util/json.hh"
+#include "util/strings.hh"
+
+namespace mpress {
+namespace fault {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::LinkDegrade:
+        return "link-degrade";
+      case EventKind::TransferFail:
+        return "transfer-fail";
+      case EventKind::GpuStraggle:
+        return "gpu-straggle";
+      case EventKind::HostPressure:
+        return "host-pressure";
+    }
+    return "?";
+}
+
+int
+Scenario::countOf(EventKind kind) const
+{
+    int n = 0;
+    for (const auto &e : events)
+        n += e.kind == kind ? 1 : 0;
+    return n;
+}
+
+namespace {
+
+bool
+kindFromName(const std::string &name, EventKind *out)
+{
+    for (EventKind k :
+         {EventKind::LinkDegrade, EventKind::TransferFail,
+          EventKind::GpuStraggle, EventKind::HostPressure}) {
+        if (name == eventKindName(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Millisecond JSON field -> Tick; NaN-safe truncation. */
+Tick
+msToTick(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(util::kMsec));
+}
+
+/** Parse one event object; returns false and sets *error on a shape
+ *  problem.  Semantic checks live in mpress::verify. */
+bool
+parseEvent(const util::JsonValue &v, std::size_t index,
+           FaultEvent *out, std::string *error)
+{
+    auto fail = [&](const char *why) {
+        *error = util::strformat("events[%zu]: %s", index, why);
+        return false;
+    };
+    if (!v.isObject())
+        return fail("not an object");
+
+    const util::JsonValue *type = v.find("type");
+    if (type == nullptr || !type->isString())
+        return fail("missing string field \"type\"");
+    FaultEvent e;
+    if (!kindFromName(type->str(), &e.kind))
+        return fail("unknown event type");
+
+    const util::JsonValue *start = v.find("start_ms");
+    const util::JsonValue *end = v.find("end_ms");
+    if (start == nullptr || !start->isNumber())
+        return fail("missing numeric field \"start_ms\"");
+    if (end == nullptr || !end->isNumber())
+        return fail("missing numeric field \"end_ms\"");
+    e.start = msToTick(start->number());
+    e.end = msToTick(end->number());
+
+    // Numeric fields shared across kinds; all optional here.  A field
+    // that is present but not a number is a shape error.
+    for (const char *key : {"gpu", "src", "dst", "factor",
+                            "probability", "bytes_gb", "bytes"}) {
+        const util::JsonValue *f = v.find(key);
+        if (f != nullptr && !f->isNumber())
+            return fail("non-numeric endpoint or value field");
+    }
+    e.gpu = static_cast<int>(v.numberOr("gpu", -1));
+    e.src = static_cast<int>(v.numberOr("src", -1));
+    e.dst = static_cast<int>(v.numberOr("dst", -1));
+    e.factor = v.numberOr("factor", 1.0);
+    e.probability = v.numberOr("probability", 1.0);
+    if (v.find("bytes_gb") != nullptr) {
+        e.bytes = static_cast<Bytes>(
+            v.numberOr("bytes_gb", 0.0) *
+            static_cast<double>(util::kGB));
+    } else {
+        e.bytes = static_cast<Bytes>(v.numberOr("bytes", 0.0));
+    }
+    *out = e;
+    return true;
+}
+
+bool
+scenarioFromValue(const util::JsonValue &v, Scenario *out,
+                  std::string *error)
+{
+    if (!v.isObject()) {
+        *error = "scenario is not a JSON object";
+        return false;
+    }
+    Scenario sc;
+    sc.name = v.stringOr("name", "faults");
+    sc.seed = static_cast<std::uint64_t>(v.numberOr("seed", 1.0));
+    const util::JsonValue *events = v.find("events");
+    if (events == nullptr || !events->isArray()) {
+        *error = "missing array field \"events\"";
+        return false;
+    }
+    for (std::size_t i = 0; i < events->items().size(); ++i) {
+        FaultEvent e;
+        if (!parseEvent(events->items()[i], i, &e, error))
+            return false;
+        sc.events.push_back(e);
+    }
+    *out = std::move(sc);
+    return true;
+}
+
+} // namespace
+
+ParsedScenario
+parseScenario(const std::string &text)
+{
+    ParsedScenario result;
+    util::ParsedJson doc = util::jsonParse(text);
+    if (!doc.ok) {
+        result.error = doc.error;
+        return result;
+    }
+    result.ok =
+        scenarioFromValue(doc.value, &result.scenario, &result.error);
+    return result;
+}
+
+ParsedScenarioMatrix
+parseScenarioMatrix(const std::string &text)
+{
+    ParsedScenarioMatrix result;
+    util::ParsedJson doc = util::jsonParse(text);
+    if (!doc.ok) {
+        result.error = doc.error;
+        return result;
+    }
+    const util::JsonValue *list = doc.value.find("scenarios");
+    if (list == nullptr) {
+        // A single scenario object is a matrix of one.
+        Scenario sc;
+        if (!scenarioFromValue(doc.value, &sc, &result.error))
+            return result;
+        result.scenarios.push_back(std::move(sc));
+        result.ok = true;
+        return result;
+    }
+    if (!list->isArray()) {
+        result.error = "\"scenarios\" is not an array";
+        return result;
+    }
+    if (list->items().empty()) {
+        result.error = "\"scenarios\" is empty";
+        return result;
+    }
+    for (std::size_t i = 0; i < list->items().size(); ++i) {
+        Scenario sc;
+        std::string err;
+        if (!scenarioFromValue(list->items()[i], &sc, &err)) {
+            result.error =
+                util::strformat("scenarios[%zu]: %s", i, err.c_str());
+            return result;
+        }
+        result.scenarios.push_back(std::move(sc));
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace fault
+} // namespace mpress

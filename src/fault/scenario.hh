@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Fault scenarios: deterministic, seeded descriptions of transient
+ * hardware degradation injected into the discrete-event simulation.
+ *
+ * The paper's emulator-feedback loop (Sec. III-D) corrects *static*
+ * imbalance; a Scenario models the *dynamic* failures a production
+ * run sees — a flapping NVLink lane, a straggler GPU, host-DRAM
+ * pressure shrinking the swap budget mid-run, a D2D stripe that has
+ * to be re-issued.  Scenarios are plain data parsed from JSON
+ * (util::jsonParse) and replayed from a seeded PRNG, so a faulted
+ * run is exactly as reproducible as a healthy one.
+ */
+
+#ifndef MPRESS_FAULT_SCENARIO_HH
+#define MPRESS_FAULT_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace mpress {
+namespace fault {
+
+using util::Bytes;
+using util::Tick;
+
+/** The typed faults a scenario can schedule. */
+enum class EventKind
+{
+    LinkDegrade,   ///< bandwidth multiplier on one link in a window
+    TransferFail,  ///< D2D swap stripes fail and must be re-issued
+    GpuStraggle,   ///< compute-stream slowdown on one GPU
+    HostPressure,  ///< CPU-swap budget shrinks during the window
+};
+
+/** Display name for @p kind ("link-degrade", ...). */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One scheduled fault.  Which endpoint fields are meaningful depends
+ * on the kind:
+ *
+ *  - LinkDegrade: either an NVLink pair (src, dst) or, with gpu >= 0,
+ *    that GPU's PCIe link.  `factor` scales the effective bandwidth
+ *    (0.25 = quarter speed).
+ *  - TransferFail: D2D stripes leaving `src` (and, when dst >= 0,
+ *    only those headed to `dst`) fail with `probability` while the
+ *    window is active.
+ *  - GpuStraggle: compute on `gpu` runs at `factor` of nominal speed.
+ *  - HostPressure: `bytes` of pinned host memory become unavailable
+ *    for swaps while the window is active.
+ */
+struct FaultEvent
+{
+    EventKind kind = EventKind::LinkDegrade;
+    Tick start = 0;  ///< window start (sim time, inclusive)
+    Tick end = 0;    ///< window end (sim time, exclusive)
+    int gpu = -1;    ///< GpuStraggle / PCIe LinkDegrade target
+    int src = -1;    ///< NVLink pair source / failing exporter
+    int dst = -1;    ///< NVLink pair destination (-1 = any)
+    double factor = 1.0;       ///< speed multiplier (degrade < 1)
+    double probability = 1.0;  ///< per-stripe failure probability
+    Bytes bytes = 0;           ///< host memory withheld (HostPressure)
+};
+
+/** A named, seeded schedule of fault events. */
+struct Scenario
+{
+    std::string name = "faults";
+    std::uint64_t seed = 1;
+    std::vector<FaultEvent> events;
+
+    /** Number of scheduled events of @p kind. */
+    int countOf(EventKind kind) const;
+};
+
+/** Result of parseScenario(). */
+struct ParsedScenario
+{
+    bool ok = false;
+    Scenario scenario;
+    std::string error;  ///< set when !ok
+};
+
+/** Result of parseScenarioMatrix(). */
+struct ParsedScenarioMatrix
+{
+    bool ok = false;
+    std::vector<Scenario> scenarios;
+    std::string error;  ///< set when !ok
+};
+
+/**
+ * Parse one scenario from JSON text.  Shape:
+ *
+ *   { "name": "flaky-nvlink", "seed": 7,
+ *     "events": [
+ *       {"type": "link-degrade", "start_ms": 0, "end_ms": 50,
+ *        "src": 0, "dst": 1, "factor": 0.25},
+ *       {"type": "transfer-fail", "start_ms": 10, "end_ms": 30,
+ *        "src": 0, "probability": 1.0},
+ *       {"type": "gpu-straggle", "start_ms": 0, "end_ms": 80,
+ *        "gpu": 3, "factor": 0.5},
+ *       {"type": "host-pressure", "start_ms": 20, "end_ms": 60,
+ *        "bytes_gb": 128} ] }
+ *
+ * Only the JSON shape is checked here; semantic validity (times,
+ * endpoint ids, window overlap) is mpress::verify's job.
+ */
+ParsedScenario parseScenario(const std::string &text);
+
+/**
+ * Parse a scenario matrix: either `{"scenarios": [ ... ]}` or a
+ * single scenario object (a matrix of one).
+ */
+ParsedScenarioMatrix parseScenarioMatrix(const std::string &text);
+
+} // namespace fault
+} // namespace mpress
+
+#endif // MPRESS_FAULT_SCENARIO_HH

@@ -91,8 +91,19 @@ Fabric::pickLanes(LanePool &pool, int k)
     return all;
 }
 
+Tick
+Fabric::shaped(FabricResource res, int a, int b, Bytes bytes,
+               Tick dur) const
+{
+    if (!_shaper)
+        return dur;
+    Tick out = _shaper(res, a, b, bytes, dur);
+    return out < 0 ? dur : out;
+}
+
 void
-Fabric::stripedTransfer(std::vector<sim::Stream *> out_lanes,
+Fabric::stripedTransfer(int src, int dst,
+                        std::vector<sim::Stream *> out_lanes,
                         std::vector<sim::Stream *> in_lanes,
                         const LinkSpec &spec, Bytes bytes, Done done)
 {
@@ -101,7 +112,8 @@ Fabric::stripedTransfer(std::vector<sim::Stream *> out_lanes,
         util::panic("striped transfer with no lanes");
     }
     Bytes per_lane = (bytes + k - 1) / k;
-    Tick dur = spec.transferTime(per_lane);
+    Tick dur = shaped(FabricResource::NvlinkEgress, src, dst, bytes,
+                      spec.transferTime(per_lane));
 
     // The transfer completes when every occupied lane finishes.  The
     // ingress side (switch fabrics) is occupied for the same duration.
@@ -133,12 +145,12 @@ Fabric::d2dTransfer(int src, int dst, Bytes bytes, int lanes, Done done)
     if (_topo.symmetric()) {
         auto out = pickLanes(_egress[src], lanes);
         auto in = pickLanes(_ingress[dst], lanes);
-        stripedTransfer(std::move(out), std::move(in),
+        stripedTransfer(src, dst, std::move(out), std::move(in),
                         _topo.nvlinkSpec(), bytes, std::move(done));
     } else {
         auto it = _pairLanes.find({src, dst});
         auto out = pickLanes(it->second, lanes);
-        stripedTransfer(std::move(out), {},
+        stripedTransfer(src, dst, std::move(out), {},
                         _topo.linkSpecBetween(src, dst), bytes,
                         std::move(done));
     }
@@ -147,7 +159,8 @@ Fabric::d2dTransfer(int src, int dst, Bytes bytes, int lanes, Done done)
 void
 Fabric::gpuToHost(int gpu, Bytes bytes, Done done)
 {
-    Tick dur = _topo.pcieSpec().transferTime(bytes);
+    Tick dur = shaped(FabricResource::PcieD2H, gpu, -1, bytes,
+                      _topo.pcieSpec().transferTime(bytes));
     _pcieDown[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) {
         if (cb)
             cb();
@@ -157,7 +170,8 @@ Fabric::gpuToHost(int gpu, Bytes bytes, Done done)
 void
 Fabric::hostToGpu(int gpu, Bytes bytes, Done done)
 {
-    Tick dur = _topo.pcieSpec().transferTime(bytes);
+    Tick dur = shaped(FabricResource::PcieH2D, gpu, -1, bytes,
+                      _topo.pcieSpec().transferTime(bytes));
     _pcieUp[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) {
         if (cb)
             cb();
@@ -167,7 +181,8 @@ Fabric::hostToGpu(int gpu, Bytes bytes, Done done)
 void
 Fabric::hostToNvme(Bytes bytes, Done done)
 {
-    Tick dur = _topo.nvmeSpec().transferTime(bytes);
+    Tick dur = shaped(FabricResource::NvmeWrite, -1, -1, bytes,
+                      _topo.nvmeSpec().transferTime(bytes));
     _nvmeWrite->submit(dur, [cb = std::move(done)](Tick, Tick) {
         if (cb)
             cb();
@@ -177,7 +192,8 @@ Fabric::hostToNvme(Bytes bytes, Done done)
 void
 Fabric::nvmeToHost(Bytes bytes, Done done)
 {
-    Tick dur = _topo.nvmeSpec().transferTime(bytes);
+    Tick dur = shaped(FabricResource::NvmeRead, -1, -1, bytes,
+                      _topo.nvmeSpec().transferTime(bytes));
     _nvmeRead->submit(dur, [cb = std::move(done)](Tick, Tick) {
         if (cb)
             cb();

@@ -52,6 +52,16 @@ class Fabric
     using StreamVisitor =
         std::function<void(FabricResource, int, sim::Stream &)>;
 
+    /**
+     * Hook shaping the duration of every transfer as it is issued:
+     * (resource, endpoint a, endpoint b, bytes, nominal duration) ->
+     * effective duration.  NVLink passes the (src, dst) GPU pair,
+     * PCIe passes (gpu, -1), NVMe passes (-1, -1).  The fault layer
+     * uses this to degrade links inside scheduled windows.
+     */
+    using TransferShaper =
+        std::function<Tick(FabricResource, int, int, Bytes, Tick)>;
+
     Fabric(sim::Engine &engine, const Topology &topo);
 
     Fabric(const Fabric &) = delete;
@@ -109,6 +119,12 @@ class Fabric
      */
     void visitStreams(const StreamVisitor &fn);
 
+    /** Install @p shaper (empty resets to nominal durations). */
+    void setTransferShaper(TransferShaper shaper)
+    {
+        _shaper = std::move(shaper);
+    }
+
     const Topology &topology() const { return _topo; }
 
   private:
@@ -121,12 +137,18 @@ class Fabric
     /** Pick the @p k least-busy lanes of @p pool. */
     static std::vector<sim::Stream *> pickLanes(LanePool &pool, int k);
 
-    void stripedTransfer(std::vector<sim::Stream *> out_lanes,
+    void stripedTransfer(int src, int dst,
+                         std::vector<sim::Stream *> out_lanes,
                          std::vector<sim::Stream *> in_lanes,
                          const LinkSpec &spec, Bytes bytes, Done done);
 
+    /** Apply the installed shaper (if any) to a nominal duration. */
+    Tick shaped(FabricResource res, int a, int b, Bytes bytes,
+                Tick dur) const;
+
     sim::Engine &_engine;
     const Topology &_topo;
+    TransferShaper _shaper;
 
     // Asymmetric fabrics: per ordered pair (src,dst) a pool with one
     // stream per physical lane.

@@ -69,7 +69,19 @@ DeviceMemoryTracker::resetStats()
 {
     _peak = _used;
     _byKindAtPeak = _byKind;
-    _oom = _used > _capacity;
+    // The OOM flag is a latch: once a run has overshot capacity the
+    // fact must survive a stats reset (usage may have dropped back
+    // under capacity by the time resetStats() runs, and overwriting
+    // the flag here would erase a recorded OOM).
+    _oom = _oom || _used > _capacity;
+}
+
+void
+DeviceMemoryTracker::setCapacity(Bytes capacity)
+{
+    if (capacity < 0)
+        util::fatal("negative capacity for %s", _name.c_str());
+    _capacity = capacity;
 }
 
 } // namespace memory

@@ -79,8 +79,18 @@ class DeviceMemoryTracker
 
     const std::string &name() const { return _name; }
 
-    /** Forget peaks and the OOM flag, keep live allocations. */
+    /** Forget peaks, keep live allocations.  A latched OOM survives:
+     *  the flag records that the run overshot at some point, which a
+     *  stats reset must not erase. */
     void resetStats();
+
+    /**
+     * Adjust capacity mid-run (fault injection: host-memory pressure
+     * shrinking the swap budget).  Live allocations are untouched;
+     * if usage now exceeds the new capacity, subsequent allocations
+     * fail but the OOM latch is not set retroactively.
+     */
+    void setCapacity(Bytes capacity);
 
   private:
     std::string _name;
@@ -122,6 +132,14 @@ class PinnedHostPool
     Bytes peak() const { return _tracker.peak(); }
     Bytes capacity() const { return _tracker.capacity(); }
     bool exhausted() const { return _tracker.oomOccurred(); }
+
+    /** Shrink or restore the pool's capacity mid-run (host-memory
+     *  pressure fault).  Clamped at zero. */
+    void
+    setCapacity(Bytes capacity)
+    {
+        _tracker.setCapacity(capacity < 0 ? 0 : capacity);
+    }
 
     /** Install (or clear) the allocation-event observer. */
     void

@@ -37,6 +37,27 @@ utilizationOf(Tick busy, Tick makespan)
            static_cast<double>(makespan);
 }
 
+/** RFC 4180 CSV field: quote when the value contains a comma, a
+ *  double quote, or a line break, doubling embedded quotes.  Plain
+ *  values pass through unchanged so existing numeric columns keep
+ *  their exact shape. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\r\n") == std::string::npos)
+        return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
 } // namespace
 
 void
@@ -126,8 +147,9 @@ exportUtilizationCsv(std::ostream &os, const Observability &o)
     os << "resource,gpu,name,busy_ns,utilization\n";
     for (const auto &ch : o.utilization.channels()) {
         os << util::strformat(
-            "%s,%d,%s,%lld,%.4f\n", resourceName(ch.resource),
-            ch.gpu, ch.name.c_str(),
+            "%s,%d,%s,%lld,%.4f\n",
+            csvField(resourceName(ch.resource)).c_str(), ch.gpu,
+            csvField(ch.name).c_str(),
             static_cast<long long>(ch.busy),
             utilizationOf(ch.busy, o.makespan));
     }
@@ -185,11 +207,62 @@ exportSweepCsv(std::ostream &os, const std::vector<SweepRow> &rows)
     for (const SweepRow &r : rows) {
         os << util::strformat(
             "%s,%s,%s,%s,%s,%d,%d,%.6g,%.6g,%lld,%d,%.3f\n",
-            r.name.c_str(), r.model.c_str(), r.system.c_str(),
-            r.strategy.c_str(), r.topology.c_str(), r.oom ? 1 : 0,
+            csvField(r.name).c_str(), csvField(r.model).c_str(),
+            csvField(r.system).c_str(), csvField(r.strategy).c_str(),
+            csvField(r.topology).c_str(), r.oom ? 1 : 0,
             r.rejected ? 1 : 0, r.samplesPerSec, r.tflops,
             static_cast<long long>(r.maxGpuPeak), r.planIterations,
             r.planMs);
+    }
+}
+
+void
+exportRobustnessJson(std::ostream &os,
+                     const RobustnessSummary &summary,
+                     const std::vector<RobustnessRow> &rows)
+{
+    os << util::strformat("{\"baseline_samples_per_sec\":%.6g",
+                          summary.baselineSamplesPerSec)
+       << util::strformat(",\"worst\":%.6g", summary.worst)
+       << util::strformat(",\"p10\":%.6g", summary.p10)
+       << util::strformat(",\"p50\":%.6g", summary.p50)
+       << ",\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const RobustnessRow &r = rows[i];
+        if (i)
+            os << ",";
+        os << "{\"scenario\":\"" << escape(r.scenario)
+           << "\",\"oom\":" << (r.oom ? "true" : "false")
+           << util::strformat(",\"samples_per_sec\":%.6g",
+                              r.samplesPerSec)
+           << util::strformat(",\"throughput_ratio\":%.6g",
+                              r.throughputRatio)
+           << ",\"transfer_failures\":" << r.transferFailures
+           << ",\"retries\":" << r.retries
+           << ",\"fallback_gpu_cpu_swap\":" << r.fallbackGpuCpuSwap
+           << ",\"fallback_recompute\":" << r.fallbackRecompute
+           << ",\"straggled_tasks\":" << r.straggledTasks
+           << ",\"host_pressure_events\":" << r.hostPressureEvents
+           << "}";
+    }
+    os << "]}";
+}
+
+void
+exportRobustnessCsv(std::ostream &os,
+                    const std::vector<RobustnessRow> &rows)
+{
+    os << "scenario,oom,samples_per_sec,throughput_ratio,"
+          "transfer_failures,retries,fallback_gpu_cpu_swap,"
+          "fallback_recompute,straggled_tasks,"
+          "host_pressure_events\n";
+    for (const RobustnessRow &r : rows) {
+        os << util::strformat(
+            "%s,%d,%.6g,%.6g,%d,%d,%d,%d,%d,%d\n",
+            csvField(r.scenario).c_str(), r.oom ? 1 : 0,
+            r.samplesPerSec, r.throughputRatio, r.transferFailures,
+            r.retries, r.fallbackGpuCpuSwap, r.fallbackRecompute,
+            r.straggledTasks, r.hostPressureEvents);
     }
 }
 

@@ -75,9 +75,52 @@ struct SweepRow
 void exportSweepJson(std::ostream &os,
                      const std::vector<SweepRow> &rows);
 
-/** Sweep report as CSV (header included), one row per scenario. */
+/** Sweep report as CSV (header included), one row per scenario.
+ *  Fields follow RFC 4180: values containing commas, quotes, or
+ *  newlines are double-quoted with embedded quotes doubled. */
 void exportSweepCsv(std::ostream &os,
                     const std::vector<SweepRow> &rows);
+
+/**
+ * One fault scenario's outcome in a robustness report (mpress_cli
+ * --robustness).  Plain strings and numbers, like SweepRow, so the
+ * exporters stay independent of the planner layer; the CLI flattens
+ * planner::RobustnessRow + FaultSummary into this.
+ */
+struct RobustnessRow
+{
+    std::string scenario;       ///< fault::Scenario::name
+    bool oom = false;
+    double samplesPerSec = 0.0;
+    double throughputRatio = 0.0;  ///< vs. the healthy baseline
+    int transferFailures = 0;
+    int retries = 0;
+    int fallbackGpuCpuSwap = 0;
+    int fallbackRecompute = 0;
+    int straggledTasks = 0;
+    int hostPressureEvents = 0;
+};
+
+/** Percentile summary attached to a robustness report. */
+struct RobustnessSummary
+{
+    double baselineSamplesPerSec = 0.0;
+    double worst = 0.0;
+    double p10 = 0.0;
+    double p50 = 0.0;
+};
+
+/** Robustness report as one JSON document:
+ *  { "baseline_samples_per_sec": B, "worst": W, "p10": ..,
+ *    "p50": .., "rows": [ {"scenario",...}, ... ] } */
+void exportRobustnessJson(std::ostream &os,
+                          const RobustnessSummary &summary,
+                          const std::vector<RobustnessRow> &rows);
+
+/** Robustness report as CSV (header included, RFC 4180 quoting),
+ *  one row per scenario. */
+void exportRobustnessCsv(std::ostream &os,
+                         const std::vector<RobustnessRow> &rows);
 
 } // namespace obs
 } // namespace mpress

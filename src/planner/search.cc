@@ -1,5 +1,8 @@
 #include "planner/search.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/logging.hh"
 
 namespace mpress {
@@ -16,9 +19,12 @@ SearchDriver::SearchDriver(const hw::Topology &topo,
     : _topo(topo), _mdl(mdl), _part(part), _sched(sched),
       _execCfg(exec_cfg), _pool(pool)
 {
-    // Every trial is a scoring run, never a profiling run.
+    // Every trial is a scoring run, never a profiling run, and plan
+    // selection must not depend on injected faults — robustness is
+    // evaluated separately, on the finished plan.
     _execCfg.recordLiveness = false;
     _execCfg.failFastOnOom = true;
+    _execCfg.faults = nullptr;
 }
 
 std::vector<TrialOutcome>
@@ -47,6 +53,64 @@ SearchDriver::evaluateOne(const compaction::CompactionPlan &plan)
 {
     std::vector<compaction::CompactionPlan> one(1, plan);
     return evaluate(one).front();
+}
+
+namespace {
+
+/** Nearest-rank percentile of ascending @p sorted (non-empty). */
+double
+nearestRank(const std::vector<double> &sorted, double p)
+{
+    auto n = static_cast<double>(sorted.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p * n));
+    if (rank > 0)
+        --rank;
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+} // namespace
+
+RobustnessResult
+SearchDriver::evaluateRobustness(
+    const compaction::CompactionPlan &plan,
+    const std::vector<fault::Scenario> &scenarios)
+{
+    RobustnessResult res;
+    {
+        hw::Topology topo = _topo;
+        res.baseline = runtime::runTraining(topo, _mdl, _part,
+                                            _sched, plan, _execCfg);
+    }
+    res.rows.resize(scenarios.size());
+    _pool.parallelFor(scenarios.size(), [&](std::size_t i) {
+        hw::Topology topo = _topo;
+        runtime::ExecutorConfig cfg = _execCfg;
+        cfg.faults = &scenarios[i];
+        // Score the runtime's best recovery: let the ladder absorb
+        // failures instead of failing fast on the first one.
+        cfg.faultLadder = true;
+        cfg.failFastOnOom = true;
+        RobustnessRow &row = res.rows[i];
+        row.scenario = scenarios[i].name;
+        row.report = runtime::runTraining(topo, _mdl, _part, _sched,
+                                          plan, cfg);
+        double base = res.baseline.samplesPerSec;
+        row.throughputRatio =
+            (row.report.oom || base <= 0.0)
+                ? 0.0
+                : row.report.samplesPerSec / base;
+    });
+    if (!res.rows.empty()) {
+        std::vector<double> ratios;
+        ratios.reserve(res.rows.size());
+        for (const auto &row : res.rows)
+            ratios.push_back(row.throughputRatio);
+        std::sort(ratios.begin(), ratios.end());
+        res.worst = ratios.front();
+        res.p10 = nearestRank(ratios, 0.10);
+        res.p50 = nearestRank(ratios, 0.50);
+    }
+    return res;
 }
 
 int

@@ -18,6 +18,14 @@
  * the same trial as the serial threads=1 search, and the planner
  * emits a byte-identical serialized plan.
  *
+ * Beyond trial scoring, the driver exposes a robustness-evaluation
+ * mode: evaluateRobustness() replays one finished plan across a
+ * matrix of fault scenarios (one emulator run per scenario, fanned
+ * out on the same pool) and reduces the degraded throughputs to
+ * deterministic nearest-rank percentiles.  Planning trials themselves
+ * always run fault-free — the ctor strips ExecutorConfig::faults — so
+ * fault injection never perturbs plan selection.
+ *
  * The grant-budget helpers live here too so the refinement gate and
  * its ledger arithmetic are unit-testable: admitFlipBatch() gates and
  * debits by the same quantity (a flip's full projected savings),
@@ -28,8 +36,10 @@
 #define MPRESS_PLANNER_SEARCH_HH
 
 #include <map>
+#include <string>
 #include <vector>
 
+#include "fault/scenario.hh"
 #include "planner/mapper.hh"
 #include "runtime/executor.hh"
 #include "util/pool.hh"
@@ -57,6 +67,33 @@ struct TrialOutcome
     }
 };
 
+/** Outcome of replaying one plan under one fault scenario. */
+struct RobustnessRow
+{
+    std::string scenario;            ///< Scenario::name
+    runtime::TrainingReport report;  ///< degraded run's report
+
+    /** Degraded throughput over the healthy baseline's; 0 when the
+     *  degraded run ends in OOM (an unsurvivable scenario scores as a
+     *  total loss, not as "no data"). */
+    double throughputRatio = 0.0;
+};
+
+/**
+ * Robustness profile of one plan across a scenario matrix: the
+ * fault-free baseline, one row per scenario (row i corresponds to
+ * scenarios[i]), and deterministic nearest-rank percentiles of the
+ * throughput ratio.  worst <= p10 <= p50 by construction.
+ */
+struct RobustnessResult
+{
+    runtime::TrainingReport baseline;
+    std::vector<RobustnessRow> rows;
+    double worst = 0.0;  ///< minimum throughput ratio
+    double p10 = 0.0;    ///< 10th-percentile ratio (nearest rank)
+    double p50 = 0.0;    ///< median ratio (nearest rank)
+};
+
 /**
  * Evaluates batches of candidate plans as concurrent emulator runs.
  *
@@ -82,6 +119,22 @@ class SearchDriver
 
     /** Convenience wrapper for a single plan (runs inline). */
     TrialOutcome evaluateOne(const compaction::CompactionPlan &plan);
+
+    /**
+     * Robustness-evaluation mode: replay @p plan once fault-free
+     * (the baseline) and then once per scenario in @p scenarios,
+     * concurrently on the pool, each run on its own topology copy
+     * with the scenario injected via ExecutorConfig::faults.  The
+     * degradation ladder stays enabled so a scenario's score reflects
+     * the runtime's best recovery, not its first failure.
+     *
+     * Deterministic: rows are keyed by scenario index and the
+     * percentiles are nearest-rank over the sorted ratios, so the
+     * result is identical at any thread count.
+     */
+    RobustnessResult
+    evaluateRobustness(const compaction::CompactionPlan &plan,
+                       const std::vector<fault::Scenario> &scenarios);
 
     /**
      * Index of the best accepted trial, or -1 when none is accepted.

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 
+#include "fault/injector.hh"
 #include "obs/export.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -84,6 +85,27 @@ struct Executor::Impl
         obs::MetricsRegistry::kInvalid;
     obs::MetricsRegistry::Id mHostUsed =
         obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mFaultFail =
+        obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mFaultRetry =
+        obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mFaultFallbackSwap =
+        obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mFaultFallbackRecompute =
+        obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mFaultStraggle =
+        obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mFaultDegraded =
+        obs::MetricsRegistry::kInvalid;
+    obs::MetricsRegistry::Id mFaultPressure =
+        obs::MetricsRegistry::kInvalid;
+
+    // Fault injection (cfg.faults).
+    std::unique_ptr<fault::Injector> injector;
+    /** Per-instance compaction-kind demotions made by the ladder. */
+    std::map<InstanceKey, Kind> kindOverride;
+    /** Sum of currently active host-pressure cuts. */
+    Bytes hostPressureCut = 0;
 
     /** Weight-version fetch progress for stash-offloaded backward
      *  tasks: absent = not issued, 1 = in flight, 2 = landed. */
@@ -119,6 +141,15 @@ struct Executor::Impl
         if (!(cfg.memOverheadFactor > 0.0))
             util::fatal("memOverheadFactor must be positive, got %g",
                         cfg.memOverheadFactor);
+        if (cfg.swapInLookahead <= 0)
+            util::fatal("swapInLookahead must be positive, got %d",
+                        cfg.swapInLookahead);
+        if (cfg.maxTransferRetries < 0)
+            util::fatal("maxTransferRetries must be >= 0, got %d",
+                        cfg.maxTransferRetries);
+        if (cfg.retryBackoff < 0)
+            util::fatal("retryBackoff must be >= 0, got %lld",
+                        static_cast<long long>(cfg.retryBackoff));
 
         precision = mdl.config().precision;
         fabric = std::make_unique<hw::Fabric>(engine, topo);
@@ -169,6 +200,107 @@ struct Executor::Impl
 
         if (cfg.recordMetrics)
             setupObservability();
+        if (cfg.faults)
+            setupFaults();
+    }
+
+    /** Arm the injector: count the schedule, install the fabric
+     *  shaper for link-degrade windows, and schedule host-pressure
+     *  windows as engine events. */
+    void
+    setupFaults()
+    {
+        const fault::Scenario &sc = *cfg.faults;
+        injector = std::make_unique<fault::Injector>(sc, engine);
+        report.faults.enabled = true;
+        report.faults.scheduledLinkDegrade =
+            sc.countOf(fault::EventKind::LinkDegrade);
+        report.faults.scheduledTransferFail =
+            sc.countOf(fault::EventKind::TransferFail);
+        report.faults.scheduledGpuStraggle =
+            sc.countOf(fault::EventKind::GpuStraggle);
+        report.faults.scheduledHostPressure =
+            sc.countOf(fault::EventKind::HostPressure);
+
+        if (cfg.recordMetrics) {
+            mFaultFail =
+                obsData.metrics.counter("fault.transfer.failures");
+            mFaultRetry =
+                obsData.metrics.counter("fault.transfer.retries");
+            mFaultFallbackSwap =
+                obsData.metrics.counter("fault.fallback.swap");
+            mFaultFallbackRecompute =
+                obsData.metrics.counter("fault.fallback.recompute");
+            mFaultStraggle =
+                obsData.metrics.counter("fault.straggle.tasks");
+            mFaultDegraded =
+                obsData.metrics.counter("fault.degraded.transfers");
+            mFaultPressure =
+                obsData.metrics.gauge("fault.host.pressure.bytes");
+        }
+
+        fabric->setTransferShaper(
+            [this](hw::FabricResource res, int a, int b, Bytes,
+                   Tick dur) {
+                double stretch = injector->transferStretch(res, a, b);
+                if (stretch <= 1.0)
+                    return dur;
+                ++report.faults.degradedTransfers;
+                obsData.metrics.add(mFaultDegraded, engine.now(),
+                                    1.0);
+                return static_cast<Tick>(
+                    static_cast<double>(dur) * stretch);
+            });
+
+        const Bytes base_host = topo.hostMemory();
+        for (const auto &e : sc.events) {
+            if (e.kind != fault::EventKind::HostPressure)
+                continue;
+            engine.schedule(e.start, [this, e, base_host]() {
+                hostPressureCut += e.bytes;
+                ++report.faults.hostPressureEvents;
+                report.faults.hostPressurePeak =
+                    std::max(report.faults.hostPressurePeak,
+                             hostPressureCut);
+                host->setCapacity(base_host - hostPressureCut);
+                obsData.metrics.set(
+                    mFaultPressure, engine.now(),
+                    static_cast<double>(hostPressureCut));
+                traceInstant("fault: host-pressure on", -1);
+            });
+            engine.schedule(e.end, [this, e, base_host]() {
+                hostPressureCut -= e.bytes;
+                host->setCapacity(base_host - hostPressureCut);
+                obsData.metrics.set(
+                    mFaultPressure, engine.now(),
+                    static_cast<double>(hostPressureCut));
+                traceInstant("fault: host-pressure off", -1);
+            });
+        }
+    }
+
+    /** Emit a fault marker into the trace (lane -1 = host-wide). */
+    void
+    traceInstant(std::string name, int lane)
+    {
+        if (!cfg.recordTimeline)
+            return;
+        report.trace.recordInstant(std::move(name), "fault",
+                                   lane < 0 ? 0 : lane, engine.now());
+    }
+
+    /** Apply any active straggle window to a compute duration. */
+    Tick
+    computeDur(int gpu, Tick dur)
+    {
+        if (!injector)
+            return dur;
+        double stretch = injector->computeStretch(gpu);
+        if (stretch <= 1.0)
+            return dur;
+        ++report.faults.straggledTasks;
+        obsData.metrics.add(mFaultStraggle, engine.now(), 1.0);
+        return static_cast<Tick>(static_cast<double>(dur) * stretch);
     }
 
     /** Enable the bundle and hook every tracker and stream.  With
@@ -513,8 +645,9 @@ struct Executor::Impl
         gpuAllocBlocking(
             gpu, TensorKind::Activation, layer.activationStash,
             [this, &t, pos, gpu, &layer]() {
-                Tick dur = topo.gpu().computeTime(layer.fwdFlops,
-                                                  precision);
+                Tick dur = computeDur(
+                    gpu, topo.gpu().computeTime(layer.fwdFlops,
+                                                precision));
                 compute[static_cast<std::size_t>(gpu)]->submit(
                     dur, [this, &t, pos, gpu](Tick a, Tick b) {
                         traceSpan("fwd", t.stage, t.microbatch, gpu,
@@ -551,51 +684,10 @@ struct Executor::Impl
             break;
           }
           case Kind::GpuCpuSwap: {
-            const Bytes bytes = layer.activationStash;
-            bool to_nvme = false;
-            if (!host->reserve(bytes)) {
-                host->release(bytes);
-                // Host pool exhausted: spill to NVMe when the server
-                // has one (Sec. V multi-level hierarchy), otherwise
-                // keep resident.
-                if (nvmeUsed + bytes <= topo.nvmeCapacity()) {
-                    to_nvme = true;
-                    nvmeUsed += bytes;
-                    report.nvmeSpill += bytes;
-                    obsData.metrics.add(
-                        mNvmeSpill, engine.now(),
-                        static_cast<double>(bytes));
-                } else {
-                    break;
-                }
-            }
-            obsData.metrics.add(mSwapOut, engine.now(),
-                                static_cast<double>(bytes));
-            auto &rec0 = swapTable.beginSwapOut(key, kind, {}, bytes);
-            rec0.onNvme = to_nvme;
-            inState[key] = InState::Pending;
-            pendingFreeBytes[static_cast<std::size_t>(gpu)] += bytes;
-            fabric->gpuToHost(
-                gpu, bytes, [this, key, gpu]() {
-                    auto *rec = swapTable.find(key);
-                    pendingFreeBytes[static_cast<std::size_t>(gpu)] -=
-                        rec->bytes;
-                    gpuFree(gpu, TensorKind::Activation, rec->bytes);
-                    if (countsForSavings(key.microbatch /
-                                         sched
-                                             .microbatchesPerMinibatch))
-                        report.savings.gpuCpuSwap += rec->bytes;
-                    if (!rec->onNvme) {
-                        swapTable.markResident(key);
-                        wakeIfBlocked(key);
-                        return;
-                    }
-                    // Second leg: stream through to the SSD.
-                    fabric->hostToNvme(rec->bytes, [this, key]() {
-                        swapTable.markResident(key);
-                        wakeIfBlocked(key);
-                    });
-                });
+            // When neither the host pool nor the NVMe can take the
+            // stash, it simply stays resident.
+            startHostSwapOut(key, gpu, layer.activationStash,
+                             t.minibatch);
             break;
           }
           case Kind::D2dSwap: {
@@ -656,23 +748,228 @@ struct Executor::Impl
         inState[key] = InState::Pending;
         pendingFreeBytes[static_cast<std::size_t>(gpu)] += bytes;
 
-        auto join = std::make_shared<sim::JoinCounter>(
-            static_cast<int>(rec.plan.stripes.size()),
-            [this, key, gpu, minibatch]() {
-                const auto *r = swapTable.find(key);
-                pendingFreeBytes[static_cast<std::size_t>(gpu)] -=
-                    r->bytes;
-                gpuFree(gpu, TensorKind::Activation, r->bytes);
-                swapTable.markResident(key);
-                if (countsForSavings(minibatch))
-                    report.savings.d2dSwap += r->bytes;
-                wakeIfBlocked(key);
-            });
-        for (const auto &stripe : rec.plan.stripes) {
-            fabric->d2dTransfer(gpu, stripe.targetGpu, stripe.bytes,
-                                stripe.lanes,
-                                [join]() { join->arrive(); });
+        auto attempt = std::make_shared<SwapOutAttempt>();
+        attempt->key = key;
+        attempt->gpu = gpu;
+        attempt->minibatch = minibatch;
+        attempt->remaining = static_cast<int>(rec.plan.stripes.size());
+        for (const auto &stripe : rec.plan.stripes)
+            issueSwapOutStripe(attempt, stripe, 0);
+    }
+
+    /** One D2D swap-out in flight: stripes resolve independently
+     *  (possibly after retries); the instance settles when the last
+     *  stripe does. */
+    struct SwapOutAttempt
+    {
+        InstanceKey key;
+        int gpu = -1;
+        int minibatch = 0;
+        int remaining = 0;
+        bool anyFailed = false;
+    };
+
+    void
+    issueSwapOutStripe(std::shared_ptr<SwapOutAttempt> attempt,
+                       compaction::Stripe stripe, int try_no)
+    {
+        const int gpu = attempt->gpu;
+        // Draw the failure at issue time so the PRNG consumption
+        // order follows the deterministic event order.  A failed
+        // stripe still occupies its lanes for the full duration —
+        // the data just never lands.
+        const bool fails =
+            injector && injector->failsD2dStripe(gpu, stripe.targetGpu);
+        if (fails) {
+            ++report.faults.transferFailures;
+            obsData.metrics.add(mFaultFail, engine.now(), 1.0);
+            traceInstant(
+                util::strformat("fault: d2d stripe fail s%d mb%d",
+                                attempt->key.ref.stage,
+                                attempt->key.microbatch),
+                gpu);
         }
+        fabric->d2dTransfer(
+            gpu, stripe.targetGpu, stripe.bytes, stripe.lanes,
+            [this, attempt, stripe, try_no, fails]() {
+                if (!fails) {
+                    swapOutStripeResolved(attempt);
+                    return;
+                }
+                if (!cfg.faultLadder) {
+                    // Ladder disabled: the stripe is lost, the
+                    // swap-out never completes, and the backward
+                    // deadlocks into an OOM report.
+                    return;
+                }
+                if (try_no < cfg.maxTransferRetries) {
+                    ++report.faults.retries;
+                    obsData.metrics.add(mFaultRetry, engine.now(),
+                                        1.0);
+                    engine.scheduleIn(
+                        cfg.retryBackoff << try_no,
+                        [this, attempt, stripe, try_no]() {
+                            issueSwapOutStripe(attempt, stripe,
+                                               try_no + 1);
+                        });
+                    return;
+                }
+                attempt->anyFailed = true;
+                swapOutStripeResolved(attempt);
+            });
+    }
+
+    void
+    swapOutStripeResolved(const std::shared_ptr<SwapOutAttempt> &at)
+    {
+        if (--at->remaining > 0)
+            return;
+        if (!at->anyFailed) {
+            finishD2dSwapOut(*at);
+            return;
+        }
+        demoteFailedD2d(*at);
+    }
+
+    void
+    finishD2dSwapOut(const SwapOutAttempt &at)
+    {
+        const auto *r = swapTable.find(at.key);
+        pendingFreeBytes[static_cast<std::size_t>(at.gpu)] -= r->bytes;
+        gpuFree(at.gpu, TensorKind::Activation, r->bytes);
+        swapTable.markResident(at.key);
+        if (countsForSavings(at.minibatch))
+            report.savings.d2dSwap += r->bytes;
+        wakeIfBlocked(at.key);
+    }
+
+    /** A stripe exhausted its retries: undo the whole D2D swap-out
+     *  (free importer reservations, re-credit grants) and walk the
+     *  instance down the ladder — GPU-CPU swap, then recompute. */
+    void
+    demoteFailedD2d(const SwapOutAttempt &at)
+    {
+        const InstanceKey key = at.key;
+        const int gpu = at.gpu;
+        auto *rec = swapTable.find(key);
+        const Bytes bytes = rec->bytes;
+        auto &grants = grantsLeft[gpu];
+        for (const auto &stripe : rec->plan.stripes) {
+            gpuFree(stripe.targetGpu, TensorKind::Activation,
+                    stripe.bytes);
+            for (auto &grant : grants) {
+                if (grant.importerGpu == stripe.targetGpu) {
+                    grant.budget += stripe.bytes;
+                    break;
+                }
+            }
+        }
+        pendingFreeBytes[static_cast<std::size_t>(gpu)] -= bytes;
+        swapTable.abort(key);
+        inState.erase(key);
+
+        if (startHostSwapOut(key, gpu, bytes, at.minibatch)) {
+            kindOverride[key] = Kind::GpuCpuSwap;
+            ++report.faults.fallbackGpuCpuSwap;
+            obsData.metrics.add(mFaultFallbackSwap, engine.now(),
+                                1.0);
+            traceInstant(
+                util::strformat("fault: fallback swap s%d mb%d",
+                                key.ref.stage, key.microbatch),
+                gpu);
+            return;
+        }
+
+        // Bottom rung: drop the stash and recompute in the backward
+        // pass, exactly like a planned Kind::Recompute instance.
+        const model::Layer &layer =
+            mdl.layer(static_cast<std::size_t>(key.ref.layer));
+        kindOverride[key] = Kind::Recompute;
+        ++report.faults.fallbackRecompute;
+        obsData.metrics.add(mFaultFallbackRecompute, engine.now(),
+                            1.0);
+        traceInstant(
+            util::strformat("fault: fallback recompute s%d mb%d",
+                            key.ref.stage, key.microbatch),
+            gpu);
+        gpuFree(gpu, TensorKind::Activation, layer.activationStash);
+        gpuAlloc(gpu, TensorKind::Activation, layer.outputBytes);
+        inState[key] = InState::NotNeeded;
+        if (countsForSavings(at.minibatch)) {
+            report.savings.recompute +=
+                layer.activationStash - layer.outputBytes;
+        }
+
+        // A backward chain may already be stalled on the old swap-in;
+        // the tensor will now be recomputed, so resume it.
+        auto blocked = blockedOn.find(key);
+        if (blocked != blockedOn.end()) {
+            BwdChain *chain = blocked->second;
+            blockedOn.erase(blocked);
+            if (chain->stallStart >= 0) {
+                report
+                    .overheads[static_cast<std::size_t>(
+                        chain->task->stage)]
+                    .swapInStall += engine.now() - chain->stallStart;
+                chain->stallStart = -1;
+            }
+            runBwdLayer(*chain);
+        }
+    }
+
+    /**
+     * Issue a GPU-CPU swap-out (the planned Kind::GpuCpuSwap path and
+     * the ladder's first fallback).  Returns false — with no side
+     * effects beyond the host-pool probe — when neither the host pool
+     * nor the NVMe can take the bytes; the stash then stays resident.
+     */
+    bool
+    startHostSwapOut(InstanceKey key, int gpu, Bytes bytes,
+                     int minibatch)
+    {
+        bool to_nvme = false;
+        if (!host->reserve(bytes)) {
+            host->release(bytes);
+            // Host pool exhausted: spill to NVMe when the server
+            // has one (Sec. V multi-level hierarchy), otherwise
+            // keep resident.
+            if (nvmeUsed + bytes <= topo.nvmeCapacity()) {
+                to_nvme = true;
+                nvmeUsed += bytes;
+                report.nvmeSpill += bytes;
+                obsData.metrics.add(mNvmeSpill, engine.now(),
+                                    static_cast<double>(bytes));
+            } else {
+                return false;
+            }
+        }
+        obsData.metrics.add(mSwapOut, engine.now(),
+                            static_cast<double>(bytes));
+        auto &rec0 = swapTable.beginSwapOut(key, Kind::GpuCpuSwap, {},
+                                            bytes);
+        rec0.onNvme = to_nvme;
+        inState[key] = InState::Pending;
+        pendingFreeBytes[static_cast<std::size_t>(gpu)] += bytes;
+        fabric->gpuToHost(
+            gpu, bytes, [this, key, gpu, minibatch]() {
+                auto *rec = swapTable.find(key);
+                pendingFreeBytes[static_cast<std::size_t>(gpu)] -=
+                    rec->bytes;
+                gpuFree(gpu, TensorKind::Activation, rec->bytes);
+                if (countsForSavings(minibatch))
+                    report.savings.gpuCpuSwap += rec->bytes;
+                if (!rec->onNvme) {
+                    swapTable.markResident(key);
+                    wakeIfBlocked(key);
+                    return;
+                }
+                // Second leg: stream through to the SSD.
+                fabric->hostToNvme(rec->bytes, [this, key]() {
+                    swapTable.markResident(key);
+                    wakeIfBlocked(key);
+                });
+            });
+        return true;
     }
 
     // ---- backward pass --------------------------------------------
@@ -711,6 +1008,15 @@ struct Executor::Impl
     {
         auto it = inState.find(key);
         return it == inState.end() ? InState::NotNeeded : it->second;
+    }
+
+    /** Planned kind, unless the fault ladder demoted this instance. */
+    Kind
+    effectiveKindFor(InstanceKey key) const
+    {
+        auto it = kindOverride.find(key);
+        return it != kindOverride.end() ? it->second
+                                        : plan.kindFor(key.ref);
     }
 
     void
@@ -763,18 +1069,90 @@ struct Executor::Impl
                         onSwapInDone(key);
                     });
                 } else {
-                    auto join = std::make_shared<sim::JoinCounter>(
-                        static_cast<int>(r->plan.stripes.size()),
-                        [this, key]() { onSwapInDone(key); });
-                    for (const auto &stripe : r->plan.stripes) {
-                        fabric->d2dTransfer(stripe.targetGpu, gpu,
-                                            stripe.bytes,
-                                            stripe.lanes,
-                                            [join]() {
-                                                join->arrive();
-                                            });
-                    }
+                    auto attempt = std::make_shared<SwapInAttempt>();
+                    attempt->key = key;
+                    attempt->gpu = gpu;
+                    attempt->remaining =
+                        static_cast<int>(r->plan.stripes.size());
+                    for (const auto &stripe : r->plan.stripes)
+                        issueSwapInStripe(attempt, stripe, 0);
                 }
+            });
+    }
+
+    /** One D2D swap-in in flight; completes when every stripe has
+     *  been fetched back from its importer. */
+    struct SwapInAttempt
+    {
+        InstanceKey key;
+        int gpu = -1;
+        int remaining = 0;
+    };
+
+    void
+    issueSwapInStripe(std::shared_ptr<SwapInAttempt> attempt,
+                      compaction::Stripe stripe, int try_no)
+    {
+        const int gpu = attempt->gpu;
+        const bool fails =
+            injector && injector->failsD2dStripe(stripe.targetGpu, gpu);
+        if (fails) {
+            ++report.faults.transferFailures;
+            obsData.metrics.add(mFaultFail, engine.now(), 1.0);
+            traceInstant(
+                util::strformat("fault: d2d stripe fail s%d mb%d",
+                                attempt->key.ref.stage,
+                                attempt->key.microbatch),
+                gpu);
+        }
+        fabric->d2dTransfer(
+            stripe.targetGpu, gpu, stripe.bytes, stripe.lanes,
+            [this, attempt, stripe, try_no, fails]() {
+                if (!fails) {
+                    if (--attempt->remaining == 0)
+                        onSwapInDone(attempt->key);
+                    return;
+                }
+                if (!cfg.faultLadder) {
+                    // Ladder disabled: the stripe never arrives and
+                    // the blocked backward deadlocks into OOM.
+                    return;
+                }
+                if (try_no < cfg.maxTransferRetries) {
+                    ++report.faults.retries;
+                    obsData.metrics.add(mFaultRetry, engine.now(),
+                                        1.0);
+                    engine.scheduleIn(
+                        cfg.retryBackoff << try_no,
+                        [this, attempt, stripe, try_no]() {
+                            issueSwapInStripe(attempt, stripe,
+                                              try_no + 1);
+                        });
+                    return;
+                }
+                // Retries exhausted on the direct link: the data
+                // still lives on the importer, so reroute the stripe
+                // through host memory over PCIe — the swap-in's
+                // GPU-CPU fallback rung.
+                ++report.faults.fallbackGpuCpuSwap;
+                obsData.metrics.add(mFaultFallbackSwap, engine.now(),
+                                    1.0);
+                traceInstant(
+                    util::strformat(
+                        "fault: stripe reroute via host s%d mb%d",
+                        attempt->key.ref.stage,
+                        attempt->key.microbatch),
+                    attempt->gpu);
+                fabric->gpuToHost(
+                    stripe.targetGpu, stripe.bytes,
+                    [this, attempt, stripe]() {
+                        fabric->hostToGpu(
+                            attempt->gpu, stripe.bytes,
+                            [this, attempt]() {
+                                if (--attempt->remaining == 0)
+                                    onSwapInDone(attempt->key);
+                            });
+                    });
             });
     }
 
@@ -873,7 +1251,7 @@ struct Executor::Impl
 
         const model::Layer &layer = mdl.layer(pos);
         const int gpu = gpuOf(t.stage);
-        Kind kind = plan.kindFor(key.ref);
+        Kind kind = effectiveKindFor(key);
 
         if (cfg.recordLiveness) {
             auto gen = genTime.find(key);
@@ -885,8 +1263,9 @@ struct Executor::Impl
         }
 
         auto submit_bwd = [this, &chain, &t, pos, gpu, layer]() {
-            Tick dur =
-                topo.gpu().computeTime(layer.bwdFlops(), precision);
+            Tick dur = computeDur(
+                gpu,
+                topo.gpu().computeTime(layer.bwdFlops(), precision));
             compute[static_cast<std::size_t>(gpu)]->submit(
                 dur, [this, &chain, pos, gpu, layer](Tick a, Tick b) {
                     traceSpan("bwd", chain.task->stage,
@@ -902,8 +1281,9 @@ struct Executor::Impl
         if (kind == Kind::Recompute) {
             // Re-run the forward pass on the compute queue, then do
             // the backward.
-            Tick redo = topo.gpu().computeTime(layer.fwdFlops,
-                                               precision);
+            Tick redo = computeDur(
+                gpu,
+                topo.gpu().computeTime(layer.fwdFlops, precision));
             report.overheads[static_cast<std::size_t>(t.stage)]
                 .recomputeTime += redo;
             obsData.metrics.add(mRecompute, engine.now(),
@@ -945,7 +1325,7 @@ struct Executor::Impl
 
         if (!offload) {
             compute[static_cast<std::size_t>(gpu)]->submit(
-                dur,
+                computeDur(gpu, dur),
                 [this, &t](Tick, Tick) { finishTask(t); });
             return;
         }
@@ -1122,6 +1502,48 @@ struct Executor::Impl
             3.0 * mdl.totalFwdFlops() *
             sched.microbatchesPerMinibatch;
         report.tflops = flops_per_mini / secs / 1e12;
+
+        if (report.faults.enabled)
+            splitFaultThroughput(samples_per_mini);
+    }
+
+    /** Classify each minibatch as healthy or degraded by whether its
+     *  window overlapped any scheduled fault event, and report the
+     *  throughput of both populations. */
+    void
+    splitFaultThroughput(double samples_per_mini)
+    {
+        auto overlaps_fault = [this](Tick s, Tick e) {
+            for (const auto &ev : cfg.faults->events) {
+                if (ev.start < e && s < ev.end)
+                    return true;
+            }
+            return false;
+        };
+        Tick healthy_time = 0;
+        Tick degraded_time = 0;
+        Tick prev = 0;
+        for (Tick done : minibatchDone) {
+            if (overlaps_fault(prev, done)) {
+                ++report.faults.degradedMinibatches;
+                degraded_time += done - prev;
+            } else {
+                ++report.faults.healthyMinibatches;
+                healthy_time += done - prev;
+            }
+            prev = done;
+        }
+        if (healthy_time > 0) {
+            report.faults.healthySamplesPerSec =
+                samples_per_mini * report.faults.healthyMinibatches /
+                util::toSeconds(healthy_time);
+        }
+        if (degraded_time > 0) {
+            report.faults.degradedSamplesPerSec =
+                samples_per_mini *
+                report.faults.degradedMinibatches /
+                util::toSeconds(degraded_time);
+        }
     }
 };
 

@@ -23,6 +23,7 @@
 
 #include "compaction/metadata.hh"
 #include "compaction/plan.hh"
+#include "fault/scenario.hh"
 #include "hw/fabric.hh"
 #include "hw/topology.hh"
 #include "memory/tracker.hh"
@@ -62,6 +63,23 @@ struct ExecutorConfig
     /** Stop the simulation at the first OOM (matches real runs); when
      *  false, keep accounting to observe the overshoot. */
     bool failFastOnOom = true;
+
+    /** Fault scenario to inject (non-owning; null = healthy run).
+     *  The scenario must outlive the executor. */
+    const fault::Scenario *faults = nullptr;
+
+    /** Degradation ladder for injected D2D failures: a failed stripe
+     *  is retried with backoff, then the instance falls back to
+     *  GPU-CPU swap, then to recomputation, before failFastOnOom
+     *  semantics apply.  With the ladder off a failed stripe is
+     *  simply lost and the run deadlocks into an OOM report. */
+    bool faultLadder = true;
+
+    /** Retries per failed D2D stripe before falling back. */
+    int maxTransferRetries = 3;
+
+    /** Delay before the first stripe retry; doubles per attempt. */
+    util::Tick retryBackoff = 20 * util::kUsec;
 };
 
 /**

@@ -70,6 +70,40 @@ struct SavingsBreakdown
 };
 
 /**
+ * Fault-injection accounting (ExecutorConfig::faults): what the
+ * scenario scheduled, what actually fired, and how the degradation
+ * ladder absorbed it.
+ */
+struct FaultSummary
+{
+    bool enabled = false;
+
+    /** Events in the scenario, by kind. */
+    int scheduledLinkDegrade = 0;
+    int scheduledTransferFail = 0;
+    int scheduledGpuStraggle = 0;
+    int scheduledHostPressure = 0;
+
+    int degradedTransfers = 0;  ///< transfers stretched by a window
+    int transferFailures = 0;   ///< injected D2D stripe failures
+    int retries = 0;            ///< stripes re-issued after a failure
+    /** D2D work demoted to the host path: whole swap-outs demoted to
+     *  GPU-CPU swap plus swap-in stripes rerouted over PCIe. */
+    int fallbackGpuCpuSwap = 0;
+    int fallbackRecompute = 0;  ///< instances demoted to recompute
+    int straggledTasks = 0;     ///< compute tasks stretched
+    int hostPressureEvents = 0; ///< pressure windows applied
+    Bytes hostPressurePeak = 0; ///< largest concurrent budget cut
+
+    /** Minibatches whose window overlapped no fault event vs. the
+     *  rest, and the throughput of each population (0 when empty). */
+    int healthyMinibatches = 0;
+    int degradedMinibatches = 0;
+    double healthySamplesPerSec = 0.0;
+    double degradedSamplesPerSec = 0.0;
+};
+
+/**
  * The outcome of one simulated training window.
  */
 struct TrainingReport
@@ -113,6 +147,9 @@ struct TrainingReport
     /** Metrics registry, memory timelines and per-stream utilization
      *  (ExecutorConfig recordMetrics). */
     obs::Observability observability;
+
+    /** Fault-injection accounting (ExecutorConfig::faults). */
+    FaultSummary faults;
 
     /** Highest per-GPU peak across devices. */
     Bytes maxGpuPeak() const;

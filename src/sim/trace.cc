@@ -59,6 +59,17 @@ TraceRecorder::exportChromeTrace(std::ostream &os) const
            << "\"tid\":" << span.lane << ",\"ts\":" << us
            << ",\"dur\":" << dur << "}";
     }
+    for (const auto &inst : _instants) {
+        if (!first)
+            os << ",";
+        first = false;
+        double us = static_cast<double>(inst.time) / 1000.0;
+        // "s":"t" scopes the marker to its thread row.
+        os << "{\"name\":\"" << escape(inst.name) << "\",\"cat\":\""
+           << escape(inst.category) << "\",\"ph\":\"i\",\"s\":\"t\","
+           << "\"pid\":0,\"tid\":" << inst.lane << ",\"ts\":" << us
+           << "}";
+    }
     for (const auto &ctr : _counters) {
         if (!first)
             os << ",";

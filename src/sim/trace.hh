@@ -29,6 +29,16 @@ struct TraceSpan
     Tick end = 0;
 };
 
+/** One instant event ("ph":"i"): a point-in-time marker, used for
+ *  injected faults and runtime fallback decisions. */
+struct TraceInstant
+{
+    std::string name;      ///< e.g. "fault: stripe retry s0 mb2"
+    std::string category;  ///< e.g. "fault"
+    int lane = 0;
+    Tick time = 0;
+};
+
 /** One sample of a counter series ("ph":"C" in Chrome trace). */
 struct TraceCounter
 {
@@ -71,10 +81,26 @@ class TraceRecorder
         _counters.push_back({std::move(name), lane, time, value});
     }
 
+    /** Record an instant marker (no-op when disabled).  Rendered by
+     *  the trace viewers as a flag pinned to its lane. */
+    void
+    recordInstant(std::string name, std::string category, int lane,
+                  Tick time)
+    {
+        if (!_enabled)
+            return;
+        _instants.push_back(
+            {std::move(name), std::move(category), lane, time});
+    }
+
     const std::vector<TraceSpan> &spans() const { return _spans; }
     const std::vector<TraceCounter> &counters() const
     {
         return _counters;
+    }
+    const std::vector<TraceInstant> &instants() const
+    {
+        return _instants;
     }
     std::size_t size() const { return _spans.size(); }
     void
@@ -82,6 +108,7 @@ class TraceRecorder
     {
         _spans.clear();
         _counters.clear();
+        _instants.clear();
     }
 
     /** Emit Chrome-trace JSON ("traceEvents" array of X events;
@@ -101,6 +128,7 @@ class TraceRecorder
     bool _enabled;
     std::vector<TraceSpan> _spans;
     std::vector<TraceCounter> _counters;
+    std::vector<TraceInstant> _instants;
     std::vector<std::string> _laneNames;
 };
 

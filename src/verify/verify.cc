@@ -79,6 +79,14 @@ ruleName(Rule rule)
         return "cfg-shape";
       case Rule::CfgStashSync:
         return "cfg-stash-sync";
+      case Rule::FaultTimeRange:
+        return "fault-time-range";
+      case Rule::FaultResourceRange:
+        return "fault-resource-range";
+      case Rule::FaultValueRange:
+        return "fault-value-range";
+      case Rule::FaultOverlap:
+        return "fault-overlap";
     }
     return "?";
 }
@@ -109,7 +117,7 @@ defaultSeverity(Rule rule)
 namespace {
 
 constexpr std::size_t kNumRules =
-    static_cast<std::size_t>(Rule::CfgStashSync) + 1;
+    static_cast<std::size_t>(Rule::FaultOverlap) + 1;
 
 } // namespace
 
@@ -1193,6 +1201,196 @@ verifyPlan(const hw::Topology &topo,
         projectCapacity(topo, mdl, part, sched, plan);
     checkCapacity(topo, part, plan, proj, capacity, report, strict);
     checkGrants(topo, part, plan, proj, capacity, report, strict);
+    return report;
+}
+
+namespace {
+
+/** The resource one fault event occupies, as a grouping key for the
+ *  overlap check: same kind + same key = same resource. */
+std::string
+faultResourceKey(const fault::FaultEvent &e)
+{
+    switch (e.kind) {
+      case fault::EventKind::LinkDegrade:
+        if (e.gpu >= 0)
+            return strformat("pcie.gpu%d", e.gpu);
+        return strformat("nvlink.%d-%d", std::min(e.src, e.dst),
+                         std::max(e.src, e.dst));
+      case fault::EventKind::TransferFail:
+        return strformat("d2d.gpu%d-%d", e.src, e.dst);
+      case fault::EventKind::GpuStraggle:
+        return strformat("compute.gpu%d", e.gpu);
+      case fault::EventKind::HostPressure:
+        return "host";
+    }
+    return "?";
+}
+
+void
+checkFaultEvent(const hw::Topology &topo,
+                const fault::FaultEvent &e, std::size_t index,
+                Report &report, bool strict)
+{
+    const int n = topo.numGpus();
+    auto where = strformat("events[%zu] (%s)", index,
+                           fault::eventKindName(e.kind));
+
+    if (e.start < 0 || e.end <= e.start) {
+        Finding(report, strict, Rule::FaultTimeRange)
+            .msg(strformat("%s: window [%lld, %lld) is %s",
+                           where.c_str(),
+                           static_cast<long long>(e.start),
+                           static_cast<long long>(e.end),
+                           e.start < 0 ? "negative" : "empty"))
+            .hint("start_ms must be >= 0 and end_ms > start_ms");
+    }
+
+    auto bad_gpu = [n](int g) { return g < 0 || g >= n; };
+    switch (e.kind) {
+      case fault::EventKind::LinkDegrade:
+        if (e.gpu >= 0) {
+            // PCIe variant.
+            if (e.gpu >= n) {
+                Finding(report, strict, Rule::FaultResourceRange)
+                    .gpu(e.gpu)
+                    .msg(strformat("%s: unknown GPU %d",
+                                   where.c_str(), e.gpu))
+                    .hint(strformat("topology has %d GPUs", n));
+            }
+        } else if (bad_gpu(e.src) || bad_gpu(e.dst) ||
+                   e.src == e.dst) {
+            Finding(report, strict, Rule::FaultResourceRange)
+                .msg(strformat("%s: link (%d, %d) is not a valid GPU"
+                               " pair",
+                               where.c_str(), e.src, e.dst))
+                .hint("name an NVLink pair via src/dst or a PCIe"
+                      " link via gpu");
+        } else if (topo.nvlinkLanes(e.src, e.dst) == 0) {
+            Finding(report, strict, Rule::FaultResourceRange)
+                .msg(strformat("%s: no NVLink between GPU %d and"
+                               " GPU %d",
+                               where.c_str(), e.src, e.dst))
+                .hint("degrade an existing link, or the event can"
+                      " never fire");
+        }
+        if (!(e.factor > 0.0)) {
+            Finding(report, strict, Rule::FaultValueRange)
+                .msg(strformat("%s: factor %g is not positive",
+                               where.c_str(), e.factor))
+                .hint("factor is a bandwidth multiplier in (0, 1]");
+        }
+        break;
+      case fault::EventKind::TransferFail:
+        if (bad_gpu(e.src)) {
+            Finding(report, strict, Rule::FaultResourceRange)
+                .gpu(e.src)
+                .msg(strformat("%s: unknown exporter GPU %d",
+                               where.c_str(), e.src))
+                .hint(strformat("topology has %d GPUs", n));
+        } else if (e.dst >= 0 &&
+                   (e.dst >= n || e.dst == e.src ||
+                    topo.nvlinkLanes(e.src, e.dst) == 0)) {
+            Finding(report, strict, Rule::FaultResourceRange)
+                .msg(strformat("%s: (%d, %d) is not an NVLink pair",
+                               where.c_str(), e.src, e.dst))
+                .hint("dst is optional; when given it must name a"
+                      " peer reachable from src");
+        }
+        if (e.probability < 0.0 || e.probability > 1.0) {
+            Finding(report, strict, Rule::FaultValueRange)
+                .msg(strformat("%s: probability %g outside [0, 1]",
+                               where.c_str(), e.probability))
+                .hint("per-stripe failure probability");
+        }
+        break;
+      case fault::EventKind::GpuStraggle:
+        if (bad_gpu(e.gpu)) {
+            Finding(report, strict, Rule::FaultResourceRange)
+                .gpu(e.gpu)
+                .msg(strformat("%s: unknown GPU %d", where.c_str(),
+                               e.gpu))
+                .hint(strformat("topology has %d GPUs", n));
+        }
+        if (!(e.factor > 0.0)) {
+            Finding(report, strict, Rule::FaultValueRange)
+                .msg(strformat("%s: factor %g is not positive",
+                               where.c_str(), e.factor))
+                .hint("factor is a compute-speed multiplier in"
+                      " (0, 1]");
+        }
+        break;
+      case fault::EventKind::HostPressure:
+        if (e.bytes <= 0) {
+            Finding(report, strict, Rule::FaultValueRange)
+                .msg(strformat("%s: pressure of %lld bytes",
+                               where.c_str(),
+                               static_cast<long long>(e.bytes)))
+                .hint("bytes_gb must be positive");
+        } else if (e.bytes > topo.hostMemory()) {
+            Finding(report, strict, Rule::FaultResourceRange)
+                .msg(strformat("%s: pressure exceeds the %lld-byte"
+                               " host pool",
+                               where.c_str(),
+                               static_cast<long long>(
+                                   topo.hostMemory())))
+                .hint("a cut larger than the pool clamps to zero"
+                      " capacity; shrink it");
+        }
+        break;
+    }
+}
+
+} // namespace
+
+Report
+verifyScenario(const hw::Topology &topo,
+               const fault::Scenario &scenario, const Options &opts)
+{
+    Report report;
+    report.setPerRuleCap(opts.maxDiagsPerRule);
+    const bool strict = opts.strict;
+
+    for (std::size_t i = 0; i < scenario.events.size(); ++i)
+        checkFaultEvent(topo, scenario.events[i], i, report, strict);
+
+    // Overlap: two windows of the same kind on the same resource.
+    // (The injector composes overlapping windows multiplicatively,
+    // which is almost never what a scenario author meant.)
+    struct Window
+    {
+        util::Tick start;
+        util::Tick end;
+        std::size_t index;
+    };
+    std::map<std::string, std::vector<Window>> byResource;
+    for (std::size_t i = 0; i < scenario.events.size(); ++i) {
+        const auto &e = scenario.events[i];
+        if (e.start < 0 || e.end <= e.start)
+            continue;  // already flagged
+        byResource[strformat("%s:%s", fault::eventKindName(e.kind),
+                             faultResourceKey(e).c_str())]
+            .push_back({e.start, e.end, i});
+    }
+    for (auto &[key, windows] : byResource) {
+        std::sort(windows.begin(), windows.end(),
+                  [](const Window &a, const Window &b) {
+                      if (a.start != b.start)
+                          return a.start < b.start;
+                      return a.index < b.index;
+                  });
+        for (std::size_t i = 1; i < windows.size(); ++i) {
+            if (windows[i].start < windows[i - 1].end) {
+                Finding(report, strict, Rule::FaultOverlap)
+                    .msg(strformat(
+                        "events[%zu] and events[%zu] overlap on %s",
+                        windows[i - 1].index, windows[i].index,
+                        key.c_str()))
+                    .hint("merge the windows or separate them in"
+                          " time");
+            }
+        }
+    }
     return report;
 }
 

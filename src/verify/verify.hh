@@ -47,6 +47,13 @@
  *   Config shape
  *     cfg-shape           offload vectors not sized to stage count
  *     cfg-stash-sync      stash offload on a non-stashing schedule
+ *   Fault schedules (verifyScenario)
+ *     fault-time-range    negative start or empty/inverted window
+ *     fault-resource-range unknown GPU / link ids for the event kind
+ *     fault-value-range   non-positive factor, probability outside
+ *                         [0,1], non-positive pressure bytes
+ *     fault-overlap       two windows of one kind overlap on one
+ *                         resource
  *
  * Severities: structural rules are errors (the executor would abort,
  * deadlock, or misaccount); heuristic/performance rules are warnings,
@@ -60,6 +67,7 @@
 #include <vector>
 
 #include "compaction/plan.hh"
+#include "fault/scenario.hh"
 #include "hw/topology.hh"
 #include "memory/liveness.hh"
 #include "model/model.hh"
@@ -109,6 +117,10 @@ enum class Rule
     SwapIntervalTight,
     CfgShape,
     CfgStashSync,
+    FaultTimeRange,
+    FaultResourceRange,
+    FaultValueRange,
+    FaultOverlap,
 };
 
 /** Stable string id of @p rule, e.g. "sched-cycle". */
@@ -222,6 +234,18 @@ Report verifyPlan(const hw::Topology &topo,
                   const pipeline::Schedule &sched,
                   const compaction::CompactionPlan &plan,
                   const Options &opts = {});
+
+/**
+ * Verify a fault scenario against @p topo before injecting it:
+ * window sanity (fault-time-range), endpoint existence for the event
+ * kind (fault-resource-range), value ranges (fault-value-range), and
+ * same-kind window overlap on one resource (fault-overlap).  The
+ * executor replays scenarios blindly — a malformed schedule would
+ * otherwise surface as a panic or silently-wrong degraded throughput.
+ */
+Report verifyScenario(const hw::Topology &topo,
+                      const fault::Scenario &scenario,
+                      const Options &opts = {});
 
 } // namespace verify
 } // namespace mpress

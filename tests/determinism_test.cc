@@ -132,6 +132,58 @@ TEST(Determinism, RandomPlansSurviveSerializationRoundTrips)
     }
 }
 
+TEST(Determinism, FaultedSessionIsReproducible)
+{
+    // A seeded fault scenario keeps the simulation a pure function
+    // of its inputs: two faulted runs — and a faulted run behind a
+    // threaded planner search — report identically.
+    mpress::fault::Scenario scenario;
+    scenario.seed = 13;
+    mpress::fault::FaultEvent fail;
+    fail.kind = mpress::fault::EventKind::TransferFail;
+    fail.start = 0;
+    fail.end = 1000000 * mu::kMsec;
+    fail.src = 0;
+    fail.probability = 0.4;
+    scenario.events.push_back(fail);
+    mpress::fault::FaultEvent slow;
+    slow.kind = mpress::fault::EventKind::GpuStraggle;
+    slow.start = 0;
+    slow.end = 500 * mu::kMsec;
+    slow.gpu = 1;
+    slow.factor = 0.8;
+    scenario.events.push_back(slow);
+
+    auto run = [&](int threads) {
+        auto cfg =
+            bench::bertJob("bert-1.67b", api::Strategy::MPressFull);
+        cfg.planner.threads = threads;
+        cfg.executor.faults = &scenario;
+        return api::runSession(hw::Topology::dgx1V100(), cfg);
+    };
+    auto a = run(1);
+    auto b = run(1);
+    auto threaded = run(4);
+    ASSERT_FALSE(a.oom);
+    EXPECT_EQ(a.report.makespan, b.report.makespan);
+    EXPECT_EQ(a.report.makespan, threaded.report.makespan);
+    EXPECT_EQ(cp::planToText(a.plan), cp::planToText(threaded.plan));
+    const auto &fa = a.report.faults;
+    const auto &fc = threaded.report.faults;
+    EXPECT_TRUE(fa.enabled);
+    EXPECT_EQ(fa.transferFailures, fc.transferFailures);
+    EXPECT_EQ(fa.retries, fc.retries);
+    EXPECT_EQ(fa.fallbackGpuCpuSwap, fc.fallbackGpuCpuSwap);
+    EXPECT_EQ(fa.straggledTasks, fc.straggledTasks);
+    EXPECT_EQ(fa.degradedMinibatches, fc.degradedMinibatches);
+    // Planning stayed fault-free: the plan matches a healthy run's.
+    auto healthy_cfg =
+        bench::bertJob("bert-1.67b", api::Strategy::MPressFull);
+    auto healthy =
+        api::runSession(hw::Topology::dgx1V100(), healthy_cfg);
+    EXPECT_EQ(cp::planToText(a.plan), cp::planToText(healthy.plan));
+}
+
 TEST(Determinism, ZeroBaselineIsPure)
 {
     mpress::baselines::ZeroConfig cfg;

@@ -80,6 +80,47 @@ TEST(Tracker, ResetStatsKeepsLiveBytes)
     EXPECT_EQ(t.peak(), 30);
 }
 
+TEST(Tracker, ResetStatsNeverUnlatchesOom)
+{
+    // Regression: resetStats() used to recompute _oom from the
+    // current usage, silently clearing a latched OOM whose overshoot
+    // had already been freed.
+    mem::DeviceMemoryTracker t("gpu0", 100);
+    EXPECT_TRUE(t.alloc(TensorKind::Activation, 90));
+    EXPECT_FALSE(t.alloc(TensorKind::Activation, 20));
+    t.free(TensorKind::Activation, 110);  // back under capacity
+    t.resetStats();
+    EXPECT_TRUE(t.oomOccurred());  // latch survives the reset
+
+    // And a reset while still over capacity keeps it too.
+    mem::DeviceMemoryTracker over("gpu1", 100);
+    EXPECT_FALSE(over.alloc(TensorKind::Activation, 120));
+    over.resetStats();
+    EXPECT_TRUE(over.oomOccurred());
+}
+
+TEST(Tracker, SetCapacityResizesAndRejectsNegative)
+{
+    mem::DeviceMemoryTracker t("gpu0", 100);
+    t.alloc(TensorKind::Activation, 50);
+    t.setCapacity(200);
+    EXPECT_EQ(t.available(), 150);
+    EXPECT_DEATH(t.setCapacity(-1), "capacity");
+}
+
+TEST(PinnedPool, SetCapacityShrinksBudgetMidRun)
+{
+    // Host-pressure faults shrink the pool while reservations are
+    // live; the pool clamps rather than un-reserving anything.
+    mem::PinnedHostPool pool(1000);
+    EXPECT_TRUE(pool.reserve(600));
+    pool.setCapacity(500);
+    EXPECT_FALSE(pool.reserve(1));  // already over the new budget
+    pool.release(1);                // executor's probe-and-release
+    pool.setCapacity(1000);
+    EXPECT_TRUE(pool.reserve(300));
+}
+
 TEST(PinnedPool, ReserveRelease)
 {
     mem::PinnedHostPool pool(1000);

@@ -455,3 +455,140 @@ TEST(ObsExport, EmptySweepStillParses)
     EXPECT_EQ(js.str(), "{\"rows\":[]}");
     ASSERT_TRUE(mu::jsonParse(js.str()).ok);
 }
+
+TEST(ObsExport, CsvQuotesAdversarialNames)
+{
+    // RFC 4180: fields holding commas, quotes, or line breaks are
+    // double-quoted with embedded quotes doubled — a scenario named
+    // from user JSON must not shift every column after it.
+    std::vector<obs::SweepRow> rows(3);
+    rows[0].name = "plain";
+    rows[1].name = "commas, break, columns";
+    rows[1].model = "say \"cheese\"";
+    rows[2].name = "line\nbreak";
+    std::ostringstream csv;
+    obs::exportSweepCsv(csv, rows);
+    std::string text = csv.str();
+    EXPECT_NE(text.find("\"commas, break, columns\","),
+              std::string::npos);
+    EXPECT_NE(text.find("\"say \"\"cheese\"\"\","),
+              std::string::npos);
+    EXPECT_NE(text.find("\"line\nbreak\","), std::string::npos);
+    // Unquoted values keep their exact old shape.
+    EXPECT_NE(text.find("plain,"), std::string::npos);
+
+    // Every data row still has the header's column count once
+    // quoted fields are honored.
+    std::istringstream lines(text);
+    std::string header;
+    ASSERT_TRUE(std::getline(lines, header));
+    auto columns = [](const std::string &line) {
+        int cols = 1;
+        bool quoted = false;
+        for (char c : line) {
+            if (c == '"')
+                quoted = !quoted;
+            else if (c == ',' && !quoted)
+                ++cols;
+        }
+        return cols;
+    };
+    EXPECT_EQ(columns(header), 12);
+    // Row 0 ("plain") and row 1 (adversarial, single-line fields).
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(columns(line), 12);
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(columns(line), 12);
+}
+
+TEST(ObsExport, RobustnessReportParsesAndKeepsOrder)
+{
+    std::vector<obs::RobustnessRow> rows(3);
+    rows[0].scenario = "healthy";
+    rows[0].samplesPerSec = 13.5;
+    rows[0].throughputRatio = 1.0;
+    rows[1].scenario = "flaky, nvlink";
+    rows[1].throughputRatio = 0.75;
+    rows[1].transferFailures = 12;
+    rows[1].retries = 9;
+    rows[1].fallbackGpuCpuSwap = 3;
+    rows[2].scenario = "dead";
+    rows[2].oom = true;
+
+    obs::RobustnessSummary summary;
+    summary.baselineSamplesPerSec = 13.5;
+    summary.worst = 0.0;
+    summary.p10 = 0.0;
+    summary.p50 = 0.75;
+
+    std::ostringstream js;
+    obs::exportRobustnessJson(js, summary, rows);
+    auto doc = mu::jsonParse(js.str());
+    ASSERT_TRUE(doc.ok) << doc.error;
+    EXPECT_EQ(doc.value.numberOr("baseline_samples_per_sec", 0),
+              13.5);
+    EXPECT_EQ(doc.value.numberOr("p50", 0), 0.75);
+    const auto *parsed = doc.value.find("rows");
+    ASSERT_NE(parsed, nullptr);
+    ASSERT_EQ(parsed->items().size(), 3u);
+    EXPECT_EQ(parsed->items()[1].stringOr("scenario", ""),
+              "flaky, nvlink");
+    EXPECT_EQ(parsed->items()[1].numberOr("transfer_failures", 0),
+              12);
+    EXPECT_TRUE(parsed->items()[2].boolOr("oom", false));
+
+    std::ostringstream csv;
+    obs::exportRobustnessCsv(csv, rows);
+    std::istringstream lines(csv.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line,
+              "scenario,oom,samples_per_sec,throughput_ratio,"
+              "transfer_failures,retries,fallback_gpu_cpu_swap,"
+              "fallback_recompute,straggled_tasks,"
+              "host_pressure_events");
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line.rfind("healthy,0,", 0), 0u);
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line.rfind("\"flaky, nvlink\",0,", 0), 0u);
+}
+
+TEST(ObsIntegration, NvmeChannelsBusyUnderContention)
+{
+    // A tiny pinned pool forces GPU-CPU swaps onto the SSD: the
+    // NvmeWrite (spill) and NvmeRead (swap-in) channels go busy, and
+    // the nvme.spill.bytes counter agrees with the report.
+    Job job;
+    job.topo.setHostMemory(4 * mu::kGB);
+    job.topo.setNvmeCapacity(500 * mu::kGB);
+    rt::ExecutorConfig cfg;
+    cfg.recordMetrics = true;
+    auto report = job.run(swapAll(job.part), cfg);
+    ASSERT_FALSE(report.oom);
+    ASSERT_GT(report.nvmeSpill, 0);
+
+    const auto &util = report.observability.utilization;
+    EXPECT_GT(util.busyTime(obs::Resource::NvmeWrite), 0);
+    EXPECT_GT(util.busyTime(obs::Resource::NvmeRead), 0);
+
+    const auto *spill =
+        report.observability.metrics.find("nvme.spill.bytes");
+    ASSERT_NE(spill, nullptr);
+    EXPECT_DOUBLE_EQ(spill->value,
+                     static_cast<double>(report.nvmeSpill));
+
+    // Contention is real: all eight stages share one SSD, so the
+    // write channel's intervals never overlap (serialized queue) and
+    // the spill path shows up as nonzero queueing versus raw
+    // transfer time.
+    for (const auto &ch : util.channels()) {
+        if (ch.resource != obs::Resource::NvmeWrite)
+            continue;
+        Tick prev_end = -1;
+        for (const auto &iv : ch.intervals) {
+            EXPECT_GE(iv.start, prev_end);
+            prev_end = iv.end;
+        }
+    }
+}

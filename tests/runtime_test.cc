@@ -377,6 +377,16 @@ TEST(Executor, NonPositiveMemOverheadFactorIsFatal)
     EXPECT_DEATH(job.run({}, cfg), "memOverheadFactor");
 }
 
+TEST(Executor, NonPositiveSwapInLookaheadIsFatal)
+{
+    Job job("bert-0.35b", 4, pl::SystemKind::PipeDream);
+    rt::ExecutorConfig cfg;
+    cfg.swapInLookahead = 0;
+    EXPECT_DEATH(job.run({}, cfg), "swapInLookahead");
+    cfg.swapInLookahead = -2;
+    EXPECT_DEATH(job.run({}, cfg), "swapInLookahead");
+}
+
 TEST(Executor, NvmeSpillWhenHostPoolExhausts)
 {
     // A server with a tiny pinned pool but an SSD: GPU-CPU swap

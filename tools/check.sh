@@ -28,7 +28,8 @@ jobs=$(nproc 2>/dev/null || echo 2)
 
 smoke=""
 sweep=""
-trap 'rm -rf "$smoke" "$sweep"' EXIT
+fault=""
+trap 'rm -rf "$smoke" "$sweep" "$fault"' EXIT
 
 echo "== plain build =="
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -60,17 +61,55 @@ print("trace: %d events; metrics: %d GPUs, %d channels"
       % (len(events), len(metrics["memory"]),
          len(metrics["utilization"])))
 EOF
+
+    echo "== fault-scenario smoke (ASan) =="
+    fault=$(mktemp -d)
+    cat >"$fault/faults.json" <<'EOF'
+{ "name": "dead-d2d", "seed": 7, "events": [
+  {"type": "transfer-fail", "start_ms": 0, "end_ms": 1000000,
+   "src": 0, "probability": 1.0},
+  {"type": "gpu-straggle", "start_ms": 0, "end_ms": 500,
+   "gpu": 1, "factor": 0.8}
+] }
+EOF
+    # The ladder completes a run whose D2D path is killed outright;
+    # the same run without the ladder must OOM (exit 2).
+    ./build-asan/examples/mpress_cli --model bert-1.67b \
+        --strategy d2d-only --microbatch 6 \
+        --faults "$fault/faults.json" \
+        --metrics "$fault/run1.json" >/dev/null
+    ./build-asan/examples/mpress_cli --model bert-1.67b \
+        --strategy d2d-only --microbatch 6 \
+        --faults "$fault/faults.json" \
+        --metrics "$fault/run2.json" >/dev/null
+    cmp "$fault/run1.json" "$fault/run2.json"
+    if ./build-asan/examples/mpress_cli --model bert-1.67b \
+        --strategy d2d-only --microbatch 6 --no-fault-ladder \
+        --faults "$fault/faults.json" >/dev/null; then
+        echo "expected OOM with the ladder disabled" >&2
+        exit 1
+    fi
+    python3 - "$fault" <<'EOF'
+import json, sys
+d = sys.argv[1]
+series = json.load(open(d + "/run1.json"))["metrics"]
+names = {s["name"] for s in series}
+assert "fault.transfer.failures" in names, names
+assert "fault.fallback.swap" in names, names
+print("fault smoke: deterministic metrics, ladder rescued the run")
+EOF
 fi
 
 if [ "$run_tsan" = 1 ]; then
     echo "== sanitizer build (TSan) =="
     # The race-relevant surface: the thread pool, the planner's
-    # parallel trial search, the executor it drives concurrently and
-    # the determinism suite that exercises threads=1 vs threads=4.
+    # parallel trial search (including the robustness matrix), the
+    # executor it drives concurrently, the fault suites and the
+    # determinism suite that exercises threads=1 vs threads=4.
     cmake -B build-tsan -S . -DMPRESS_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$jobs"
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|SearchDriver|BudgetGate|BudgetLedger|Determinism|Planner|Runtime'
+        -R 'ThreadPool|SearchDriver|BudgetGate|BudgetLedger|Determinism|Planner|Runtime|Fault|Ladder|Robustness|Injector'
 
     echo "== sweep smoke (TSan) =="
     sweep=$(mktemp -d)
@@ -95,6 +134,35 @@ assert len(csv) == 4, csv
 assert [r["model"] for r in rows] == \
     ["bert-0.64b", "bert-0.64b", "bert-1.67b"]
 print("sweep: %d scenarios ok" % len(rows))
+EOF
+
+    echo "== robustness smoke (TSan) =="
+    cat >"$sweep/matrix.json" <<'EOF'
+{ "scenarios": [
+  {"name": "straggler", "seed": 3, "events": [
+    {"type": "gpu-straggle", "start_ms": 0, "end_ms": 1000000,
+     "gpu": 0, "factor": 0.5}]},
+  {"name": "flaky", "seed": 5, "events": [
+    {"type": "transfer-fail", "start_ms": 0, "end_ms": 1000000,
+     "src": 0, "probability": 0.5}]}
+] }
+EOF
+    # The matrix fans out on the pool; the profile must be
+    # byte-identical at any thread count.
+    ./build-tsan/examples/mpress_cli --model bert-1.67b \
+        --strategy mpress --minibatches 2 --robustness "$sweep/matrix.json" \
+        --threads 1 --robustness-out "$sweep/rb1.json" >/dev/null
+    ./build-tsan/examples/mpress_cli --model bert-1.67b \
+        --strategy mpress --minibatches 2 --robustness "$sweep/matrix.json" \
+        --threads 4 --robustness-out "$sweep/rb4.json" >/dev/null
+    cmp "$sweep/rb1.json" "$sweep/rb4.json"
+    python3 - "$sweep" <<'EOF'
+import json, sys
+rb = json.load(open(sys.argv[1] + "/rb1.json"))
+assert len(rb["rows"]) == 2, rb
+assert rb["worst"] <= rb["p10"] <= rb["p50"], rb
+print("robustness: 2 scenarios, worst %.2f <= p10 %.2f <= p50 %.2f"
+      % (rb["worst"], rb["p10"], rb["p50"]))
 EOF
 fi
 
