@@ -1,15 +1,23 @@
 /**
  * @file
- * Planner-search parallelism benchmark: planning wall-clock of the
- * emulator-feedback loop at different thread counts on the DGX-1
- * 8-stage BERT fixture, with the determinism contract checked on
- * every row — the serialized plan must be byte-identical to the
- * serial (threads=1) plan, or the parallel search is wrong, not
+ * Planner-search benchmark: wall-clock of the emulator-feedback loop
+ * at different thread counts on the DGX-1 8-stage BERT fixture, plus
+ * the trial-cache contract — all with determinism checked on every
+ * row.  The serialized plan must be byte-identical across thread
+ * counts AND across cache on/off, or the fast path is wrong, not
  * fast.
  *
- * On a single-core host the timing column is still reported (it
- * shows pool overhead rather than speedup); the exit status only
- * reflects the byte-identity check.
+ * Three sections:
+ *  1. thread scaling (cache on, the default)
+ *  2. trial cache on vs off at threads=1: wall-clock win and
+ *     hit/miss counts; fails if the cache sees zero hits or the
+ *     picked plan changes
+ *  3. robustness replay with a deliberately duplicated scenario via
+ *     SearchDriver directly, which must memoize the duplicate row
+ *
+ * On a single-core host the scaling column shows pool overhead rather
+ * than speedup; the exit status only reflects the identity checks.
+ * Metrics tee into BENCH_planner.json for tools/check.sh.
  */
 
 #include <chrono>
@@ -19,11 +27,22 @@
 
 #include "bench/common.hh"
 #include "compaction/serialize.hh"
+#include "fault/scenario.hh"
+#include "model/model.hh"
+#include "partition/partition.hh"
+#include "pipeline/schedule.hh"
+#include "planner/search.hh"
+#include "util/pool.hh"
 
 namespace api = mpress::api;
 namespace bench = mpress::bench;
 namespace cp = mpress::compaction;
+namespace fl = mpress::fault;
 namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mp = mpress::partition;
+namespace pl = mpress::pipeline;
+namespace pn = mpress::planner;
 namespace mu = mpress::util;
 
 namespace {
@@ -34,13 +53,16 @@ struct Row
     double planMs;
     bool feasible;
     std::string planText;
+    std::uint64_t cacheHits;
+    std::uint64_t cacheMisses;
 };
 
 Row
-planOnce(int threads)
+planOnce(int threads, bool trial_cache)
 {
     auto cfg = bench::bertJob("bert-1.67b", api::Strategy::MPressFull);
     cfg.planner.threads = threads;
+    cfg.planner.trialCache = trial_cache;
     auto start = std::chrono::steady_clock::now();
     auto result = api::runSession(hw::Topology::dgx1V100(), cfg);
     auto end = std::chrono::steady_clock::now();
@@ -51,7 +73,62 @@ planOnce(int threads)
                      .count();
     row.feasible = !result.oom;
     row.planText = cp::planToText(result.plan);
+    row.cacheHits = result.planResult.trialCacheHits;
+    row.cacheMisses = result.planResult.trialCacheMisses;
     return row;
+}
+
+struct ReplayResult
+{
+    double wallMs;
+    std::uint64_t hits;
+    std::uint64_t misses;
+};
+
+/** Robustness replay over a scenario list with duplicates (the shape
+ *  a flip-batch ladder of replays produces): with the cache on the
+ *  duplicate rows memoize instead of re-emulating. */
+ReplayResult
+robustnessReplay(bool cache)
+{
+    auto topo = hw::Topology::dgx1V100();
+    // A fixture that runs to completion without a compaction plan
+    // (the empty plan below), so every replay row is a full
+    // emulation rather than a fail-fast OOM.
+    auto cfg = mm::presetByName("bert-0.35b");
+    mm::TransformerModel mdl(cfg, 4);
+    auto part = mp::partitionModel(mdl, 8,
+                                   mp::Strategy::ComputeBalanced);
+    auto sched = pl::buildPipeDream(8, 16, 4);
+
+    std::vector<fl::Scenario> unique(3);
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+        fl::Scenario &sc = unique[i];
+        sc.name = mu::strformat("pcie-degrade-%zu", i);
+        sc.seed = 7 + i;
+        fl::FaultEvent ev;
+        ev.kind = fl::EventKind::LinkDegrade;
+        ev.start = 0;
+        ev.end = 1000000;
+        ev.gpu = static_cast<int>(i);
+        ev.factor = 0.5;
+        sc.events.push_back(ev);
+    }
+    // Each unique scenario replayed twice, as ladder re-evaluations do.
+    std::vector<fl::Scenario> scenarios;
+    for (int round = 0; round < 2; ++round)
+        scenarios.insert(scenarios.end(), unique.begin(),
+                         unique.end());
+
+    mu::ThreadPool pool(2);
+    pn::SearchDriver driver(topo, mdl, part, sched, {}, pool);
+    driver.setCacheEnabled(cache);
+    auto start = std::chrono::steady_clock::now();
+    driver.evaluateRobustness(cp::CompactionPlan{}, scenarios);
+    auto end = std::chrono::steady_clock::now();
+    return {std::chrono::duration<double, std::milli>(end - start)
+                .count(),
+            driver.cacheStats().hits, driver.cacheStats().misses};
 }
 
 } // namespace
@@ -59,6 +136,8 @@ planOnce(int threads)
 int
 main()
 {
+    bench::BenchReport report("planner");
+
     std::printf("Planner emulator-feedback search: thread scaling\n");
     std::printf("(bert-1.67b on PipeDream, 8 stages, DGX-1 V100; "
                 "hardware threads: %u)\n\n",
@@ -67,7 +146,7 @@ main()
     const int counts[] = {1, 2, 4};
     std::vector<Row> rows;
     for (int threads : counts)
-        rows.push_back(planOnce(threads));
+        rows.push_back(planOnce(threads, true));
 
     const Row &serial = rows.front();
     mu::TextTable table(
@@ -81,15 +160,94 @@ main()
                       mu::strformat("%.2fx",
                                     serial.planMs / row.planMs),
                       identical ? "byte-identical" : "DIVERGED"});
+        report.set(mu::strformat("plan/threads:%d", row.threads),
+                   "wall_ms", row.planMs);
     }
     table.print(std::cout);
+
+    std::printf("\nTrial cache (threads=1):\n\n");
+    Row cached = planOnce(1, true);
+    Row uncached = planOnce(1, false);
+    bool cache_identical = cached.planText == uncached.planText;
+    mu::TextTable cache_table(
+        {"trial cache", "plan+run (ms)", "hits", "misses",
+         "plan vs uncached"});
+    cache_table.addRow(
+        {"off", mu::strformat("%.1f", uncached.planMs),
+         mu::strformat("%llu",
+                       (unsigned long long)uncached.cacheHits),
+         mu::strformat("%llu",
+                       (unsigned long long)uncached.cacheMisses),
+         "baseline"});
+    cache_table.addRow(
+        {"on", mu::strformat("%.1f", cached.planMs),
+         mu::strformat("%llu", (unsigned long long)cached.cacheHits),
+         mu::strformat("%llu",
+                       (unsigned long long)cached.cacheMisses),
+         cache_identical ? "byte-identical" : "DIVERGED"});
+    cache_table.print(std::cout);
+    report.set("plan/cache:on", "wall_ms", cached.planMs);
+    report.set("plan/cache:on", "cache_hits",
+               static_cast<double>(cached.cacheHits));
+    report.set("plan/cache:on", "cache_misses",
+               static_cast<double>(cached.cacheMisses));
+    report.set("plan/cache:off", "wall_ms", uncached.planMs);
+
+    std::printf("\nRobustness replay, 3 scenarios x 2 rounds "
+                "(bert-0.35b):\n\n");
+    ReplayResult replay_off = robustnessReplay(false);
+    ReplayResult replay_on = robustnessReplay(true);
+    std::uint64_t robustness_hits = replay_on.hits;
+    mu::TextTable replay_table(
+        {"trial cache", "replay (ms)", "hits", "misses"});
+    replay_table.addRow(
+        {"off", mu::strformat("%.1f", replay_off.wallMs),
+         mu::strformat("%llu", (unsigned long long)replay_off.hits),
+         mu::strformat("%llu",
+                       (unsigned long long)replay_off.misses)});
+    replay_table.addRow(
+        {"on", mu::strformat("%.1f", replay_on.wallMs),
+         mu::strformat("%llu", (unsigned long long)replay_on.hits),
+         mu::strformat("%llu",
+                       (unsigned long long)replay_on.misses)});
+    replay_table.print(std::cout);
+    report.set("robustness/replay:off", "wall_ms",
+               replay_off.wallMs);
+    report.set("robustness/replay:on", "wall_ms", replay_on.wallMs);
+    report.set("robustness/replay:on", "cache_hits",
+               static_cast<double>(replay_on.hits));
+    report.set("robustness/replay:on", "cache_misses",
+               static_cast<double>(replay_on.misses));
+
+    if (!report.write())
+        std::fprintf(stderr, "failed to write BENCH_planner.json\n");
 
     if (!all_identical) {
         std::fprintf(stderr,
                      "\nFAIL: thread count changed the plan\n");
         return 1;
     }
-    std::printf("\nOK: all thread counts produce byte-identical "
-                "plans\n");
+    if (!cache_identical) {
+        std::fprintf(stderr,
+                     "\nFAIL: trial cache changed the plan\n");
+        return 1;
+    }
+    if (cached.cacheHits == 0) {
+        std::fprintf(stderr,
+                     "\nFAIL: trial cache saw zero hits\n");
+        return 1;
+    }
+    if (uncached.cacheHits != 0) {
+        std::fprintf(stderr,
+                     "\nFAIL: disabled cache reported hits\n");
+        return 1;
+    }
+    if (robustness_hits == 0) {
+        std::fprintf(stderr, "\nFAIL: duplicated scenario was not "
+                             "memoized\n");
+        return 1;
+    }
+    std::printf("\nOK: plans byte-identical across threads and "
+                "cache settings; cache hit on repeats\n");
     return 0;
 }

@@ -4,10 +4,26 @@
  * every experiment leans on: event queue throughput, stream
  * submission, stripe-plan construction, schedule generation,
  * partitioning, and a full end-to-end simulated iteration.
+ *
+ * The event-queue benches cover the three shapes that matter:
+ *  - BM_EventQueue: captureless closures (std::function's best case —
+ *    a floor, not the representative workload)
+ *  - BM_EventQueueCapture48: a 48-byte capture, the size of the
+ *    executor's striped-swap closures, which the old queue
+ *    heap-allocated on every schedule
+ *  - BM_EventChainSteady: long-lived engine with self-rescheduling
+ *    chains — the steady state of a training emulation, where pooled
+ *    slots recycle through the freelist and allocs/event must be ~0
+ *
+ * Every run also tees its metrics into BENCH_sim.json (see
+ * bench::BenchReport) so tools/check.sh can gate on regressions.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
+#include "bench/common.hh"
 #include "compaction/striping.hh"
 #include "hw/fabric.hh"
 #include "model/model.hh"
@@ -16,6 +32,7 @@
 #include "planner/mapper.hh"
 #include "runtime/executor.hh"
 #include "sim/engine.hh"
+#include "util/inline_function.hh"
 
 namespace cp = mpress::compaction;
 namespace hw = mpress::hw;
@@ -28,10 +45,28 @@ namespace mu = mpress::util;
 using mpress::sim::Engine;
 using mpress::sim::Stream;
 
+namespace {
+
+/** state.counters entry for heap spills per event since @p allocs0. */
+void
+recordAllocsPerEvent(benchmark::State &state, std::uint64_t allocs0,
+                     double events_per_iteration)
+{
+    auto spills = static_cast<double>(mu::callableHeapAllocs() -
+                                      allocs0);
+    double events = static_cast<double>(state.iterations()) *
+                    events_per_iteration;
+    state.counters["allocs_per_event"] =
+        benchmark::Counter(events > 0 ? spills / events : 0);
+}
+
+} // namespace
+
 static void
 BM_EventQueue(benchmark::State &state)
 {
     const int n = static_cast<int>(state.range(0));
+    std::uint64_t allocs0 = mu::callableHeapAllocs();
     for (auto _ : state) {
         Engine engine;
         for (int i = 0; i < n; ++i)
@@ -40,13 +75,82 @@ BM_EventQueue(benchmark::State &state)
         benchmark::DoNotOptimize(engine.eventsExecuted());
     }
     state.SetItemsProcessed(state.iterations() * n);
+    recordAllocsPerEvent(state, allocs0, n);
 }
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
+
+static void
+BM_EventQueueCapture48(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::uint64_t a = 1, b = 2, c = 3, d = 4, e = 5;
+    std::uint64_t sink = 0;
+    std::uint64_t *s = &sink;
+    std::uint64_t allocs0 = mu::callableHeapAllocs();
+    for (auto _ : state) {
+        Engine engine;
+        for (int i = 0; i < n; ++i)
+            engine.schedule(i, [=] { *s += a + b + c + d + e; });
+        engine.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    recordAllocsPerEvent(state, allocs0, n);
+}
+BENCHMARK(BM_EventQueueCapture48)->Arg(1000)->Arg(100000);
+
+namespace {
+
+/** Self-rescheduling 40-byte closure: one hop per event, like the
+ *  executor's retry/continuation chains. */
+struct Hopper
+{
+    Engine *eng;
+    std::uint64_t *sink;
+    std::uint64_t salt1, salt2;
+    int left;
+    void
+    operator()()
+    {
+        *sink += salt1 + salt2;
+        if (--left > 0)
+            eng->scheduleIn(1, *this);
+    }
+};
+
+} // namespace
+
+static void
+BM_EventChainSteady(benchmark::State &state)
+{
+    const int chains = static_cast<int>(state.range(0));
+    const int hops = 256;
+    Engine engine;  // long-lived across iterations: the steady state
+    std::uint64_t sink = 0;
+    std::uint64_t allocs0 = mu::callableHeapAllocs();
+    for (auto _ : state) {
+        for (int c = 0; c < chains; ++c) {
+            engine.scheduleIn(
+                1, Hopper{&engine, &sink, std::uint64_t(c), 3, hops});
+        }
+        engine.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * chains * hops);
+    recordAllocsPerEvent(state, allocs0,
+                         static_cast<double>(chains) * hops);
+    // Steady state must plateau: ~2 slots per live chain (a hop's
+    // slot recycles right after it reschedules into a fresh one).
+    state.counters["pool_slots"] =
+        benchmark::Counter(static_cast<double>(engine.poolSlots()));
+}
+BENCHMARK(BM_EventChainSteady)->Arg(4)->Arg(64);
 
 static void
 BM_StreamChain(benchmark::State &state)
 {
     const int n = static_cast<int>(state.range(0));
+    std::uint64_t allocs0 = mu::callableHeapAllocs();
     for (auto _ : state) {
         Engine engine;
         Stream stream(engine, "bench");
@@ -58,6 +162,7 @@ BM_StreamChain(benchmark::State &state)
         benchmark::DoNotOptimize(stream.busyTime());
     }
     state.SetItemsProcessed(state.iterations() * n);
+    recordAllocsPerEvent(state, allocs0, n);
 }
 BENCHMARK(BM_StreamChain)->Arg(10000);
 
@@ -151,4 +256,48 @@ BM_FullIterationObserved(benchmark::State &state)
 }
 BENCHMARK(BM_FullIterationObserved);
 
-BENCHMARK_MAIN();
+namespace {
+
+/** Console output as usual, plus a tee of every run's real time and
+ *  counters into the machine-readable BENCH_sim.json. */
+class TeeReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit TeeReporter(mpress::bench::BenchReport &report)
+        : _report(report)
+    {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            std::string name = run.benchmark_name();
+            _report.set(name, "real_time_ns",
+                        run.GetAdjustedRealTime());
+            for (const auto &[counter, value] : run.counters)
+                _report.set(name, counter, value);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    mpress::bench::BenchReport &_report;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    mpress::bench::BenchReport report("sim");
+    TeeReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!report.write()) {
+        std::fprintf(stderr, "failed to write BENCH_sim.json\n");
+        return 1;
+    }
+    return 0;
+}

@@ -20,7 +20,10 @@
 #define MPRESS_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "api/session.hh"
@@ -29,6 +32,91 @@
 
 namespace mpress {
 namespace bench {
+
+/**
+ * Machine-readable benchmark sink: collects (benchmark, metric, value)
+ * triples and writes them as BENCH_<suite>.json so CI (tools/check.sh)
+ * can diff runs against a committed baseline.
+ *
+ * The file lands in $MPRESS_BENCH_DIR (or the working directory) and
+ * carries the git revision and date the harness exports via
+ * $MPRESS_GIT_REV / $MPRESS_BENCH_DATE; both default to "unknown" so
+ * ad-hoc runs still produce valid JSON.  Maps keep the output sorted
+ * and therefore diffable.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string suite) : _suite(std::move(suite))
+    {}
+
+    void
+    set(const std::string &bench, const std::string &metric,
+        double value)
+    {
+        _metrics[bench][metric] = value;
+    }
+
+    /** Write BENCH_<suite>.json; returns false on I/O failure. */
+    bool
+    write() const
+    {
+        std::string dir = envOr("MPRESS_BENCH_DIR", "");
+        std::string path = dir.empty()
+                               ? "BENCH_" + _suite + ".json"
+                               : dir + "/BENCH_" + _suite + ".json";
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << "{\n";
+        out << "  \"suite\": \"" << escaped(_suite) << "\",\n";
+        out << "  \"git_rev\": \""
+            << escaped(envOr("MPRESS_GIT_REV", "unknown")) << "\",\n";
+        out << "  \"date\": \""
+            << escaped(envOr("MPRESS_BENCH_DATE", "unknown"))
+            << "\",\n";
+        out << "  \"benchmarks\": {";
+        const char *bench_sep = "\n";
+        for (const auto &[bench, metrics] : _metrics) {
+            out << bench_sep << "    \"" << escaped(bench)
+                << "\": {";
+            bench_sep = ",\n";
+            const char *metric_sep = "\n";
+            for (const auto &[metric, value] : metrics) {
+                out << metric_sep << "      \"" << escaped(metric)
+                    << "\": " << util::strformat("%.17g", value);
+                metric_sep = ",\n";
+            }
+            out << "\n    }";
+        }
+        out << "\n  }\n}\n";
+        return static_cast<bool>(out);
+    }
+
+  private:
+    static std::string
+    envOr(const char *name, const char *fallback)
+    {
+        const char *v = std::getenv(name);
+        return (v != nullptr && *v != '\0') ? v : fallback;
+    }
+
+    static std::string
+    escaped(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    std::string _suite;
+    std::map<std::string, std::map<std::string, double>> _metrics;
+};
 
 /** Bert-on-PipeDream session config (Fig. 7 conventions). */
 inline api::SessionConfig

@@ -117,12 +117,11 @@ Fabric::stripedTransfer(int src, int dst,
 
     // The transfer completes when every occupied lane finishes.  The
     // ingress side (switch fabrics) is occupied for the same duration.
+    // The callback moves straight into the counter; JoinCounter
+    // already guards against an empty one.
     int joins = k + static_cast<int>(in_lanes.size());
-    auto join = std::make_shared<sim::JoinCounter>(
-        joins, [cb = std::move(done)]() {
-            if (cb)
-                cb();
-        });
+    auto join =
+        std::make_shared<sim::JoinCounter>(joins, std::move(done));
     for (sim::Stream *lane : out_lanes) {
         lane->submit(dur, [join](Tick, Tick) { join->arrive(); });
     }
@@ -161,7 +160,7 @@ Fabric::gpuToHost(int gpu, Bytes bytes, Done done)
 {
     Tick dur = shaped(FabricResource::PcieD2H, gpu, -1, bytes,
                       _topo.pcieSpec().transferTime(bytes));
-    _pcieDown[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) {
+    _pcieDown[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) mutable {
         if (cb)
             cb();
     });
@@ -172,7 +171,7 @@ Fabric::hostToGpu(int gpu, Bytes bytes, Done done)
 {
     Tick dur = shaped(FabricResource::PcieH2D, gpu, -1, bytes,
                       _topo.pcieSpec().transferTime(bytes));
-    _pcieUp[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) {
+    _pcieUp[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) mutable {
         if (cb)
             cb();
     });
@@ -183,7 +182,7 @@ Fabric::hostToNvme(Bytes bytes, Done done)
 {
     Tick dur = shaped(FabricResource::NvmeWrite, -1, -1, bytes,
                       _topo.nvmeSpec().transferTime(bytes));
-    _nvmeWrite->submit(dur, [cb = std::move(done)](Tick, Tick) {
+    _nvmeWrite->submit(dur, [cb = std::move(done)](Tick, Tick) mutable {
         if (cb)
             cb();
     });
@@ -194,7 +193,7 @@ Fabric::nvmeToHost(Bytes bytes, Done done)
 {
     Tick dur = shaped(FabricResource::NvmeRead, -1, -1, bytes,
                       _topo.nvmeSpec().transferTime(bytes));
-    _nvmeRead->submit(dur, [cb = std::move(done)](Tick, Tick) {
+    _nvmeRead->submit(dur, [cb = std::move(done)](Tick, Tick) mutable {
         if (cb)
             cb();
     });

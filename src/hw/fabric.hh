@@ -46,7 +46,9 @@ const char *fabricResourceName(FabricResource r);
 class Fabric
 {
   public:
-    using Done = std::function<void()>;
+    /** Per-transfer completion; shares the engine's inline-callable
+     *  type so it moves into schedule()/JoinCounter without a wrap. */
+    using Done = sim::EventFn;
 
     /** Visitor over fabric streams: (class, owning GPU or -1, lane). */
     using StreamVisitor =

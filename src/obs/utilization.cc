@@ -53,7 +53,7 @@ UtilizationRecorder::attach(sim::Stream &stream, Resource res,
 {
     if (!_enabled)
         return;
-    int id = addChannel(res, gpu, stream.name());
+    int id = addChannel(res, gpu, std::string(stream.name()));
     stream.setTaskHook([this, id](Tick start, Tick end) {
         recordBusy(id, start, end);
     });

@@ -209,6 +209,21 @@ planMPress(const hw::Topology &topo,
     auto candidates =
         collectCandidates(mdl, part, sched, profile, cost);
 
+    // The refinement stages below evaluate batches of independent
+    // trial plans; the driver scores them as concurrent emulator runs
+    // (per-worker topology arenas, per-trial executors) and the fixed
+    // tie-break keeps the result identical for every thread count.
+    // It is built before the seed emulation so the seed/escalation
+    // runs land in the trial cache and later identical variants hit.
+    util::ThreadPool pool(cfg.threads);
+    SearchDriver driver(topo, mdl, part, sched, exec_cfg, pool);
+    driver.setCacheEnabled(cfg.trialCache);
+    auto record_cache_stats = [&result, &driver]() {
+        TrialCacheStats stats = driver.cacheStats();
+        result.trialCacheHits = stats.hits;
+        result.trialCacheMisses = stats.misses;
+    };
+
     // (3) Seed assignment per overflowing stage.
     std::vector<bool> offload_opt(
         static_cast<std::size_t>(part.numStages()), false);
@@ -276,12 +291,15 @@ planMPress(const hw::Topology &topo,
         }
     }
 
-    // (4) Emulate the seed; escalate if it still OOMs.
+    // (4) Emulate the seed; escalate if it still OOMs.  Seed and
+    // escalation runs go through the driver so they are memoized like
+    // any other trial (the driver pins the same scoring config the
+    // old emulate() helper forced, and planning stays fault-free).
     CompactionPlan plan =
         materialize(candidates, offload_opt, offload_stash,
                     result.mapping, cfg.d2dStriping);
     runtime::TrainingReport current =
-        emulate(topo, mdl, part, sched, plan, exec_cfg);
+        driver.evaluateOne(plan).report;
     int escalations = 0;
     while (current.oom && escalations < part.numStages() + 2) {
         // Escalate only on the stages mapped to the OOM GPU (or
@@ -326,7 +344,7 @@ planMPress(const hw::Topology &topo,
         ++escalations;
         plan = materialize(candidates, offload_opt, offload_stash,
                     result.mapping, cfg.d2dStriping);
-        current = emulate(topo, mdl, part, sched, plan, exec_cfg);
+        current = driver.evaluateOne(plan).report;
     }
     if (current.oom) {
         result.plan = std::move(plan);
@@ -335,15 +353,9 @@ planMPress(const hw::Topology &topo,
         result.verification = verify::verifyPlan(
             topo, mdl, part, sched, result.plan,
             verifierOptions(exec_cfg));
+        record_cache_stats();
         return result;
     }
-
-    // Refinement evaluates batches of independent trial plans; the
-    // driver scores them as concurrent emulator runs (each on its own
-    // topology copy and executor) and the fixed tie-break keeps the
-    // result identical for every thread count.
-    util::ThreadPool pool(cfg.threads);
-    SearchDriver driver(topo, mdl, part, sched, exec_cfg, pool);
 
     // (4a) Re-map with post-compaction demand.  The profile-based
     // mapping saw every stage overflowing, so importers had nothing
@@ -488,9 +500,10 @@ planMPress(const hw::Topology &topo,
                 admitFlipBatch(gate_view, scratch, batch);
             if (admitted.empty())
                 break;
-            if (!trial_flips.empty() &&
-                admitted.size() == trial_flips.back().size())
-                continue;  // same nested prefix, same plan
+            // Halvings that admit the same nested prefix produce the
+            // same plan; the duplicate trial is a cache hit, and the
+            // strictly-greater tie-break keeps the first occurrence,
+            // so the picked plan is unchanged.
             std::vector<Candidate *> flips;
             std::vector<Kind> prior;
             for (std::size_t idx : admitted) {
@@ -612,9 +625,8 @@ planMPress(const hw::Topology &topo,
              batch /= 2) {
             std::size_t take = std::min(
                 static_cast<std::size_t>(batch), swaps.size());
-            if (!trial_flips.empty() &&
-                take == trial_flips.back().size())
-                continue;
+            // Equal prefixes repeat a plan: a cache hit, not a skip
+            // (see the flip-batch ladder above).
             std::vector<Candidate *> flips(swaps.begin(),
                                            swaps.begin() +
                                                static_cast<long>(
@@ -647,6 +659,7 @@ planMPress(const hw::Topology &topo,
     result.verification = verify::verifyPlan(
         topo, mdl, part, sched, result.plan,
         verifierOptions(exec_cfg));
+    record_cache_stats();
     return result;
 }
 

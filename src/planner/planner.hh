@@ -26,6 +26,8 @@
 #ifndef MPRESS_PLANNER_PLANNER_HH
 #define MPRESS_PLANNER_PLANNER_HH
 
+#include <cstdint>
+
 #include "compaction/plan.hh"
 #include "planner/costmodel.hh"
 #include "planner/mapper.hh"
@@ -65,6 +67,12 @@ struct PlannerConfig
     /** Forwarded to CompactionPlan::d2dStriping (Fig. 9 ablation). */
     bool d2dStriping = true;
 
+    /** Memoize trial reports across the refinement ladders (identical
+     *  plan + config + scenario → cached TrainingReport).  Purely a
+     *  wall-clock optimization: the picked plan and every report are
+     *  byte-identical either way (pinned by the determinism tests). */
+    bool trialCache = true;
+
     MapperConfig mapper;
 };
 
@@ -97,6 +105,13 @@ struct PlanResult
      *  whose trial plan fails verification are rejected, so a
      *  feasible result always satisfies verification.ok(). */
     verify::Report verification;
+
+    /** Trial-cache counters of the emulator-feedback search (hits
+     *  come only from genuinely repeated trials; zero when
+     *  PlannerConfig::trialCache is off or planning ended before the
+     *  refine loop). */
+    std::uint64_t trialCacheHits = 0;
+    std::uint64_t trialCacheMisses = 0;
 };
 
 /** Full MPress planning: all three techniques + device mapping. */

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "compaction/serialize.hh"
 #include "util/logging.hh"
+#include "util/random.hh"
+#include "util/strings.hh"
 
 namespace mpress {
 namespace planner {
@@ -17,7 +20,8 @@ SearchDriver::SearchDriver(const hw::Topology &topo,
                            runtime::ExecutorConfig exec_cfg,
                            util::ThreadPool &pool)
     : _topo(topo), _mdl(mdl), _part(part), _sched(sched),
-      _execCfg(exec_cfg), _pool(pool)
+      _execCfg(exec_cfg), _pool(pool),
+      _topoArena(static_cast<std::size_t>(pool.threads()))
 {
     // Every trial is a scoring run, never a profiling run, and plan
     // selection must not depend on injected faults — robustness is
@@ -27,23 +31,129 @@ SearchDriver::SearchDriver(const hw::Topology &topo,
     _execCfg.faults = nullptr;
 }
 
+const hw::Topology &
+SearchDriver::workerTopology()
+{
+    // Each worker index is owned by exactly one thread for the
+    // duration of a batch, and the arena vector itself is sized in
+    // the ctor, so no synchronization is needed.  The copy is built
+    // once per worker and reused across all trials: the executor and
+    // the verifier only read the topology.
+    auto w =
+        static_cast<std::size_t>(util::ThreadPool::currentWorker());
+    auto &slot = _topoArena[w];
+    if (!slot)
+        slot = std::make_unique<hw::Topology>(_topo);
+    return *slot;
+}
+
+std::string
+SearchDriver::trialKey(const compaction::CompactionPlan &plan,
+                       const runtime::ExecutorConfig &cfg,
+                       std::string_view scenario_id)
+{
+    std::string key = compaction::planToText(plan);
+    key += util::strformat(
+        "@cfg overhead=%a lookahead=%d liveness=%d timeline=%d"
+        " metrics=%d failfast=%d ladder=%d retries=%d backoff=%lld\n",
+        cfg.memOverheadFactor, cfg.swapInLookahead,
+        cfg.recordLiveness ? 1 : 0, cfg.recordTimeline ? 1 : 0,
+        cfg.recordMetrics ? 1 : 0, cfg.failFastOnOom ? 1 : 0,
+        cfg.faultLadder ? 1 : 0, cfg.maxTransferRetries,
+        static_cast<long long>(cfg.retryBackoff));
+    key += "@scenario ";
+    key += scenario_id;
+    key += '\n';
+    return key;
+}
+
+std::uint64_t
+SearchDriver::planSignature(const compaction::CompactionPlan &plan,
+                            const runtime::ExecutorConfig &cfg,
+                            std::string_view scenario_id)
+{
+    return util::fnv1a64(trialKey(plan, cfg, scenario_id));
+}
+
+std::string
+SearchDriver::scenarioKey(const fault::Scenario &scenario)
+{
+    std::string key = util::strformat(
+        "%s seed=%llu", scenario.name.c_str(),
+        static_cast<unsigned long long>(scenario.seed));
+    for (const auto &e : scenario.events) {
+        key += util::strformat(
+            " [k=%d %lld..%lld gpu=%d src=%d dst=%d f=%a p=%a"
+            " b=%lld]",
+            static_cast<int>(e.kind), static_cast<long long>(e.start),
+            static_cast<long long>(e.end), e.gpu, e.src, e.dst,
+            e.factor, e.probability, static_cast<long long>(e.bytes));
+    }
+    return key;
+}
+
+TrialCacheStats
+SearchDriver::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(_cacheMu);
+    return _stats;
+}
+
+runtime::TrainingReport
+SearchDriver::cachedRun(const compaction::CompactionPlan &plan,
+                        const runtime::ExecutorConfig &cfg,
+                        std::string_view scenario_id)
+{
+    if (!_cacheEnabled) {
+        return runtime::runTraining(workerTopology(), _mdl, _part,
+                                    _sched, plan, cfg);
+    }
+    std::string key = trialKey(plan, cfg, scenario_id);
+    std::uint64_t sig = util::fnv1a64(key);
+    {
+        std::lock_guard<std::mutex> lock(_cacheMu);
+        auto it = _cache.find(sig);
+        // A signature collision (equal hash, different key) counts as
+        // a miss, so memoization can never change a result.
+        if (it != _cache.end() && it->second.key == key) {
+            ++_stats.hits;
+            // The emulator is a pure function of (topology, job,
+            // plan, cfg): the stored report is byte-identical to what
+            // a fresh run would produce.
+            return it->second.report;
+        }
+        ++_stats.misses;
+    }
+    runtime::TrainingReport report = runtime::runTraining(
+        workerTopology(), _mdl, _part, _sched, plan, cfg);
+    {
+        std::lock_guard<std::mutex> lock(_cacheMu);
+        // emplace keeps the first entry on a concurrent duplicate (or
+        // a colliding signature): later lookups of the losing key
+        // simply keep missing.
+        _cache.emplace(sig,
+                       CacheEntry{std::move(key), report});
+    }
+    return report;
+}
+
 std::vector<TrialOutcome>
 SearchDriver::evaluate(
     const std::vector<compaction::CompactionPlan> &trials)
 {
     std::vector<TrialOutcome> out(trials.size());
     _pool.parallelFor(trials.size(), [&](std::size_t i) {
-        // Own hardware description per trial: the executor and the
-        // verifier read the topology heavily, and an engine must
-        // never share state with a concurrent one.
-        hw::Topology topo = _topo;
-        out[i].report = runtime::runTraining(
-            topo, _mdl, _part, _sched, trials[i], _execCfg);
+        // Per-worker topology arena: the executor and the verifier
+        // read the topology heavily, and an engine must never share
+        // state with a concurrent one — but trials on the same worker
+        // can reuse one copy.
+        out[i].report = cachedRun(trials[i], _execCfg, "");
         verify::Options opts;
         opts.memOverheadFactor = _execCfg.memOverheadFactor;
-        out[i].verified = verify::verifyPlan(topo, _mdl, _part,
-                                             _sched, trials[i], opts)
-                              .ok();
+        out[i].verified =
+            verify::verifyPlan(workerTopology(), _mdl, _part, _sched,
+                               trials[i], opts)
+                .ok();
     });
     return out;
 }
@@ -76,14 +186,9 @@ SearchDriver::evaluateRobustness(
     const std::vector<fault::Scenario> &scenarios)
 {
     RobustnessResult res;
-    {
-        hw::Topology topo = _topo;
-        res.baseline = runtime::runTraining(topo, _mdl, _part,
-                                            _sched, plan, _execCfg);
-    }
+    res.baseline = cachedRun(plan, _execCfg, "");
     res.rows.resize(scenarios.size());
     _pool.parallelFor(scenarios.size(), [&](std::size_t i) {
-        hw::Topology topo = _topo;
         runtime::ExecutorConfig cfg = _execCfg;
         cfg.faults = &scenarios[i];
         // Score the runtime's best recovery: let the ladder absorb
@@ -92,8 +197,10 @@ SearchDriver::evaluateRobustness(
         cfg.failFastOnOom = true;
         RobustnessRow &row = res.rows[i];
         row.scenario = scenarios[i].name;
-        row.report = runtime::runTraining(topo, _mdl, _part, _sched,
-                                          plan, cfg);
+        // The scenario pointer cannot key the cache; its content
+        // does.  Duplicate scenarios across replays memoize.
+        row.report = cachedRun(plan, cfg,
+                               scenarioKey(scenarios[i]));
         double base = res.baseline.samplesPerSec;
         row.throughputRatio =
             (row.report.oom || base <= 0.0)

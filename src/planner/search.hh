@@ -7,9 +7,21 @@
  * its joint-flip stage costs one full emulated training iteration.
  * The trials of one step are independent — each is a pure function of
  * (topology, job, candidate plan) — so SearchDriver evaluates them
- * concurrently on a util::ThreadPool, each trial on its own
- * hw::Topology copy and runtime::Executor instance so no simulator
- * state is ever shared between threads.
+ * concurrently on a util::ThreadPool.  Each pool worker owns a lazily
+ * built hw::Topology copy (reused across all its trials) and every
+ * trial constructs its own runtime::Executor, so no simulator state
+ * is ever shared between threads.
+ *
+ * Because trials are pure, their reports memoize: the driver keeps a
+ * cache keyed by a 64-bit FNV-1a signature of (serialized plan,
+ * executor config, scenario id), with the full key text stored to
+ * make hash collisions harmless.  Repeated plan variants across
+ * flip-batch ladders, coarse-variant batches and robustness replays
+ * return the cached TrainingReport instead of re-emulating; static
+ * verification still runs per trial (it is ~25x cheaper than an
+ * emulation and keeps the verified flag trustworthy).  The cache is
+ * invisible in the output by construction — a hit returns exactly
+ * what the skipped run would have produced.
  *
  * Determinism contract: evaluate() returns outcomes in trial order
  * regardless of scheduling, and pickBest() breaks ties by the fixed
@@ -35,8 +47,13 @@
 #ifndef MPRESS_PLANNER_SEARCH_HH
 #define MPRESS_PLANNER_SEARCH_HH
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/scenario.hh"
@@ -47,6 +64,13 @@
 
 namespace mpress {
 namespace planner {
+
+/** Hit/miss counters of the driver's trial-report cache. */
+struct TrialCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
 
 /** Result of emulating + statically verifying one trial plan. */
 struct TrialOutcome
@@ -99,8 +123,9 @@ struct RobustnessResult
  *
  * The driver borrows the job description (model, partition, schedule)
  * and the pool; all are owned by the caller and must outlive it.  The
- * topology is copied once per trial so concurrent engines never share
- * a hardware description object.
+ * topology is copied once per pool worker (and reused across that
+ * worker's trials) so concurrent engines never share a hardware
+ * description object.
  */
 class SearchDriver
 {
@@ -148,13 +173,69 @@ class SearchDriver
 
     util::ThreadPool &pool() { return _pool; }
 
+    /** Enable/disable trial-report memoization (default: enabled). */
+    void setCacheEnabled(bool on) { _cacheEnabled = on; }
+
+    /** Cache hit/miss counters accumulated so far. */
+    TrialCacheStats cacheStats() const;
+
+    /**
+     * Full memoization key of one trial: the serialized plan, the
+     * executor-config fields that shape an emulation (doubles in
+     * hexfloat so the text round-trips bit-exactly) and the scenario
+     * id ("" for fault-free trials).  Two runs with equal key text
+     * are the same pure function call, so the cached TrainingReport
+     * is byte-identical to a re-run.
+     */
+    static std::string trialKey(const compaction::CompactionPlan &plan,
+                                const runtime::ExecutorConfig &cfg,
+                                std::string_view scenario_id);
+
+    /** 64-bit FNV-1a signature of trialKey(...). */
+    static std::uint64_t
+    planSignature(const compaction::CompactionPlan &plan,
+                  const runtime::ExecutorConfig &cfg,
+                  std::string_view scenario_id);
+
+    /** Content key of a fault scenario (name, seed, every event
+     *  field) for robustness-replay memoization. */
+    static std::string scenarioKey(const fault::Scenario &scenario);
+
   private:
+    /** Per-worker reusable topology copy (lazily constructed). */
+    const hw::Topology &workerTopology();
+
+    /** Run one emulation through the memo cache.  @p cfg must carry
+     *  any scenario pointer; @p scenario_id stands in for it in the
+     *  key.  Collisions fall back to a real run (full key text is
+     *  compared), so memoization can never change a result. */
+    runtime::TrainingReport
+    cachedRun(const compaction::CompactionPlan &plan,
+              const runtime::ExecutorConfig &cfg,
+              std::string_view scenario_id);
+
+    struct CacheEntry
+    {
+        std::string key;  ///< full key text (collision guard)
+        runtime::TrainingReport report;
+    };
+
     const hw::Topology &_topo;
     const model::TransformerModel &_mdl;
     const partition::Partition &_part;
     const pipeline::Schedule &_sched;
     runtime::ExecutorConfig _execCfg;
     util::ThreadPool &_pool;
+
+    /** One lazily-built topology per pool worker, reused across every
+     *  trial that worker runs (runTraining and verifyPlan only read
+     *  it).  Replaces the per-trial hw::Topology copy. */
+    std::vector<std::unique_ptr<hw::Topology>> _topoArena;
+
+    bool _cacheEnabled = true;
+    mutable std::mutex _cacheMu;
+    std::unordered_map<std::uint64_t, CacheEntry> _cache;
+    TrialCacheStats _stats;
 };
 
 /** One refinement flip candidate as seen by the budget gate. */

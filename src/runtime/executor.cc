@@ -426,7 +426,7 @@ struct Executor::Impl
     {
         TensorKind kind;
         Bytes bytes;
-        std::function<void()> fn;
+        sim::EventFn fn;
     };
     std::vector<std::deque<PendingAlloc>> allocQueue;
     std::vector<Bytes> pendingFreeBytes;
@@ -440,7 +440,7 @@ struct Executor::Impl
      *  raises OOM only when none can arrive. */
     void
     gpuAllocBlocking(int gpu, TensorKind kind, Bytes bytes,
-                     std::function<void()> fn)
+                     sim::EventFn fn)
     {
         auto g = static_cast<std::size_t>(gpu);
         auto &mem = *gpuMem[g];
@@ -479,7 +479,7 @@ struct Executor::Impl
 
     void
     p2pTransfer(int src_gpu, int dst_gpu, Bytes bytes,
-                std::function<void()> done)
+                sim::EventFn done)
     {
         if (bytes <= 0 || src_gpu == dst_gpu) {
             engine.scheduleIn(0, std::move(done));
@@ -1249,29 +1249,33 @@ struct Executor::Impl
             return;
         }
 
-        const model::Layer &layer = mdl.layer(pos);
+        // Captured by pointer: model::Layer holds a std::string, so a
+        // by-value capture would heap-allocate per backward event.
+        // The model outlives the run, so the pointer is stable.
+        const model::Layer *layer = &mdl.layer(pos);
         const int gpu = gpuOf(t.stage);
         Kind kind = effectiveKindFor(key);
 
         if (cfg.recordLiveness) {
             auto gen = genTime.find(key);
             if (gen != genTime.end()) {
-                report.liveness.record(key.ref, layer.activationStash,
+                report.liveness.record(key.ref,
+                                       layer->activationStash,
                                        t.microbatch, gen->second,
                                        engine.now());
             }
         }
 
-        auto submit_bwd = [this, &chain, &t, pos, gpu, layer]() {
+        auto submit_bwd = [this, &chain, gpu, layer]() {
             Tick dur = computeDur(
                 gpu,
-                topo.gpu().computeTime(layer.bwdFlops(), precision));
+                topo.gpu().computeTime(layer->bwdFlops(), precision));
             compute[static_cast<std::size_t>(gpu)]->submit(
-                dur, [this, &chain, pos, gpu, layer](Tick a, Tick b) {
+                dur, [this, &chain, gpu, layer](Tick a, Tick b) {
                     traceSpan("bwd", chain.task->stage,
                               chain.task->microbatch, gpu, a, b);
                     gpuFree(gpu, TensorKind::Activation,
-                            layer.activationStash);
+                            layer->activationStash);
                     ++chain.next;
                     issuePrefetches(chain);
                     runBwdLayer(chain);
@@ -1283,7 +1287,7 @@ struct Executor::Impl
             // the backward.
             Tick redo = computeDur(
                 gpu,
-                topo.gpu().computeTime(layer.fwdFlops, precision));
+                topo.gpu().computeTime(layer->fwdFlops, precision));
             report.overheads[static_cast<std::size_t>(t.stage)]
                 .recomputeTime += redo;
             obsData.metrics.add(mRecompute, engine.now(),
@@ -1295,9 +1299,9 @@ struct Executor::Impl
                     traceSpan("recompute", chain.task->stage,
                               chain.task->microbatch, gpu, a, b);
                     gpuAlloc(gpu, TensorKind::Activation,
-                             layer.activationStash);
+                             layer->activationStash);
                     gpuFree(gpu, TensorKind::Activation,
-                            layer.outputBytes);
+                            layer->outputBytes);
                     submit_bwd();
                 });
         } else {

@@ -1,31 +1,71 @@
 #include "sim/engine.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace mpress {
 namespace sim {
 
-void
-Engine::schedule(Tick when, std::function<void()> fn)
+std::uint32_t
+Engine::acquireSlot()
+{
+    if (_freeHead != kNoSlot) {
+        std::uint32_t slot = _freeHead;
+        _freeHead = slotRef(slot).next;
+        return slot;
+    }
+    if ((_slotCount & (kChunkSize - 1)) == 0) {
+        // Default-init, not make_unique: value-initialization would
+        // zero every slot's whole inline buffer (a memset of the full
+        // chunk); the default constructors only set the real fields.
+        _chunks.emplace_back(new Slot[kChunkSize]);
+    }
+    return _slotCount++;
+}
+
+std::uint32_t
+Engine::enqueue(Tick when)
 {
     if (when < _now) {
         util::panic("event scheduled in the past (%lld < %lld)",
                     static_cast<long long>(when),
                     static_cast<long long>(_now));
     }
-    _queue.push(Event{when, _nextSeq++, std::move(fn)});
+    std::uint32_t slot = acquireSlot();
+    _heap.push_back(HeapEntry{when, _nextSeq++, slot});
+    std::push_heap(_heap.begin(), _heap.end(), later);
+    return slot;
+}
+
+Engine::HeapEntry
+Engine::popTop()
+{
+    std::pop_heap(_heap.begin(), _heap.end(), later);
+    HeapEntry ev = _heap.back();
+    _heap.pop_back();
+    return ev;
 }
 
 void
 Engine::run()
 {
     _stopped = false;
-    while (!_queue.empty() && !_stopped) {
-        Event ev = _queue.top();
-        _queue.pop();
+    while (!_heap.empty() && !_stopped) {
+        HeapEntry ev = popTop();
         _now = ev.when;
+        // Invoke in place: chunks never move, so the slot reference
+        // stays valid even if the callback schedules further events
+        // (which can only draw from the freelist or new chunks, never
+        // this still-held slot).  The slot is recycled after the call,
+        // so a self-scheduling chain alternates between two slots.
+        Slot &slot = slotRef(ev.slot);
         ++_eventsExecuted;
-        ev.fn();
+        if (slot.fn)
+            slot.fn();
+        slot.fn = nullptr;
+        slot.next = _freeHead;
+        _freeHead = ev.slot;
     }
 }
 
@@ -33,22 +73,29 @@ bool
 Engine::runUntil(Tick limit)
 {
     _stopped = false;
-    while (!_queue.empty() && !_stopped) {
-        if (_queue.top().when > limit)
+    while (!_heap.empty() && !_stopped) {
+        if (_heap.front().when > limit)
             return false;
-        Event ev = _queue.top();
-        _queue.pop();
+        HeapEntry ev = popTop();
         _now = ev.when;
+        Slot &slot = slotRef(ev.slot);
         ++_eventsExecuted;
-        ev.fn();
+        if (slot.fn)
+            slot.fn();
+        slot.fn = nullptr;
+        slot.next = _freeHead;
+        _freeHead = ev.slot;
     }
-    return _queue.empty();
+    return _heap.empty();
 }
 
 void
 Engine::reset()
 {
-    _queue = {};
+    _heap.clear();
+    _chunks.clear();  // destroys pending callbacks
+    _slotCount = 0;
+    _freeHead = kNoSlot;
     _now = 0;
     _nextSeq = 0;
     _eventsExecuted = 0;

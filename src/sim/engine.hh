@@ -6,22 +6,39 @@
  * same tick fire in scheduling order (a monotonically increasing
  * sequence number breaks ties), which makes every simulation fully
  * deterministic.
+ *
+ * Fast-path internals: callbacks live in a chunked slab of pooled
+ * slots (recycled through a freelist, so a steady-state simulation
+ * reuses a handful of slots forever) and the queue is an index-based
+ * binary heap of plain {when, seq, slot} records.  Ordering is
+ * identical to the original priority_queue<Event, _, EventLater>:
+ * earliest tick first, ties broken by lowest sequence number.
+ * schedule() is a template that constructs the closure directly in its
+ * slot (no intermediate callable object, no move), chunks never move
+ * so callbacks are invoked in place, and callbacks are
+ * util::InlineFunction, so captures up to the inline capacity never
+ * touch the allocator.
  */
 
 #ifndef MPRESS_SIM_ENGINE_HH
 #define MPRESS_SIM_ENGINE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "util/inline_function.hh"
 #include "util/units.hh"
 
 namespace mpress {
 namespace sim {
 
 using util::Tick;
+
+/** Event callback.  The 64-byte capacity is graded to the largest
+ *  hot-path capture in the runtime (the executor's striped-swap retry
+ *  closures); bigger captures still work via heap fallback. */
+using EventFn = util::InlineFunction<void(), 64>;
 
 /**
  * The event-driven simulation core.
@@ -34,6 +51,8 @@ using util::Tick;
 class Engine
 {
   public:
+    using Callback = EventFn;
+
     Engine() = default;
 
     Engine(const Engine &) = delete;
@@ -42,14 +61,22 @@ class Engine
     /** Current simulated time. */
     Tick now() const { return _now; }
 
-    /** Schedule @p fn at absolute tick @p when (>= now()). */
-    void schedule(Tick when, std::function<void()> fn);
+    /** Schedule @p fn at absolute tick @p when (>= now()).  The
+     *  closure is constructed directly in its pooled slot. */
+    template <typename F>
+    void
+    schedule(Tick when, F &&fn)
+    {
+        Slot &slot = slotRef(enqueue(when));
+        slot.fn.emplace(std::forward<F>(fn));
+    }
 
     /** Schedule @p fn @p delay ticks from now. */
+    template <typename F>
     void
-    scheduleIn(Tick delay, std::function<void()> fn)
+    scheduleIn(Tick delay, F &&fn)
     {
-        schedule(_now + delay, std::move(fn));
+        schedule(_now + delay, std::forward<F>(fn));
     }
 
     /** Run until the event queue drains or stop() is called. */
@@ -68,31 +95,71 @@ class Engine
     std::uint64_t eventsExecuted() const { return _eventsExecuted; }
 
     /** True if no events remain. */
-    bool empty() const { return _queue.empty(); }
+    bool empty() const { return _heap.empty(); }
 
-    /** Clear all pending events and rewind time to zero. */
+    /** Clear all pending events and rewind time to zero.  Must not be
+     *  called from inside a running event: the event's own closure
+     *  lives in the slab being torn down. */
     void reset();
 
+    /** Slab size of the callback pool (high-water mark of events
+     *  simultaneously pending; steady-state chains plateau). */
+    std::size_t poolSlots() const { return _slotCount; }
+
+    /** Events currently pending. */
+    std::size_t queueDepth() const { return _heap.size(); }
+
   private:
-    struct Event
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+    /** Slots per slab chunk.  Chunks are never reallocated, so a
+     *  callback's address stays valid while it executes even if it
+     *  schedules further events. */
+    static constexpr std::uint32_t kChunkShift = 8;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+    struct Slot
+    {
+        Callback fn;
+        std::uint32_t next = kNoSlot;  ///< freelist link
+    };
+
+    /** Heap record; plain data so sift operations never move
+     *  callbacks around. */
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
-        std::function<void()> fn;
+        std::uint32_t slot;
     };
 
-    struct EventLater
+    /** Same ordering as the original EventLater comparator: the heap
+     *  front is the entry no other is earlier than. */
+    static bool
+    later(const HeapEntry &a, const HeapEntry &b)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
 
-    std::priority_queue<Event, std::vector<Event>, EventLater> _queue;
+    Slot &
+    slotRef(std::uint32_t s)
+    {
+        return _chunks[s >> kChunkShift][s & (kChunkSize - 1)];
+    }
+
+    /** Validate @p when, reserve a slot, push the heap record; the
+     *  caller fills the slot's callback in place. */
+    std::uint32_t enqueue(Tick when);
+
+    std::uint32_t acquireSlot();
+    HeapEntry popTop();
+
+    std::vector<HeapEntry> _heap;
+    std::vector<std::unique_ptr<Slot[]>> _chunks;
+    std::uint32_t _slotCount = 0;  ///< slots ever handed out
+    std::uint32_t _freeHead = kNoSlot;
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _eventsExecuted = 0;

@@ -9,34 +9,59 @@
  * for its duration.  This mirrors CUDA stream semantics, which is
  * exactly what MPress' runtime relies on for overlapping swap traffic
  * with computation.
+ *
+ * Hot-path note: completions are kept in a stream-internal FIFO ring,
+ * and the engine event is just `[this] { finishHead(); }` — an
+ * 8-byte capture that always fits the engine's inline slot.  The FIFO
+ * is correct because a stream is in-order: task end ticks are
+ * monotonically non-decreasing and same-tick completions keep
+ * submission order via the engine's sequence tie-break, so completion
+ * events pop heads in exactly submission order.  The engine-visible
+ * schedule (end tick and sequence per submit) is unchanged from the
+ * capture-the-callback formulation, so simulations are byte-identical.
  */
 
 #ifndef MPRESS_SIM_STREAM_HH
 #define MPRESS_SIM_STREAM_HH
 
-#include <functional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "sim/engine.hh"
+#include "util/inline_function.hh"
 #include "util/units.hh"
 
 namespace mpress {
 namespace sim {
 
+/** Inline capacity of a Stream completion: sized so a whole EventFn
+ *  (e.g. a fabric Done) nests inline with room to spare. */
+inline constexpr std::size_t kCompletionCapacity = 96;
+static_assert(sizeof(EventFn) <= kCompletionCapacity,
+              "an EventFn must nest inline in a Stream::Completion");
+
 /**
  * An in-order, single-server execution resource attached to an Engine.
+ *
+ * A Stream with pending tasks must outlive its Engine's pending
+ * events (completion events reference the stream).  All owners in
+ * this codebase declare the engine before its streams, so the streams
+ * are destroyed first and their pending events are only ever
+ * destructed, never invoked.
  */
 class Stream
 {
   public:
     /** Callback fired when a task completes: (start_tick, end_tick). */
-    using Completion = std::function<void(Tick, Tick)>;
+    using Completion =
+        util::InlineFunction<void(Tick, Tick), kCompletionCapacity>;
 
     /** Observer fired synchronously for every submitted task with its
      *  computed (start_tick, end_tick) occupancy interval.  Used by
      *  the observability layer to record per-stream utilization
      *  without growing the event queue. */
-    using TaskHook = std::function<void(Tick, Tick)>;
+    using TaskHook = util::InlineFunction<void(Tick, Tick), 48>;
 
     Stream(Engine &engine, std::string name)
         : _engine(engine), _name(std::move(name))
@@ -60,11 +85,8 @@ class Stream
         ++_tasks;
         if (_hook)
             _hook(start, end);
-        _engine.schedule(end, [start, end,
-                               cb = std::move(on_complete)]() {
-            if (cb)
-                cb(start, end);
-        });
+        pushPending(start, end, std::move(on_complete));
+        _engine.schedule(end, [this] { finishHead(); });
     }
 
     /** Install (or clear) the per-task occupancy observer. */
@@ -79,12 +101,63 @@ class Stream
     /** Number of tasks submitted. */
     std::uint64_t tasks() const { return _tasks; }
 
-    const std::string &name() const { return _name; }
+    /** The name is owned by the stream; no copy on access. */
+    std::string_view name() const { return _name; }
 
   private:
+    struct Pending
+    {
+        Tick start = 0;
+        Tick end = 0;
+        Completion fn;
+    };
+
+    void
+    pushPending(Tick start, Tick end, Completion &&fn)
+    {
+        if (_pendingCount == _ring.size())
+            growRing();
+        Pending &p =
+            _ring[(_head + _pendingCount) & (_ring.size() - 1)];
+        p.start = start;
+        p.end = end;
+        p.fn = std::move(fn);
+        ++_pendingCount;
+    }
+
+    void
+    finishHead()
+    {
+        Pending &p = _ring[_head];
+        Completion fn = std::move(p.fn);
+        Tick start = p.start;
+        Tick end = p.end;
+        _head = (_head + 1) & (_ring.size() - 1);
+        --_pendingCount;
+        if (fn)
+            fn(start, end);
+    }
+
+    void
+    growRing()
+    {
+        // Power-of-two capacity so the index mask stays a single AND.
+        std::vector<Pending> bigger(
+            _ring.empty() ? 4 : _ring.size() * 2);
+        for (std::size_t i = 0; i < _pendingCount; ++i) {
+            bigger[i] =
+                std::move(_ring[(_head + i) & (_ring.size() - 1)]);
+        }
+        _ring = std::move(bigger);
+        _head = 0;
+    }
+
     Engine &_engine;
     std::string _name;
     TaskHook _hook;
+    std::vector<Pending> _ring;  ///< FIFO of in-flight completions
+    std::size_t _head = 0;
+    std::size_t _pendingCount = 0;
     Tick _busyUntil = 0;
     Tick _busyTime = 0;
     std::uint64_t _tasks = 0;
@@ -100,11 +173,17 @@ class Stream
 class JoinCounter
 {
   public:
-    JoinCounter(int count, std::function<void()> fn)
-        : _remaining(count), _fn(std::move(fn))
+    JoinCounter(int count, EventFn fn) : _remaining(count)
     {
-        if (count <= 0 && _fn)
-            _fn();
+        // A pre-satisfied join fires immediately and never stores the
+        // callable at all (the old code copied it into the member
+        // first and invoked from there).
+        if (count <= 0) {
+            if (fn)
+                fn();
+            return;
+        }
+        _fn = std::move(fn);
     }
 
     /** Mark one dependency complete; fires the callback on the last. */
@@ -119,7 +198,7 @@ class JoinCounter
 
   private:
     int _remaining;
-    std::function<void()> _fn;
+    EventFn _fn;
 };
 
 } // namespace sim

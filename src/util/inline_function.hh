@@ -1,0 +1,258 @@
+/**
+ * @file
+ * InlineFunction — a fixed-capacity, small-buffer-optimized move-only
+ * callable for the simulation hot path.
+ *
+ * std::function heap-allocates any capture bigger than its tiny SSO
+ * buffer (2-3 words on common ABIs), which made every scheduled event
+ * an allocator round trip.  InlineFunction stores captures up to
+ * Capacity bytes directly in the object, so the engine's event slots
+ * can be pooled and the steady-state event loop never touches the
+ * allocator.  Oversized or over-aligned captures fall back to a heap
+ * allocation — correctness never depends on fitting — and each
+ * fallback bumps a process-wide counter so benchmarks can assert
+ * "allocs per event ≈ 0" on the hot loop.
+ *
+ * Contract:
+ *  - move-only (captures may hold unique_ptr; std::function couldn't)
+ *  - invoking an empty InlineFunction is undefined; callers test
+ *    operator bool first, exactly like the `if (cb)` guards the
+ *    std::function call sites already had
+ *  - a wrapped callable stays inline iff it is nothrow-move-
+ *    constructible and fits (sizeof <= Capacity, alignof <=
+ *    max_align_t); InlineFunction itself satisfies both, so a
+ *    completion of capacity C nests inline in one of capacity
+ *    >= C + 2*sizeof(void*)
+ *  - a trivially-copyable inline callable (the hot-path norm: `this`
+ *    plus a few ints/pointers) carries no manager function at all —
+ *    moves are a fixed-size memcpy and destruction is free, which is
+ *    what keeps pooled event slots cheaper than std::function's
+ *    pointer-juggling move
+ */
+
+#ifndef MPRESS_UTIL_INLINE_FUNCTION_HH
+#define MPRESS_UTIL_INLINE_FUNCTION_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mpress {
+namespace util {
+
+namespace detail {
+/** Process-wide count of callables that spilled to the heap. */
+inline std::atomic<std::uint64_t> g_callableHeapAllocs{0};
+} // namespace detail
+
+/** Number of InlineFunction constructions that heap-allocated since
+ *  process start (or the last reset).  Relaxed: a benchmark metric,
+ *  not a synchronization point. */
+inline std::uint64_t
+callableHeapAllocs()
+{
+    return detail::g_callableHeapAllocs.load(std::memory_order_relaxed);
+}
+
+/** Rewind the heap-fallback counter (bench harness only). */
+inline void
+resetCallableHeapAllocs()
+{
+    detail::g_callableHeapAllocs.store(0, std::memory_order_relaxed);
+}
+
+template <typename Sig, std::size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+    static_assert(Capacity >= sizeof(void *),
+                  "capacity must hold at least the heap pointer");
+
+  public:
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  !std::is_same_v<D, std::nullptr_t> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    InlineFunction(F &&f)  // NOLINT(google-explicit-constructor)
+    {
+        construct<D>(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t)
+    {
+        destroy();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    /**
+     * Destroy the current target and construct @p f in place: the
+     * zero-move path for building a callable directly in pooled
+     * storage (the engine's event slots).  Assigning another
+     * InlineFunction degrades to a move, so nesting keeps working.
+     */
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    void
+    emplace(F &&f)
+    {
+        if constexpr (std::is_same_v<D, InlineFunction>) {
+            *this = std::forward<F>(f);
+        } else {
+            destroy();
+            construct<D>(std::forward<F>(f));
+        }
+    }
+
+    ~InlineFunction() { destroy(); }
+
+    explicit operator bool() const { return _invoke != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return _invoke(_buf, std::forward<Args>(args)...);
+    }
+
+  private:
+    enum class Op
+    {
+        Relocate,  ///< move-construct into dst buffer, destroy src
+        Destroy,
+    };
+
+    using InvokeFn = R (*)(void *, Args...);
+    using ManageFn = void (*)(Op, void *, void *);
+
+    template <typename F>
+    static constexpr bool kFitsInline =
+        sizeof(F) <= Capacity &&
+        alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    template <typename F>
+    static R
+    invokeInline(void *obj, Args... args)
+    {
+        return (*static_cast<F *>(obj))(std::forward<Args>(args)...);
+    }
+
+    template <typename F>
+    static R
+    invokeHeap(void *obj, Args... args)
+    {
+        F *f = nullptr;
+        std::memcpy(&f, obj, sizeof f);
+        return (*f)(std::forward<Args>(args)...);
+    }
+
+    template <typename F>
+    static void
+    manageInline(Op op, void *src, void *dst)
+    {
+        F *f = static_cast<F *>(src);
+        if (op == Op::Relocate)
+            ::new (dst) F(std::move(*f));
+        f->~F();
+    }
+
+    template <typename F>
+    static void
+    manageHeap(Op op, void *src, void *dst)
+    {
+        if (op == Op::Relocate) {
+            // Ownership transfer: just move the pointer bits.
+            std::memcpy(dst, src, sizeof(F *));
+            return;
+        }
+        F *f = nullptr;
+        std::memcpy(&f, src, sizeof f);
+        delete f;
+    }
+
+    template <typename F, typename Arg>
+    void
+    construct(Arg &&f)
+    {
+        if constexpr (kFitsInline<F> &&
+                      std::is_trivially_copyable_v<F> &&
+                      std::is_trivially_destructible_v<F>) {
+            // Trivial fast path: no manager.  moveFrom() relocates by
+            // memcpy and destroy() is a pointer reset.
+            ::new (static_cast<void *>(_buf)) F(std::forward<Arg>(f));
+            _invoke = &invokeInline<F>;
+            _manage = nullptr;
+        } else if constexpr (kFitsInline<F>) {
+            ::new (static_cast<void *>(_buf)) F(std::forward<Arg>(f));
+            _invoke = &invokeInline<F>;
+            _manage = &manageInline<F>;
+        } else {
+            F *p = new F(std::forward<Arg>(f));
+            detail::g_callableHeapAllocs.fetch_add(
+                1, std::memory_order_relaxed);
+            std::memcpy(_buf, &p, sizeof p);
+            _invoke = &invokeHeap<F>;
+            _manage = &manageHeap<F>;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        _invoke = other._invoke;
+        _manage = other._manage;
+        if (_manage != nullptr)
+            _manage(Op::Relocate, other._buf, _buf);
+        else if (_invoke != nullptr)
+            std::memcpy(_buf, other._buf, Capacity);
+        other._invoke = nullptr;
+        other._manage = nullptr;
+    }
+
+    void
+    destroy()
+    {
+        if (_manage != nullptr)
+            _manage(Op::Destroy, _buf, nullptr);
+        _invoke = nullptr;
+        _manage = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char _buf[Capacity];
+    InvokeFn _invoke = nullptr;
+    ManageFn _manage = nullptr;
+};
+
+} // namespace util
+} // namespace mpress
+
+#endif // MPRESS_UTIL_INLINE_FUNCTION_HH

@@ -3,11 +3,39 @@
 namespace mpress {
 namespace util {
 
+namespace {
+
+/** Worker index of this thread within the pool batch it is running
+ *  (see ThreadPool::currentWorker). */
+thread_local int tl_worker = 0;
+
+/** Pin tl_worker for a scope; restores the previous value so nested
+ *  parallelFor calls (pool inside a pool's body) see their own 0. */
+struct ScopedWorkerId
+{
+    int saved;
+    explicit ScopedWorkerId(int id) : saved(tl_worker)
+    {
+        tl_worker = id;
+    }
+    ~ScopedWorkerId() { tl_worker = saved; }
+    ScopedWorkerId(const ScopedWorkerId &) = delete;
+    ScopedWorkerId &operator=(const ScopedWorkerId &) = delete;
+};
+
+} // namespace
+
+int
+ThreadPool::currentWorker()
+{
+    return tl_worker;
+}
+
 ThreadPool::ThreadPool(int threads)
     : _threads(threads < 1 ? 1 : threads)
 {
     for (int i = 1; i < _threads; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+        _workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -48,8 +76,9 @@ ThreadPool::runIndices()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int worker)
 {
+    tl_worker = worker;
     std::unique_lock<std::mutex> lock(_mu);
     std::uint64_t seen = 0;
     while (true) {
@@ -75,6 +104,7 @@ ThreadPool::parallelFor(std::size_t n,
     if (_workers.empty() || n == 1) {
         // Serial fast path: identical to a plain loop, and the only
         // path taken at threads=1 (the determinism baseline).
+        ScopedWorkerId scope(0);
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
@@ -90,7 +120,10 @@ ThreadPool::parallelFor(std::size_t n,
         ++_generation;
     }
     _wake.notify_all();
-    runIndices();  // the caller works too
+    {
+        ScopedWorkerId scope(0);
+        runIndices();  // the caller works too
+    }
     std::unique_lock<std::mutex> lock(_mu);
     _done.wait(lock, [&] { return _remaining == 0; });
     _fn = nullptr;

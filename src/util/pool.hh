@@ -47,6 +47,18 @@ class ThreadPool
     int threads() const { return _threads; }
 
     /**
+     * Index of the calling thread within the pool executing the
+     * current parallelFor: 0 for the thread that called parallelFor,
+     * 1..threads-1 for workers, 0 outside any batch.  Used to key
+     * per-thread arenas (each index is owned by exactly one thread
+     * for the duration of a batch).  parallelFor pins the caller's
+     * index to 0 for the batch and restores it afterwards, so nested
+     * pools (a sweep worker running a planner with its own pool) stay
+     * within their own pool's range.
+     */
+    static int currentWorker();
+
+    /**
      * Run @p fn for every index in [0, n).  Blocks until all indices
      * complete.  The calling thread participates, so the pool makes
      * progress even under heavy oversubscription.  Not reentrant: a
@@ -56,7 +68,7 @@ class ThreadPool
                      const std::function<void(std::size_t)> &fn);
 
   private:
-    void workerLoop();
+    void workerLoop(int worker);
     void runIndices();
 
     int _threads;

@@ -12,9 +12,25 @@
 #define MPRESS_UTIL_RANDOM_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace mpress {
 namespace util {
+
+/** 64-bit FNV-1a hash of @p data.  Used as the planner's trial-cache
+ *  signature; collisions are tolerated by the cache (it keeps the
+ *  full key text and treats a mismatch as a miss), so the hash only
+ *  has to be fast and well-spread, not cryptographic. */
+inline std::uint64_t
+fnv1a64(std::string_view data)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
 
 /** SplitMix64 generator: tiny, fast, and statistically adequate. */
 class SplitMix64

@@ -10,7 +10,10 @@
 #include <gtest/gtest.h>
 
 #include "bench/common.hh"
+#include <sstream>
+
 #include "compaction/serialize.hh"
+#include "obs/export.hh"
 #include "util/random.hh"
 
 namespace api = mpress::api;
@@ -196,4 +199,64 @@ TEST(Determinism, ZeroBaselineIsPure)
         cfg);
     EXPECT_EQ(a.iterTime, b.iterTime);
     EXPECT_EQ(a.commTime, b.commTime);
+}
+
+TEST(Determinism, TraceAndMetricsExportsAreByteIdentical)
+{
+    // Full-observability GPT emulation through the pooled event
+    // queue: the chrome-trace and the metrics JSON are serialized
+    // event streams, so a single reordered or duplicated event shows
+    // up as a byte difference here.  Planner threads vary to cover
+    // the session path end to end.
+    auto run = [](int threads) {
+        auto cfg =
+            bench::gptJob("gpt-15.4b", api::Strategy::GpuCpuSwap);
+        cfg.executor.recordTimeline = true;
+        cfg.executor.recordMetrics = true;
+        cfg.planner.threads = threads;
+        return api::runSession(hw::Topology::dgx1V100(), cfg);
+    };
+    auto a = run(1);
+    auto b = run(4);
+    ASSERT_FALSE(a.oom);
+
+    std::ostringstream trace_a, trace_b;
+    a.report.trace.exportChromeTrace(trace_a);
+    b.report.trace.exportChromeTrace(trace_b);
+    EXPECT_FALSE(trace_a.str().empty());
+    EXPECT_EQ(trace_a.str(), trace_b.str());
+
+    std::ostringstream obs_a, obs_b;
+    mpress::obs::exportJson(obs_a, a.report.observability);
+    mpress::obs::exportJson(obs_b, b.report.observability);
+    EXPECT_FALSE(obs_a.str().empty());
+    EXPECT_EQ(obs_a.str(), obs_b.str());
+}
+
+TEST(Determinism, TrialCacheNeverChangesThePlan)
+{
+    // Memoized trials replay stored reports; if the key missed a
+    // config field the cache would return a stale report and steer
+    // the search differently.  On or off, serial or threaded, the
+    // planner must emit byte-identical output.
+    auto run = [](bool cache, int threads) {
+        auto cfg =
+            bench::bertJob("bert-1.67b", api::Strategy::MPressFull);
+        cfg.planner.trialCache = cache;
+        cfg.planner.threads = threads;
+        return api::runSession(hw::Topology::dgx1V100(), cfg);
+    };
+    for (int threads : {1, 4}) {
+        auto on = run(true, threads);
+        auto off = run(false, threads);
+        ASSERT_FALSE(on.oom);
+        EXPECT_EQ(cp::planToText(on.plan), cp::planToText(off.plan))
+            << "threads=" << threads;
+        EXPECT_EQ(on.report.makespan, off.report.makespan);
+        EXPECT_EQ(on.planResult.iterations,
+                  off.planResult.iterations);
+        EXPECT_EQ(off.planResult.trialCacheHits, 0u);
+        EXPECT_EQ(off.planResult.trialCacheMisses, 0u);
+        EXPECT_GT(on.planResult.trialCacheMisses, 0u);
+    }
 }

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "compaction/serialize.hh"
+#include "fault/scenario.hh"
 #include "hw/topology.hh"
 #include "model/model.hh"
 #include "partition/partition.hh"
@@ -24,6 +25,7 @@
 #include "util/pool.hh"
 
 namespace cp = mpress::compaction;
+namespace fl = mpress::fault;
 namespace hw = mpress::hw;
 namespace mm = mpress::model;
 namespace mp = mpress::partition;
@@ -348,4 +350,137 @@ TEST(SearchDriver, PlannerThreadCountDoesNotChangeThePlan)
     auto serial = plan_text(1);
     EXPECT_EQ(serial, plan_text(4));
     EXPECT_EQ(serial, plan_text(3));
+}
+
+// ---------------------------------------------------------------
+// Trial cache
+// ---------------------------------------------------------------
+
+TEST(TrialCache, RepeatEvaluationHits)
+{
+    Job job("bert-1.67b", 24);
+    mu::ThreadPool pool(1);
+    pn::SearchDriver driver(job.topo, job.mdl, job.part, job.sched,
+                            {}, pool);
+    auto plan = recomputeAll(job.part);
+    auto first = driver.evaluateOne(plan);
+    auto second = driver.evaluateOne(plan);
+
+    auto stats = driver.cacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(first.report.makespan, second.report.makespan);
+    EXPECT_EQ(first.report.samplesPerSec,
+              second.report.samplesPerSec);
+    EXPECT_EQ(first.verified, second.verified);
+}
+
+TEST(TrialCache, DisabledCacheMatchesEnabled)
+{
+    Job job("bert-1.67b", 24);
+    auto plan = swapAll(job.part);
+
+    mu::ThreadPool pool(1);
+    pn::SearchDriver cached(job.topo, job.mdl, job.part, job.sched,
+                            {}, pool);
+    pn::SearchDriver fresh(job.topo, job.mdl, job.part, job.sched,
+                           {}, pool);
+    fresh.setCacheEnabled(false);
+
+    auto a = cached.evaluateOne(plan);
+    cached.evaluateOne(plan);  // second call served from cache
+    auto b = fresh.evaluateOne(plan);
+    fresh.evaluateOne(plan);  // second call re-emulates
+
+    auto off_stats = fresh.cacheStats();
+    EXPECT_EQ(off_stats.hits, 0u);
+    EXPECT_EQ(off_stats.misses, 0u);
+    EXPECT_EQ(cached.cacheStats().hits, 1u);
+    EXPECT_EQ(a.report.makespan, b.report.makespan);
+    EXPECT_EQ(a.report.samplesPerSec, b.report.samplesPerSec);
+}
+
+TEST(TrialCache, SignatureDistinguishesConfigAndScenario)
+{
+    Job job("bert-1.67b");
+    auto plan = recomputeAll(job.part);
+    rt::ExecutorConfig cfg;
+
+    auto base = pn::SearchDriver::planSignature(plan, cfg, "");
+    EXPECT_EQ(pn::SearchDriver::planSignature(plan, cfg, ""), base);
+
+    rt::ExecutorConfig tweaked = cfg;
+    tweaked.swapInLookahead += 1;
+    EXPECT_NE(pn::SearchDriver::planSignature(plan, tweaked, ""),
+              base);
+
+    rt::ExecutorConfig scaled = cfg;
+    scaled.memOverheadFactor *= 1.0000000001;  // hexfloat-visible
+    EXPECT_NE(pn::SearchDriver::planSignature(plan, scaled, ""),
+              base);
+
+    EXPECT_NE(
+        pn::SearchDriver::planSignature(plan, cfg, "pcie-degrade-0"),
+        base);
+
+    auto other = swapAll(job.part);
+    EXPECT_NE(pn::SearchDriver::planSignature(other, cfg, ""), base);
+}
+
+TEST(TrialCache, ScenarioKeyCoversEventFields)
+{
+    fl::Scenario sc;
+    sc.name = "link-loss";
+    sc.seed = 11;
+    fl::FaultEvent ev;
+    ev.kind = fl::EventKind::LinkDegrade;
+    ev.start = 100;
+    ev.end = 900;
+    ev.gpu = 2;
+    ev.factor = 0.25;
+    sc.events.push_back(ev);
+
+    auto base = pn::SearchDriver::scenarioKey(sc);
+    EXPECT_EQ(pn::SearchDriver::scenarioKey(sc), base);
+
+    fl::Scenario seeded = sc;
+    seeded.seed = 12;
+    EXPECT_NE(pn::SearchDriver::scenarioKey(seeded), base);
+
+    fl::Scenario shifted = sc;
+    shifted.events[0].end = 901;
+    EXPECT_NE(pn::SearchDriver::scenarioKey(shifted), base);
+
+    fl::Scenario scaled = sc;
+    scaled.events[0].factor = 0.250000001;
+    EXPECT_NE(pn::SearchDriver::scenarioKey(scaled), base);
+}
+
+TEST(TrialCache, PlanResultReportsCacheCounters)
+{
+    // 24 in-flight minibatches force real compaction work, so the
+    // refinement ladders repeat trials and the cache sees hits.
+    Job job("bert-1.67b", 24);
+
+    pn::PlannerConfig on;
+    on.threads = 1;
+    auto with_cache =
+        pn::planMPress(job.topo, job.mdl, job.part, job.sched, on);
+
+    pn::PlannerConfig off = on;
+    off.trialCache = false;
+    auto without =
+        pn::planMPress(job.topo, job.mdl, job.part, job.sched, off);
+
+    EXPECT_GT(with_cache.trialCacheMisses, 0u);
+    EXPECT_EQ(without.trialCacheHits, 0u);
+    EXPECT_EQ(without.trialCacheMisses, 0u);
+
+    // The cache must never change the outcome, only the wall clock.
+    EXPECT_EQ(cp::planToText(with_cache.plan),
+              cp::planToText(without.plan));
+    EXPECT_EQ(with_cache.feasible, without.feasible);
+    EXPECT_EQ(with_cache.finalReport.makespan,
+              without.finalReport.makespan);
+    EXPECT_EQ(with_cache.iterations, without.iterations);
 }

@@ -8,8 +8,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <sstream>
 
+#include "sim/stream.hh"
+#include "util/inline_function.hh"
 #include "util/json.hh"
 #include "util/random.hh"
 #include "util/strings.hh"
@@ -216,4 +219,107 @@ TEST(JsonParse, AgreesWithTheValidator)
             EXPECT_FALSE(doc.ok) << text;
         }
     }
+}
+
+// ---------------------------------------------------------------
+// InlineFunction: the pooled event queue's callable representation
+// ---------------------------------------------------------------
+
+namespace {
+
+using TestFn = mpress::util::InlineFunction<int(), 64>;
+
+} // namespace
+
+TEST(InlineFunction, InlineCaptureAvoidsTheHeap)
+{
+    std::uint64_t before = mpress::util::callableHeapAllocs();
+    std::uint64_t a = 3, b = 4;
+    TestFn fn([a, b] { return static_cast<int>(a + b); });
+    EXPECT_EQ(fn(), 7);
+    EXPECT_EQ(mpress::util::callableHeapAllocs(), before);
+}
+
+TEST(InlineFunction, OversizedCaptureSpillsToHeapOnce)
+{
+    std::uint64_t before = mpress::util::callableHeapAllocs();
+    std::uint64_t big[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    static_assert(sizeof(big) > 64);
+    TestFn fn([big] {
+        int sum = 0;
+        for (std::uint64_t v : big)
+            sum += static_cast<int>(v);
+        return sum;
+    });
+    EXPECT_EQ(fn(), 78);
+    EXPECT_EQ(mpress::util::callableHeapAllocs(), before + 1);
+}
+
+TEST(InlineFunction, MoveTransfersAndEmptiesSource)
+{
+    int x = 5;
+    TestFn src([x] { return x * 2; });
+    TestFn dst(std::move(src));
+    EXPECT_FALSE(static_cast<bool>(src));
+    ASSERT_TRUE(static_cast<bool>(dst));
+    EXPECT_EQ(dst(), 10);
+
+    TestFn assigned;
+    assigned = std::move(dst);
+    EXPECT_FALSE(static_cast<bool>(dst));
+    EXPECT_EQ(assigned(), 10);
+}
+
+TEST(InlineFunction, HoldsMoveOnlyCallables)
+{
+    auto p = std::make_unique<int>(9);
+    TestFn fn([p = std::move(p)] { return *p; });
+    TestFn moved(std::move(fn));
+    EXPECT_EQ(moved(), 9);
+}
+
+TEST(InlineFunction, EmptyAndNullptrStates)
+{
+    TestFn fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    fn = [] { return 1; };
+    EXPECT_TRUE(static_cast<bool>(fn));
+    fn = nullptr;
+    EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunction, EmplaceConstructsInPlace)
+{
+    std::uint64_t before = mpress::util::callableHeapAllocs();
+    TestFn fn;
+    int y = 21;
+    fn.emplace([y] { return y + y; });
+    EXPECT_EQ(fn(), 42);
+    // Emplacing the self type degrades to move-assignment instead of
+    // boxing the whole InlineFunction as a nested callable.
+    TestFn other;
+    other.emplace(std::move(fn));
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_EQ(other(), 42);
+    EXPECT_EQ(mpress::util::callableHeapAllocs(), before);
+}
+
+TEST(InlineFunction, EventFnNestsInsideCompletionCapacity)
+{
+    // The stream completion buffer must be able to carry a whole
+    // EventFn plus a tick of bookkeeping; this mirrors the
+    // static_assert in stream.hh and keeps the contract visible.
+    static_assert(sizeof(mpress::sim::EventFn) <=
+                  mpress::sim::kCompletionCapacity);
+    SUCCEED();
+}
+
+TEST(Random, Fnv1a64KnownVectors)
+{
+    // Published FNV-1a test vectors: offset basis for the empty
+    // string, then two classics from the reference implementation.
+    EXPECT_EQ(mpress::util::fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(mpress::util::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(mpress::util::fnv1a64("foobar"),
+              0x85944171f73967e8ULL);
 }

@@ -3,7 +3,7 @@
 # (ASan+UBSan, then TSan over the concurrency-relevant suites), and
 # (when a clang-tidy binary exists) lint over the source tree.
 #
-# Usage: tools/check.sh [--no-tidy] [--no-asan] [--no-tsan]
+# Usage: tools/check.sh [--no-tidy] [--no-asan] [--no-tsan] [--no-perf]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,14 +11,16 @@ cd "$(dirname "$0")/.."
 run_tidy=1
 run_asan=1
 run_tsan=1
+run_perf=1
 for arg in "$@"; do
     case "$arg" in
     --no-tidy) run_tidy=0 ;;
     --no-asan) run_asan=0 ;;
     --no-tsan) run_tsan=0 ;;
+    --no-perf) run_perf=0 ;;
     *)
         echo "usage: tools/check.sh [--no-tidy] [--no-asan]" \
-             "[--no-tsan]" >&2
+             "[--no-tsan] [--no-perf]" >&2
         exit 1
         ;;
     esac
@@ -29,7 +31,8 @@ jobs=$(nproc 2>/dev/null || echo 2)
 smoke=""
 sweep=""
 fault=""
-trap 'rm -rf "$smoke" "$sweep" "$fault"' EXIT
+perf=""
+trap 'rm -rf "$smoke" "$sweep" "$fault" "$perf"' EXIT
 
 echo "== plain build =="
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -163,6 +166,47 @@ assert len(rb["rows"]) == 2, rb
 assert rb["worst"] <= rb["p10"] <= rb["p50"], rb
 print("robustness: 2 scenarios, worst %.2f <= p10 %.2f <= p50 %.2f"
       % (rb["worst"], rb["p10"], rb["p50"]))
+EOF
+fi
+
+if [ "$run_perf" = 1 ]; then
+    echo "== perf smoke (Release + IPO) =="
+    # Event-queue throughput vs the committed baseline.  Wide (30%)
+    # tolerance: this catches "someone reintroduced a heap alloc per
+    # event", not single-digit regressions, and must not flake on a
+    # loaded CI box.  Refresh the baseline with tools/bench_baseline.sh
+    # after deliberate engine changes.
+    cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_INTERPROCEDURAL_OPTIMIZATION=ON >/dev/null
+    cmake --build build-perf -j "$jobs" --target bench_sim_micro
+    perf=$(mktemp -d)
+    MPRESS_BENCH_DIR="$perf" \
+    MPRESS_GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+    MPRESS_BENCH_DATE=$(date -u +%Y-%m-%d) \
+        ./build-perf/bench/bench_sim_micro \
+        --benchmark_filter='BM_EventQueue|BM_EventChainSteady' \
+        --benchmark_min_time=0.5 >/dev/null
+    python3 - "$perf/BENCH_sim.json" BENCH_sim.json <<'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))["benchmarks"]
+base = json.load(open(sys.argv[2]))["benchmarks"]
+tol = 0.30
+failed = False
+for name in ("BM_EventQueue/100000", "BM_EventChainSteady/64"):
+    want = base[name]["items_per_second"]
+    got = fresh[name]["items_per_second"]
+    ratio = got / want
+    status = "ok" if ratio >= 1.0 - tol else "REGRESSED"
+    print("%-28s %8.2fM ev/s vs baseline %8.2fM (%.0f%%) %s"
+          % (name, got / 1e6, want / 1e6, 100 * ratio, status))
+    failed = failed or ratio < 1.0 - tol
+    ape = fresh[name].get("allocs_per_event", 0.0)
+    if ape > 0.01:
+        print("%-28s allocs/event %.3f > 0.01 FAIL" % (name, ape))
+        failed = True
+if failed:
+    sys.exit("perf smoke failed: event queue slower than baseline "
+             "- investigate before updating BENCH_sim.json")
 EOF
 fi
 
