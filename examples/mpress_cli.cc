@@ -16,6 +16,14 @@
  *     --threads <n>           worker threads for the planner's
  *                             emulator-feedback search, and for
  *                             running sweep scenarios [1]
+ *     --analyze               print the static analysis certificate
+ *                             of the executed plan (per-GPU
+ *                             peak-memory intervals, latency lower
+ *                             bound, throughput upper bound)
+ *     --analytic-prune        planner strategies only: score ladder
+ *                             trials with the static analyzer first
+ *                             and skip emulation for provably
+ *                             non-acceptable ones (same final plan)
  *     --save-plan <file>      write the executed plan (plan format)
  *     --load-plan <file>      run a previously saved plan instead of
  *                             planning (forces a custom strategy)
@@ -350,6 +358,8 @@ main(int argc, char **argv)
     int microbatch = 12, mb_per_mini = 8, minibatches = 2;
     int threads = 1;
     bool fault_ladder = true;
+    bool analyze = false;
+    bool analytic_prune = false;
 
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> std::string {
@@ -393,6 +403,10 @@ main(int argc, char **argv)
             faults = need("--faults");
         else if (!std::strcmp(argv[i], "--no-fault-ladder"))
             fault_ladder = false;
+        else if (!std::strcmp(argv[i], "--analyze"))
+            analyze = true;
+        else if (!std::strcmp(argv[i], "--analytic-prune"))
+            analytic_prune = true;
         else if (!std::strcmp(argv[i], "--robustness"))
             robustness = need("--robustness");
         else if (!std::strcmp(argv[i], "--robustness-out"))
@@ -444,6 +458,7 @@ main(int argc, char **argv)
     cfg.strategy = parseStrategy(strategy);
     cfg.verifyMode = parseVerifyMode(verify_mode);
     cfg.planner.threads = threads;
+    cfg.planner.analyticPrune = analytic_prune;
     cfg.executor.recordTimeline = !timeline.empty();
     cfg.executor.recordMetrics = !metrics.empty();
     cfg.executor.faultLadder = fault_ladder;
@@ -590,6 +605,19 @@ main(int argc, char **argv)
     if (result.report.faults.enabled)
         printFaultSummary(result.report.faults);
 
+    if (analyze) {
+        // ZeRO baselines carry no plan to analyze.
+        if (cfg.strategy == api::Strategy::ZeroOffload ||
+            cfg.strategy == api::Strategy::ZeroInfinity) {
+            std::fprintf(stderr,
+                         "--analyze needs a pipeline strategy\n");
+        } else {
+            api::MPressSession session(topo, cfg);
+            std::fputs(
+                session.analyzePlan(result.plan).render().c_str(),
+                stdout);
+        }
+    }
     if (!save_plan.empty()) {
         std::ofstream out(save_plan);
         out << cp::planToText(result.plan);

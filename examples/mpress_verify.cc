@@ -15,6 +15,12 @@
  *     --mb-per-mini <n>       microbatches per minibatch [8]
  *     --minibatches <n>       training window length [2]
  *     --strict                promote warnings to errors
+ *     --analyze               also run the static plan analyzer:
+ *                             prints the certificate (per-GPU
+ *                             peak-memory intervals, latency lower
+ *                             bound, throughput upper bound) and adds
+ *                             the cap-proved-overflow / cap-unproven
+ *                             rules to the verification pass
  *
  * Exit status: 0 when the plan verifies clean of errors, 3 when it is
  * rejected, 1 on usage errors.
@@ -69,6 +75,7 @@ main(int argc, char **argv)
     std::string plan_file;
     int microbatch = 12, mb_per_mini = 8, minibatches = 2;
     bool strict = false;
+    bool analyze = false;
 
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> std::string {
@@ -92,6 +99,8 @@ main(int argc, char **argv)
             minibatches = std::stoi(need("--minibatches"));
         else if (!std::strcmp(argv[i], "--strict"))
             strict = true;
+        else if (!std::strcmp(argv[i], "--analyze"))
+            analyze = true;
         else
             usage("unknown option");
     }
@@ -124,8 +133,12 @@ main(int argc, char **argv)
     cfg.minibatches = minibatches;
     cfg.verifyMode = strict ? api::VerifyMode::Strict
                             : api::VerifyMode::Permissive;
+    cfg.verifyOptions.analysis = analyze;
 
     api::MPressSession session(topo, cfg);
+    if (analyze)
+        std::fputs(session.analyzePlan(parsed.plan).render().c_str(),
+                   stdout);
     auto report = session.verifyPlan(parsed.plan);
     if (!report.clean())
         std::fputs(report.render().c_str(), stdout);

@@ -1,0 +1,537 @@
+#include "analysis/analyzer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.hh"
+
+namespace mpress {
+namespace analysis {
+
+using compaction::Kind;
+using hw::Precision;
+using memory::TensorRef;
+using util::Flops;
+
+namespace {
+
+/** Per-stage figures shared by the memory and latency passes. */
+struct StageCosts
+{
+    int gpu = 0;
+    int inFlight = 0;        ///< schedule stash depth
+    Tick fwdTime = 0;        ///< per-microbatch forward compute
+    Tick bwdTime = 0;        ///< per-microbatch backward compute
+    Tick recomputeTime = 0;  ///< extra forward compute per microbatch
+    Tick optimTime = 0;      ///< per-minibatch on-GPU optimizer step
+    bool optOffloaded = false;
+    bool stashOffloaded = false;
+    Bytes swapD2hPerMb = 0;  ///< PCIe D2H bytes per microbatch (swap)
+    Bytes d2dPerMb = 0;      ///< NVLink export bytes per microbatch
+};
+
+bool
+optOffloaded(const compaction::CompactionPlan &plan, int stage)
+{
+    auto s = static_cast<std::size_t>(stage);
+    return s < plan.offloadOptState.size() && plan.offloadOptState[s];
+}
+
+/** Queue-depth estimate for a swap lane: microbatches whose stash can
+ *  be simultaneously resident while waiting for (or undergoing) their
+ *  swap-out, given per-microbatch service time @p service against the
+ *  minimum inter-arrival time @p arrival, clamped to the schedule's
+ *  in-flight cap @p in_flight. */
+int
+hazardDepth(Tick service, Tick arrival, int in_flight, int lookahead)
+{
+    // Swap-out side: one in-forward + one in-transfer, plus backlog
+    // when the lane cannot keep up with back-to-back warmup forwards.
+    int out = 2;
+    if (service > arrival && arrival > 0) {
+        double deficit = 1.0 - static_cast<double>(arrival) /
+                                   static_cast<double>(service);
+        out += static_cast<int>(std::ceil(
+            static_cast<double>(in_flight) * deficit));
+    }
+    // Swap-in side: the prefetch window keeps up to lookahead
+    // instances (plus the one feeding the running backward) resident
+    // again ahead of their backward passes.
+    int in = lookahead + 1;
+    int depth = out + in;
+    return depth < in_flight ? depth : in_flight;
+}
+
+} // namespace
+
+AnalysisCertificate
+analyzePlan(const hw::Topology &topo, const model::TransformerModel &mdl,
+            const partition::Partition &part,
+            const pipeline::Schedule &sched,
+            const compaction::CompactionPlan &plan,
+            const AnalysisOptions &opts)
+{
+    AnalysisCertificate cert;
+    cert.throughputUpperBound =
+        std::numeric_limits<double>::infinity();
+
+    const int num_stages = part.numStages();
+    const int num_gpus = topo.numGpus();
+    if (num_stages <= 0 || num_gpus <= 0 ||
+        sched.numStages != num_stages)
+        return cert;
+    if (!plan.stageToGpu.empty() &&
+        static_cast<int>(plan.stageToGpu.size()) != num_stages)
+        return cert;
+    for (int s = 0; s < num_stages; ++s) {
+        int gpu = plan.gpuForStage(s);
+        if (gpu < 0 || gpu >= num_gpus)
+            return cert;
+    }
+
+    const hw::GpuSpec &gpu_spec = topo.gpu();
+    const Precision prec = mdl.config().precision;
+    const hw::LinkSpec &pcie = topo.pcieSpec();
+
+    double factor =
+        opts.memOverheadFactor > 0.0 ? opts.memOverheadFactor : 1.0;
+    cert.usableCapacity = static_cast<Bytes>(
+        static_cast<double>(gpu_spec.memCapacity) / factor);
+    cert.hostCapacity = topo.hostMemory();
+
+    // ---- Per-stage cost model --------------------------------------
+    std::vector<StageCosts> costs(
+        static_cast<std::size_t>(num_stages));
+    for (int s = 0; s < num_stages; ++s) {
+        const partition::Stage &stage =
+            part.stages[static_cast<std::size_t>(s)];
+        StageCosts &c = costs[static_cast<std::size_t>(s)];
+        c.gpu = plan.gpuForStage(s);
+        c.inFlight = sched.maxInFlight(s);
+        c.optOffloaded = optOffloaded(plan, s);
+        c.stashOffloaded = plan.stashOffloaded(s);
+        for (std::size_t l = stage.firstLayer; l <= stage.lastLayer;
+             ++l) {
+            const model::Layer &layer = mdl.layer(l);
+            c.fwdTime += gpu_spec.computeTime(layer.fwdFlops, prec);
+            c.bwdTime += gpu_spec.computeTime(layer.bwdFlops(), prec);
+            Kind kind = plan.kindFor({s, static_cast<int>(l)});
+            if (kind == Kind::Recompute)
+                c.recomputeTime +=
+                    gpu_spec.computeTime(layer.fwdFlops, prec);
+            else if (kind == Kind::GpuCpuSwap)
+                c.swapD2hPerMb += layer.activationStash;
+            else if (kind == Kind::D2dSwap)
+                c.d2dPerMb += layer.activationStash;
+        }
+        if (!c.optOffloaded)
+            c.optimTime = gpu_spec.hbm.transferTime(
+                stage.paramBytes + stage.gradBytes +
+                stage.optStateBytes);
+    }
+
+    // ---- Grant ledger ----------------------------------------------
+    // exportBudget: spare bytes GPU g may debit on peers (bounds how
+    // much of g's D2D demand can leave the device).  importGrant:
+    // bytes g has promised to host for peers (bounds the extra
+    // residency imported stripes can pin on g).
+    std::vector<Bytes> export_budget(
+        static_cast<std::size_t>(num_gpus), 0);
+    std::vector<Bytes> import_grant(
+        static_cast<std::size_t>(num_gpus), 0);
+    for (const auto &entry : plan.spareGrants) {
+        if (entry.first < 0 || entry.first >= num_gpus)
+            return cert;
+        for (const compaction::SpareGrant &grant : entry.second) {
+            if (grant.budget <= 0)
+                continue;
+            if (grant.importerGpu < 0 ||
+                grant.importerGpu >= num_gpus)
+                return cert;
+            export_budget[static_cast<std::size_t>(entry.first)] +=
+                grant.budget;
+            import_grant[static_cast<std::size_t>(
+                grant.importerGpu)] += grant.budget;
+        }
+    }
+
+    // ---- Memory intervals ------------------------------------------
+    // Transfer functions per plan operator (see docs/architecture.md):
+    //   None        lower += stash*F            upper += stash*F
+    //   Recompute   lower += min(stash,out)*F   upper += out*F
+    //               (+ one rematerialized stash per stage in upper)
+    //   GpuCpuSwap  lower += 0                  upper += stash*hazard
+    //   D2dSwap     lower += max(0, demand-budget)  (aggregate)
+    //               upper += stash*hazard + shortfall + import grants
+    cert.gpus.resize(static_cast<std::size_t>(num_gpus));
+    std::vector<Bytes> d2d_demand(
+        static_cast<std::size_t>(num_gpus), 0);
+    for (int g = 0; g < num_gpus; ++g)
+        cert.gpus[static_cast<std::size_t>(g)].gpu = g;
+
+    Bytes host_static = 0;
+    Bytes host_swap = 0;
+    for (int s = 0; s < num_stages; ++s) {
+        const partition::Stage &stage =
+            part.stages[static_cast<std::size_t>(s)];
+        const StageCosts &c = costs[static_cast<std::size_t>(s)];
+        GpuMemoryBound &b =
+            cert.gpus[static_cast<std::size_t>(c.gpu)];
+        const Bytes in_flight = c.inFlight;
+
+        int versions = sched.weightVersions(s);
+        int eff_versions = versions;
+        if (c.stashOffloaded && versions > 2) {
+            host_static +=
+                stage.paramBytes * static_cast<Bytes>(versions - 2);
+            eff_versions = 2;
+        }
+        b.staticBytes +=
+            stage.paramBytes * static_cast<Bytes>(eff_versions) +
+            stage.gradBytes;
+        if (c.optOffloaded)
+            host_static += stage.optStateBytes;
+        else
+            b.staticBytes += stage.optStateBytes;
+
+        // Shared-lane hazard depths for this stage's swap traffic.
+        Tick swap_service = 0;
+        if (c.swapD2hPerMb > 0)
+            swap_service += pcie.transferTime(c.swapD2hPerMb);
+        if (c.stashOffloaded)
+            swap_service += pcie.transferTime(stage.paramBytes);
+        int pcie_hazard = hazardDepth(swap_service, c.fwdTime,
+                                      c.inFlight,
+                                      opts.swapInLookahead);
+        // Pessimistic single-lane service keeps the D2D hazard an
+        // upper estimate even for unstriped plans.
+        Tick d2d_service =
+            c.d2dPerMb > 0
+                ? topo.nvlinkSpec().transferTime(c.d2dPerMb)
+                : 0;
+        int d2d_hazard = hazardDepth(d2d_service, c.fwdTime,
+                                     c.inFlight,
+                                     opts.swapInLookahead);
+
+        Bytes recompute_stash_max = 0;
+        for (std::size_t l = stage.firstLayer; l <= stage.lastLayer;
+             ++l) {
+            const model::Layer &layer = mdl.layer(l);
+            Bytes stash = layer.activationStash;
+            Bytes out = layer.outputBytes;
+            switch (plan.kindFor({s, static_cast<int>(l)})) {
+              case Kind::None:
+                b.lower += stash * in_flight;
+                b.upper += stash * in_flight;
+                break;
+              case Kind::Recompute:
+                b.lower += std::min(stash, out) * in_flight;
+                b.upper += out * in_flight;
+                recompute_stash_max =
+                    std::max(recompute_stash_max, stash);
+                break;
+              case Kind::GpuCpuSwap:
+                b.upper += stash * pcie_hazard;
+                host_swap += stash * in_flight;
+                break;
+              case Kind::D2dSwap:
+                d2d_demand[static_cast<std::size_t>(c.gpu)] +=
+                    stash * in_flight;
+                b.upper += stash * d2d_hazard;
+                break;
+            }
+        }
+        // One rematerialized stash can overlap its own held output
+        // while the backward chain runs (tasks serialize per stage).
+        b.upper += recompute_stash_max;
+    }
+
+    for (int g = 0; g < num_gpus; ++g) {
+        auto gi = static_cast<std::size_t>(g);
+        GpuMemoryBound &b = cert.gpus[gi];
+        // D2D demand that no grant can fund stays resident on the
+        // exporter; funded residency on importers is grant-bounded.
+        Bytes shortfall =
+            std::max<Bytes>(0, d2d_demand[gi] - export_budget[gi]);
+        b.lower += b.staticBytes + shortfall;
+        b.upper += b.staticBytes + shortfall + import_grant[gi];
+    }
+
+    cert.hostLower = host_static;
+    cert.hostUpper = host_static + host_swap;
+
+    for (int g = 0; g < num_gpus; ++g) {
+        if (cert.gpus[static_cast<std::size_t>(g)].lower >
+            cert.usableCapacity) {
+            cert.provableOom = true;
+            cert.oomGpu = g;
+            break;
+        }
+    }
+    cert.provablyFits = !cert.provableOom;
+    for (int g = 0; g < num_gpus && cert.provablyFits; ++g) {
+        if (cert.gpus[static_cast<std::size_t>(g)].upper >
+            cert.usableCapacity)
+            cert.provablyFits = false;
+    }
+    if (cert.hostUpper > cert.hostCapacity)
+        cert.provablyFits = false;
+
+    // ---- Occupancy terms -------------------------------------------
+    // Whole-window busy-time lower bounds per serial resource.  Wire
+    // time at peak bandwidth (no ramp, no launch latency) so the
+    // terms undercut whatever the fabric actually charges.
+    const Tick total_mb = sched.totalMicrobatches();
+    const Tick minis = sched.numMinibatches;
+    std::vector<Tick> compute_busy(
+        static_cast<std::size_t>(num_gpus), 0);
+    std::vector<Tick> d2h_busy(static_cast<std::size_t>(num_gpus), 0);
+    std::vector<Tick> h2d_busy(static_cast<std::size_t>(num_gpus), 0);
+    std::vector<Tick> compute_per_mb(
+        static_cast<std::size_t>(num_gpus), 0);
+    std::vector<Tick> d2h_per_mb(
+        static_cast<std::size_t>(num_gpus), 0);
+    std::vector<Tick> h2d_per_mb(
+        static_cast<std::size_t>(num_gpus), 0);
+
+    // GPU-CPU swap traffic is guaranteed to reach PCIe only when the
+    // pinned pool provably absorbs every instance (otherwise swap-outs
+    // may fail resident and move no bytes — counting them would
+    // overshoot the lower bound).
+    const bool swap_counts =
+        cert.hostCapacity > 0 && cert.hostUpper <= cert.hostCapacity;
+    for (int s = 0; s < num_stages; ++s) {
+        const partition::Stage &stage =
+            part.stages[static_cast<std::size_t>(s)];
+        const StageCosts &c = costs[static_cast<std::size_t>(s)];
+        auto gi = static_cast<std::size_t>(c.gpu);
+        Tick mb_compute = c.fwdTime + c.bwdTime + c.recomputeTime;
+        compute_per_mb[gi] += mb_compute;
+        compute_busy[gi] += total_mb * mb_compute;
+        compute_busy[gi] += minis * c.optimTime;
+        if (swap_counts && c.swapD2hPerMb > 0) {
+            Tick wire = pcie.peak.transferTime(c.swapD2hPerMb);
+            d2h_per_mb[gi] += wire;
+            h2d_per_mb[gi] += wire;
+        }
+        if (c.stashOffloaded) {
+            Tick wire = pcie.peak.transferTime(stage.paramBytes);
+            d2h_per_mb[gi] += wire;
+            h2d_per_mb[gi] += wire;
+        }
+        if (c.optOffloaded) {
+            d2h_busy[gi] += minis * pcie.peak.transferTime(
+                                        stage.gradBytes);
+            h2d_busy[gi] += minis * pcie.peak.transferTime(
+                                        stage.paramBytes);
+        }
+    }
+    for (int g = 0; g < num_gpus; ++g) {
+        auto gi = static_cast<std::size_t>(g);
+        d2h_busy[gi] += total_mb * d2h_per_mb[gi];
+        h2d_busy[gi] += total_mb * h2d_per_mb[gi];
+    }
+
+    // ---- Critical path over the schedule DAG -----------------------
+    const auto num_tasks = sched.tasks.size();
+    std::vector<Tick> node_weight(num_tasks, 0);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+        const pipeline::Task &task = sched.tasks[t];
+        if (task.stage < 0 || task.stage >= num_stages)
+            return cert;
+        const StageCosts &c =
+            costs[static_cast<std::size_t>(task.stage)];
+        if (task.kind == pipeline::TaskKind::Forward)
+            node_weight[t] = c.fwdTime;
+        else if (task.kind == pipeline::TaskKind::Backward)
+            node_weight[t] = c.bwdTime;
+    }
+
+    // Lower bound on the delay a cross-stage dependency edge imposes
+    // on its consumer: zero intra-GPU, single-lane wire time over a
+    // direct NVLink, two serial PCIe wire legs for a host bounce.
+    auto edge_weight = [&](const pipeline::Task &from,
+                           const pipeline::Task &to) -> Tick {
+        int a = costs[static_cast<std::size_t>(from.stage)].gpu;
+        int b = costs[static_cast<std::size_t>(to.stage)].gpu;
+        if (a == b)
+            return 0;
+        int lo = std::min(from.stage, to.stage);
+        Bytes bytes =
+            part.stages[static_cast<std::size_t>(lo)].outputBytes;
+        if (bytes <= 0)
+            return 0;
+        if (topo.nvlinkLanes(a, b) > 0)
+            return topo.linkSpecBetween(a, b).peak.transferTime(
+                bytes);
+        return 2 * pcie.peak.transferTime(bytes);
+    };
+
+    std::vector<int> indegree(num_tasks, 0);
+    std::vector<std::vector<int>> succs(num_tasks);
+    bool shape_ok = true;
+    for (std::size_t t = 0; t < num_tasks && shape_ok; ++t) {
+        for (int dep : sched.tasks[t].deps) {
+            if (dep < 0 ||
+                static_cast<std::size_t>(dep) >= num_tasks) {
+                shape_ok = false;
+                break;
+            }
+            succs[static_cast<std::size_t>(dep)].push_back(
+                static_cast<int>(t));
+            ++indegree[t];
+        }
+    }
+    for (const auto &order : sched.perStageOrder) {
+        if (!shape_ok)
+            break;
+        for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+            int u = order[i];
+            int v = order[i + 1];
+            if (u < 0 || static_cast<std::size_t>(u) >= num_tasks ||
+                v < 0 || static_cast<std::size_t>(v) >= num_tasks) {
+                shape_ok = false;
+                break;
+            }
+            succs[static_cast<std::size_t>(u)].push_back(v);
+            ++indegree[static_cast<std::size_t>(v)];
+        }
+    }
+    if (!shape_ok)
+        return cert;
+
+    std::vector<Tick> finish(num_tasks, 0);
+    std::vector<int> ready;
+    ready.reserve(num_tasks);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+        if (indegree[t] == 0)
+            ready.push_back(static_cast<int>(t));
+    }
+    Tick critical_path = 0;
+    std::size_t processed = 0;
+    for (std::size_t head = 0; head < ready.size(); ++head) {
+        int u = ready[head];
+        auto ui = static_cast<std::size_t>(u);
+        ++processed;
+        finish[ui] += node_weight[ui];
+        critical_path = std::max(critical_path, finish[ui]);
+        const pipeline::Task &ut = sched.tasks[ui];
+        for (int v : succs[ui]) {
+            auto vi = static_cast<std::size_t>(v);
+            Tick arrive = finish[ui];
+            const pipeline::Task &vt = sched.tasks[vi];
+            if (vt.stage != ut.stage)
+                arrive += edge_weight(ut, vt);
+            finish[vi] = std::max(finish[vi], arrive);
+            if (--indegree[vi] == 0)
+                ready.push_back(v);
+        }
+    }
+    if (processed != num_tasks)
+        return cert;  // cyclic: leave the certificate invalid
+
+    cert.latencyLowerBound = critical_path;
+    for (int g = 0; g < num_gpus; ++g) {
+        auto gi = static_cast<std::size_t>(g);
+        cert.latencyLowerBound = std::max(
+            {cert.latencyLowerBound, compute_busy[gi], d2h_busy[gi],
+             h2d_busy[gi]});
+    }
+
+    // ---- Steady-state throughput upper bound -----------------------
+    // samplesPerSec divides the per-minibatch samples by the marginal
+    // minibatch time; each serial resource lower-bounds that time by
+    // its per-microbatch work over the steady window, minus a warmup
+    // haircut for work the pipeline can complete before the first
+    // minibatch retires.
+    if (minis >= 2) {
+        int max_in_flight = 0;
+        for (int s = 0; s < num_stages; ++s)
+            max_in_flight = std::max(
+                max_in_flight,
+                costs[static_cast<std::size_t>(s)].inFlight);
+        const Tick m0 = sched.microbatchesPerMinibatch;
+        const Tick slack =
+            2 * static_cast<Tick>(max_in_flight) + m0;
+        const Tick window_mb = m0 * (minis - 1) - slack;
+        if (window_mb > 0) {
+            Tick steady_lb = 0;
+            for (int g = 0; g < num_gpus; ++g) {
+                auto gi = static_cast<std::size_t>(g);
+                Tick worst = std::max(
+                    {compute_per_mb[gi], d2h_per_mb[gi],
+                     h2d_per_mb[gi]});
+                steady_lb = std::max(
+                    steady_lb, worst * window_mb / (minis - 1));
+            }
+            if (steady_lb > 0) {
+                double samples_per_mini =
+                    static_cast<double>(m0) *
+                    static_cast<double>(mdl.samplesPerMicrobatch());
+                cert.throughputUpperBound =
+                    samples_per_mini / util::toSeconds(steady_lb);
+            }
+        }
+    }
+
+    cert.valid = true;
+    return cert;
+}
+
+std::string
+AnalysisCertificate::summary() const
+{
+    if (!valid)
+        return "invalid (unanalyzable tuple)";
+    const char *fit = provableOom     ? "provably-oom"
+                      : provablyFits  ? "provably-fits"
+                                      : "unproven";
+    std::string out = util::strformat(
+        "%s lat>=%s", fit,
+        util::formatTime(latencyLowerBound).c_str());
+    if (std::isfinite(throughputUpperBound))
+        out += util::strformat(" sps<=%.2f", throughputUpperBound);
+    return out;
+}
+
+std::string
+AnalysisCertificate::render() const
+{
+    if (!valid)
+        return "analysis: invalid (unanalyzable tuple)\n";
+    std::string out;
+    out += util::strformat(
+        "analysis: usable capacity %s/GPU, host %s\n",
+        util::formatBytes(usableCapacity).c_str(),
+        util::formatBytes(hostCapacity).c_str());
+    for (const GpuMemoryBound &b : gpus) {
+        const char *mark = b.lower > usableCapacity ? " OVERFLOW"
+                           : b.upper > usableCapacity
+                               ? " unproven"
+                               : "";
+        out += util::strformat(
+            "  gpu%-2d static %10s  peak in [%10s, %10s]%s\n", b.gpu,
+            util::formatBytes(b.staticBytes).c_str(),
+            util::formatBytes(b.lower).c_str(),
+            util::formatBytes(b.upper).c_str(), mark);
+    }
+    out += util::strformat(
+        "  host  demand in [%s, %s]\n",
+        util::formatBytes(hostLower).c_str(),
+        util::formatBytes(hostUpper).c_str());
+    out += util::strformat(
+        "  latency >= %s",
+        util::formatTime(latencyLowerBound).c_str());
+    if (std::isfinite(throughputUpperBound))
+        out += util::strformat("  throughput <= %.2f samples/s",
+                               throughputUpperBound);
+    out += util::strformat("  verdict: %s\n",
+                           provableOom    ? "provably-oom"
+                           : provablyFits ? "provably-fits"
+                                          : "unproven");
+    return out;
+}
+
+} // namespace analysis
+} // namespace mpress

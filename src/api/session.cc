@@ -146,6 +146,18 @@ MPressSession::run() const
     return result;
 }
 
+analysis::AnalysisCertificate
+MPressSession::analyzePlan(
+    const compaction::CompactionPlan &plan) const
+{
+    analysis::AnalysisOptions opts;
+    // Keep the capacity and swap models consistent with execution.
+    opts.memOverheadFactor = _cfg.executor.memOverheadFactor;
+    opts.swapInLookahead = _cfg.executor.swapInLookahead;
+    return analysis::analyzePlan(_topo, _mdl, _part, _sched, plan,
+                                 opts);
+}
+
 verify::Report
 MPressSession::verifyPlan(const compaction::CompactionPlan &plan) const
 {

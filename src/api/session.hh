@@ -22,6 +22,7 @@
 
 #include <string>
 
+#include "analysis/analyzer.hh"
 #include "baselines/zero.hh"
 #include "hw/topology.hh"
 #include "model/model.hh"
@@ -127,6 +128,13 @@ class MPressSession
      *  run() and by callers loading serialized plans). */
     verify::Report
     verifyPlan(const compaction::CompactionPlan &plan) const;
+
+    /** Run the static plan analyzer on @p plan against this session's
+     *  job: per-GPU peak-memory intervals, a critical-path latency
+     *  lower bound, and a throughput upper bound, under the same
+     *  capacity model run() would execute with. */
+    analysis::AnalysisCertificate
+    analyzePlan(const compaction::CompactionPlan &plan) const;
 
     const hw::Topology &topology() const { return _topo; }
     const SessionConfig &config() const { return _cfg; }

@@ -148,6 +148,21 @@ verifierOptions(const runtime::ExecutorConfig &exec_cfg)
     return opts;
 }
 
+/** Analysis certificate of @p plan, consistent with the emulator's
+ *  capacity and swap-lookahead model. */
+analysis::AnalysisCertificate
+certify(const hw::Topology &topo, const model::TransformerModel &mdl,
+        const partition::Partition &part,
+        const pipeline::Schedule &sched, const CompactionPlan &plan,
+        const runtime::ExecutorConfig &exec_cfg)
+{
+    analysis::AnalysisOptions aopts;
+    aopts.memOverheadFactor = exec_cfg.memOverheadFactor;
+    aopts.swapInLookahead = exec_cfg.swapInLookahead;
+    return analysis::analyzePlan(topo, mdl, part, sched, plan,
+                                 aopts);
+}
+
 /** Build a CompactionPlan from candidate choices + mapping. */
 CompactionPlan
 materialize(const std::vector<std::vector<Candidate>> &per_stage,
@@ -198,6 +213,8 @@ planMPress(const hw::Topology &topo,
         result.verification = verify::verifyPlan(
             topo, mdl, part, sched, result.plan,
             verifierOptions(exec_cfg));
+        result.certificate = certify(topo, mdl, part, sched,
+                                     result.plan, exec_cfg);
         return result;
     }
 
@@ -218,10 +235,14 @@ planMPress(const hw::Topology &topo,
     util::ThreadPool pool(cfg.threads);
     SearchDriver driver(topo, mdl, part, sched, exec_cfg, pool);
     driver.setCacheEnabled(cfg.trialCache);
-    auto record_cache_stats = [&result, &driver]() {
+    driver.setAnalyticPrune(cfg.analyticPrune);
+    auto record_search_stats = [&result, &driver]() {
         TrialCacheStats stats = driver.cacheStats();
         result.trialCacheHits = stats.hits;
         result.trialCacheMisses = stats.misses;
+        PruneStats prune = driver.pruneStats();
+        result.analyticScored = prune.scored;
+        result.analyticPruned = prune.pruned();
     };
 
     // (3) Seed assignment per overflowing stage.
@@ -353,7 +374,9 @@ planMPress(const hw::Topology &topo,
         result.verification = verify::verifyPlan(
             topo, mdl, part, sched, result.plan,
             verifierOptions(exec_cfg));
-        record_cache_stats();
+        result.certificate = certify(topo, mdl, part, sched,
+                                     result.plan, exec_cfg);
+        record_search_stats();
         return result;
     }
 
@@ -521,6 +544,10 @@ planMPress(const hw::Topology &topo,
         if (trials.empty())
             break;
 
+        // The prune baseline mirrors the acceptance threshold the
+        // outcomes will be judged against below.
+        driver.setPruneBaseline(current.samplesPerSec,
+                                cfg.acceptGain);
         auto outcomes = driver.evaluate(trials);
         int best = SearchDriver::pickBest(
             outcomes, current.samplesPerSec, cfg.acceptGain);
@@ -588,6 +615,8 @@ planMPress(const hw::Topology &topo,
             trial_kinds.push_back(snapshot());
         }
         restore(seed_kinds);
+        driver.setPruneBaseline(current.samplesPerSec,
+                                cfg.acceptGain);
         auto outcomes = driver.evaluate(trials);
         int best = SearchDriver::pickBest(
             outcomes, current.samplesPerSec, cfg.acceptGain);
@@ -640,6 +669,8 @@ planMPress(const hw::Topology &topo,
                 c->chosen = Kind::GpuCpuSwap;
             trial_flips.push_back(std::move(flips));
         }
+        driver.setPruneBaseline(current.samplesPerSec,
+                                cfg.acceptGain);
         auto outcomes = driver.evaluate(trials);
         int best = SearchDriver::pickBest(
             outcomes, current.samplesPerSec, cfg.acceptGain);
@@ -659,7 +690,9 @@ planMPress(const hw::Topology &topo,
     result.verification = verify::verifyPlan(
         topo, mdl, part, sched, result.plan,
         verifierOptions(exec_cfg));
-    record_cache_stats();
+    result.certificate = certify(topo, mdl, part, sched, result.plan,
+                                 exec_cfg);
+    record_search_stats();
     return result;
 }
 
@@ -684,6 +717,8 @@ planD2dOnly(const hw::Topology &topo,
         result.verification = verify::verifyPlan(
             topo, mdl, part, sched, result.plan,
             verifierOptions(exec_cfg));
+        result.certificate = certify(topo, mdl, part, sched,
+                                     result.plan, exec_cfg);
         return result;
     }
 
@@ -744,6 +779,8 @@ planD2dOnly(const hw::Topology &topo,
     result.verification = verify::verifyPlan(
         topo, mdl, part, sched, result.plan,
         verifierOptions(exec_cfg));
+    result.certificate = certify(topo, mdl, part, sched, result.plan,
+                                 exec_cfg);
     return result;
 }
 

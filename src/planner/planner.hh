@@ -28,6 +28,7 @@
 
 #include <cstdint>
 
+#include "analysis/analyzer.hh"
 #include "compaction/plan.hh"
 #include "planner/costmodel.hh"
 #include "planner/mapper.hh"
@@ -73,6 +74,17 @@ struct PlannerConfig
      *  byte-identical either way (pinned by the determinism tests). */
     bool trialCache = true;
 
+    /** Analysis-first pruning tier: score every flip-ladder / sweep
+     *  trial with the static analyzer (src/analysis/, microseconds
+     *  per plan) and skip the emulated iteration for trials the
+     *  certificate proves can never be accepted — provable OOM, or a
+     *  throughput upper bound below the acceptance threshold.  The
+     *  final plan is byte-identical with the tier on or off (only
+     *  provably-rejected trials are skipped, and seed/escalation
+     *  probes always run the emulator); pinned by the determinism
+     *  tests. */
+    bool analyticPrune = false;
+
     MapperConfig mapper;
 };
 
@@ -112,6 +124,19 @@ struct PlanResult
      *  refine loop). */
     std::uint64_t trialCacheHits = 0;
     std::uint64_t trialCacheMisses = 0;
+
+    /** Machine-checkable certificate of the returned plan from the
+     *  static analyzer: per-GPU peak-memory intervals, host-memory
+     *  interval, a critical-path latency lower bound, and a
+     *  throughput upper bound.  Always computed (cheap); valid=false
+     *  only when the tuple is structurally broken. */
+    analysis::AnalysisCertificate certificate;
+
+    /** Analytic-tier counters (zero unless
+     *  PlannerConfig::analyticPrune): trials priced by the analyzer
+     *  and the subset rejected without an emulated iteration. */
+    std::uint64_t analyticScored = 0;
+    std::uint64_t analyticPruned = 0;
 };
 
 /** Full MPress planning: all three techniques + device mapping. */

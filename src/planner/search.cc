@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "analysis/analyzer.hh"
 #include "compaction/serialize.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -12,6 +14,95 @@ namespace mpress {
 namespace planner {
 
 using util::Bytes;
+
+namespace {
+
+/** Append the raw bytes of @p v to @p key.  Scalars are appended one
+ *  by one (never whole structs), so no padding bytes leak in. */
+template <typename T>
+void
+putScalar(std::string &key, T v)
+{
+    char raw[sizeof(T)];
+    std::memcpy(raw, &v, sizeof(T));
+    key.append(raw, sizeof(T));
+}
+
+/**
+ * Compact binary memoization key, equivalent to trialKey() but ~two
+ * orders of magnitude cheaper to build: the text key renders the full
+ * plan through planToText() + printf-style formatting on every cache
+ * probe, which made the cache a net loss on the plain plan path.
+ * Every section is tagged and length-prefixed, so the encoding is
+ * injective (two different inputs can never serialize to the same
+ * byte string) and the collision guard in cachedRun() stays sound.
+ */
+std::string
+binaryTrialKey(const compaction::CompactionPlan &plan,
+               const runtime::ExecutorConfig &cfg,
+               std::string_view scenario_id)
+{
+    std::string key;
+    key.reserve(64 + plan.activations.size() * 9 +
+                plan.stageToGpu.size() * 4 +
+                plan.offloadOptState.size() +
+                plan.offloadWeightStash.size() +
+                plan.spareGrants.size() * 24 + scenario_id.size());
+    key.push_back('A');
+    putScalar<std::uint32_t>(
+        key, static_cast<std::uint32_t>(plan.activations.size()));
+    for (const auto &[ref, kind] : plan.activations) {
+        putScalar<std::int32_t>(key, ref.stage);
+        putScalar<std::int32_t>(key, ref.layer);
+        key.push_back(static_cast<char>(kind));
+    }
+    key.push_back('O');
+    putScalar<std::uint32_t>(
+        key, static_cast<std::uint32_t>(plan.offloadOptState.size()));
+    for (bool b : plan.offloadOptState)
+        key.push_back(b ? 1 : 0);
+    key.push_back('W');
+    putScalar<std::uint32_t>(
+        key,
+        static_cast<std::uint32_t>(plan.offloadWeightStash.size()));
+    for (bool b : plan.offloadWeightStash)
+        key.push_back(b ? 1 : 0);
+    key.push_back('M');
+    putScalar<std::uint32_t>(
+        key, static_cast<std::uint32_t>(plan.stageToGpu.size()));
+    for (int g : plan.stageToGpu)
+        putScalar<std::int32_t>(key, g);
+    key.push_back('G');
+    putScalar<std::uint32_t>(
+        key, static_cast<std::uint32_t>(plan.spareGrants.size()));
+    for (const auto &[gpu, grants] : plan.spareGrants) {
+        putScalar<std::int32_t>(key, gpu);
+        putScalar<std::uint32_t>(
+            key, static_cast<std::uint32_t>(grants.size()));
+        for (const auto &g : grants) {
+            putScalar<std::int32_t>(key, g.importerGpu);
+            putScalar<std::int64_t>(key, g.budget);
+        }
+    }
+    key.push_back(plan.d2dStriping ? 1 : 0);
+    key.push_back('C');
+    putScalar<double>(key, cfg.memOverheadFactor);
+    putScalar<std::int32_t>(key, cfg.swapInLookahead);
+    key.push_back(static_cast<char>(
+        (cfg.recordLiveness ? 1 : 0) | (cfg.recordTimeline ? 2 : 0) |
+        (cfg.recordMetrics ? 4 : 0) | (cfg.failFastOnOom ? 8 : 0) |
+        (cfg.faultLadder ? 16 : 0)));
+    putScalar<std::int32_t>(key, cfg.maxTransferRetries);
+    putScalar<std::int64_t>(
+        key, static_cast<std::int64_t>(cfg.retryBackoff));
+    key.push_back('S');
+    putScalar<std::uint32_t>(
+        key, static_cast<std::uint32_t>(scenario_id.size()));
+    key.append(scenario_id.data(), scenario_id.size());
+    return key;
+}
+
+} // namespace
 
 SearchDriver::SearchDriver(const hw::Topology &topo,
                            const model::TransformerModel &mdl,
@@ -108,7 +199,7 @@ SearchDriver::cachedRun(const compaction::CompactionPlan &plan,
         return runtime::runTraining(workerTopology(), _mdl, _part,
                                     _sched, plan, cfg);
     }
-    std::string key = trialKey(plan, cfg, scenario_id);
+    std::string key = binaryTrialKey(plan, cfg, scenario_id);
     std::uint64_t sig = util::fnv1a64(key);
     {
         std::lock_guard<std::mutex> lock(_cacheMu);
@@ -141,8 +232,55 @@ std::vector<TrialOutcome>
 SearchDriver::evaluate(
     const std::vector<compaction::CompactionPlan> &trials)
 {
+    return evaluateImpl(trials, /*allow_prune=*/true);
+}
+
+TrialOutcome
+SearchDriver::evaluateOne(const compaction::CompactionPlan &plan)
+{
+    // Never pruned: single-plan callers (seeding, OOM escalation,
+    // re-mapping) branch on the real report — e.g. the DES's
+    // time-ordered first-OOM GPU, which the analyzer cannot name.
+    std::vector<compaction::CompactionPlan> one(1, plan);
+    return evaluateImpl(one, /*allow_prune=*/false).front();
+}
+
+std::vector<TrialOutcome>
+SearchDriver::evaluateImpl(
+    const std::vector<compaction::CompactionPlan> &trials,
+    bool allow_prune)
+{
+    const bool prune = allow_prune && _analyticPrune;
     std::vector<TrialOutcome> out(trials.size());
     _pool.parallelFor(trials.size(), [&](std::size_t i) {
+        if (prune) {
+            analysis::AnalysisOptions aopts;
+            aopts.memOverheadFactor = _execCfg.memOverheadFactor;
+            aopts.swapInLookahead = _execCfg.swapInLookahead;
+            analysis::AnalysisCertificate cert = analysis::analyzePlan(
+                workerTopology(), _mdl, _part, _sched, trials[i],
+                aopts);
+            _analyticScored.fetch_add(1, std::memory_order_relaxed);
+            // Both rules reject only provably non-acceptable trials.
+            // A pruned outcome is never accepted (verified stays
+            // false) and an acceptable trial is never pruned, so
+            // pickBest() ranks exactly the same accepted set as a
+            // full evaluation — the winner is byte-identical.
+            if (cert.valid && cert.provableOom) {
+                out[i].pruned = true;
+                out[i].report.oom = true;
+                out[i].report.oomGpu = cert.oomGpu;
+                _prunedOom.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            if (cert.valid && _pruneBaseline >= 0.0 &&
+                cert.throughputUpperBound <=
+                    _pruneBaseline * (1.0 + _pruneGain)) {
+                out[i].pruned = true;
+                _prunedSlow.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+        }
         // Per-worker topology arena: the executor and the verifier
         // read the topology heavily, and an engine must never share
         // state with a concurrent one — but trials on the same worker
@@ -158,11 +296,14 @@ SearchDriver::evaluate(
     return out;
 }
 
-TrialOutcome
-SearchDriver::evaluateOne(const compaction::CompactionPlan &plan)
+PruneStats
+SearchDriver::pruneStats() const
 {
-    std::vector<compaction::CompactionPlan> one(1, plan);
-    return evaluate(one).front();
+    PruneStats s;
+    s.scored = _analyticScored.load(std::memory_order_relaxed);
+    s.prunedOom = _prunedOom.load(std::memory_order_relaxed);
+    s.prunedSlow = _prunedSlow.load(std::memory_order_relaxed);
+    return s;
 }
 
 namespace {

@@ -47,6 +47,7 @@
 #ifndef MPRESS_PLANNER_SEARCH_HH
 #define MPRESS_PLANNER_SEARCH_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -72,11 +73,28 @@ struct TrialCacheStats
     std::uint64_t misses = 0;
 };
 
+/** Counters of the analysis-first pruning tier. */
+struct PruneStats
+{
+    std::uint64_t scored = 0;      ///< trials priced by the analyzer
+    std::uint64_t prunedOom = 0;   ///< dropped: provable OOM
+    std::uint64_t prunedSlow = 0;  ///< dropped: throughput bound
+                                   ///< under the acceptance baseline
+
+    std::uint64_t pruned() const { return prunedOom + prunedSlow; }
+};
+
 /** Result of emulating + statically verifying one trial plan. */
 struct TrialOutcome
 {
     runtime::TrainingReport report;
     bool verified = false;
+
+    /** The analytic tier rejected the trial without emulating it:
+     *  the report is synthetic (OOM flag or zero throughput) and
+     *  verified stays false, so the outcome can never be accepted —
+     *  exactly like the DES run it provably stands in for. */
+    bool pruned = false;
 
     /** Acceptance test shared by every refinement stage: the trial
      *  survived emulation, passed static verification and beat the
@@ -180,6 +198,36 @@ class SearchDriver
     TrialCacheStats cacheStats() const;
 
     /**
+     * Enable the analysis-first pruning tier (default: off).  Batch
+     * trials are priced by the static analyzer first; a trial whose
+     * certificate proves an OOM, or whose throughput upper bound
+     * cannot beat the acceptance baseline, receives a synthetic
+     * never-accepted outcome instead of a DES run.  Only provably
+     * non-acceptable trials are pruned and pickBest() only ranks
+     * accepted ones, so the winning trial — and the planner's final
+     * plan — is byte-identical with the tier on or off.
+     * evaluateOne() never prunes: seed/escalation callers need the
+     * real report (e.g. the DES's time-ordered OOM GPU).
+     */
+    void setAnalyticPrune(bool on) { _analyticPrune = on; }
+
+    /** Baseline for the throughput prune rule, matching the
+     *  acceptance test: a trial with upper bound <= baseline *
+     *  (1 + gain) can never be accepted.  Negative baseline (the
+     *  default) disables the throughput rule; the OOM rule still
+     *  applies. */
+    void
+    setPruneBaseline(double baseline_samples_per_sec,
+                     double accept_gain)
+    {
+        _pruneBaseline = baseline_samples_per_sec;
+        _pruneGain = accept_gain;
+    }
+
+    /** Analytic-tier counters accumulated so far. */
+    PruneStats pruneStats() const;
+
+    /**
      * Full memoization key of one trial: the serialized plan, the
      * executor-config fields that shape an emulation (doubles in
      * hexfloat so the text round-trips bit-exactly) and the scenario
@@ -204,6 +252,12 @@ class SearchDriver
   private:
     /** Per-worker reusable topology copy (lazily constructed). */
     const hw::Topology &workerTopology();
+
+    /** Shared body of evaluate()/evaluateOne(); the analytic tier
+     *  runs only when @p allow_prune is set. */
+    std::vector<TrialOutcome>
+    evaluateImpl(const std::vector<compaction::CompactionPlan> &trials,
+                 bool allow_prune);
 
     /** Run one emulation through the memo cache.  @p cfg must carry
      *  any scenario pointer; @p scenario_id stands in for it in the
@@ -236,6 +290,13 @@ class SearchDriver
     mutable std::mutex _cacheMu;
     std::unordered_map<std::uint64_t, CacheEntry> _cache;
     TrialCacheStats _stats;
+
+    bool _analyticPrune = false;
+    double _pruneBaseline = -1.0;
+    double _pruneGain = 0.0;
+    std::atomic<std::uint64_t> _analyticScored{0};
+    std::atomic<std::uint64_t> _prunedOom{0};
+    std::atomic<std::uint64_t> _prunedSlow{0};
 };
 
 /** One refinement flip candidate as seen by the budget gate. */

@@ -19,7 +19,7 @@ Engine::acquireSlot()
         // Default-init, not make_unique: value-initialization would
         // zero every slot's whole inline buffer (a memset of the full
         // chunk); the default constructors only set the real fields.
-        _chunks.emplace_back(new Slot[kChunkSize]);
+        _chunks.emplace_back(new Slot[kChunkSize]); // lint-hotpath: allow (cold slab growth)
     }
     return _slotCount++;
 }

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/analyzer.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -55,6 +56,10 @@ ruleName(Rule rule)
         return "cap-stage-overflow";
       case Rule::CapHostOverflow:
         return "cap-host-overflow";
+      case Rule::CapProvedOverflow:
+        return "cap-proved-overflow";
+      case Rule::CapUnproven:
+        return "cap-unproven";
       case Rule::D2dSelfGrant:
         return "d2d-self-grant";
       case Rule::D2dGrantRange:
@@ -101,6 +106,7 @@ defaultSeverity(Rule rule)
       case Rule::SchedFabricPath:
       case Rule::MapDuplicate:
       case Rule::CapHostOverflow:
+      case Rule::CapUnproven:
       case Rule::D2dOvercommit:
       case Rule::D2dGrantCycle:
       case Rule::D2dOrphanGrant:
@@ -1201,6 +1207,44 @@ verifyPlan(const hw::Topology &topo,
         projectCapacity(topo, mdl, part, sched, plan);
     checkCapacity(topo, part, plan, proj, capacity, report, strict);
     checkGrants(topo, part, plan, proj, capacity, report, strict);
+
+    if (opts.analysis) {
+        analysis::AnalysisOptions aopts;
+        aopts.memOverheadFactor = opts.memOverheadFactor;
+        analysis::AnalysisCertificate cert = analysis::analyzePlan(
+            topo, mdl, part, sched, plan, aopts);
+        // Invalid certificates carry no provable facts; the
+        // structural rules above already flagged why.
+        for (const analysis::GpuMemoryBound &b : cert.gpus) {
+            if (!cert.valid)
+                break;
+            if (b.lower > cert.usableCapacity) {
+                Finding(report, strict, Rule::CapProvedOverflow)
+                    .gpu(b.gpu)
+                    .msg(strformat(
+                        "proved peak >= %s exceeds usable capacity"
+                        " %s: every run of this plan OOMs",
+                        util::formatBytes(b.lower).c_str(),
+                        util::formatBytes(cert.usableCapacity)
+                            .c_str()))
+                    .hint("compact more classes on this GPU or remap"
+                          " its stages");
+            } else if (b.upper > cert.usableCapacity) {
+                Finding(report, strict, Rule::CapUnproven)
+                    .gpu(b.gpu)
+                    .msg(strformat(
+                        "peak bound [%s, %s] straddles usable"
+                        " capacity %s: cannot prove the plan fits",
+                        util::formatBytes(b.lower).c_str(),
+                        util::formatBytes(b.upper).c_str(),
+                        util::formatBytes(cert.usableCapacity)
+                            .c_str()))
+                    .hint("tighten swap hazard windows (more grant"
+                          " budget, fewer swapped classes) to close"
+                          " the interval");
+            }
+        }
+    }
     return report;
 }
 

@@ -32,6 +32,10 @@
  *   Capacity
  *     cap-stage-overflow  projected stage peak exceeds GPU capacity
  *     cap-host-overflow   projected pinned-host demand exceeds DRAM
+ *     cap-proved-overflow analyzer lower bound exceeds capacity: the
+ *                         plan provably OOMs (Options::analysis)
+ *     cap-unproven        analyzer upper bound exceeds capacity: the
+ *                         plan may OOM (Options::analysis)
  *   D2D spare grants
  *     d2d-self-grant      a GPU lends spare memory to itself
  *     d2d-grant-range     grant names an unknown GPU / negative bytes
@@ -105,6 +109,8 @@ enum class Rule
     MapDuplicate,
     CapStageOverflow,
     CapHostOverflow,
+    CapProvedOverflow,
+    CapUnproven,
     D2dSelfGrant,
     D2dGrantRange,
     D2dUnreachable,
@@ -160,6 +166,14 @@ struct Options
     /** Cap on reported findings per rule; further instances are
      *  counted but suppressed (0 = unlimited). */
     int maxDiagsPerRule = 16;
+
+    /** Run the static plan analyzer (src/analysis/) and judge its
+     *  certificate: cap-proved-overflow when the peak-memory lower
+     *  bound alone exceeds capacity (the plan provably OOMs),
+     *  cap-unproven when only the upper bound does.  Off by default —
+     *  the interval bounds are deliberately conservative and most
+     *  workable compaction plans sit between the two. */
+    bool analysis = false;
 };
 
 /**

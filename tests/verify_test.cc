@@ -343,6 +343,65 @@ TEST(VerifyRule, CapHostOverflow)
               vf::Severity::Warning);
 }
 
+TEST(VerifyRule, CapProvedOverflow)
+{
+    // The analysis-backed rules run only when opted in.
+    vf::Options opts;
+    opts.analysis = true;
+
+    VerifyJob small;
+    EXPECT_FALSE(
+        small.verify(opts).hasRule(Rule::CapProvedOverflow));
+
+    // GPT-25.5B uncompacted: the analyzer's lower bound alone
+    // exceeds capacity, so the overflow is proved, as an error.
+    VerifyJob huge("gpt-25.5b", 8);
+    auto report = huge.verify(opts);
+    ASSERT_TRUE(report.hasRule(Rule::CapProvedOverflow));
+    EXPECT_EQ(report.findRule(Rule::CapProvedOverflow)->severity,
+              vf::Severity::Error);
+    EXPECT_GE(report.findRule(Rule::CapProvedOverflow)->gpu, 0);
+
+    // Without the opt-in the rule never fires.
+    EXPECT_FALSE(
+        huge.verify().hasRule(Rule::CapProvedOverflow));
+}
+
+TEST(VerifyRule, CapUnproven)
+{
+    vf::Options opts;
+    opts.analysis = true;
+
+    // A comfortably fitting job triggers neither analysis rule.
+    VerifyJob small;
+    auto clean = small.verify(opts);
+    EXPECT_FALSE(clean.hasRule(Rule::CapUnproven));
+    EXPECT_FALSE(clean.hasRule(Rule::CapProvedOverflow));
+
+    // Bert-1.67B swap-everything: the hazard-widened upper bound
+    // straddles capacity while the lower bound stays under it —
+    // unproven, a warning.
+    VerifyJob big("bert-1.67b", 12);
+    for (const auto &stage : big.part.stages) {
+        for (std::size_t l = stage.firstLayer; l <= stage.lastLayer;
+             ++l) {
+            big.plan.activations[{stage.index,
+                                  static_cast<int>(l)}] =
+                cp::Kind::GpuCpuSwap;
+        }
+    }
+    big.plan.offloadOptState.assign(8, true);
+    auto report = big.verify(opts);
+    if (report.hasRule(Rule::CapUnproven)) {
+        EXPECT_EQ(report.findRule(Rule::CapUnproven)->severity,
+                  vf::Severity::Warning);
+    } else {
+        // If the bound tightened enough to prove the overflow
+        // instead, that rule must carry the verdict.
+        EXPECT_TRUE(report.hasRule(Rule::CapProvedOverflow));
+    }
+}
+
 TEST(VerifyRule, D2dSelfGrant)
 {
     VerifyJob job;

@@ -34,6 +34,9 @@ fault=""
 perf=""
 trap 'rm -rf "$smoke" "$sweep" "$fault" "$perf"' EXIT
 
+echo "== hot-path lint =="
+tools/lint_hotpath.sh
+
 echo "== plain build =="
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$jobs"
@@ -101,6 +104,26 @@ assert "fault.transfer.failures" in names, names
 assert "fault.fallback.swap" in names, names
 print("fault smoke: deterministic metrics, ladder rescued the run")
 EOF
+
+    echo "== static analysis smoke (ASan) =="
+    # A plan the planner accepts for bert-1.67b must analyze and
+    # verify clean (exit 0); judging the same plan against a model
+    # it provably cannot hold must be rejected (exit 3) with the
+    # cap-proved-overflow rule in the diagnostics.
+    ./build-asan/examples/mpress_cli --model bert-1.67b \
+        --strategy mpress --minibatches 2 \
+        --save-plan "$smoke/fit.plan" >/dev/null
+    ./build-asan/examples/mpress-verify --plan "$smoke/fit.plan" \
+        --model bert-1.67b --analyze >"$smoke/fit.out"
+    grep -q 'analysis:' "$smoke/fit.out"
+    if ./build-asan/examples/mpress-verify --plan "$smoke/fit.plan" \
+        --model gpt-25.5b --analyze >"$smoke/oom.out"; then
+        echo "expected the gpt-25.5b judgment to be rejected" >&2
+        exit 1
+    fi
+    grep -q 'cap-proved-overflow' "$smoke/oom.out"
+    echo "analysis smoke: certificate printed, provable overflow" \
+         "rejected"
 fi
 
 if [ "$run_tsan" = 1 ]; then
@@ -112,7 +135,7 @@ if [ "$run_tsan" = 1 ]; then
     cmake -B build-tsan -S . -DMPRESS_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$jobs"
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|SearchDriver|BudgetGate|BudgetLedger|Determinism|Planner|Runtime|Fault|Ladder|Robustness|Injector'
+        -R 'ThreadPool|SearchDriver|BudgetGate|BudgetLedger|Determinism|Planner|Runtime|Fault|Ladder|Robustness|Injector|Analysis'
 
     echo "== sweep smoke (TSan) =="
     sweep=$(mktemp -d)
