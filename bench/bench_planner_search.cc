@@ -7,8 +7,10 @@
  * counts AND across cache on/off, or the fast path is wrong, not
  * fast.
  *
- * Five sections:
- *  1. thread scaling (cache on, the default)
+ * Seven sections:
+ *  1. thread scaling (cache on, the default); fails when threads=4
+ *     is slower than threads=1 beyond a noise tolerance — the
+ *     regression this harness originally caught
  *  2. trial cache on vs off at threads=1: wall-clock win and
  *     hit/miss counts; fails if the cache sees zero hits, the
  *     picked plan changes, or cache-on regresses the plain path by
@@ -19,12 +21,21 @@
  *     candidate plan; fails above 100 us, or when one DES trial
  *     does not buy at least 5 analyzer scorings (the analytic tier's
  *     candidates-per-wall-time multiplier)
- *  5. analytic prune on vs off: byte-identical picked plan, with the
- *     scored/pruned counters reported
+ *  5. analytic prune on vs off on the greedy ladder: byte-identical
+ *     picked plan
+ *  6. portfolio race (greedy wavefront + annealer + best-first) vs
+ *     the serial ladder, full and under a 50 ms anytime deadline:
+ *     the race must match or beat the ladder's throughput, and the
+ *     deadline must cut the race's wall clock
+ *  7. analytic prune under the portfolio on the memory-tight
+ *     bert-6.2b fixture, where the annealer's retire mutations
+ *     produce provably-OOM trials: byte-identical plan and a
+ *     pruned counter that must be nonzero
  *
  * On a single-core host the scaling column shows pool overhead rather
- * than speedup; the exit status only reflects the identity checks.
- * Metrics tee into BENCH_planner.json for tools/check.sh.
+ * than speedup; the exit status only reflects the identity checks and
+ * the tolerance gates above.  Metrics tee into BENCH_planner.json for
+ * tools/check.sh.
  */
 
 #include <chrono>
@@ -68,21 +79,35 @@ struct Row
     std::uint64_t cacheMisses;
     std::uint64_t analyticScored;
     std::uint64_t analyticPruned;
+    double samplesPerSec;
+    int winner;
+};
+
+struct JobKnobs
+{
+    const char *preset = "bert-1.67b";
+    int threads = 1;
+    bool trialCache = true;
+    bool analyticPrune = false;
+    bool portfolio = false;
+    double deadlineMs = 0.0;
 };
 
 Row
-planOnce(int threads, bool trial_cache,
-         bool analytic_prune = false)
+planJob(const JobKnobs &knobs)
 {
-    auto cfg = bench::bertJob("bert-1.67b", api::Strategy::MPressFull);
-    cfg.planner.threads = threads;
-    cfg.planner.trialCache = trial_cache;
-    cfg.planner.analyticPrune = analytic_prune;
+    auto cfg =
+        bench::bertJob(knobs.preset, api::Strategy::MPressFull);
+    cfg.planner.threads = knobs.threads;
+    cfg.planner.trialCache = knobs.trialCache;
+    cfg.planner.analyticPrune = knobs.analyticPrune;
+    cfg.planner.portfolio = knobs.portfolio;
+    cfg.planner.deadlineMs = knobs.deadlineMs;
     auto start = std::chrono::steady_clock::now();
     auto result = api::runSession(hw::Topology::dgx1V100(), cfg);
     auto end = std::chrono::steady_clock::now();
     Row row;
-    row.threads = threads;
+    row.threads = knobs.threads;
     row.planMs = std::chrono::duration<double, std::milli>(
                      end - start)
                      .count();
@@ -92,7 +117,19 @@ planOnce(int threads, bool trial_cache,
     row.cacheMisses = result.planResult.trialCacheMisses;
     row.analyticScored = result.planResult.analyticScored;
     row.analyticPruned = result.planResult.analyticPruned;
+    row.samplesPerSec = result.samplesPerSec;
+    row.winner = result.planResult.winnerStrategy;
     return row;
+}
+
+Row
+planOnce(int threads, bool trial_cache, bool analytic_prune = false)
+{
+    JobKnobs knobs;
+    knobs.threads = threads;
+    knobs.trialCache = trial_cache;
+    knobs.analyticPrune = analytic_prune;
+    return planJob(knobs);
 }
 
 /** Best-of-N wall time for the cache comparison: the 2% regression
@@ -326,11 +363,89 @@ main()
                        (unsigned long long)pruned.analyticPruned),
          prune_identical ? "byte-identical" : "DIVERGED"});
     prune_table.print(std::cout);
-    report.set("plan/prune:on", "wall_ms", pruned.planMs);
-    report.set("plan/prune:on", "scored",
+    report.set("plan/prune:greedy", "wall_ms", pruned.planMs);
+    report.set("plan/prune:greedy", "scored",
                static_cast<double>(pruned.analyticScored));
-    report.set("plan/prune:on", "pruned",
+    report.set("plan/prune:greedy", "pruned",
                static_cast<double>(pruned.analyticPruned));
+
+    // Portfolio race vs the serial ladder, full and under an anytime
+    // deadline.  The race seeds every strategy with the ladder's seed
+    // plan and commits only verified improvements, so its throughput
+    // can only match or beat the ladder; the 50 ms deadline must cut
+    // the race's wall clock (fewer wavefront rounds), not its
+    // feasibility.
+    std::printf("\nPortfolio race (bert-1.67b, threads=1):\n\n");
+    JobKnobs pf_knobs;
+    pf_knobs.portfolio = true;
+    Row pf_full = planJob(pf_knobs);
+    pf_knobs.deadlineMs = 50.0;
+    Row pf_deadline = planJob(pf_knobs);
+    mu::TextTable pf_table({"planner", "plan+run (ms)", "samples/s",
+                            "winner"});
+    auto winner_name = [](int w) {
+        switch (w) {
+        case 0: return "greedy-wavefront";
+        case 1: return "simulated-anneal";
+        case 2: return "best-first";
+        default: return "-";
+        }
+    };
+    pf_table.addRow({"serial ladder",
+                     mu::strformat("%.1f", cached.planMs),
+                     mu::strformat("%.2f", cached.samplesPerSec),
+                     winner_name(cached.winner)});
+    pf_table.addRow({"portfolio",
+                     mu::strformat("%.1f", pf_full.planMs),
+                     mu::strformat("%.2f", pf_full.samplesPerSec),
+                     winner_name(pf_full.winner)});
+    pf_table.addRow({"portfolio, 50 ms deadline",
+                     mu::strformat("%.1f", pf_deadline.planMs),
+                     mu::strformat("%.2f", pf_deadline.samplesPerSec),
+                     winner_name(pf_deadline.winner)});
+    pf_table.print(std::cout);
+    report.set("portfolio/full", "wall_ms", pf_full.planMs);
+    report.set("portfolio/full", "samples_per_sec",
+               pf_full.samplesPerSec);
+    report.set("portfolio/deadline:50", "wall_ms",
+               pf_deadline.planMs);
+    report.set("portfolio/deadline:50", "samples_per_sec",
+               pf_deadline.samplesPerSec);
+
+    // Analytic prune under the portfolio on a fixture tight enough
+    // for the annealer's retire mutations to walk into provably-OOM
+    // plans.  The greedy bert-1.67b ladder never proposes a provably
+    // bad trial (every candidate fits with ~4 GiB of proven slack),
+    // so this is where the prune tier earns its keep — and where a
+    // regression to pruned == 0 is caught.
+    std::printf(
+        "\nAnalytic prune under portfolio (bert-6.2b):\n\n");
+    JobKnobs tight;
+    tight.preset = "bert-6.2b";
+    tight.portfolio = true;
+    Row tight_off = planJob(tight);
+    tight.analyticPrune = true;
+    Row tight_on = planJob(tight);
+    bool tight_identical = tight_on.planText == tight_off.planText;
+    mu::TextTable tight_table({"analytic prune", "plan+run (ms)",
+                               "scored", "pruned",
+                               "plan vs default"});
+    tight_table.addRow(
+        {"off", mu::strformat("%.1f", tight_off.planMs), "0", "0",
+         "baseline"});
+    tight_table.addRow(
+        {"on", mu::strformat("%.1f", tight_on.planMs),
+         mu::strformat("%llu",
+                       (unsigned long long)tight_on.analyticScored),
+         mu::strformat("%llu",
+                       (unsigned long long)tight_on.analyticPruned),
+         tight_identical ? "byte-identical" : "DIVERGED"});
+    tight_table.print(std::cout);
+    report.set("plan/prune:on", "wall_ms", tight_on.planMs);
+    report.set("plan/prune:on", "scored",
+               static_cast<double>(tight_on.analyticScored));
+    report.set("plan/prune:on", "pruned",
+               static_cast<double>(tight_on.analyticPruned));
 
     if (!report.write())
         std::fprintf(stderr, "failed to write BENCH_planner.json\n");
@@ -392,10 +507,64 @@ main()
                      " trial\n");
         return 1;
     }
-    std::printf("\nOK: plans byte-identical across threads, cache"
-                " and prune settings; cache hit on repeats and cost"
-                " <= off+2%%; analyzer prices %.0f candidates per"
+    // The regression this harness originally shipped with: adding
+    // workers made planning slower (1.2x at 4 threads).  Threads may
+    // not help on a small host, but they must never hurt beyond
+    // scheduler noise.
+    const Row &four = rows.back();
+    if (four.planMs > serial.planMs * 1.15) {
+        std::fprintf(stderr,
+                     "\nFAIL: planning at 4 threads (%.1f ms) is"
+                     " slower than serial (%.1f ms) beyond the 15%%"
+                     " noise tolerance\n",
+                     four.planMs, serial.planMs);
+        return 1;
+    }
+    if (pf_full.samplesPerSec + 1e-9 < cached.samplesPerSec ||
+        pf_deadline.samplesPerSec + 1e-9 < cached.samplesPerSec) {
+        std::fprintf(stderr,
+                     "\nFAIL: portfolio race lost to the serial"
+                     " ladder (%.3f / %.3f vs %.3f samples/s)\n",
+                     pf_full.samplesPerSec,
+                     pf_deadline.samplesPerSec,
+                     cached.samplesPerSec);
+        return 1;
+    }
+    if (!pf_deadline.feasible || !pf_full.feasible) {
+        std::fprintf(stderr,
+                     "\nFAIL: portfolio run returned an infeasible"
+                     " plan\n");
+        return 1;
+    }
+    if (pf_deadline.planMs > pf_full.planMs) {
+        std::fprintf(stderr,
+                     "\nFAIL: the 50 ms deadline did not cut the"
+                     " race's wall clock (%.1f ms vs %.1f ms"
+                     " undeadlined)\n",
+                     pf_deadline.planMs, pf_full.planMs);
+        return 1;
+    }
+    if (!tight_identical) {
+        std::fprintf(stderr,
+                     "\nFAIL: analytic prune changed the portfolio"
+                     " plan on bert-6.2b\n");
+        return 1;
+    }
+    if (tight_on.analyticPruned == 0) {
+        std::fprintf(stderr,
+                     "\nFAIL: analytic prune tier pruned nothing on"
+                     " the memory-tight portfolio run\n");
+        return 1;
+    }
+    std::printf("\nOK: plans byte-identical across threads, cache,"
+                " prune and portfolio settings; threads=4 within"
+                " noise of serial; portfolio matched-or-beat the"
+                " ladder (%.2f vs %.2f samples/s) and the deadline"
+                " cut its wall clock; prune dropped %llu provably-"
+                "bad trials; analyzer prices %.0f candidates per"
                 " DES trial at %.1f us each\n",
+                pf_full.samplesPerSec, cached.samplesPerSec,
+                (unsigned long long)tight_on.analyticPruned,
                 candidate_ratio, price_us);
     return 0;
 }

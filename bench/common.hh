@@ -21,6 +21,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -40,9 +41,11 @@ namespace bench {
  *
  * The file lands in $MPRESS_BENCH_DIR (or the working directory) and
  * carries the git revision and date the harness exports via
- * $MPRESS_GIT_REV / $MPRESS_BENCH_DATE; both default to "unknown" so
- * ad-hoc runs still produce valid JSON.  Maps keep the output sorted
- * and therefore diffable.
+ * $MPRESS_GIT_REV / $MPRESS_BENCH_DATE.  When an override is absent
+ * the revision falls back to `git rev-parse --short HEAD` and the
+ * date to the current UTC day, so ad-hoc runs stamp real provenance;
+ * "unknown" appears only outside a git checkout.  Maps keep the
+ * output sorted and therefore diffable.
  */
 class BenchReport
 {
@@ -70,11 +73,8 @@ class BenchReport
             return false;
         out << "{\n";
         out << "  \"suite\": \"" << escaped(_suite) << "\",\n";
-        out << "  \"git_rev\": \""
-            << escaped(envOr("MPRESS_GIT_REV", "unknown")) << "\",\n";
-        out << "  \"date\": \""
-            << escaped(envOr("MPRESS_BENCH_DATE", "unknown"))
-            << "\",\n";
+        out << "  \"git_rev\": \"" << escaped(gitRev()) << "\",\n";
+        out << "  \"date\": \"" << escaped(benchDate()) << "\",\n";
         out << "  \"benchmarks\": {";
         const char *bench_sep = "\n";
         for (const auto &[bench, metrics] : _metrics) {
@@ -99,6 +99,46 @@ class BenchReport
     {
         const char *v = std::getenv(name);
         return (v != nullptr && *v != '\0') ? v : fallback;
+    }
+
+    /** $MPRESS_GIT_REV, else the checkout's short HEAD revision,
+     *  else "unknown" (not a git checkout / git unavailable). */
+    static std::string
+    gitRev()
+    {
+        std::string rev = envOr("MPRESS_GIT_REV", "");
+        if (!rev.empty())
+            return rev;
+        FILE *p = ::popen("git rev-parse --short HEAD 2>/dev/null",
+                          "r");
+        if (p != nullptr) {
+            char buf[64] = {};
+            if (std::fgets(buf, sizeof buf, p) != nullptr) {
+                rev.assign(buf);
+                while (!rev.empty() && (rev.back() == '\n' ||
+                                        rev.back() == '\r'))
+                    rev.pop_back();
+            }
+            ::pclose(p);
+        }
+        return rev.empty() ? "unknown" : rev;
+    }
+
+    /** $MPRESS_BENCH_DATE, else the current UTC day. */
+    static std::string
+    benchDate()
+    {
+        std::string date = envOr("MPRESS_BENCH_DATE", "");
+        if (!date.empty())
+            return date;
+        std::time_t now = std::time(nullptr);
+        std::tm tm{};
+        if (gmtime_r(&now, &tm) != nullptr) {
+            char buf[16];
+            if (std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm) > 0)
+                return buf;
+        }
+        return "unknown";
     }
 
     static std::string

@@ -24,6 +24,16 @@
  *                             trials with the static analyzer first
  *                             and skip emulation for provably
  *                             non-acceptable ones (same final plan)
+ *     --portfolio             planner strategies only: race the
+ *                             greedy wavefront against a
+ *                             simulated-annealing walker and an
+ *                             analysis-guided best-first explorer
+ *                             on the --threads pool; prints one
+ *                             accounting row per strategy
+ *     --deadline-ms <ms>      anytime budget for the refinement
+ *                             race, checked between wavefront
+ *                             rounds; always returns a verified
+ *                             plan [0 = no deadline]
  *     --save-plan <file>      write the executed plan (plan format)
  *     --load-plan <file>      run a previously saved plan instead of
  *                             planning (forces a custom strategy)
@@ -360,6 +370,8 @@ main(int argc, char **argv)
     bool fault_ladder = true;
     bool analyze = false;
     bool analytic_prune = false;
+    bool portfolio = false;
+    double deadline_ms = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> std::string {
@@ -407,6 +419,10 @@ main(int argc, char **argv)
             analyze = true;
         else if (!std::strcmp(argv[i], "--analytic-prune"))
             analytic_prune = true;
+        else if (!std::strcmp(argv[i], "--portfolio"))
+            portfolio = true;
+        else if (!std::strcmp(argv[i], "--deadline-ms"))
+            deadline_ms = std::stod(need("--deadline-ms"));
         else if (!std::strcmp(argv[i], "--robustness"))
             robustness = need("--robustness");
         else if (!std::strcmp(argv[i], "--robustness-out"))
@@ -459,6 +475,10 @@ main(int argc, char **argv)
     cfg.verifyMode = parseVerifyMode(verify_mode);
     cfg.planner.threads = threads;
     cfg.planner.analyticPrune = analytic_prune;
+    cfg.planner.portfolio = portfolio;
+    cfg.planner.deadlineMs = deadline_ms;
+    if (deadline_ms < 0)
+        usage("--deadline-ms must be >= 0");
     cfg.executor.recordTimeline = !timeline.empty();
     cfg.executor.recordMetrics = !metrics.empty();
     cfg.executor.faultLadder = fault_ladder;
@@ -604,6 +624,25 @@ main(int argc, char **argv)
                 mu::formatBytes(result.maxGpuPeak).c_str());
     if (result.report.faults.enabled)
         printFaultSummary(result.report.faults);
+
+    if (!result.planResult.strategyStats.empty()) {
+        for (std::size_t i = 0;
+             i < result.planResult.strategyStats.size(); ++i) {
+            const auto &s = result.planResult.strategyStats[i];
+            std::printf(
+                "strategy %zu %-16s %3llu trials, %2llu commits, "
+                "best %.1f samples/s%s%s\n",
+                i, s.name.c_str(),
+                static_cast<unsigned long long>(s.proposed),
+                static_cast<unsigned long long>(s.committed),
+                s.bestScore,
+                static_cast<int>(i) ==
+                        result.planResult.winnerStrategy
+                    ? " [winner]"
+                    : "",
+                s.exhausted ? "" : " (cut off by deadline)");
+        }
+    }
 
     if (analyze) {
         // ZeRO baselines carry no plan to analyze.

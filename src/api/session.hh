@@ -78,6 +78,12 @@ struct SessionConfig
      *  planner strategies still plan fault-free and the finished plan
      *  is replayed under injection for the reported run. */
     runtime::ExecutorConfig executor;
+
+    /** Planner tunables, forwarded verbatim to planMPress /
+     *  planD2dOnly — including the portfolio race
+     *  (planner.portfolio) and the anytime deadline
+     *  (planner.deadlineMs); per-strategy race accounting comes
+     *  back in SessionResult::planResult.strategyStats. */
     planner::PlannerConfig planner;
     baselines::ZeroConfig zero;  ///< variant field is overridden
 

@@ -1,10 +1,12 @@
 #include "planner/mapper.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "compaction/striping.hh"
 #include "util/logging.hh"
+#include "util/pool.hh"
 
 namespace mpress {
 namespace planner {
@@ -13,6 +15,95 @@ namespace {
 
 using compaction::SpareGrant;
 
+/** Stable insertion sort for the scan's tiny (<= numGpus) arrays:
+ *  the same order std::stable_sort produces, without its temporary
+ *  merge buffer — two of these run per evaluated placement. */
+template <typename T, typename Less>
+void
+stableSortSmall(std::vector<T> &v, Less less)
+{
+    for (std::size_t i = 1; i < v.size(); ++i) {
+        T val = v[i];
+        std::size_t j = i;
+        while (j > 0 && less(val, v[j - 1])) {
+            v[j] = v[j - 1];
+            --j;
+        }
+        v[j] = std::move(val);
+    }
+}
+
+/** Dense lane-count matrix, read-only during the scan.  The topology
+ *  accessor is cheap but sits in the innermost loops (contention is
+ *  O(n^2) lookups per placement, x 40320 placements); one flat copy
+ *  keeps the scan in cache. */
+struct LaneMatrix
+{
+    int n = 0;
+    std::vector<int> lanes;
+
+    explicit LaneMatrix(const hw::Topology &topo)
+        : n(topo.numGpus()),
+          lanes(static_cast<std::size_t>(n) * static_cast<std::size_t>(n))
+    {
+        for (int a = 0; a < n; ++a) {
+            for (int b = 0; b < n; ++b)
+                lanes[idx(a, b)] = topo.nvlinkLanes(a, b);
+        }
+    }
+
+    std::size_t
+    idx(int a, int b) const
+    {
+        return static_cast<std::size_t>(a) *
+                   static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(b);
+    }
+
+    int at(int a, int b) const { return lanes[idx(a, b)]; }
+};
+
+/** Coverage and worst-exporter drain time for a candidate. */
+struct Evaluation
+{
+    double coverage = 1.0;
+    Tick worstDrain = 0;
+    int brokenAdjacency = 0;
+};
+
+/**
+ * Preallocated buffers for one placement evaluation, reused across a
+ * whole scan chunk.  The original implementation built five vectors
+ * and a std::map per permutation (8! placements -> hundreds of
+ * thousands of allocations per mapping call), which dominated the
+ * planner's wall time; with the scratch the steady-state scan is
+ * allocation-free except for stripe plans of contending candidates.
+ */
+struct Scratch
+{
+    std::vector<Bytes> demandOnGpu;
+    std::vector<Bytes> desire;
+    std::vector<Bytes> spare;
+    std::vector<int> contention;
+    std::vector<int> exporters;
+    std::vector<int> importers;
+    /** Per-exporter grant lists (indexed by GPU, cleared per eval). */
+    std::vector<std::vector<SpareGrant>> grantList;
+    std::vector<int> stageToGpu;
+
+    explicit Scratch(int n)
+        : demandOnGpu(static_cast<std::size_t>(n)),
+          desire(static_cast<std::size_t>(n)),
+          spare(static_cast<std::size_t>(n)),
+          contention(static_cast<std::size_t>(n)),
+          grantList(static_cast<std::size_t>(n))
+    {
+        exporters.reserve(static_cast<std::size_t>(n));
+        importers.reserve(static_cast<std::size_t>(n));
+        stageToGpu.reserve(static_cast<std::size_t>(n));
+    }
+};
+
 /**
  * Assign importer spare budgets to exporters for a fixed placement.
  *
@@ -20,30 +111,31 @@ using compaction::SpareGrant;
  * exporters in proportion to (exporter overflow x lane count), which
  * both drains big exporters faster and prefers fat links — the
  * "assign_mem" step of Figure 6, with the per-GPU plans combined by
- * proportional sharing instead of exhaustive permutation.
+ * proportional sharing instead of exhaustive permutation.  Results
+ * land in @p ws (demandOnGpu and grantList feed the evaluation).
  */
-std::map<int, std::vector<SpareGrant>>
-assignSpare(const hw::Topology &topo,
-            const std::vector<int> &stage_to_gpu,
-            const std::vector<Bytes> &stage_demand, Bytes capacity,
-            double spare_safety,
-            const std::vector<Bytes> &stage_desire)
+void
+assignSpareInto(Scratch &ws, const LaneMatrix &lanes,
+                const std::vector<int> &stage_to_gpu,
+                const std::vector<Bytes> &stage_demand, Bytes capacity,
+                double spare_safety,
+                const std::vector<Bytes> &stage_desire)
 {
+    const int n = lanes.n;
     const int num_stages = static_cast<int>(stage_demand.size());
-    std::vector<Bytes> demand_on_gpu(
-        static_cast<std::size_t>(topo.numGpus()), 0);
+    std::fill(ws.demandOnGpu.begin(), ws.demandOnGpu.end(), 0);
     for (int s = 0; s < num_stages; ++s) {
-        demand_on_gpu[static_cast<std::size_t>(stage_to_gpu[
-            static_cast<std::size_t>(s)])] +=
+        ws.demandOnGpu[static_cast<std::size_t>(
+            stage_to_gpu[static_cast<std::size_t>(s)])] +=
             stage_demand[static_cast<std::size_t>(s)];
     }
 
     auto overflow_of = [&](int gpu) {
-        Bytes d = demand_on_gpu[static_cast<std::size_t>(gpu)];
+        Bytes d = ws.demandOnGpu[static_cast<std::size_t>(gpu)];
         return d > capacity ? d - capacity : 0;
     };
     auto spare_of = [&](int gpu) {
-        Bytes d = demand_on_gpu[static_cast<std::size_t>(gpu)];
+        Bytes d = ws.demandOnGpu[static_cast<std::size_t>(gpu)];
         Bytes spare = d < capacity ? capacity - d : 0;
         return static_cast<Bytes>(static_cast<double>(spare) *
                                   spare_safety);
@@ -55,18 +147,17 @@ assignSpare(const hw::Topology &topo,
     // footprint exceeds the peak overshoot.  An explicit desire
     // vector (the planner's post-compaction re-map) overrides the
     // overflow heuristic.
-    std::vector<Bytes> desire(
-        static_cast<std::size_t>(topo.numGpus()), 0);
+    std::fill(ws.desire.begin(), ws.desire.end(), 0);
     if (stage_desire.empty()) {
-        for (int exp = 0; exp < topo.numGpus(); ++exp) {
+        for (int exp = 0; exp < n; ++exp) {
             Bytes over = overflow_of(exp);
             if (over > 0)
-                desire[static_cast<std::size_t>(exp)] =
+                ws.desire[static_cast<std::size_t>(exp)] =
                     2 * over + 2 * util::kGB;
         }
     } else {
         for (int s = 0; s < num_stages; ++s) {
-            desire[static_cast<std::size_t>(
+            ws.desire[static_cast<std::size_t>(
                 stage_to_gpu[static_cast<std::size_t>(s)])] +=
                 stage_desire[static_cast<std::size_t>(s)];
         }
@@ -74,121 +165,131 @@ assignSpare(const hw::Topology &topo,
 
     // Remaining spare per importer and its contention (how many
     // exporters can reach it).
-    std::vector<Bytes> spare(
-        static_cast<std::size_t>(topo.numGpus()), 0);
-    std::vector<int> contention(
-        static_cast<std::size_t>(topo.numGpus()), 0);
-    for (int imp = 0; imp < topo.numGpus(); ++imp) {
-        spare[static_cast<std::size_t>(imp)] = spare_of(imp);
-        for (int exp = 0; exp < topo.numGpus(); ++exp) {
-            if (desire[static_cast<std::size_t>(exp)] > 0 &&
-                topo.nvlinkLanes(exp, imp) > 0)
-                ++contention[static_cast<std::size_t>(imp)];
+    for (int imp = 0; imp < n; ++imp) {
+        ws.spare[static_cast<std::size_t>(imp)] = spare_of(imp);
+        int c = 0;
+        for (int exp = 0; exp < n; ++exp) {
+            if (ws.desire[static_cast<std::size_t>(exp)] > 0 &&
+                lanes.at(exp, imp) > 0)
+                ++c;
         }
+        ws.contention[static_cast<std::size_t>(imp)] = c;
     }
 
     // Exporter-major greedy, big demands first; each exporter drains
     // its least-contended importers before touching shared pools, so
     // exporters with few reachable peers are not starved.
-    std::vector<int> exporters;
-    for (int exp = 0; exp < topo.numGpus(); ++exp) {
-        if (desire[static_cast<std::size_t>(exp)] > 0)
-            exporters.push_back(exp);
+    ws.exporters.clear();
+    for (int exp = 0; exp < n; ++exp) {
+        if (ws.desire[static_cast<std::size_t>(exp)] > 0)
+            ws.exporters.push_back(exp);
     }
-    std::stable_sort(exporters.begin(), exporters.end(),
-                     [&](int a, int b) {
-                         return desire[static_cast<std::size_t>(a)] >
-                                desire[static_cast<std::size_t>(b)];
-                     });
+    stableSortSmall(ws.exporters, [&](int a, int b) {
+        return ws.desire[static_cast<std::size_t>(a)] >
+               ws.desire[static_cast<std::size_t>(b)];
+    });
 
-    std::map<int, std::vector<SpareGrant>> grants;
-    for (int exp : exporters) {
-        std::vector<int> importers;
-        for (int imp = 0; imp < topo.numGpus(); ++imp) {
-            if (topo.nvlinkLanes(exp, imp) > 0 &&
-                spare[static_cast<std::size_t>(imp)] > 0)
-                importers.push_back(imp);
+    for (auto &list : ws.grantList)
+        list.clear();
+    for (int exp : ws.exporters) {
+        ws.importers.clear();
+        for (int imp = 0; imp < n; ++imp) {
+            if (lanes.at(exp, imp) > 0 &&
+                ws.spare[static_cast<std::size_t>(imp)] > 0)
+                ws.importers.push_back(imp);
         }
-        std::stable_sort(
-            importers.begin(), importers.end(), [&](int a, int b) {
-                auto ca = contention[static_cast<std::size_t>(a)];
-                auto cb = contention[static_cast<std::size_t>(b)];
-                if (ca != cb)
-                    return ca < cb;
-                return spare[static_cast<std::size_t>(a)] >
-                       spare[static_cast<std::size_t>(b)];
-            });
-        auto &want = desire[static_cast<std::size_t>(exp)];
-        for (int imp : importers) {
+        stableSortSmall(ws.importers, [&](int a, int b) {
+            auto ca = ws.contention[static_cast<std::size_t>(a)];
+            auto cb = ws.contention[static_cast<std::size_t>(b)];
+            if (ca != cb)
+                return ca < cb;
+            return ws.spare[static_cast<std::size_t>(a)] >
+                   ws.spare[static_cast<std::size_t>(b)];
+        });
+        auto &want = ws.desire[static_cast<std::size_t>(exp)];
+        for (int imp : ws.importers) {
             if (want <= 0)
                 break;
             Bytes take = std::min(
-                spare[static_cast<std::size_t>(imp)], want);
+                ws.spare[static_cast<std::size_t>(imp)], want);
             if (take <= 0)
                 continue;
-            spare[static_cast<std::size_t>(imp)] -= take;
+            ws.spare[static_cast<std::size_t>(imp)] -= take;
             want -= take;
-            grants[exp].push_back({imp, take});
+            ws.grantList[static_cast<std::size_t>(exp)].push_back(
+                {imp, take});
         }
     }
 
     // Order each exporter's grants by lane count (fat links first) so
     // the runtime's striping prefers them.
-    for (auto &[exp, list] : grants) {
-        std::stable_sort(list.begin(), list.end(),
-                         [&](const SpareGrant &a, const SpareGrant &b) {
-                             return topo.nvlinkLanes(exp,
-                                                     a.importerGpu) >
-                                    topo.nvlinkLanes(exp,
-                                                     b.importerGpu);
-                         });
+    for (int exp = 0; exp < n; ++exp) {
+        auto &list = ws.grantList[static_cast<std::size_t>(exp)];
+        if (list.size() > 1) {
+            stableSortSmall(
+                list, [&](const SpareGrant &a, const SpareGrant &b) {
+                    return lanes.at(exp, a.importerGpu) >
+                           lanes.at(exp, b.importerGpu);
+                });
+        }
     }
-    return grants;
 }
 
-/** Coverage and worst-exporter drain time for a candidate. */
-struct Evaluation
+/** Overflow coverage of the current ws grant assignment — the cheap
+ *  part of the evaluation, and an upper bound on the score (drain
+ *  time and adjacency penalties only subtract). */
+double
+coverageOf(const Scratch &ws, Bytes capacity)
 {
-    double coverage = 1.0;
-    Tick worstDrain = 0;
-    int brokenAdjacency = 0;
-};
-
-Evaluation
-evaluate(const hw::Topology &topo,
-         const std::vector<int> &stage_to_gpu,
-         const std::vector<Bytes> &stage_demand, Bytes capacity,
-         const std::map<int, std::vector<SpareGrant>> &grants)
-{
-    const int num_stages = static_cast<int>(stage_demand.size());
-    std::vector<Bytes> demand_on_gpu(
-        static_cast<std::size_t>(topo.numGpus()), 0);
-    for (int s = 0; s < num_stages; ++s) {
-        demand_on_gpu[static_cast<std::size_t>(stage_to_gpu[
-            static_cast<std::size_t>(s)])] +=
-            stage_demand[static_cast<std::size_t>(s)];
-    }
-
-    Evaluation ev;
     Bytes total_overflow = 0, covered = 0;
-    for (int gpu = 0; gpu < topo.numGpus(); ++gpu) {
-        Bytes d = demand_on_gpu[static_cast<std::size_t>(gpu)];
+    const int n = static_cast<int>(ws.demandOnGpu.size());
+    for (int gpu = 0; gpu < n; ++gpu) {
+        Bytes d = ws.demandOnGpu[static_cast<std::size_t>(gpu)];
         if (d <= capacity)
             continue;
         Bytes over = d - capacity;
         total_overflow += over;
-
-        auto it = grants.find(gpu);
-        if (it == grants.end())
+        const auto &gl = ws.grantList[static_cast<std::size_t>(gpu)];
+        if (gl.empty())
             continue;
         Bytes granted = 0;
-        for (const auto &g : it->second)
+        for (const auto &g : gl)
+            granted += g.budget;
+        covered += std::min(over, granted);
+    }
+    return total_overflow == 0
+               ? 1.0
+               : static_cast<double>(covered) /
+                     static_cast<double>(total_overflow);
+}
+
+/** The expensive half of the evaluation: stripe-plan drain times and
+ *  pipeline adjacency, run only for candidates whose coverage bound
+ *  can still beat the chunk's best score. */
+Evaluation
+finishEval(const hw::Topology &topo, const LaneMatrix &lanes,
+           const Scratch &ws, const std::vector<int> &stage_to_gpu,
+           Bytes capacity, double coverage)
+{
+    Evaluation ev;
+    ev.coverage = coverage;
+    const int n = lanes.n;
+    const int num_stages = static_cast<int>(stage_to_gpu.size());
+    for (int gpu = 0; gpu < n; ++gpu) {
+        Bytes d = ws.demandOnGpu[static_cast<std::size_t>(gpu)];
+        if (d <= capacity)
+            continue;
+        Bytes over = d - capacity;
+        const auto &gl = ws.grantList[static_cast<std::size_t>(gpu)];
+        if (gl.empty())
+            continue;
+        Bytes granted = 0;
+        for (const auto &g : gl)
             granted += g.budget;
         Bytes placed = std::min(over, granted);
-        covered += placed;
         if (placed > 0) {
-            auto plan = compaction::makeStripePlan(topo, gpu,
-                                                   it->second, placed);
+            auto plan =
+                compaction::makeStripePlan(topo, gpu, gl, placed);
             if (!plan.empty()) {
                 ev.worstDrain = std::max(
                     ev.worstDrain,
@@ -196,16 +297,10 @@ evaluate(const hw::Topology &topo,
             }
         }
     }
-    ev.coverage =
-        total_overflow == 0
-            ? 1.0
-            : static_cast<double>(covered) /
-                  static_cast<double>(total_overflow);
-
     for (int s = 0; s + 1 < num_stages; ++s) {
         int a = stage_to_gpu[static_cast<std::size_t>(s)];
         int b = stage_to_gpu[static_cast<std::size_t>(s + 1)];
-        if (topo.nvlinkLanes(a, b) == 0)
+        if (lanes.at(a, b) == 0)
             ++ev.brokenAdjacency;
     }
     return ev;
@@ -222,13 +317,93 @@ scoreOf(const Evaluation &ev, const MapperConfig &config)
     return ev.coverage * 1e6 - drain_ms;
 }
 
+/** Best candidate of one scan chunk, in chunk-lexicographic order. */
+struct ChunkBest
+{
+    bool have = false;
+    double score = 0.0;
+    std::vector<int> stageToGpu;
+    long evaluated = 0;
+};
+
+/**
+ * Scan every placement that starts with @p prefix: the remaining
+ * stage positions take the unused GPUs in lexicographic order, so
+ * concatenating the chunks (prefixes in lexicographic order) yields
+ * exactly the serial enumeration — the winner and its lowest-index
+ * tie-break are independent of how chunks are scheduled on threads.
+ */
+ChunkBest
+scanChunk(const hw::Topology &topo, const LaneMatrix &lanes,
+          const std::vector<int> &prefix,
+          const std::vector<Bytes> &stage_demand, Bytes capacity,
+          const MapperConfig &config,
+          const std::vector<Bytes> &stage_desire)
+{
+    const int n = lanes.n;
+    const int k = static_cast<int>(stage_demand.size());
+    ChunkBest best;
+    Scratch ws(n);
+    ws.stageToGpu.assign(static_cast<std::size_t>(k), -1);
+    std::vector<char> used(static_cast<std::size_t>(n), 0);
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+        ws.stageToGpu[i] = prefix[i];
+        used[static_cast<std::size_t>(prefix[i])] = 1;
+    }
+
+    auto visit = [&]() {
+        assignSpareInto(ws, lanes, ws.stageToGpu, stage_demand,
+                        capacity, config.spareSafety, stage_desire);
+        double coverage = coverageOf(ws, capacity);
+        ++best.evaluated;
+        // Drain times and adjacency penalties only subtract from the
+        // score, so coverage * 1e6 bounds it from above: a candidate
+        // whose bound cannot strictly beat the chunk's best is
+        // rejected before any stripe plan is built (ties keep the
+        // earlier candidate either way).
+        if (best.have && coverage * 1e6 <= best.score)
+            return;
+        Evaluation ev = finishEval(topo, lanes, ws, ws.stageToGpu,
+                                   capacity, coverage);
+        double score = scoreOf(ev, config);
+        if (!best.have || score > best.score) {
+            best.have = true;
+            best.score = score;
+            best.stageToGpu = ws.stageToGpu;
+        }
+    };
+
+    // Lexicographic enumeration of the unused GPUs over the tail
+    // positions.  Stages beyond num_stages do not exist: placements
+    // are k-permutations, so each distinct mapping is evaluated
+    // exactly once (the old full-n! scan evaluated duplicate prefixes
+    // (n-k)! times and kept the first — same winner, more work).
+    auto walk = [&](auto &&self, int depth) -> void {
+        if (depth == k) {
+            visit();
+            return;
+        }
+        for (int g = 0; g < n; ++g) {
+            if (used[static_cast<std::size_t>(g)])
+                continue;
+            used[static_cast<std::size_t>(g)] = 1;
+            ws.stageToGpu[static_cast<std::size_t>(depth)] = g;
+            self(self, depth + 1);
+            used[static_cast<std::size_t>(g)] = 0;
+        }
+    };
+    walk(walk, static_cast<int>(prefix.size()));
+    return best;
+}
+
 } // namespace
 
 MappingResult
 searchDeviceMapping(const hw::Topology &topo,
                     const std::vector<Bytes> &stage_demand,
                     Bytes capacity, MapperConfig config,
-                    const std::vector<Bytes> &stage_desire)
+                    const std::vector<Bytes> &stage_desire,
+                    util::ThreadPool *pool)
 {
     const int num_stages = static_cast<int>(stage_demand.size());
     if (num_stages > topo.numGpus())
@@ -236,6 +411,28 @@ searchDeviceMapping(const hw::Topology &topo,
                     topo.numGpus());
 
     MappingResult best;
+    const int n = topo.numGpus();
+    LaneMatrix lanes(topo);
+
+    auto finalize = [&](const std::vector<int> &stage_to_gpu,
+                        long evaluated) {
+        Scratch ws(n);
+        assignSpareInto(ws, lanes, stage_to_gpu, stage_demand,
+                        capacity, config.spareSafety, stage_desire);
+        Evaluation ev =
+            finishEval(topo, lanes, ws, stage_to_gpu, capacity,
+                       coverageOf(ws, capacity));
+        best.stageToGpu = stage_to_gpu;
+        best.grants.clear();
+        for (int exp = 0; exp < n; ++exp) {
+            auto &list = ws.grantList[static_cast<std::size_t>(exp)];
+            if (!list.empty())
+                best.grants.emplace(exp, std::move(list));
+        }
+        best.coverage = ev.coverage;
+        best.score = scoreOf(ev, config);
+        best.evaluated = evaluated;
+    };
 
     // 8! placements are cheap; beyond 8 GPUs the factorial explodes,
     // so clusters keep the identity placement (stages already follow
@@ -248,43 +445,51 @@ searchDeviceMapping(const hw::Topology &topo,
         std::vector<int> identity(
             static_cast<std::size_t>(num_stages));
         std::iota(identity.begin(), identity.end(), 0);
-        auto grants = assignSpare(topo, identity, stage_demand,
-                                  capacity, config.spareSafety,
-                                  stage_desire);
-        auto ev = evaluate(topo, identity, stage_demand, capacity,
-                           grants);
-        best.stageToGpu = identity;
-        best.grants = std::move(grants);
-        best.coverage = ev.coverage;
-        best.score = scoreOf(ev, config);
-        best.evaluated = 1;
+        finalize(identity, 1);
         return best;
     }
 
-    std::vector<int> perm(static_cast<std::size_t>(topo.numGpus()));
-    std::iota(perm.begin(), perm.end(), 0);
-    long evaluated = 0;
-    bool have_best = false;
-    do {
-        std::vector<int> stage_to_gpu(
-            perm.begin(), perm.begin() + num_stages);
-        auto grants = assignSpare(topo, stage_to_gpu, stage_demand,
-                                  capacity, config.spareSafety,
-                                  stage_desire);
-        auto ev = evaluate(topo, stage_to_gpu, stage_demand, capacity,
-                           grants);
-        double score = scoreOf(ev, config);
-        ++evaluated;
-        if (!have_best || score > best.score) {
-            have_best = true;
-            best.stageToGpu = std::move(stage_to_gpu);
-            best.grants = std::move(grants);
-            best.coverage = ev.coverage;
-            best.score = score;
+    // Chunked scan: fix the first min(2, k) stage positions per chunk
+    // (56 chunks on an 8-GPU server) and enumerate the tails
+    // independently.  Chunk boundaries are a property of the problem,
+    // not of the thread count, so the reduction below — first chunk
+    // in lexicographic order wins score ties — selects the same
+    // placement whether the chunks run serially or on the pool.
+    std::vector<std::vector<int>> prefixes;
+    if (num_stages >= 2) {
+        for (int a = 0; a < n; ++a) {
+            for (int b = 0; b < n; ++b) {
+                if (b != a)
+                    prefixes.push_back({a, b});
+            }
         }
-    } while (std::next_permutation(perm.begin(), perm.end()));
+    } else {
+        for (int a = 0; a < n; ++a)
+            prefixes.push_back({a});
+    }
 
-    best.evaluated = evaluated;
+    std::vector<ChunkBest> results(prefixes.size());
+    auto scan_one = [&](std::size_t c) {
+        results[c] = scanChunk(topo, lanes, prefixes[c], stage_demand,
+                               capacity, config, stage_desire);
+    };
+    if (pool != nullptr && pool->threads() > 1)
+        pool->parallelFor(prefixes.size(), scan_one);
+    else {
+        for (std::size_t c = 0; c < prefixes.size(); ++c)
+            scan_one(c);
+    }
+
+    long evaluated = 0;
+    const ChunkBest *winner = nullptr;
+    for (const auto &r : results) {
+        evaluated += r.evaluated;
+        if (r.have && (winner == nullptr || r.score > winner->score))
+            winner = &r;
+    }
+    if (winner == nullptr)
+        util::fatal("placement scan found no candidate");
+    finalize(winner->stageToGpu, evaluated);
     return best;
 }
 

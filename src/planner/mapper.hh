@@ -26,6 +26,9 @@
 #include "hw/topology.hh"
 
 namespace mpress {
+namespace util {
+class ThreadPool;
+}
 namespace planner {
 
 using util::Bytes;
@@ -57,7 +60,10 @@ struct MappingResult
     double score = 0.0;
     /** Fraction of total overflow the grants can absorb. */
     double coverage = 0.0;
-    /** Number of permutations evaluated (1 for symmetric fabrics). */
+    /** Number of distinct placements evaluated (1 for symmetric
+     *  fabrics).  With as many stages as GPUs this is the full n!
+     *  scan; with fewer stages each k-permutation is evaluated once
+     *  instead of (n-k)! duplicate times. */
     long evaluated = 0;
 };
 
@@ -73,6 +79,11 @@ struct MappingResult
  *        re-map passes the flippable savings per stage here so spare
  *        memory revealed by compaction can be granted even though no
  *        stage overflows anymore.
+ * @param pool          optional worker pool: the placement scan is
+ *        split into fixed chunks (leading stage positions) evaluated
+ *        concurrently.  The chunk layout and the lowest-index
+ *        tie-break are independent of the thread count, so the
+ *        returned mapping is byte-identical with or without a pool.
  */
 MappingResult searchDeviceMapping(const hw::Topology &topo,
                                   const std::vector<Bytes>
@@ -80,7 +91,8 @@ MappingResult searchDeviceMapping(const hw::Topology &topo,
                                   Bytes capacity,
                                   MapperConfig config = {},
                                   const std::vector<Bytes>
-                                      &stage_desire = {});
+                                      &stage_desire = {},
+                                  util::ThreadPool *pool = nullptr);
 
 } // namespace planner
 } // namespace mpress

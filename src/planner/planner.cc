@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "planner/portfolio.hh"
 #include "util/logging.hh"
 
 namespace mpress {
@@ -69,32 +70,8 @@ gpuCpuSwapAllPlan(const partition::Partition &part)
 
 namespace {
 
-/** One assignable activation class with its planning statistics. */
-struct Candidate
-{
-    TensorRef ref;
-    Bytes stash = 0;       ///< bytes per instance
-    Bytes savings = 0;     ///< stash x in-flight instances
-    Tick interval = 0;     ///< observed min live interval
-    Tick recomputeExtra = 0;
-    Tick gpuCpuExtra = 0;
-    Kind chosen = Kind::None;
-
-    Tick
-    chosenExtra() const
-    {
-        switch (chosen) {
-          case Kind::Recompute:
-            return recomputeExtra;
-          case Kind::GpuCpuSwap:
-            return gpuCpuExtra;
-          default:
-            return 0;
-        }
-    }
-};
-
-/** Collect per-stage candidates from a profile. */
+/** Collect per-stage candidates (portfolio.hh's Candidate — the
+ *  state the refinement strategies evolve) from a profile. */
 std::vector<std::vector<Candidate>>
 collectCandidates(const model::TransformerModel &mdl,
                   const partition::Partition &part,
@@ -163,30 +140,6 @@ certify(const hw::Topology &topo, const model::TransformerModel &mdl,
                                  aopts);
 }
 
-/** Build a CompactionPlan from candidate choices + mapping. */
-CompactionPlan
-materialize(const std::vector<std::vector<Candidate>> &per_stage,
-            const std::vector<bool> &offload_opt,
-            const std::vector<bool> &offload_stash,
-            const MappingResult &mapping, bool d2d_striping)
-{
-    CompactionPlan plan;
-    plan.d2dStriping = d2d_striping;
-    plan.offloadOptState.assign(offload_opt.begin(),
-                                offload_opt.end());
-    plan.offloadWeightStash.assign(offload_stash.begin(),
-                                   offload_stash.end());
-    plan.stageToGpu = mapping.stageToGpu;
-    plan.spareGrants = mapping.grants;
-    for (const auto &stage : per_stage) {
-        for (const auto &c : stage) {
-            if (c.chosen != Kind::None)
-                plan.activations[c.ref] = c.chosen;
-        }
-    }
-    return plan;
-}
-
 } // namespace
 
 PlanResult
@@ -218,21 +171,32 @@ planMPress(const hw::Topology &topo,
         return result;
     }
 
+    // The worker pool serves both the mapping scan and the trial
+    // batches of the refinement race.  cfg.threads is clamped to the
+    // machine's core count: oversubscribed workers only add context
+    // switches to the CPU-bound scan/emulation bodies (the measured
+    // cause of the former threads:4 regression), and the mapper and
+    // driver are thread-count-deterministic, so clamping can never
+    // change the plan.
+    util::ThreadPool pool(
+        std::min(cfg.threads, util::ThreadPool::hardwareThreads()));
+
     // (2) Device mapping + spare-memory grants.
     result.mapping = searchDeviceMapping(topo, profile.stagePeak,
-                                         capacity, cfg.mapper);
+                                         capacity, cfg.mapper, {},
+                                         &pool);
 
     CostModel cost(topo, mdl.config().precision);
     auto candidates =
         collectCandidates(mdl, part, sched, profile, cost);
 
-    // The refinement stages below evaluate batches of independent
-    // trial plans; the driver scores them as concurrent emulator runs
-    // (per-worker topology arenas, per-trial executors) and the fixed
-    // tie-break keeps the result identical for every thread count.
-    // It is built before the seed emulation so the seed/escalation
-    // runs land in the trial cache and later identical variants hit.
-    util::ThreadPool pool(cfg.threads);
+    // The refinement race evaluates batches of independent trial
+    // plans; the driver scores them as concurrent emulator runs
+    // (per-worker topology + engine arenas, per-trial executors) and
+    // the fixed tie-break keeps the result identical for every thread
+    // count.  It is built before the seed emulation so the
+    // seed/escalation runs land in the trial cache and later
+    // identical variants hit.
     SearchDriver driver(topo, mdl, part, sched, exec_cfg, pool);
     driver.setCacheEnabled(cfg.trialCache);
     driver.setAnalyticPrune(cfg.analyticPrune);
@@ -317,7 +281,7 @@ planMPress(const hw::Topology &topo,
     // any other trial (the driver pins the same scoring config the
     // old emulate() helper forced, and planning stays fault-free).
     CompactionPlan plan =
-        materialize(candidates, offload_opt, offload_stash,
+        materializePlan(candidates, offload_opt, offload_stash,
                     result.mapping, cfg.d2dStriping);
     runtime::TrainingReport current =
         driver.evaluateOne(plan).report;
@@ -363,7 +327,7 @@ planMPress(const hw::Topology &topo,
         if (!assigned_more)
             break;
         ++escalations;
-        plan = materialize(candidates, offload_opt, offload_stash,
+        plan = materializePlan(candidates, offload_opt, offload_stash,
                     result.mapping, cfg.d2dStriping);
         current = driver.evaluateOne(plan).report;
     }
@@ -421,9 +385,9 @@ planMPress(const hw::Topology &topo,
         for (auto &d : desire2)
             d = std::min(d, fair);
         MappingResult mapping2 = searchDeviceMapping(
-            topo, demand2, capacity, cfg.mapper, desire2);
+            topo, demand2, capacity, cfg.mapper, desire2, &pool);
         CompactionPlan plan2 =
-            materialize(candidates, offload_opt, offload_stash,
+            materializePlan(candidates, offload_opt, offload_stash,
                         mapping2, cfg.d2dStriping);
         // Unlike refinement trials the re-map may accept a slight
         // measured regression: better grants unlock D2D flips later.
@@ -437,255 +401,26 @@ planMPress(const hw::Topology &topo,
         }
     }
 
-    // (5) Refinement: flip the costliest assignments to D2D swap
-    // while spare budget remains; accept on measured improvement.
-    // Each step generates a ladder of trial flip-batches (the full
-    // batch and its halvings) and scores them concurrently; the best
-    // accepted trial is committed.
-    for (int iter = 0; iter < cfg.maxIterations; ++iter) {
-        // Remaining grant budget per exporter GPU: total grants minus
-        // the savings of flips committed in earlier steps — the same
-        // quantity the admission gate below checks and debits, so the
-        // ledger stays non-negative (clamped defensively in case a
-        // re-map shrank the grants under committed flips).
-        std::vector<std::pair<int, Bytes>> debits;
-        for (const auto &stage_cands : candidates) {
-            for (const auto &c : stage_cands) {
-                if (c.chosen == Kind::D2dSwap) {
-                    debits.emplace_back(
-                        plan.gpuForStage(c.ref.stage), c.savings);
-                }
-            }
-        }
-        std::map<int, Bytes> budget =
-            remainingGrantBudget(result.mapping.grants, debits);
+    // (5) Refinement race (portfolio.cc): the greedy wavefront — the
+    // D2D flip ladder, the three coarse variants, then the fine-tune
+    // un-swap ladder — plus, when cfg.portfolio is set, a
+    // simulated-annealing walker and an analysis-guided best-first
+    // explorer, all racing on this driver until exhaustion or the
+    // anytime deadline.  The winner is deterministic and never worse
+    // than the seed plan.
+    PlanState seed_state;
+    seed_state.candidates = std::move(candidates);
+    seed_state.offloadOpt = std::move(offload_opt);
+    seed_state.offloadStash = std::move(offload_stash);
+    RaceResult race =
+        racePortfolio(driver, topo, mdl, part, sched, result.mapping,
+                      cfg, seed_state, plan, current);
 
-        // All surviving assignments are flip candidates: the static
-        // extra-cost model underestimates contention (PCIe swaps
-        // share a channel with P2P bounces and optimizer traffic),
-        // so even "hidden" classes may measurably improve when moved
-        // to NVLink.  Throughput follows the slowest stage, so the
-        // batch is drawn round-robin across stages (costliest first
-        // within each stage); the emulator-based acceptance check
-        // keeps the search honest.
-        std::vector<std::vector<Candidate *>> per_stage_flips(
-            candidates.size());
-        for (std::size_t s = 0; s < candidates.size(); ++s) {
-            for (auto &c : candidates[s]) {
-                if (c.chosen == Kind::Recompute ||
-                    c.chosen == Kind::GpuCpuSwap)
-                    per_stage_flips[s].push_back(&c);
-            }
-            std::stable_sort(
-                per_stage_flips[s].begin(), per_stage_flips[s].end(),
-                [](const Candidate *a, const Candidate *b) {
-                    if (a->chosenExtra() != b->chosenExtra())
-                        return a->chosenExtra() > b->chosenExtra();
-                    return a->savings > b->savings;
-                });
-        }
-        std::vector<Candidate *> flippable;
-        for (std::size_t round = 0;; ++round) {
-            bool any = false;
-            for (const auto &stage_flips : per_stage_flips) {
-                if (round < stage_flips.size()) {
-                    flippable.push_back(stage_flips[round]);
-                    any = true;
-                }
-            }
-            if (!any)
-                break;
-        }
-
-        // The admission gate (admitFlipBatch) checks an exporter's
-        // remaining budget against a flip's full savings and debits
-        // exactly that, so an admitted flip's instances are all
-        // covered by grants — no flip is admitted whose savings the
-        // grants cannot absorb.
-        std::vector<FlipCandidate> gate_view;
-        gate_view.reserve(flippable.size());
-        for (const Candidate *c : flippable) {
-            gate_view.push_back({plan.gpuForStage(c->ref.stage),
-                                 c->stash, c->savings});
-        }
-
-        // Trial ladder: the full batch and its halvings.  Admitted
-        // sets are nested prefixes of the flippable order, so the
-        // trials differ only in flip count; larger batches come
-        // first so the fixed tie-break prefers more D2D coverage on
-        // equal measured throughput.
-        std::vector<std::vector<Candidate *>> trial_flips;
-        std::vector<CompactionPlan> trials;
-        for (int batch = cfg.d2dBatchPerStep; batch >= 1;
-             batch /= 2) {
-            std::map<int, Bytes> scratch = budget;
-            auto admitted =
-                admitFlipBatch(gate_view, scratch, batch);
-            if (admitted.empty())
-                break;
-            // Halvings that admit the same nested prefix produce the
-            // same plan; the duplicate trial is a cache hit, and the
-            // strictly-greater tie-break keeps the first occurrence,
-            // so the picked plan is unchanged.
-            std::vector<Candidate *> flips;
-            std::vector<Kind> prior;
-            for (std::size_t idx : admitted) {
-                flips.push_back(flippable[idx]);
-                prior.push_back(flippable[idx]->chosen);
-                flippable[idx]->chosen = Kind::D2dSwap;
-            }
-            trials.push_back(
-                materialize(candidates, offload_opt, offload_stash,
-                            result.mapping, cfg.d2dStriping));
-            for (std::size_t k = 0; k < flips.size(); ++k)
-                flips[k]->chosen = prior[k];
-            trial_flips.push_back(std::move(flips));
-        }
-        if (trials.empty())
-            break;
-
-        // The prune baseline mirrors the acceptance threshold the
-        // outcomes will be judged against below.
-        driver.setPruneBaseline(current.samplesPerSec,
-                                cfg.acceptGain);
-        auto outcomes = driver.evaluate(trials);
-        int best = SearchDriver::pickBest(
-            outcomes, current.samplesPerSec, cfg.acceptGain);
-        if (best < 0)
-            break;
-        auto b = static_cast<std::size_t>(best);
-        for (Candidate *c : trial_flips[b])
-            c->chosen = Kind::D2dSwap;
-        plan = std::move(trials[b]);
-        current = std::move(outcomes[b].report);
-        ++result.iterations;
-    }
-
-    // (6) Second refinement: GPU-CPU swap classes picked as "hidden"
-    // by the static model can still lose to recomputation once the
-    // PCIe channel also carries optimizer/stash offload traffic, and
-    // an optimizer offload seeded for safety may be unnecessary once
-    // activations are compacted.  Incremental flips plateau when the
-    // channel stays saturated, so evaluate the three coarse variants
-    // jointly and keep the best measured one: (a) all swap classes
-    // recomputed, (b) optimizer offload retired, (c) both.
-    {
-        auto apply_variant = [&](bool rc_max, bool keep_offload)
-            -> CompactionPlan {
-            for (auto &stage_cands : candidates) {
-                for (auto &c : stage_cands) {
-                    if (rc_max && c.chosen == Kind::GpuCpuSwap)
-                        c.chosen = Kind::Recompute;
-                }
-            }
-            std::vector<bool> opt =
-                keep_offload ? offload_opt
-                             : std::vector<bool>(offload_opt.size(),
-                                                 false);
-            return materialize(candidates, opt, offload_stash,
-                               result.mapping, cfg.d2dStriping);
-        };
-        auto snapshot = [&]() {
-            std::vector<Kind> kinds;
-            for (const auto &stage_cands : candidates)
-                for (const auto &c : stage_cands)
-                    kinds.push_back(c.chosen);
-            return kinds;
-        };
-        auto restore = [&](const std::vector<Kind> &kinds) {
-            std::size_t i = 0;
-            for (auto &stage_cands : candidates)
-                for (auto &c : stage_cands)
-                    c.chosen = kinds[i++];
-        };
-
-        const auto seed_kinds = snapshot();
-        struct Variant { bool rcMax; bool keepOffload; };
-        const Variant variants[] = {
-            {true, true}, {false, false}, {true, false}};
-        // All three variants are scored against the same baseline as
-        // one concurrent batch; the fixed tie-break (best measured
-        // throughput, lowest variant index on ties) makes the choice
-        // independent of evaluation order and thread count.
-        std::vector<CompactionPlan> trials;
-        std::vector<std::vector<Kind>> trial_kinds;
-        for (const auto &v : variants) {
-            restore(seed_kinds);
-            trials.push_back(apply_variant(v.rcMax, v.keepOffload));
-            trial_kinds.push_back(snapshot());
-        }
-        restore(seed_kinds);
-        driver.setPruneBaseline(current.samplesPerSec,
-                                cfg.acceptGain);
-        auto outcomes = driver.evaluate(trials);
-        int best = SearchDriver::pickBest(
-            outcomes, current.samplesPerSec, cfg.acceptGain);
-        if (best >= 0) {
-            auto b = static_cast<std::size_t>(best);
-            restore(trial_kinds[b]);
-            if (!variants[b].keepOffload)
-                offload_opt.assign(offload_opt.size(), false);
-            plan = std::move(trials[b]);
-            current = std::move(outcomes[b].report);
-            ++result.iterations;
-        }
-    }
-
-    // ... then fine-tune with bounded per-step flips.
-    for (int iter = 0; iter < cfg.maxIterations; ++iter) {
-        std::vector<Candidate *> swaps;
-        for (auto &stage_cands : candidates) {
-            for (auto &c : stage_cands) {
-                if (c.chosen == Kind::GpuCpuSwap)
-                    swaps.push_back(&c);
-            }
-        }
-        if (swaps.empty())
-            break;
-        std::stable_sort(swaps.begin(), swaps.end(),
-                         [](const Candidate *a, const Candidate *b) {
-                             return a->savings > b->savings;
-                         });
-        // Same trial-ladder shape as stage (5): prefixes of the
-        // savings-ordered swap list, all scored concurrently.
-        std::vector<std::vector<Candidate *>> trial_flips;
-        std::vector<CompactionPlan> trials;
-        for (int batch = cfg.d2dBatchPerStep; batch >= 1;
-             batch /= 2) {
-            std::size_t take = std::min(
-                static_cast<std::size_t>(batch), swaps.size());
-            // Equal prefixes repeat a plan: a cache hit, not a skip
-            // (see the flip-batch ladder above).
-            std::vector<Candidate *> flips(swaps.begin(),
-                                           swaps.begin() +
-                                               static_cast<long>(
-                                                   take));
-            for (Candidate *c : flips)
-                c->chosen = Kind::Recompute;
-            trials.push_back(
-                materialize(candidates, offload_opt, offload_stash,
-                            result.mapping, cfg.d2dStriping));
-            for (Candidate *c : flips)
-                c->chosen = Kind::GpuCpuSwap;
-            trial_flips.push_back(std::move(flips));
-        }
-        driver.setPruneBaseline(current.samplesPerSec,
-                                cfg.acceptGain);
-        auto outcomes = driver.evaluate(trials);
-        int best = SearchDriver::pickBest(
-            outcomes, current.samplesPerSec, cfg.acceptGain);
-        if (best < 0)
-            break;
-        auto b = static_cast<std::size_t>(best);
-        for (Candidate *c : trial_flips[b])
-            c->chosen = Kind::Recompute;
-        plan = std::move(trials[b]);
-        current = std::move(outcomes[b].report);
-        ++result.iterations;
-    }
-
-    result.plan = std::move(plan);
-    result.finalReport = std::move(current);
+    result.plan = std::move(race.plan);
+    result.finalReport = std::move(race.report);
+    result.iterations = race.iterations;
+    result.winnerStrategy = race.winner;
+    result.strategyStats = std::move(race.stats);
     result.feasible = true;
     result.verification = verify::verifyPlan(
         topo, mdl, part, sched, result.plan,
@@ -722,8 +457,13 @@ planD2dOnly(const hw::Topology &topo,
         return result;
     }
 
+    // Same oversubscription clamp as planMPress (the mapper is
+    // thread-count-deterministic, so the clamp cannot change it).
+    util::ThreadPool pool(
+        std::min(cfg.threads, util::ThreadPool::hardwareThreads()));
     result.mapping = searchDeviceMapping(topo, profile.stagePeak,
-                                         capacity, cfg.mapper);
+                                         capacity, cfg.mapper, {},
+                                         &pool);
     CostModel cost(topo, mdl.config().precision);
     auto candidates =
         collectCandidates(mdl, part, sched, profile, cost);
@@ -770,7 +510,7 @@ planD2dOnly(const hw::Topology &topo,
     }
 
     CompactionPlan plan =
-        materialize(candidates, offload_opt, offload_stash,
+        materializePlan(candidates, offload_opt, offload_stash,
                     result.mapping, cfg.d2dStriping);
     result.finalReport =
         emulate(topo, mdl, part, sched, plan, exec_cfg);

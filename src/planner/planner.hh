@@ -27,6 +27,8 @@
 #define MPRESS_PLANNER_PLANNER_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "analysis/analyzer.hh"
 #include "compaction/plan.hh"
@@ -85,7 +87,40 @@ struct PlannerConfig
      *  tests. */
     bool analyticPrune = false;
 
+    /** Race heterogeneous refinement strategies instead of running
+     *  only the greedy flip ladder: the greedy wavefront, a
+     *  simulated-annealing walker and an analysis-guided best-first
+     *  explorer share one SearchDriver (worker pool, trial cache,
+     *  analytic tier) and submit their trials as one concurrent
+     *  wavefront per round.  The winner is picked by the fixed
+     *  (best verified throughput, lowest strategy index) rule, so the
+     *  returned plan is identical for every thread count and with the
+     *  trial cache on or off; it can only match or beat the greedy
+     *  ladder's plan. */
+    bool portfolio = false;
+
+    /** Anytime knob: wall-clock budget for the refinement race in
+     *  milliseconds, checked between wavefront rounds.  0 (default)
+     *  disables the deadline.  Every deadline still returns a
+     *  verified feasible plan — at worst the seed plan — because
+     *  strategies improve a shared best-so-far monotonically; a
+     *  tighter deadline only means fewer improvement rounds.  A
+     *  deadline generous enough to never fire yields the same plan
+     *  as no deadline. */
+    double deadlineMs = 0.0;
+
     MapperConfig mapper;
+};
+
+/** Per-strategy accounting of one refinement race, in strategy
+ *  order (index 0 is always the greedy wavefront). */
+struct StrategyStats
+{
+    std::string name;             ///< stable strategy name
+    std::uint64_t proposed = 0;   ///< trials contributed to wavefronts
+    std::uint64_t committed = 0;  ///< improvements it accepted
+    double bestScore = 0.0;       ///< best verified samples/sec found
+    bool exhausted = false;       ///< retired before the race ended
 };
 
 /** Output of a profiling run. */
@@ -137,6 +172,15 @@ struct PlanResult
      *  and the subset rejected without an emulated iteration. */
     std::uint64_t analyticScored = 0;
     std::uint64_t analyticPruned = 0;
+
+    /** Index of the strategy whose plan won the refinement race
+     *  (0 = greedy wavefront; -1 when planning returned before the
+     *  race, e.g. no overflow or an infeasible seed). */
+    int winnerStrategy = -1;
+
+    /** Per-strategy race accounting (empty when the race never
+     *  ran). */
+    std::vector<StrategyStats> strategyStats;
 };
 
 /** Full MPress planning: all three techniques + device mapping. */

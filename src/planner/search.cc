@@ -28,6 +28,8 @@ putScalar(std::string &key, T v)
     key.append(raw, sizeof(T));
 }
 
+} // namespace
+
 /**
  * Compact binary memoization key, equivalent to trialKey() but ~two
  * orders of magnitude cheaper to build: the text key renders the full
@@ -38,9 +40,9 @@ putScalar(std::string &key, T v)
  * byte string) and the collision guard in cachedRun() stays sound.
  */
 std::string
-binaryTrialKey(const compaction::CompactionPlan &plan,
-               const runtime::ExecutorConfig &cfg,
-               std::string_view scenario_id)
+SearchDriver::trialKeyBinary(const compaction::CompactionPlan &plan,
+                             const runtime::ExecutorConfig &cfg,
+                             std::string_view scenario_id)
 {
     std::string key;
     key.reserve(64 + plan.activations.size() * 9 +
@@ -102,8 +104,6 @@ binaryTrialKey(const compaction::CompactionPlan &plan,
     return key;
 }
 
-} // namespace
-
 SearchDriver::SearchDriver(const hw::Topology &topo,
                            const model::TransformerModel &mdl,
                            const partition::Partition &part,
@@ -112,7 +112,7 @@ SearchDriver::SearchDriver(const hw::Topology &topo,
                            util::ThreadPool &pool)
     : _topo(topo), _mdl(mdl), _part(part), _sched(sched),
       _execCfg(exec_cfg), _pool(pool),
-      _topoArena(static_cast<std::size_t>(pool.threads()))
+      _workerArenas(static_cast<std::size_t>(pool.threads()))
 {
     // Every trial is a scoring run, never a profiling run, and plan
     // selection must not depend on injected faults — robustness is
@@ -120,22 +120,33 @@ SearchDriver::SearchDriver(const hw::Topology &topo,
     _execCfg.recordLiveness = false;
     _execCfg.failFastOnOom = true;
     _execCfg.faults = nullptr;
+    // The arena pointer is per-worker state, never part of the
+    // driver-wide config (and deliberately not part of the cache
+    // key: it cannot change a result).
+    _execCfg.arena = nullptr;
+}
+
+SearchDriver::WorkerArena &
+SearchDriver::workerArena()
+{
+    // Each worker index is owned by exactly one thread for the
+    // duration of a batch, and the arena vector itself is sized in
+    // the ctor, so no synchronization is needed.  The state is built
+    // once per worker and reused across all its trials: the executor
+    // and the verifier only read the topology, and the executor
+    // rewinds the arena engine before each run.
+    auto w =
+        static_cast<std::size_t>(util::ThreadPool::currentWorker());
+    WorkerArena &slot = _workerArenas[w];
+    if (!slot.topo)
+        slot.topo = std::make_unique<hw::Topology>(_topo);
+    return slot;
 }
 
 const hw::Topology &
 SearchDriver::workerTopology()
 {
-    // Each worker index is owned by exactly one thread for the
-    // duration of a batch, and the arena vector itself is sized in
-    // the ctor, so no synchronization is needed.  The copy is built
-    // once per worker and reused across all trials: the executor and
-    // the verifier only read the topology.
-    auto w =
-        static_cast<std::size_t>(util::ThreadPool::currentWorker());
-    auto &slot = _topoArena[w];
-    if (!slot)
-        slot = std::make_unique<hw::Topology>(_topo);
-    return *slot;
+    return *workerArena().topo;
 }
 
 std::string
@@ -195,11 +206,19 @@ SearchDriver::cachedRun(const compaction::CompactionPlan &plan,
                         const runtime::ExecutorConfig &cfg,
                         std::string_view scenario_id)
 {
-    if (!_cacheEnabled) {
-        return runtime::runTraining(workerTopology(), _mdl, _part,
-                                    _sched, plan, cfg);
-    }
-    std::string key = binaryTrialKey(plan, cfg, scenario_id);
+    // Run on this worker's arena: reused topology copy + reused DES
+    // engine slabs.  The arena never enters the memo key — it cannot
+    // change a result, only the allocation count.
+    auto run_here = [&]() {
+        WorkerArena &wa = workerArena();
+        runtime::ExecutorConfig run_cfg = cfg;
+        run_cfg.arena = &wa.exec;
+        return runtime::runTraining(*wa.topo, _mdl, _part, _sched,
+                                    plan, run_cfg);
+    };
+    if (!_cacheEnabled)
+        return run_here();
+    std::string key = trialKeyBinary(plan, cfg, scenario_id);
     std::uint64_t sig = util::fnv1a64(key);
     {
         std::lock_guard<std::mutex> lock(_cacheMu);
@@ -215,8 +234,7 @@ SearchDriver::cachedRun(const compaction::CompactionPlan &plan,
         }
         ++_stats.misses;
     }
-    runtime::TrainingReport report = runtime::runTraining(
-        workerTopology(), _mdl, _part, _sched, plan, cfg);
+    runtime::TrainingReport report = run_here();
     {
         std::lock_guard<std::mutex> lock(_cacheMu);
         // emplace keeps the first entry on a concurrent duplicate (or
@@ -232,7 +250,20 @@ std::vector<TrialOutcome>
 SearchDriver::evaluate(
     const std::vector<compaction::CompactionPlan> &trials)
 {
-    return evaluateImpl(trials, /*allow_prune=*/true);
+    return evaluateImpl(trials, /*allow_prune=*/true, {});
+}
+
+std::vector<TrialOutcome>
+SearchDriver::evaluate(
+    const std::vector<compaction::CompactionPlan> &trials,
+    const std::vector<double> &baselines)
+{
+    if (!baselines.empty() && baselines.size() != trials.size()) {
+        util::panic("per-trial baselines (%zu) do not match trials"
+                    " (%zu)",
+                    baselines.size(), trials.size());
+    }
+    return evaluateImpl(trials, /*allow_prune=*/true, baselines);
 }
 
 TrialOutcome
@@ -242,13 +273,13 @@ SearchDriver::evaluateOne(const compaction::CompactionPlan &plan)
     // re-mapping) branch on the real report — e.g. the DES's
     // time-ordered first-OOM GPU, which the analyzer cannot name.
     std::vector<compaction::CompactionPlan> one(1, plan);
-    return evaluateImpl(one, /*allow_prune=*/false).front();
+    return evaluateImpl(one, /*allow_prune=*/false, {}).front();
 }
 
 std::vector<TrialOutcome>
 SearchDriver::evaluateImpl(
     const std::vector<compaction::CompactionPlan> &trials,
-    bool allow_prune)
+    bool allow_prune, const std::vector<double> &baselines)
 {
     const bool prune = allow_prune && _analyticPrune;
     std::vector<TrialOutcome> out(trials.size());
@@ -273,9 +304,15 @@ SearchDriver::evaluateImpl(
                 _prunedOom.fetch_add(1, std::memory_order_relaxed);
                 return;
             }
-            if (cert.valid && _pruneBaseline >= 0.0 &&
+            // A strategy can disable the throughput rule for its own
+            // trials (baseline < 0) so its trajectory is identical
+            // with pruning on or off — e.g. the annealer, whose next
+            // move depends on the previous trial's report.
+            const double base = baselines.empty() ? _pruneBaseline
+                                                  : baselines[i];
+            if (cert.valid && base >= 0.0 &&
                 cert.throughputUpperBound <=
-                    _pruneBaseline * (1.0 + _pruneGain)) {
+                    base * (1.0 + _pruneGain)) {
                 out[i].pruned = true;
                 _prunedSlow.fetch_add(1, std::memory_order_relaxed);
                 return;

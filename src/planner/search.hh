@@ -160,6 +160,21 @@ class SearchDriver
     std::vector<TrialOutcome>
     evaluate(const std::vector<compaction::CompactionPlan> &trials);
 
+    /**
+     * Same as evaluate(), with a per-trial prune baseline: trial i's
+     * throughput-bound rule compares against baselines[i] instead of
+     * the global setPruneBaseline() value (a negative entry disables
+     * the rule for that trial; the provable-OOM rule always applies).
+     * The portfolio uses this to race strategies with different
+     * acceptance thresholds in one wavefront: a simulated-anneal
+     * downhill probe must see the real measured report, so it rides
+     * with a disabled throughput rule while greedy/best-first trials
+     * still prune.  @p baselines must be empty or trials.size().
+     */
+    std::vector<TrialOutcome>
+    evaluate(const std::vector<compaction::CompactionPlan> &trials,
+             const std::vector<double> &baselines);
+
     /** Convenience wrapper for a single plan (runs inline). */
     TrialOutcome evaluateOne(const compaction::CompactionPlan &plan);
 
@@ -245,19 +260,52 @@ class SearchDriver
                   const runtime::ExecutorConfig &cfg,
                   std::string_view scenario_id);
 
+    /** Compact binary form of trialKey(): injective (tagged,
+     *  length-prefixed sections) and ~two orders of magnitude cheaper
+     *  to build.  The cache keys on it internally; the portfolio's
+     *  best-first frontier uses it to deduplicate candidate plans. */
+    static std::string
+    trialKeyBinary(const compaction::CompactionPlan &plan,
+                   const runtime::ExecutorConfig &cfg,
+                   std::string_view scenario_id);
+
+    /** The executor config trials run under (scoring-pinned: no
+     *  liveness, fail-fast, fault-free).  Key material for external
+     *  deduplication via trialKeyBinary(). */
+    const runtime::ExecutorConfig &trialConfig() const
+    {
+        return _execCfg;
+    }
+
     /** Content key of a fault scenario (name, seed, every event
      *  field) for robustness-replay memoization. */
     static std::string scenarioKey(const fault::Scenario &scenario);
 
   private:
+    /** Reusable per-worker state: the topology copy plus the executor
+     *  arena (DES engine slabs), both kept across every trial the
+     *  worker runs.  A worker index is owned by exactly one thread
+     *  for the duration of a batch, so no synchronization is needed
+     *  and an arena is never shared by two live executors. */
+    struct WorkerArena
+    {
+        std::unique_ptr<hw::Topology> topo;
+        runtime::ExecutorArena exec;
+    };
+
+    /** This thread's arena slot (lazily building the topology). */
+    WorkerArena &workerArena();
+
     /** Per-worker reusable topology copy (lazily constructed). */
     const hw::Topology &workerTopology();
 
     /** Shared body of evaluate()/evaluateOne(); the analytic tier
-     *  runs only when @p allow_prune is set. */
+     *  runs only when @p allow_prune is set.  @p baselines overrides
+     *  the global prune baseline per trial when non-empty. */
     std::vector<TrialOutcome>
     evaluateImpl(const std::vector<compaction::CompactionPlan> &trials,
-                 bool allow_prune);
+                 bool allow_prune,
+                 const std::vector<double> &baselines);
 
     /** Run one emulation through the memo cache.  @p cfg must carry
      *  any scenario pointer; @p scenario_id stands in for it in the
@@ -281,10 +329,11 @@ class SearchDriver
     runtime::ExecutorConfig _execCfg;
     util::ThreadPool &_pool;
 
-    /** One lazily-built topology per pool worker, reused across every
+    /** One lazily-built arena per pool worker, reused across every
      *  trial that worker runs (runTraining and verifyPlan only read
-     *  it).  Replaces the per-trial hw::Topology copy. */
-    std::vector<std::unique_ptr<hw::Topology>> _topoArena;
+     *  the topology; the executor rewinds the engine).  Replaces the
+     *  per-trial hw::Topology copy and the per-trial engine slabs. */
+    std::vector<WorkerArena> _workerArenas;
 
     bool _cacheEnabled = true;
     mutable std::mutex _cacheMu;

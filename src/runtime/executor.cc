@@ -42,7 +42,12 @@ struct Executor::Impl
     const compaction::CompactionPlan &plan;
     ExecutorConfig cfg;
 
-    sim::Engine engine;
+    /** Engine storage for self-contained runs; unused (and empty)
+     *  when cfg.arena supplies a reusable engine. */
+    sim::Engine ownEngine;
+    /** The engine every stream/fabric/event references: the arena's
+     *  (reset at construction) or ownEngine. */
+    sim::Engine &engine;
     std::unique_ptr<hw::Fabric> fabric;
     std::vector<std::unique_ptr<sim::Stream>> compute;
     std::vector<std::unique_ptr<memory::DeviceMemoryTracker>> gpuMem;
@@ -116,8 +121,13 @@ struct Executor::Impl
     Impl(const hw::Topology &t, const model::TransformerModel &m,
          const partition::Partition &p, const pipeline::Schedule &s,
          const compaction::CompactionPlan &pl, ExecutorConfig c)
-        : topo(t), mdl(m), part(p), sched(s), plan(pl), cfg(c)
+        : topo(t), mdl(m), part(p), sched(s), plan(pl), cfg(c),
+          engine(c.arena ? c.arena->engine : ownEngine)
     {
+        // A reused arena engine may hold the previous run's slabs;
+        // rewind it (keeping capacity) before anything schedules.
+        if (cfg.arena)
+            engine.reset();
         if (part.numStages() != sched.numStages)
             util::fatal("partition has %d stages, schedule %d",
                         part.numStages(), sched.numStages);

@@ -37,6 +37,18 @@
 namespace mpress {
 namespace runtime {
 
+/**
+ * Reusable executor scratch: the discrete-event engine (whose pooled
+ * callback slab and heap storage dominate a run's allocations) is
+ * kept across runs and reset between them.  One arena must never be
+ * shared by two live executors — the planner's SearchDriver keys one
+ * arena per pool worker, which gives exclusive use by construction.
+ */
+struct ExecutorArena
+{
+    sim::Engine engine;
+};
+
 /** Executor tunables. */
 struct ExecutorConfig
 {
@@ -80,6 +92,13 @@ struct ExecutorConfig
 
     /** Delay before the first stripe retry; doubles per attempt. */
     util::Tick retryBackoff = 20 * util::kUsec;
+
+    /** Reusable scratch (non-owning; null = self-contained run).  The
+     *  arena must outlive the executor and must not be shared with a
+     *  concurrently live executor.  Pure wall-clock/allocation
+     *  optimization: the report is byte-identical either way, so the
+     *  planner's trial-cache key ignores this field. */
+    ExecutorArena *arena = nullptr;
 };
 
 /**

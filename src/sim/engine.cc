@@ -15,10 +15,13 @@ Engine::acquireSlot()
         _freeHead = slotRef(slot).next;
         return slot;
     }
-    if ((_slotCount & (kChunkSize - 1)) == 0) {
+    if ((_slotCount & (kChunkSize - 1)) == 0 &&
+        (_slotCount >> kChunkShift) == _chunks.size()) {
         // Default-init, not make_unique: value-initialization would
         // zero every slot's whole inline buffer (a memset of the full
         // chunk); the default constructors only set the real fields.
+        // After reset() the chunks survive, so a reused engine walks
+        // back into its old slabs without touching the allocator.
         _chunks.emplace_back(new Slot[kChunkSize]); // lint-hotpath: allow (cold slab growth)
     }
     return _slotCount++;
@@ -92,8 +95,14 @@ Engine::runUntil(Tick limit)
 void
 Engine::reset()
 {
+    // Destroy pending callbacks (they may own resources) but keep the
+    // slab chunks and the heap vector's capacity: a reset engine
+    // replays its next simulation at the old high-water mark without
+    // a single allocation, which is what makes per-worker executor
+    // arenas worth reusing across planner trials.
+    for (const HeapEntry &ev : _heap)
+        slotRef(ev.slot).fn = nullptr;
     _heap.clear();
-    _chunks.clear();  // destroys pending callbacks
     _slotCount = 0;
     _freeHead = kNoSlot;
     _now = 0;

@@ -97,9 +97,12 @@ class Engine
     /** True if no events remain. */
     bool empty() const { return _heap.empty(); }
 
-    /** Clear all pending events and rewind time to zero.  Must not be
-     *  called from inside a running event: the event's own closure
-     *  lives in the slab being torn down. */
+    /** Clear all pending events and rewind time to zero.  Pending
+     *  callbacks are destroyed but the slab chunks and heap capacity
+     *  are retained, so a reused engine runs allocation-free up to
+     *  its previous high-water mark (executor-arena reuse).  Must not
+     *  be called from inside a running event: the event's own closure
+     *  lives in a slot being recycled. */
     void reset();
 
     /** Slab size of the callback pool (high-water mark of events

@@ -31,6 +31,13 @@ ThreadPool::currentWorker()
     return tl_worker;
 }
 
+int
+ThreadPool::hardwareThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 ThreadPool::ThreadPool(int threads)
     : _threads(threads < 1 ? 1 : threads)
 {

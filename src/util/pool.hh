@@ -47,6 +47,18 @@ class ThreadPool
     int threads() const { return _threads; }
 
     /**
+     * Hardware threads available to this process, at least 1 (0 =
+     * "unknown" from the standard library maps to 1).  Callers that
+     * only want wall-clock speedup (the planner) clamp their worker
+     * request to this: on an oversubscribed machine extra workers
+     * add wakeup/context-switch cost without any parallelism, which
+     * is exactly the plan/threads:N scaling regression.  The pool
+     * itself never clamps — tests and sweeps may deliberately
+     * oversubscribe to exercise concurrency.
+     */
+    static int hardwareThreads();
+
+    /**
      * Index of the calling thread within the pool executing the
      * current parallelFor: 0 for the thread that called parallelFor,
      * 1..threads-1 for workers, 0 outside any batch.  Used to key

@@ -2,17 +2,73 @@
  * @file
  * Tests for the planner's concurrent emulator-feedback search: the
  * util::ThreadPool primitive, the SearchDriver (parallel trial
- * evaluation equals serial evaluation, fixed-tie-break winner) and
- * the grant-budget helpers, including the regression for the gate
- * that admitted flips by stash size while debiting their full
- * savings.
+ * evaluation equals serial evaluation, fixed-tie-break winner), the
+ * analytic-prune tier (a provably-OOM candidate must be dropped
+ * without an emulated iteration), the per-worker arena reuse
+ * (steady-state re-evaluation must not allocate more than the
+ * previous warm run) and the grant-budget helpers, including the
+ * regression for the gate that admitted flips by stash size while
+ * debiting their full savings.
  */
 
 #include <atomic>
+#include <cstdlib>
+#include <new>
 #include <stdexcept>
 #include <thread>
 
 #include <gtest/gtest.h>
+
+// ---------------------------------------------------------------
+// Global allocation counter (this binary only): the arena-reuse
+// assertions below count operator-new calls across driver
+// evaluations.  Counting is exact, not sampled — replacement of the
+// global operators is per-binary, which is why these tests live in
+// their own test executable.
+// ---------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_calls{0};
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 #include "compaction/serialize.hh"
 #include "fault/scenario.hh"
@@ -454,6 +510,115 @@ TEST(TrialCache, ScenarioKeyCoversEventFields)
     fl::Scenario scaled = sc;
     scaled.events[0].factor = 0.250000001;
     EXPECT_NE(pn::SearchDriver::scenarioKey(scaled), base);
+}
+
+// ---------------------------------------------------------------
+// Analytic prune tier
+// ---------------------------------------------------------------
+
+TEST(AnalyticPrune, DropsProvablyOomCandidateWithoutEmulation)
+{
+    // The uncompacted plan on bert-1.67b with 24 in-flight
+    // minibatches needs ~70 GiB per GPU against a 27 GiB usable
+    // capacity — the analyzer's memory lower bound proves the OOM,
+    // so the prune tier must reject the trial without spending an
+    // emulated iteration on it.
+    Job job("bert-1.67b", 24);
+    mu::ThreadPool pool(1);
+    pn::SearchDriver driver(job.topo, job.mdl, job.part, job.sched,
+                            {}, pool);
+    driver.setAnalyticPrune(true);
+
+    std::vector<cp::CompactionPlan> trials = {
+        {}, recomputeAll(job.part)};
+    auto out = driver.evaluate(trials);
+
+    auto stats = driver.pruneStats();
+    EXPECT_EQ(stats.scored, 2u);
+    EXPECT_GE(stats.prunedOom, 1u);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].pruned);
+    EXPECT_TRUE(out[0].report.oom);
+    // A pruned outcome is never acceptable to pickBest.
+    EXPECT_FALSE(out[0].verified);
+    // The feasible candidate runs the emulator as usual.
+    EXPECT_FALSE(out[1].pruned);
+    EXPECT_FALSE(out[1].report.oom);
+    // No emulation happened for the pruned trial: only the survivor
+    // reached the trial cache.
+    EXPECT_EQ(driver.cacheStats().misses, 1u);
+}
+
+TEST(AnalyticPrune, PerTrialBaselinesGateTheThroughputRule)
+{
+    Job job("bert-1.67b", 24);
+    mu::ThreadPool pool(1);
+    pn::SearchDriver driver(job.topo, job.mdl, job.part, job.sched,
+                            {}, pool);
+    driver.setAnalyticPrune(true);
+
+    // Against an absurd per-trial baseline the certificate's
+    // throughput upper bound proves the trial can't be accepted; a
+    // negative baseline disables the rule for that trial (the
+    // annealer's contract).
+    std::vector<cp::CompactionPlan> trials = {
+        recomputeAll(job.part), recomputeAll(job.part)};
+    auto out = driver.evaluate(trials, {1e9, -1.0});
+
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].pruned);
+    EXPECT_FALSE(out[1].pruned);
+    EXPECT_GE(driver.pruneStats().prunedSlow, 1u);
+}
+
+TEST(AnalyticPrune, DisabledTierScoresNothing)
+{
+    Job job("bert-0.35b", 2);
+    mu::ThreadPool pool(1);
+    pn::SearchDriver driver(job.topo, job.mdl, job.part, job.sched,
+                            {}, pool);
+    driver.evaluate({recomputeAll(job.part)});
+    EXPECT_EQ(driver.pruneStats().scored, 0u);
+    EXPECT_EQ(driver.pruneStats().pruned(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Per-worker arena reuse
+// ---------------------------------------------------------------
+
+TEST(WorkerArena, SteadyStateReplayDoesNotGrowAllocations)
+{
+    // The per-worker topology + executor arenas exist so repeated
+    // trial evaluation replays into retained slabs.  Counted with
+    // the global operator-new hook: the first (cold) evaluation
+    // builds the arenas, after which a warm evaluation must never
+    // allocate more than the previous warm one.
+    Job job("bert-0.35b", 2);
+    mu::ThreadPool pool(1);
+    pn::SearchDriver driver(job.topo, job.mdl, job.part, job.sched,
+                            {}, pool);
+    driver.setCacheEnabled(false);  // count emulation, not memoization
+
+    auto plan = recomputeAll(job.part);
+    auto count_eval = [&] {
+        std::uint64_t before =
+            g_alloc_calls.load(std::memory_order_relaxed);
+        driver.evaluateOne(plan);
+        return g_alloc_calls.load(std::memory_order_relaxed) -
+               before;
+    };
+
+    std::uint64_t cold = count_eval();
+    std::uint64_t warm1 = count_eval();
+    std::uint64_t warm2 = count_eval();
+    std::uint64_t warm3 = count_eval();
+
+    // Cold pays for the worker topology clone + engine slabs.
+    EXPECT_LT(warm1, cold);
+    // Steady state: replaying the same trial into retained slabs has
+    // a fixed allocation profile.
+    EXPECT_LE(warm2, warm1);
+    EXPECT_LE(warm3, warm2);
 }
 
 TEST(TrialCache, PlanResultReportsCacheCounters)

@@ -231,6 +231,37 @@ if failed:
     sys.exit("perf smoke failed: event queue slower than baseline "
              "- investigate before updating BENCH_sim.json")
 EOF
+
+    echo "== planner search smoke (Release + IPO) =="
+    # The planner bench gates its own invariants (byte-identical
+    # plans, cache hit rates, prune counters, portfolio anytime
+    # contract) via its exit status; on top of that, re-assert the
+    # thread-scaling contract here against the fresh JSON so the
+    # original regression — adding workers made planning *slower* —
+    # can never recommit.  Threads may not help on a small host, but
+    # 4 workers must stay within noise of serial.
+    cmake --build build-perf -j "$jobs" --target bench_planner_search
+    MPRESS_BENCH_DIR="$perf" \
+    MPRESS_GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+    MPRESS_BENCH_DATE=$(date -u +%Y-%m-%d) \
+        ./build-perf/bench/bench_planner_search >/dev/null
+    python3 - "$perf/BENCH_planner.json" <<'EOF'
+import json, sys
+b = json.load(open(sys.argv[1]))["benchmarks"]
+tol = 1.15
+t1 = b["plan/threads:1"]["wall_ms"]
+t4 = b["plan/threads:4"]["wall_ms"]
+print("plan wall: threads=1 %.1f ms, threads=4 %.1f ms (%.2fx)"
+      % (t1, t4, t1 / t4))
+if t4 > t1 * tol:
+    sys.exit("planner smoke failed: planning at 4 threads is slower "
+             "than serial beyond %d%% tolerance" % ((tol - 1) * 100))
+pruned = b["plan/prune:on"]["pruned"]
+print("analytic prune: %d provably-bad trials dropped" % pruned)
+if pruned < 1:
+    sys.exit("planner smoke failed: analytic prune tier engaged on "
+             "zero trials")
+EOF
 fi
 
 if [ "$run_tidy" = 1 ]; then
