@@ -19,6 +19,7 @@
 #ifndef MPRESS_BENCH_COMMON_HH
 #define MPRESS_BENCH_COMMON_HH
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -102,7 +103,11 @@ class BenchReport
     }
 
     /** $MPRESS_GIT_REV, else the checkout's short HEAD revision,
-     *  else "unknown" (not a git checkout / git unavailable). */
+     *  else "unknown" (not a git checkout / git unavailable).  The
+     *  git output is trusted only when the command exited 0 AND the
+     *  trimmed output looks like a hex revision — a failing or
+     *  misbehaving git must never stamp garbage (its error text, a
+     *  partial line) into BENCH_*.json provenance. */
     static std::string
     gitRev()
     {
@@ -113,15 +118,28 @@ class BenchReport
                           "r");
         if (p != nullptr) {
             char buf[64] = {};
-            if (std::fgets(buf, sizeof buf, p) != nullptr) {
+            if (std::fgets(buf, sizeof buf, p) != nullptr)
                 rev.assign(buf);
-                while (!rev.empty() && (rev.back() == '\n' ||
-                                        rev.back() == '\r'))
-                    rev.pop_back();
-            }
-            ::pclose(p);
+            // pclose reports the command's exit status; nonzero (or
+            // -1: no child status) means whatever was read is not a
+            // revision.
+            if (::pclose(p) != 0)
+                rev.clear();
         }
-        return rev.empty() ? "unknown" : rev;
+        // Trim surrounding whitespace, then accept only plausible
+        // abbreviated-hash output: non-empty, all lowercase hex.
+        while (!rev.empty() &&
+               std::isspace(static_cast<unsigned char>(rev.back())))
+            rev.pop_back();
+        while (!rev.empty() &&
+               std::isspace(static_cast<unsigned char>(rev.front())))
+            rev.erase(rev.begin());
+        bool plausible = !rev.empty();
+        for (char c : rev) {
+            plausible &= (c >= '0' && c <= '9') ||
+                         (c >= 'a' && c <= 'f');
+        }
+        return plausible ? rev : "unknown";
     }
 
     /** $MPRESS_BENCH_DATE, else the current UTC day. */

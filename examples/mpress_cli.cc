@@ -88,14 +88,18 @@
  *   omitted field inherits the corresponding command-line option.
  *   Report rows keep spec order whatever the thread count.
  *
- * Exit status: 0 on success, 2 on OOM (single run), 3 on plan
- * rejected by verification, 1 on usage/spec errors.
+ * Exit status: 0 on success, 3 on plan rejected by verification,
+ * 1 on usage/spec errors, 2 on a malformed flag value (a numeric
+ * flag that does not parse or is out of range) — and 2 on OOM of a
+ * single run (a malformed flag never starts a run, so the phases
+ * cannot be confused).
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -131,58 +135,73 @@ usage(const char *msg)
     std::exit(1);
 }
 
+/** Malformed flag *values* exit 2 (vs 1 for unknown flags), so
+ *  scripts can tell "you typo'd an option" from "that value does not
+ *  parse". */
+[[noreturn]] void
+badValue(const char *flag, const std::string &got)
+{
+    std::fprintf(stderr,
+                 "mpress_cli: %s: malformed value '%s' (expected a"
+                 " number in range)\n",
+                 flag, got.c_str());
+    std::exit(2);
+}
+
+/** Checked std::stoi replacement: a malformed or out-of-range value
+ *  is a usage error, never an uncaught std::invalid_argument. */
+int
+parseIntFlag(const char *flag, const std::string &text)
+{
+    int value = 0;
+    if (!mu::parseInt(text, &value))
+        badValue(flag, text);
+    return value;
+}
+
+double
+parseDoubleFlag(const char *flag, const std::string &text)
+{
+    double value = 0.0;
+    if (!mu::parseDouble(text, &value))
+        badValue(flag, text);
+    return value;
+}
+
 pl::SystemKind
 parseSystem(const std::string &name)
 {
-    if (name == "pipedream")
-        return pl::SystemKind::PipeDream;
-    if (name == "dapple")
-        return pl::SystemKind::Dapple;
-    if (name == "gpipe")
-        return pl::SystemKind::Gpipe;
-    usage("unknown --system");
+    pl::SystemKind kind;
+    if (!api::systemKindFromName(name, &kind))
+        usage("unknown --system");
+    return kind;
 }
 
 api::Strategy
 parseStrategy(const std::string &name)
 {
-    if (name == "none")
-        return api::Strategy::None;
-    if (name == "recompute")
-        return api::Strategy::Recompute;
-    if (name == "gpu-cpu-swap")
-        return api::Strategy::GpuCpuSwap;
-    if (name == "d2d-only")
-        return api::Strategy::D2dOnly;
-    if (name == "mpress")
-        return api::Strategy::MPressFull;
-    if (name == "zero-offload")
-        return api::Strategy::ZeroOffload;
-    if (name == "zero-infinity")
-        return api::Strategy::ZeroInfinity;
-    usage("unknown --strategy");
+    api::Strategy strategy;
+    if (!api::strategyFromName(name, &strategy))
+        usage("unknown --strategy");
+    return strategy;
 }
 
 api::VerifyMode
 parseVerifyMode(const std::string &name)
 {
-    if (name == "off")
-        return api::VerifyMode::Off;
-    if (name == "permissive")
-        return api::VerifyMode::Permissive;
-    if (name == "strict")
-        return api::VerifyMode::Strict;
-    usage("unknown --verify-mode");
+    api::VerifyMode mode;
+    if (!api::verifyModeFromName(name, &mode))
+        usage("unknown --verify-mode");
+    return mode;
 }
 
 hw::Topology
 parseTopology(const std::string &name)
 {
-    if (name == "dgx1")
-        return hw::Topology::dgx1V100();
-    if (name == "dgx2")
-        return hw::Topology::dgx2A100();
-    usage("--topology must be dgx1 or dgx2");
+    std::optional<hw::Topology> topo = api::topologyFromName(name);
+    if (!topo)
+        usage("--topology must be dgx1 or dgx2");
+    return *topo;
 }
 
 /** One sweep scenario: the base CLI options overridden by one spec
@@ -388,13 +407,16 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--topology"))
             topology = need("--topology needs a value");
         else if (!std::strcmp(argv[i], "--microbatch"))
-            microbatch = std::stoi(need("--microbatch"));
+            microbatch =
+                parseIntFlag("--microbatch", need("--microbatch"));
         else if (!std::strcmp(argv[i], "--mb-per-mini"))
-            mb_per_mini = std::stoi(need("--mb-per-mini"));
+            mb_per_mini =
+                parseIntFlag("--mb-per-mini", need("--mb-per-mini"));
         else if (!std::strcmp(argv[i], "--minibatches"))
-            minibatches = std::stoi(need("--minibatches"));
+            minibatches =
+                parseIntFlag("--minibatches", need("--minibatches"));
         else if (!std::strcmp(argv[i], "--threads"))
-            threads = std::stoi(need("--threads"));
+            threads = parseIntFlag("--threads", need("--threads"));
         else if (!std::strcmp(argv[i], "--sweep"))
             sweep = need("--sweep");
         else if (!std::strcmp(argv[i], "--sweep-out"))
@@ -422,7 +444,8 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--portfolio"))
             portfolio = true;
         else if (!std::strcmp(argv[i], "--deadline-ms"))
-            deadline_ms = std::stod(need("--deadline-ms"));
+            deadline_ms = parseDoubleFlag("--deadline-ms",
+                                          need("--deadline-ms"));
         else if (!std::strcmp(argv[i], "--robustness"))
             robustness = need("--robustness");
         else if (!std::strcmp(argv[i], "--robustness-out"))

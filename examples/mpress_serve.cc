@@ -1,0 +1,122 @@
+/**
+ * @file
+ * mpress-serve — run the planning daemon (src/serve/).
+ *
+ *   mpress-serve [options]
+ *     --port <n>        TCP port on 127.0.0.1; 0 picks an ephemeral
+ *                       port [0]
+ *     --workers <n>     planning requests in flight at once [2]
+ *     --max-queue <n>   admitted requests waiting beyond the ones in
+ *                       flight; past this the daemon answers a typed
+ *                       "overloaded" error [32]
+ *     --allow-stall     enable the test-only "stall" op (holds a
+ *                       worker busy; used by tests and the CI smoke
+ *                       to fill the queue deterministically)
+ *     --max-depth <n>   JSON nesting bound for request lines [32]
+ *     --max-bytes <n>   request line size bound in bytes [1048576]
+ *
+ * On start the daemon prints exactly one line
+ *
+ *   mpress-serve listening on 127.0.0.1:<port>
+ *
+ * to stdout (flushed), so scripts can scrape the ephemeral port,
+ * then serves until a {"op":"shutdown"} request arrives.  See
+ * src/serve/protocol.hh for the wire protocol.
+ *
+ * Exit status: 0 on clean shutdown, 1 on usage errors or a failed
+ * socket setup, 2 on a malformed flag value.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hh"
+#include "util/strings.hh"
+
+namespace mu = mpress::util;
+namespace sv = mpress::serve;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "mpress-serve: %s (see file header for"
+                         " options)\n",
+                 msg);
+    std::exit(1);
+}
+
+[[noreturn]] void
+badValue(const char *flag, const std::string &got)
+{
+    std::fprintf(stderr,
+                 "mpress-serve: %s: malformed value '%s' (expected a"
+                 " number in range)\n",
+                 flag, got.c_str());
+    std::exit(2);
+}
+
+int
+parseIntFlag(const char *flag, const std::string &text)
+{
+    int value = 0;
+    if (!mu::parseInt(text, &value))
+        badValue(flag, text);
+    return value;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sv::ServerConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                usage(flag);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--port"))
+            cfg.port = parseIntFlag("--port", need("--port"));
+        else if (!std::strcmp(argv[i], "--workers"))
+            cfg.workers =
+                parseIntFlag("--workers", need("--workers"));
+        else if (!std::strcmp(argv[i], "--max-queue"))
+            cfg.maxQueue =
+                parseIntFlag("--max-queue", need("--max-queue"));
+        else if (!std::strcmp(argv[i], "--allow-stall"))
+            cfg.allowStall = true;
+        else if (!std::strcmp(argv[i], "--max-depth"))
+            cfg.requestLimits.maxDepth =
+                parseIntFlag("--max-depth", need("--max-depth"));
+        else if (!std::strcmp(argv[i], "--max-bytes"))
+            cfg.requestLimits.maxBytes = static_cast<std::size_t>(
+                parseIntFlag("--max-bytes", need("--max-bytes")));
+        else
+            usage("unknown option");
+    }
+    if (cfg.port < 0 || cfg.port > 65535)
+        usage("--port must be in [0, 65535]");
+    if (cfg.workers < 1)
+        usage("--workers must be >= 1");
+    if (cfg.maxQueue < 0)
+        usage("--max-queue must be >= 0");
+
+    sv::Server server(cfg);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "mpress-serve: %s\n", error.c_str());
+        return 1;
+    }
+    // One scrapeable line, flushed before any request work: scripts
+    // (tools/check.sh, the load driver) block on it to learn the
+    // ephemeral port.
+    std::printf("mpress-serve listening on 127.0.0.1:%d\n",
+                server.port());
+    std::fflush(stdout);
+    server.wait();
+    return 0;
+}

@@ -42,6 +42,69 @@ verifyModeName(VerifyMode m)
     return "?";
 }
 
+bool
+strategyFromName(const std::string &name, Strategy *out)
+{
+    // "d2d-only" is the CLI spelling; strategyName() renders the
+    // longer display form, so accept both.
+    if (name == "none")
+        *out = Strategy::None;
+    else if (name == "recompute")
+        *out = Strategy::Recompute;
+    else if (name == "gpu-cpu-swap")
+        *out = Strategy::GpuCpuSwap;
+    else if (name == "d2d-only" || name == "mpress-d2d-only")
+        *out = Strategy::D2dOnly;
+    else if (name == "mpress")
+        *out = Strategy::MPressFull;
+    else if (name == "zero-offload")
+        *out = Strategy::ZeroOffload;
+    else if (name == "zero-infinity")
+        *out = Strategy::ZeroInfinity;
+    else
+        return false;
+    return true;
+}
+
+bool
+verifyModeFromName(const std::string &name, VerifyMode *out)
+{
+    if (name == "off")
+        *out = VerifyMode::Off;
+    else if (name == "permissive")
+        *out = VerifyMode::Permissive;
+    else if (name == "strict")
+        *out = VerifyMode::Strict;
+    else
+        return false;
+    return true;
+}
+
+bool
+systemKindFromName(const std::string &name,
+                   pipeline::SystemKind *out)
+{
+    if (name == "pipedream")
+        *out = pipeline::SystemKind::PipeDream;
+    else if (name == "dapple")
+        *out = pipeline::SystemKind::Dapple;
+    else if (name == "gpipe")
+        *out = pipeline::SystemKind::Gpipe;
+    else
+        return false;
+    return true;
+}
+
+std::optional<hw::Topology>
+topologyFromName(const std::string &name)
+{
+    if (name == "dgx1")
+        return hw::Topology::dgx1V100();
+    if (name == "dgx2")
+        return hw::Topology::dgx2A100();
+    return std::nullopt;
+}
+
 MPressSession::MPressSession(hw::Topology topo, SessionConfig cfg)
     : _topo(std::move(topo)), _cfg(std::move(cfg)),
       _mdl(_cfg.model, _cfg.microbatch),

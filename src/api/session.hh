@@ -20,6 +20,7 @@
 #ifndef MPRESS_API_SESSION_HH
 #define MPRESS_API_SESSION_HH
 
+#include <optional>
 #include <string>
 
 #include "analysis/analyzer.hh"
@@ -60,6 +61,22 @@ enum class VerifyMode
 
 /** Returns a display name for @p m. */
 const char *verifyModeName(VerifyMode m);
+
+/**
+ * Checked name parsers for untrusted configuration fields.  The CLI
+ * flags and the mpress-serve request fields both go through these, so
+ * a served request and the equivalent command line can never drift
+ * apart (the byte-identical-plan contract depends on that).  Each
+ * returns false on an unknown name, leaving @p out untouched.
+ */
+bool strategyFromName(const std::string &name, Strategy *out);
+bool verifyModeFromName(const std::string &name, VerifyMode *out);
+bool systemKindFromName(const std::string &name,
+                        pipeline::SystemKind *out);
+
+/** Named topology presets served by the daemon ("dgx1" / "dgx2");
+ *  nullopt on an unknown name. */
+std::optional<hw::Topology> topologyFromName(const std::string &name);
 
 /** Full description of one training job. */
 struct SessionConfig

@@ -248,17 +248,35 @@ gptVariants()
 ModelConfig
 presetByName(const std::string &name)
 {
+    ModelConfig cfg;
+    if (!findPreset(name, &cfg))
+        util::fatal("unknown model preset '%s'", name.c_str());
+    return cfg;
+}
+
+bool
+findPreset(const std::string &name, ModelConfig *out)
+{
     for (const auto &cfg : bertVariants()) {
-        if (cfg.name == name)
-            return cfg;
+        if (cfg.name == name) {
+            if (out)
+                *out = cfg;
+            return true;
+        }
     }
     for (const auto &cfg : gptVariants()) {
-        if (cfg.name == name)
-            return cfg;
+        if (cfg.name == name) {
+            if (out)
+                *out = cfg;
+            return true;
+        }
     }
-    if (name == "gpt3-175b")
-        return gpt3_175b();
-    util::fatal("unknown model preset '%s'", name.c_str());
+    if (name == "gpt3-175b") {
+        if (out)
+            *out = gpt3_175b();
+        return true;
+    }
+    return false;
 }
 
 ModelConfig

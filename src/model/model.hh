@@ -154,6 +154,11 @@ std::vector<ModelConfig> gptVariants();
  *  fatal() on unknown names. */
 ModelConfig presetByName(const std::string &name);
 
+/** Checked preset lookup for untrusted names (daemon requests):
+ *  returns false instead of terminating on an unknown name.  @p out
+ *  may be null to merely test existence. */
+bool findPreset(const std::string &name, ModelConfig *out);
+
 /** GPT-3 175B (Section V Grace-Hopper projection). */
 ModelConfig gpt3_175b();
 

@@ -200,6 +200,8 @@ planMPress(const hw::Topology &topo,
     SearchDriver driver(topo, mdl, part, sched, exec_cfg, pool);
     driver.setCacheEnabled(cfg.trialCache);
     driver.setAnalyticPrune(cfg.analyticPrune);
+    if (cfg.sharedCache != nullptr)
+        driver.setSharedCache(cfg.sharedCache);
     auto record_search_stats = [&result, &driver]() {
         TrialCacheStats stats = driver.cacheStats();
         result.trialCacheHits = stats.hits;

@@ -109,6 +109,15 @@ struct PlannerConfig
      *  as no deadline. */
     double deadlineMs = 0.0;
 
+    /** Optional cross-job trial cache (not owned; nullptr = each
+     *  plan keeps its private per-driver cache).  Entries are scoped
+     *  by a (topology, model, partition, schedule) content digest,
+     *  so a long-lived daemon can keep one TrialCache resident and
+     *  repeated planning requests hit it without any risk of
+     *  cross-job contamination.  The cache is purely a wall-clock
+     *  optimization: plans and reports stay byte-identical. */
+    TrialCache *sharedCache = nullptr;
+
     MapperConfig mapper;
 };
 

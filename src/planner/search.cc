@@ -28,7 +28,120 @@ putScalar(std::string &key, T v)
     key.append(raw, sizeof(T));
 }
 
+/**
+ * Content digest of a (topology, model, partition, schedule) job,
+ * prefixed to every memoization key so drivers for different jobs can
+ * share one TrialCache without ever exchanging entries.  Scalars go
+ * in raw (tagged + length-prefixed like trialKeyBinary), strings are
+ * length-prefixed, so the encoding is injective.
+ */
+std::string
+jobKeyFor(const hw::Topology &topo,
+          const model::TransformerModel &mdl,
+          const partition::Partition &part,
+          const pipeline::Schedule &sched)
+{
+    std::string key;
+    key.reserve(192 + topo.name().size() +
+                mdl.config().name.size() +
+                part.stages.size() * 16);
+    key.push_back('T');
+    putScalar<std::uint32_t>(
+        key, static_cast<std::uint32_t>(topo.name().size()));
+    key += topo.name();
+    putScalar<std::int32_t>(key, topo.numGpus());
+    key.push_back(topo.symmetric() ? 1 : 0);
+    putScalar<std::int64_t>(key, topo.gpu().memCapacity);
+    putScalar<double>(key, topo.gpu().fp32Tflops);
+    putScalar<double>(key, topo.gpu().fp16Tflops);
+    putScalar<double>(key, topo.gpu().mfu);
+    putScalar<std::int32_t>(key, topo.gpu().nvlinkPorts);
+    putScalar<double>(key, topo.gpu().hbm.bytesPerSec());
+    putScalar<double>(key, topo.nvlinkSpec().peak.bytesPerSec());
+    putScalar<double>(key, topo.pcieSpec().peak.bytesPerSec());
+    putScalar<double>(key, topo.nvmeSpec().peak.bytesPerSec());
+    putScalar<std::int64_t>(key, topo.hostMemory());
+    putScalar<std::int64_t>(key, topo.nvmeCapacity());
+    key.push_back('m');
+    const model::ModelConfig &mc = mdl.config();
+    putScalar<std::uint32_t>(
+        key, static_cast<std::uint32_t>(mc.name.size()));
+    key += mc.name;
+    putScalar<std::int32_t>(key, mc.numBlocks);
+    putScalar<std::int32_t>(key, mc.hidden);
+    putScalar<std::int32_t>(key, mc.heads);
+    putScalar<std::int32_t>(key, mc.seqLen);
+    putScalar<std::int32_t>(key, mc.vocab);
+    key.push_back(static_cast<char>(mc.precision));
+    key.push_back(static_cast<char>(mc.optimizer));
+    putScalar<std::int32_t>(key, mdl.microbatchSize());
+    key.push_back('p');
+    putScalar<std::uint32_t>(
+        key, static_cast<std::uint32_t>(part.stages.size()));
+    for (const auto &stage : part.stages) {
+        putScalar<std::uint32_t>(
+            key, static_cast<std::uint32_t>(stage.firstLayer));
+        putScalar<std::uint32_t>(
+            key, static_cast<std::uint32_t>(stage.lastLayer));
+    }
+    key.push_back('s');
+    key.push_back(static_cast<char>(sched.system));
+    putScalar<std::int32_t>(key, sched.numStages);
+    putScalar<std::int32_t>(key, sched.microbatchesPerMinibatch);
+    putScalar<std::int32_t>(key, sched.numMinibatches);
+    return key;
+}
+
 } // namespace
+
+bool
+TrialCache::lookup(std::uint64_t sig, const std::string &key,
+                   runtime::TrainingReport *out) const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _map.find(sig);
+    // A signature collision (equal hash, different key) counts as a
+    // miss, so memoization can never change a result.
+    if (it != _map.end() && it->second.key == key) {
+        ++_stats.hits;
+        *out = it->second.report;
+        return true;
+    }
+    ++_stats.misses;
+    return false;
+}
+
+void
+TrialCache::insert(std::uint64_t sig, std::string key,
+                   const runtime::TrainingReport &report)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    // emplace keeps the first entry on a concurrent duplicate (or a
+    // colliding signature): later lookups of the losing key simply
+    // keep missing.
+    _map.emplace(sig, Entry{std::move(key), report});
+}
+
+TrialCacheStats
+TrialCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _stats;
+}
+
+std::size_t
+TrialCache::size() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _map.size();
+}
+
+void
+TrialCache::clear()
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    _map.clear();
+}
 
 /**
  * Compact binary memoization key, equivalent to trialKey() but ~two
@@ -112,7 +225,8 @@ SearchDriver::SearchDriver(const hw::Topology &topo,
                            util::ThreadPool &pool)
     : _topo(topo), _mdl(mdl), _part(part), _sched(sched),
       _execCfg(exec_cfg), _pool(pool),
-      _workerArenas(static_cast<std::size_t>(pool.threads()))
+      _workerArenas(static_cast<std::size_t>(pool.threads())),
+      _jobKey(jobKeyFor(topo, mdl, part, sched))
 {
     // Every trial is a scoring run, never a profiling run, and plan
     // selection must not depend on injected faults — robustness is
@@ -124,6 +238,12 @@ SearchDriver::SearchDriver(const hw::Topology &topo,
     // driver-wide config (and deliberately not part of the cache
     // key: it cannot change a result).
     _execCfg.arena = nullptr;
+}
+
+void
+SearchDriver::setSharedCache(TrialCache *cache)
+{
+    _cache = cache != nullptr ? cache : &_ownCache;
 }
 
 SearchDriver::WorkerArena &
@@ -197,8 +317,13 @@ SearchDriver::scenarioKey(const fault::Scenario &scenario)
 TrialCacheStats
 SearchDriver::cacheStats() const
 {
-    std::lock_guard<std::mutex> lock(_cacheMu);
-    return _stats;
+    // Per-driver view: with a shared cache attached, the cache's own
+    // stats() aggregate across every driver, while these counters
+    // keep PlanResult's hit/miss attribution local to this search.
+    TrialCacheStats stats;
+    stats.hits = _cacheHits.load(std::memory_order_relaxed);
+    stats.misses = _cacheMisses.load(std::memory_order_relaxed);
+    return stats;
 }
 
 runtime::TrainingReport
@@ -218,31 +343,23 @@ SearchDriver::cachedRun(const compaction::CompactionPlan &plan,
     };
     if (!_cacheEnabled)
         return run_here();
-    std::string key = trialKeyBinary(plan, cfg, scenario_id);
+    // The job key prefix scopes the entry to this driver's
+    // (topology, model, partition, schedule), so a shared cache can
+    // serve many jobs without ever exchanging entries between them.
+    std::string key = _jobKey;
+    key += trialKeyBinary(plan, cfg, scenario_id);
     std::uint64_t sig = util::fnv1a64(key);
-    {
-        std::lock_guard<std::mutex> lock(_cacheMu);
-        auto it = _cache.find(sig);
-        // A signature collision (equal hash, different key) counts as
-        // a miss, so memoization can never change a result.
-        if (it != _cache.end() && it->second.key == key) {
-            ++_stats.hits;
-            // The emulator is a pure function of (topology, job,
-            // plan, cfg): the stored report is byte-identical to what
-            // a fresh run would produce.
-            return it->second.report;
-        }
-        ++_stats.misses;
+    runtime::TrainingReport report;
+    if (_cache->lookup(sig, key, &report)) {
+        // The emulator is a pure function of (topology, job, plan,
+        // cfg): the stored report is byte-identical to what a fresh
+        // run would produce.
+        _cacheHits.fetch_add(1, std::memory_order_relaxed);
+        return report;
     }
-    runtime::TrainingReport report = run_here();
-    {
-        std::lock_guard<std::mutex> lock(_cacheMu);
-        // emplace keeps the first entry on a concurrent duplicate (or
-        // a colliding signature): later lookups of the losing key
-        // simply keep missing.
-        _cache.emplace(sig,
-                       CacheEntry{std::move(key), report});
-    }
+    _cacheMisses.fetch_add(1, std::memory_order_relaxed);
+    report = run_here();
+    _cache->insert(sig, std::move(key), report);
     return report;
 }
 
@@ -364,7 +481,14 @@ SearchDriver::evaluateRobustness(
     const std::vector<fault::Scenario> &scenarios)
 {
     RobustnessResult res;
-    res.baseline = cachedRun(plan, _execCfg, "");
+    // Run the baseline through parallelFor(1, ...) rather than
+    // directly: the serial fast path pins currentWorker() to 0 for
+    // the body.  A direct call would inherit the caller's worker id —
+    // nonzero when the caller is itself a body of an outer pool (an
+    // mpress-serve request worker) — and index past _workerArenas.
+    _pool.parallelFor(1, [&](std::size_t) {
+        res.baseline = cachedRun(plan, _execCfg, "");
+    });
     res.rows.resize(scenarios.size());
     _pool.parallelFor(scenarios.size(), [&](std::size_t i) {
         runtime::ExecutorConfig cfg = _execCfg;

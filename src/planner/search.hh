@@ -73,6 +73,56 @@ struct TrialCacheStats
     std::uint64_t misses = 0;
 };
 
+/**
+ * Thread-safe memoization store for trial TrainingReports, keyed by a
+ * 64-bit signature with the full key bytes kept as a collision guard
+ * (equal hash + different key counts as a miss, so memoization can
+ * never change a result).
+ *
+ * Historically this map lived inside one SearchDriver and died with
+ * it.  As a standalone object it can be shared across drivers — and
+ * therefore across planning *sessions*: mpress-serve keeps one
+ * resident TrialCache so a request's trial emulations hit on the
+ * work of every earlier request.  Sharing across different jobs is
+ * safe because every driver prefixes its keys with a job content key
+ * (see SearchDriver::jobKey()): two jobs that disagree on topology,
+ * model, partition or schedule can never exchange entries.
+ */
+class TrialCache
+{
+  public:
+    /** Copy the report for (@p sig, @p key) into @p out; false on
+     *  miss (including a signature collision). */
+    bool lookup(std::uint64_t sig, const std::string &key,
+                runtime::TrainingReport *out) const;
+
+    /** Store @p report under (@p sig, @p key).  The first entry for
+     *  a signature wins; a concurrent duplicate (or a colliding
+     *  signature) is dropped and its key simply keeps missing. */
+    void insert(std::uint64_t sig, std::string key,
+                const runtime::TrainingReport &report);
+
+    /** Aggregate hit/miss counters across every sharing driver. */
+    TrialCacheStats stats() const;
+
+    /** Number of resident entries. */
+    std::size_t size() const;
+
+    /** Drop every entry (counters are kept). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::string key;  ///< full key bytes (collision guard)
+        runtime::TrainingReport report;
+    };
+
+    mutable std::mutex _mu;
+    std::unordered_map<std::uint64_t, Entry> _map;
+    mutable TrialCacheStats _stats;
+};
+
 /** Counters of the analysis-first pruning tier. */
 struct PruneStats
 {
@@ -209,8 +259,30 @@ class SearchDriver
     /** Enable/disable trial-report memoization (default: enabled). */
     void setCacheEnabled(bool on) { _cacheEnabled = on; }
 
-    /** Cache hit/miss counters accumulated so far. */
+    /**
+     * Memoize through @p cache (non-owning; must outlive the driver)
+     * instead of this driver's private store.  Entries this driver
+     * wrote earlier stay in the private store — switch before the
+     * first trial.  A shared cache may serve many concurrent drivers
+     * for different jobs: the jobKey() prefix keeps their entries
+     * disjoint.  Null restores the private store.
+     */
+    void setSharedCache(TrialCache *cache);
+
+    /** Cache hit/miss counters of THIS driver's probes (a shared
+     *  cache's own stats() aggregate every driver). */
     TrialCacheStats cacheStats() const;
+
+    /**
+     * Content key of this driver's job, prefixed to every
+     * memoization key: topology (name, GPU count and spec capacity,
+     * host/NVMe provisioning, fabric class), model configuration +
+     * microbatch, partition stage boundaries, and schedule shape.
+     * Captures the whole preset-reachable configuration surface; a
+     * hand-mutated topology that disagrees only in a per-pair link
+     * override should not share a TrialCache across jobs.
+     */
+    const std::string &jobKey() const { return _jobKey; }
 
     /**
      * Enable the analysis-first pruning tier (default: off).  Batch
@@ -316,12 +388,6 @@ class SearchDriver
               const runtime::ExecutorConfig &cfg,
               std::string_view scenario_id);
 
-    struct CacheEntry
-    {
-        std::string key;  ///< full key text (collision guard)
-        runtime::TrainingReport report;
-    };
-
     const hw::Topology &_topo;
     const model::TransformerModel &_mdl;
     const partition::Partition &_part;
@@ -335,10 +401,13 @@ class SearchDriver
      *  per-trial hw::Topology copy and the per-trial engine slabs. */
     std::vector<WorkerArena> _workerArenas;
 
+    std::string _jobKey;
+
     bool _cacheEnabled = true;
-    mutable std::mutex _cacheMu;
-    std::unordered_map<std::uint64_t, CacheEntry> _cache;
-    TrialCacheStats _stats;
+    TrialCache _ownCache;
+    TrialCache *_cache = &_ownCache;
+    std::atomic<std::uint64_t> _cacheHits{0};
+    std::atomic<std::uint64_t> _cacheMisses{0};
 
     bool _analyticPrune = false;
     double _pruneBaseline = -1.0;

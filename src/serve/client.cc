@@ -1,0 +1,125 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mpress {
+namespace serve {
+
+namespace {
+
+void
+setError(std::string *error, const char *what)
+{
+    if (error)
+        *error = std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    _buf.clear();
+}
+
+bool
+Client::connect(int port, std::string *error)
+{
+    close();
+    _fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_fd < 0) {
+        setError(error, "socket");
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(_fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        setError(error, "connect");
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::sendLine(const std::string &line, std::string *error)
+{
+    if (_fd < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        ssize_t n = ::send(_fd, out.data() + sent, out.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            setError(error, "send");
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+Client::recvLine(std::string *line, std::string *error)
+{
+    if (_fd < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    char chunk[4096];
+    while (true) {
+        std::size_t nl = _buf.find('\n');
+        if (nl != std::string::npos) {
+            *line = _buf.substr(0, nl);
+            _buf.erase(0, nl + 1);
+            if (!line->empty() && line->back() == '\r')
+                line->pop_back();
+            return true;
+        }
+        ssize_t n = ::recv(_fd, chunk, sizeof chunk, 0);
+        if (n == 0) {
+            if (error)
+                *error = "connection closed by server";
+            return false;
+        }
+        if (n < 0) {
+            setError(error, "recv");
+            return false;
+        }
+        _buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+Client::call(const std::string &request, std::string *response,
+             std::string *error)
+{
+    return sendLine(request, error) && recvLine(response, error);
+}
+
+} // namespace serve
+} // namespace mpress

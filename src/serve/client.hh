@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Blocking client for the mpress-serve line protocol.
+ *
+ * One Client is one TCP connection.  call() is the synchronous
+ * convenience (send one line, read one line); sendLine()/recvLine()
+ * are split out for callers that pipeline several requests on one
+ * connection and match responses by id (the load driver in
+ * bench/bench_serve_load.cc).  Not thread-safe: one Client per
+ * thread — the protocol itself is happy with many concurrent
+ * connections.
+ */
+
+#ifndef MPRESS_SERVE_CLIENT_HH
+#define MPRESS_SERVE_CLIENT_HH
+
+#include <string>
+
+namespace mpress {
+namespace serve {
+
+/** See the file comment. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to 127.0.0.1:@p port; false (with @p error) on
+     *  failure. */
+    bool connect(int port, std::string *error = nullptr);
+
+    bool connected() const { return _fd >= 0; }
+    void close();
+
+    /** Write @p line (a JSON request, no newline) to the server. */
+    bool sendLine(const std::string &line,
+                  std::string *error = nullptr);
+
+    /** Read the next response line (newline stripped).  False on
+     *  EOF or a socket error. */
+    bool recvLine(std::string *line, std::string *error = nullptr);
+
+    /** sendLine + recvLine. */
+    bool call(const std::string &request, std::string *response,
+              std::string *error = nullptr);
+
+  private:
+    int _fd = -1;
+    std::string _buf;  ///< bytes received past the last line
+};
+
+} // namespace serve
+} // namespace mpress
+
+#endif // MPRESS_SERVE_CLIENT_HH

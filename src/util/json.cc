@@ -1,5 +1,6 @@
 #include "util/json.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <stdexcept>
 
@@ -14,27 +15,50 @@ namespace {
 class JsonChecker
 {
   public:
-    explicit JsonChecker(const std::string &text) : _text(text) {}
+    JsonChecker(const std::string &text, const JsonLimits &limits)
+        : _text(text), _limits(limits)
+    {}
 
     bool
-    check(std::string *error)
+    check(std::string *error, JsonErrorKind *kind = nullptr)
     {
-        bool ok = value() && (skipWs(), _pos == _text.size());
-        if (!ok && error) {
-            *error = strformat(
-                "invalid JSON at byte %zu: %s", _pos,
-                _reason.empty() ? "trailing content" : _reason.c_str());
+        bool ok = checkSize() && value() &&
+                  (skipWs(), _pos == _text.size());
+        if (!ok) {
+            if (_kind == JsonErrorKind::None)
+                _kind = JsonErrorKind::Syntax;
+            if (error) {
+                *error = strformat(
+                    "invalid JSON at byte %zu: %s", _pos,
+                    _reason.empty() ? "trailing content"
+                                    : _reason.c_str());
+            }
         }
+        if (kind)
+            *kind = ok ? JsonErrorKind::None : _kind;
         return ok;
     }
 
   private:
     bool
-    fail(const char *reason)
+    fail(const char *reason,
+         JsonErrorKind kind = JsonErrorKind::Syntax)
     {
-        if (_reason.empty())
+        if (_reason.empty()) {
             _reason = reason;
+            _kind = kind;
+        }
         return false;
+    }
+
+    bool
+    checkSize()
+    {
+        if (_limits.maxBytes > 0 && _text.size() > _limits.maxBytes) {
+            return fail("input exceeds size limit",
+                        JsonErrorKind::TooLarge);
+        }
+        return true;
     }
 
     void
@@ -180,8 +204,10 @@ class JsonChecker
     bool
     value()
     {
-        if (++_depth > 256)
-            return fail("nesting too deep");
+        if (++_depth > std::max(_limits.maxDepth, 1)) {
+            return fail("nesting too deep",
+                        JsonErrorKind::DepthExceeded);
+        }
         skipWs();
         bool ok;
         switch (peek()) {
@@ -212,9 +238,11 @@ class JsonChecker
     }
 
     const std::string &_text;
+    JsonLimits _limits;
     std::size_t _pos = 0;
     int _depth = 0;
     std::string _reason;
+    JsonErrorKind _kind = JsonErrorKind::None;
 };
 
 /** Recursive-descent document builder; grammar mirrors JsonChecker
@@ -222,30 +250,49 @@ class JsonChecker
 class JsonParser
 {
   public:
-    explicit JsonParser(const std::string &text) : _text(text) {}
+    JsonParser(const std::string &text, const JsonLimits &limits)
+        : _text(text), _limits(limits)
+    {}
 
     ParsedJson
     parse()
     {
         ParsedJson out;
-        out.ok = value(out.value) &&
+        out.ok = checkSize() && value(out.value) &&
                  (skipWs(), _pos == _text.size());
         if (!out.ok) {
             out.error = strformat(
                 "invalid JSON at byte %zu: %s", _pos,
                 _reason.empty() ? "trailing content"
                                 : _reason.c_str());
+            out.errorKind = _kind == JsonErrorKind::None
+                                ? JsonErrorKind::Syntax
+                                : _kind;
+            out.value = JsonValue();
         }
         return out;
     }
 
   private:
     bool
-    fail(const char *reason)
+    fail(const char *reason,
+         JsonErrorKind kind = JsonErrorKind::Syntax)
     {
-        if (_reason.empty())
+        if (_reason.empty()) {
             _reason = reason;
+            _kind = kind;
+        }
         return false;
+    }
+
+    bool
+    checkSize()
+    {
+        if (_limits.maxBytes > 0 && _text.size() > _limits.maxBytes) {
+            return fail("input exceeds size limit",
+                        JsonErrorKind::TooLarge);
+        }
+        return true;
     }
 
     void
@@ -448,8 +495,10 @@ class JsonParser
     bool
     value(JsonValue &out)
     {
-        if (++_depth > 256)
-            return fail("nesting too deep");
+        if (++_depth > std::max(_limits.maxDepth, 1)) {
+            return fail("nesting too deep",
+                        JsonErrorKind::DepthExceeded);
+        }
         skipWs();
         bool ok;
         switch (peek()) {
@@ -494,23 +543,148 @@ class JsonParser
     }
 
     const std::string &_text;
+    JsonLimits _limits;
     std::size_t _pos = 0;
     int _depth = 0;
     std::string _reason;
+    JsonErrorKind _kind = JsonErrorKind::None;
 };
 
 } // namespace
 
-bool
-jsonParseable(const std::string &text, std::string *error)
+const char *
+jsonErrorKindName(JsonErrorKind kind)
 {
-    return JsonChecker(text).check(error);
+    switch (kind) {
+      case JsonErrorKind::None:
+        return "none";
+      case JsonErrorKind::Syntax:
+        return "syntax";
+      case JsonErrorKind::DepthExceeded:
+        return "depth-exceeded";
+      case JsonErrorKind::TooLarge:
+        return "too-large";
+    }
+    return "unknown";
+}
+
+bool
+jsonParseable(const std::string &text, std::string *error,
+              const JsonLimits &limits)
+{
+    return JsonChecker(text, limits).check(error);
 }
 
 ParsedJson
-jsonParse(const std::string &text)
+jsonParse(const std::string &text, const JsonLimits &limits)
 {
-    return JsonParser(text).parse();
+    return JsonParser(text, limits).parse();
+}
+
+std::string
+jsonQuote(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (char ch : text) {
+        auto c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20)
+                out += strformat("\\u%04x", c);
+            else
+                out.push_back(ch);
+            break;
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+namespace {
+
+void
+renderInto(const JsonValue &value, std::string &out)
+{
+    switch (value.type()) {
+      case JsonValue::Type::Null:
+        out += "null";
+        break;
+      case JsonValue::Type::Bool:
+        out += value.boolean() ? "true" : "false";
+        break;
+      case JsonValue::Type::Number: {
+        // %.17g round-trips every double; integral values render
+        // without an exponent or trailing ".0" noise.
+        double n = value.number();
+        if (n == static_cast<double>(static_cast<long long>(n))) {
+            out += strformat("%lld",
+                             static_cast<long long>(n));
+        } else {
+            out += strformat("%.17g", n);
+        }
+        break;
+      }
+      case JsonValue::Type::String:
+        out += jsonQuote(value.str());
+        break;
+      case JsonValue::Type::Array: {
+        out.push_back('[');
+        const char *sep = "";
+        for (const auto &item : value.items()) {
+            out += sep;
+            sep = ",";
+            renderInto(item, out);
+        }
+        out.push_back(']');
+        break;
+      }
+      case JsonValue::Type::Object: {
+        out.push_back('{');
+        const char *sep = "";
+        for (const auto &[key, member] : value.members()) {
+            out += sep;
+            sep = ",";
+            out += jsonQuote(key);
+            out.push_back(':');
+            renderInto(member, out);
+        }
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+jsonRender(const JsonValue &value)
+{
+    std::string out;
+    renderInto(value, out);
+    return out;
 }
 
 const JsonValue *

@@ -13,13 +13,21 @@
  * by consumers of user-supplied JSON such as the CLI's --sweep
  * scenario specs.  Same RFC 8259 grammar; numbers are held as
  * doubles, object member order is preserved.
+ *
+ * Both entry points are safe on untrusted bytes: parsing is bounded
+ * by explicit resource limits (JsonLimits) instead of the process
+ * stack, and every rejection carries a typed reason (JsonErrorKind)
+ * so network-facing callers (mpress-serve) can answer with a typed
+ * protocol error rather than a crash or an opaque string.
  */
 
 #ifndef MPRESS_UTIL_JSON_HH
 #define MPRESS_UTIL_JSON_HH
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -27,12 +35,42 @@ namespace mpress {
 namespace util {
 
 /**
+ * Resource bounds enforced while parsing.  The recursive-descent
+ * walkers consume one stack frame per nesting level, so maxDepth is
+ * what stands between a hostile `[[[[...` payload and a stack
+ * overflow; maxBytes rejects oversized documents before any work.
+ */
+struct JsonLimits
+{
+    /** Maximum container nesting depth (top-level value = depth 1).
+     *  Values < 1 are treated as 1. */
+    int maxDepth = 256;
+
+    /** Maximum input size in bytes; 0 = unlimited. */
+    std::size_t maxBytes = 0;
+};
+
+/** Why a parse was rejected (None on success). */
+enum class JsonErrorKind
+{
+    None,           ///< parse succeeded
+    Syntax,         ///< malformed JSON text
+    DepthExceeded,  ///< nesting beyond JsonLimits::maxDepth
+    TooLarge,       ///< input beyond JsonLimits::maxBytes
+};
+
+/** Returns a stable display name for @p kind. */
+const char *jsonErrorKindName(JsonErrorKind kind);
+
+/**
  * Returns true when @p text is exactly one syntactically valid JSON
- * value (with optional surrounding whitespace).  On failure, writes a
- * byte offset and reason into @p error when non-null.
+ * value (with optional surrounding whitespace) within @p limits.  On
+ * failure, writes a byte offset and reason into @p error when
+ * non-null.
  */
 bool jsonParseable(const std::string &text,
-                   std::string *error = nullptr);
+                   std::string *error = nullptr,
+                   const JsonLimits &limits = {});
 
 /** One parsed JSON value (see jsonParse()). */
 class JsonValue
@@ -98,10 +136,27 @@ struct ParsedJson
     bool ok = false;
     JsonValue value;
     std::string error;  ///< set when !ok, names offset and reason
+
+    /** Typed rejection reason (None when ok). */
+    JsonErrorKind errorKind = JsonErrorKind::None;
 };
 
-/** Parse @p text into a document tree (strict RFC 8259). */
-ParsedJson jsonParse(const std::string &text);
+/** Parse @p text into a document tree (strict RFC 8259), enforcing
+ *  @p limits. */
+ParsedJson jsonParse(const std::string &text,
+                     const JsonLimits &limits = {});
+
+/** Quote @p text as a JSON string literal: surrounding double quotes
+ *  plus escapes for quotes, backslashes and control characters.  The
+ *  output always satisfies jsonParseable(). */
+std::string jsonQuote(std::string_view text);
+
+/** Serialize @p value back to compact JSON text (no whitespace,
+ *  object member order preserved).  jsonRender(jsonParse(t).value)
+ *  parses to an equivalent document; used to hand a subtree of a
+ *  request document to a text-based parser (fault scenario specs
+ *  embedded in an mpress-serve request). */
+std::string jsonRender(const JsonValue &value);
 
 } // namespace util
 } // namespace mpress

@@ -1,9 +1,47 @@
 #include "util/strings.hh"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace mpress {
 namespace util {
+
+bool
+parseInt(const std::string &text, int *out)
+{
+    const char *first = text.data();
+    const char *last = first + text.size();
+    // from_chars accepts a leading '-' but not '+'; allow both so
+    // "--threads +4" reads as the obvious number.
+    if (first != last && *first == '+')
+        ++first;
+    if (first == last)
+        return false;
+    int value = 0;
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last)
+        return false;
+    *out = value;
+    return true;
+}
+
+bool
+parseDouble(const std::string &text, double *out)
+{
+    const char *first = text.data();
+    const char *last = first + text.size();
+    if (first != last && *first == '+')
+        ++first;
+    if (first == last)
+        return false;
+    double value = 0.0;
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last || !std::isfinite(value))
+        return false;
+    *out = value;
+    return true;
+}
 
 std::string
 vstrformat(const char *fmt, std::va_list args)

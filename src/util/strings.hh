@@ -23,6 +23,19 @@ std::string strformat(const char *fmt, ...)
 /** vprintf counterpart of strformat(). */
 std::string vstrformat(const char *fmt, std::va_list args);
 
+/**
+ * Strict checked integer parse: the whole of @p text must be one
+ * base-10 integer (optional sign) that fits an int.  Returns false —
+ * leaving @p out untouched — on empty input, trailing junk, or
+ * overflow, so CLI flag handling can reject malformed values instead
+ * of crashing in std::stoi.
+ */
+bool parseInt(const std::string &text, int *out);
+
+/** parseInt() counterpart for doubles (strict, whole-string,
+ *  finite-range; accepts the usual fixed/scientific forms). */
+bool parseDouble(const std::string &text, double *out);
+
 /** Split @p text on @p sep, keeping empty fields. */
 std::vector<std::string> split(const std::string &text, char sep);
 

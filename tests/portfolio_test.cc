@@ -181,3 +181,46 @@ TEST(Portfolio, OffByDefaultRunsGreedyOnly)
     EXPECT_EQ(r.strategyStats[0].name, "greedy-wavefront");
     EXPECT_EQ(r.winnerStrategy, 0);
 }
+
+TEST(Portfolio, NonPositiveDeadlineMeansNoDeadline)
+{
+    // Both 0 and negative deadlines disable the budget — the serve
+    // layer forwards request deadlineMs verbatim, so a client
+    // sending -1 must get the full (deadline-free) plan, not an
+    // instantly-expired race.
+    Job job("bert-1.67b");
+    auto none = planPortfolio(job, 1, 0.0, true);
+    auto negative = planPortfolio(job, 1, -1.0, true);
+    ASSERT_TRUE(none.feasible);
+    ASSERT_TRUE(negative.feasible);
+    EXPECT_EQ(cp::planToText(negative.plan),
+              cp::planToText(none.plan));
+    EXPECT_EQ(negative.winnerStrategy, none.winnerStrategy);
+    EXPECT_EQ(negative.finalReport.samplesPerSec,
+              none.finalReport.samplesPerSec);
+    EXPECT_EQ(negative.iterations, none.iterations);
+}
+
+TEST(Portfolio, DeadlineAppliesWithoutPortfolioRace)
+{
+    // deadlineMs is honored by the greedy-only path too (the race
+    // wrapper runs with a single strategy): a tiny budget still
+    // yields a verified feasible plan, and the untimed run can only
+    // match or beat it.
+    Job job("bert-1.67b");
+    pn::PlannerConfig cfg;
+    cfg.deadlineMs = 1e-6;  // expires immediately
+    ASSERT_FALSE(cfg.portfolio);
+    auto cut = pn::planMPress(job.topo, job.mdl, job.part, job.sched,
+                              cfg);
+    EXPECT_TRUE(cut.feasible);
+    EXPECT_TRUE(cut.verification.ok());
+    EXPECT_FALSE(cut.plan.empty());
+    EXPECT_GT(cut.finalReport.samplesPerSec, 0.0);
+
+    pn::PlannerConfig untimed;
+    auto full = pn::planMPress(job.topo, job.mdl, job.part,
+                               job.sched, untimed);
+    EXPECT_GE(full.finalReport.samplesPerSec,
+              cut.finalReport.samplesPerSec);
+}

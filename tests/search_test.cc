@@ -70,6 +70,37 @@ operator delete[](void *p, std::size_t) noexcept
     std::free(p);
 }
 
+// The nothrow variants must be replaced too: libstdc++'s
+// stable_sort temporary buffer allocates through
+// `operator new(n, nothrow)`, and a default nothrow-new paired with
+// the malloc-backed plain delete above is an alloc-dealloc mismatch
+// under ASan.
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n ? n : 1);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &tag) noexcept
+{
+    return ::operator new(n, tag);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
 #include "compaction/serialize.hh"
 #include "fault/scenario.hh"
 #include "hw/topology.hh"
@@ -648,4 +679,124 @@ TEST(TrialCache, PlanResultReportsCacheCounters)
     EXPECT_EQ(with_cache.finalReport.makespan,
               without.finalReport.makespan);
     EXPECT_EQ(with_cache.iterations, without.iterations);
+}
+
+// ---------------------------------------------------------------
+// Shared trial cache (the daemon's resident cross-request cache)
+// ---------------------------------------------------------------
+
+TEST(SharedTrialCache, SecondDriverOnTheSameJobHits)
+{
+    Job job("bert-1.67b", 24);
+    auto plan = recomputeAll(job.part);
+    pn::TrialCache shared;
+
+    mu::ThreadPool pool(1);
+    pn::SearchDriver first(job.topo, job.mdl, job.part, job.sched,
+                           {}, pool);
+    first.setSharedCache(&shared);
+    auto a = first.evaluateOne(plan);
+    EXPECT_EQ(first.cacheStats().misses, 1u);
+    EXPECT_EQ(shared.size(), 1u);
+
+    // A brand-new driver for the same job — the daemon's "second
+    // request" — must be served from the shared cache.
+    pn::SearchDriver second(job.topo, job.mdl, job.part, job.sched,
+                            {}, pool);
+    second.setSharedCache(&shared);
+    auto b = second.evaluateOne(plan);
+    EXPECT_EQ(second.cacheStats().hits, 1u);
+    EXPECT_EQ(second.cacheStats().misses, 0u);
+    EXPECT_EQ(a.report.makespan, b.report.makespan);
+    EXPECT_EQ(a.report.samplesPerSec, b.report.samplesPerSec);
+    EXPECT_EQ(a.verified, b.verified);
+
+    // Aggregate counters cover both drivers.
+    EXPECT_EQ(shared.stats().hits, 1u);
+    EXPECT_EQ(shared.stats().misses, 1u);
+}
+
+TEST(SharedTrialCache, DistinctJobsDoNotCollide)
+{
+    // Identical model/partition/plan but a different schedule (24
+    // vs 12 in-flight minibatches) — the job key must keep the
+    // entries apart, or the second job would read the first job's
+    // numbers.
+    Job deep("bert-1.67b", 24);
+    Job shallow("bert-1.67b", 12);
+    auto plan = recomputeAll(deep.part);
+    pn::TrialCache shared;
+
+    mu::ThreadPool pool(1);
+    pn::SearchDriver ddrv(deep.topo, deep.mdl, deep.part, deep.sched,
+                          {}, pool);
+    ddrv.setSharedCache(&shared);
+    auto a = ddrv.evaluateOne(plan);
+
+    pn::SearchDriver sdrv(shallow.topo, shallow.mdl, shallow.part,
+                          shallow.sched, {}, pool);
+    sdrv.setSharedCache(&shared);
+    auto b = sdrv.evaluateOne(plan);
+
+    EXPECT_EQ(sdrv.cacheStats().hits, 0u);
+    EXPECT_EQ(sdrv.cacheStats().misses, 1u);
+    EXPECT_EQ(shared.size(), 2u);
+    // Fewer in-flight minibatches -> different emulated makespan.
+    EXPECT_NE(a.report.makespan, b.report.makespan);
+}
+
+TEST(SharedTrialCache, PrewarmedPlanMPressIsByteIdentical)
+{
+    // The daemon's acceptance contract at the library level: a
+    // pre-warmed shared cache changes only the wall clock, never the
+    // plan.  24 in-flight minibatches force the refine loop (the
+    // trivial job plans in zero iterations and never touches the
+    // cache).
+    Job job("bert-1.67b", 24);
+    pn::TrialCache shared;
+    pn::PlannerConfig cfg;
+    cfg.sharedCache = &shared;
+
+    auto cold = pn::planMPress(job.topo, job.mdl, job.part,
+                               job.sched, cfg);
+    ASSERT_TRUE(cold.feasible);
+    EXPECT_GT(cold.trialCacheMisses, 0u);
+    EXPECT_GT(shared.size(), 0u);
+
+    auto warm = pn::planMPress(job.topo, job.mdl, job.part,
+                               job.sched, cfg);
+    ASSERT_TRUE(warm.feasible);
+    EXPECT_GT(warm.trialCacheHits, 0u);
+    EXPECT_EQ(warm.trialCacheMisses, 0u);
+    EXPECT_EQ(cp::planToText(warm.plan), cp::planToText(cold.plan));
+    EXPECT_EQ(warm.finalReport.samplesPerSec,
+              cold.finalReport.samplesPerSec);
+    EXPECT_EQ(warm.iterations, cold.iterations);
+
+    // And against a run with no shared cache at all.
+    auto lone = pn::planMPress(job.topo, job.mdl, job.part,
+                               job.sched, {});
+    EXPECT_EQ(cp::planToText(lone.plan), cp::planToText(cold.plan));
+}
+
+TEST(SharedTrialCache, ClearDropsEntriesButKeepsCounters)
+{
+    Job job("bert-1.67b", 24);
+    auto plan = swapAll(job.part);
+    pn::TrialCache shared;
+
+    mu::ThreadPool pool(1);
+    pn::SearchDriver driver(job.topo, job.mdl, job.part, job.sched,
+                            {}, pool);
+    driver.setSharedCache(&shared);
+    driver.evaluateOne(plan);
+    ASSERT_EQ(shared.size(), 1u);
+
+    shared.clear();
+    EXPECT_EQ(shared.size(), 0u);
+    EXPECT_EQ(shared.stats().misses, 1u);
+
+    driver.evaluateOne(plan);  // re-emulates after the purge
+    EXPECT_EQ(shared.stats().misses, 2u);
+    EXPECT_EQ(shared.stats().hits, 0u);
 }

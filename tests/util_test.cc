@@ -323,3 +323,195 @@ TEST(Random, Fnv1a64KnownVectors)
     EXPECT_EQ(mpress::util::fnv1a64("foobar"),
               0x85944171f73967e8ULL);
 }
+
+// ---------------------------------------------------------------
+// Checked numeric parsing: the CLI's defense against std::stoi
+// crashes on malformed flag values
+// ---------------------------------------------------------------
+
+TEST(Strings, ParseIntAcceptsWholeIntegers)
+{
+    int v = -1;
+    EXPECT_TRUE(mu::parseInt("0", &v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(mu::parseInt("42", &v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(mu::parseInt("-7", &v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(mu::parseInt("+13", &v));
+    EXPECT_EQ(v, 13);
+    EXPECT_TRUE(mu::parseInt("2147483647", &v));
+    EXPECT_EQ(v, std::numeric_limits<int>::max());
+    EXPECT_TRUE(mu::parseInt("-2147483648", &v));
+    EXPECT_EQ(v, std::numeric_limits<int>::min());
+}
+
+TEST(Strings, ParseIntRejectsJunkAndLeavesOutUntouched)
+{
+    int v = 123;
+    // Each of these used to reach std::stoi and throw.
+    EXPECT_FALSE(mu::parseInt("", &v));
+    EXPECT_FALSE(mu::parseInt("banana", &v));
+    EXPECT_FALSE(mu::parseInt("2x", &v));
+    EXPECT_FALSE(mu::parseInt(" 2", &v));
+    EXPECT_FALSE(mu::parseInt("2 ", &v));
+    EXPECT_FALSE(mu::parseInt("1.5", &v));
+    EXPECT_FALSE(mu::parseInt("0x10", &v));
+    EXPECT_FALSE(mu::parseInt("--threads", &v));
+    EXPECT_FALSE(mu::parseInt("99999999999999999999", &v));
+    EXPECT_FALSE(mu::parseInt("2147483648", &v));   // max + 1
+    EXPECT_FALSE(mu::parseInt("-2147483649", &v));  // min - 1
+    EXPECT_EQ(v, 123) << "failed parse must not clobber *out";
+}
+
+TEST(Strings, ParseDoubleAcceptsUsualForms)
+{
+    double v = -1.0;
+    EXPECT_TRUE(mu::parseDouble("0", &v));
+    EXPECT_EQ(v, 0.0);
+    EXPECT_TRUE(mu::parseDouble("2.5", &v));
+    EXPECT_EQ(v, 2.5);
+    EXPECT_TRUE(mu::parseDouble("-1e3", &v));
+    EXPECT_EQ(v, -1000.0);
+    EXPECT_TRUE(mu::parseDouble("1.25e-2", &v));
+    EXPECT_EQ(v, 0.0125);
+}
+
+TEST(Strings, ParseDoubleRejectsJunkAndNonFinite)
+{
+    double v = 123.0;
+    EXPECT_FALSE(mu::parseDouble("", &v));
+    EXPECT_FALSE(mu::parseDouble("soon", &v));
+    EXPECT_FALSE(mu::parseDouble("5ms", &v));
+    EXPECT_FALSE(mu::parseDouble("1e999", &v));  // overflows to inf
+    EXPECT_FALSE(mu::parseDouble("nan", &v));
+    EXPECT_FALSE(mu::parseDouble("inf", &v));
+    EXPECT_FALSE(mu::parseDouble(" 1", &v));
+    EXPECT_EQ(v, 123.0) << "failed parse must not clobber *out";
+}
+
+// ---------------------------------------------------------------
+// JSON resource limits: typed rejection for hostile documents
+// ---------------------------------------------------------------
+
+namespace {
+
+/** @return a document nested @p depth arrays deep: [[[...]]] */
+std::string
+nestedArrays(int depth)
+{
+    std::string text;
+    text.reserve(static_cast<std::size_t>(depth) * 2);
+    for (int i = 0; i < depth; ++i)
+        text += '[';
+    for (int i = 0; i < depth; ++i)
+        text += ']';
+    return text;
+}
+
+} // namespace
+
+TEST(JsonLimits, DefaultDepthCapStopsNestingBombs)
+{
+    // 256 levels is fine; 257 is a typed DepthExceeded, not a stack
+    // overflow (the recursive-descent parser consumes one stack
+    // frame per level, so unbounded nesting would crash).
+    EXPECT_TRUE(mu::jsonParse(nestedArrays(256)).ok);
+    auto deep = mu::jsonParse(nestedArrays(257));
+    EXPECT_FALSE(deep.ok);
+    EXPECT_EQ(deep.errorKind, mu::JsonErrorKind::DepthExceeded);
+    EXPECT_FALSE(deep.error.empty());
+    // Degenerate-but-wide input is fine: depth 1, any length.
+    std::string wide = "[0";
+    for (int i = 0; i < 10000; ++i)
+        wide += ",0";
+    wide += "]";
+    EXPECT_TRUE(mu::jsonParse(wide).ok);
+}
+
+TEST(JsonLimits, CustomDepthCap)
+{
+    // Every value counts one level, scalars included: "[[1]]" is
+    // depth 3 (array, array, number).
+    mu::JsonLimits limits;
+    limits.maxDepth = 3;
+    EXPECT_TRUE(mu::jsonParse("[[1]]", limits).ok);
+    EXPECT_TRUE(mu::jsonParse("[[[]]]", limits).ok);
+    auto doc = mu::jsonParse("[[[1]]]", limits);
+    EXPECT_FALSE(doc.ok);
+    EXPECT_EQ(doc.errorKind, mu::JsonErrorKind::DepthExceeded);
+    // Objects count levels the same way arrays do.
+    auto obj = mu::jsonParse("{\"a\":{\"b\":{\"c\":1}}}", limits);
+    EXPECT_FALSE(obj.ok);
+    EXPECT_EQ(obj.errorKind, mu::JsonErrorKind::DepthExceeded);
+    EXPECT_FALSE(mu::jsonParseable("[[[1]]]", nullptr, limits));
+    EXPECT_TRUE(mu::jsonParseable("[[1]]", nullptr, limits));
+}
+
+TEST(JsonLimits, ByteCapRejectsOversizedInputBeforeParsing)
+{
+    mu::JsonLimits limits;
+    limits.maxBytes = 8;
+    EXPECT_TRUE(mu::jsonParse("[1,2]", limits).ok);
+    auto doc = mu::jsonParse("[1,2,3,4,5]", limits);
+    EXPECT_FALSE(doc.ok);
+    EXPECT_EQ(doc.errorKind, mu::JsonErrorKind::TooLarge);
+    // maxBytes = 0 means unlimited.
+    mu::JsonLimits unlimited;
+    EXPECT_EQ(unlimited.maxBytes, 0u);
+    EXPECT_TRUE(mu::jsonParse("[1,2,3,4,5]", unlimited).ok);
+}
+
+TEST(JsonLimits, ErrorKindNames)
+{
+    EXPECT_STREQ(mu::jsonErrorKindName(mu::JsonErrorKind::None),
+                 "none");
+    EXPECT_STREQ(mu::jsonErrorKindName(mu::JsonErrorKind::Syntax),
+                 "syntax");
+    EXPECT_STREQ(
+        mu::jsonErrorKindName(mu::JsonErrorKind::DepthExceeded),
+        "depth-exceeded");
+    EXPECT_STREQ(mu::jsonErrorKindName(mu::JsonErrorKind::TooLarge),
+                 "too-large");
+    // Syntax errors report the Syntax kind (not None).
+    auto doc = mu::jsonParse("{oops}");
+    EXPECT_FALSE(doc.ok);
+    EXPECT_EQ(doc.errorKind, mu::JsonErrorKind::Syntax);
+}
+
+// ---------------------------------------------------------------
+// jsonRender: the serializer the serve layer uses to hand request
+// subtrees to text-based parsers
+// ---------------------------------------------------------------
+
+TEST(JsonRender, RoundTripsThroughTheParser)
+{
+    const char *cases[] = {
+        "null", "true", "false", "42", "-3", "2.5", "\"s\"",
+        "[1,2,[3,null]]",
+        "{\"b\":1,\"a\":{\"k\":\"v\"},\"c\":[true,false]}",
+    };
+    for (const char *text : cases) {
+        auto doc = mu::jsonParse(text);
+        ASSERT_TRUE(doc.ok) << text;
+        std::string rendered = mu::jsonRender(doc.value);
+        // Compact form: round-trips exactly, including member order.
+        EXPECT_EQ(rendered, text);
+        auto again = mu::jsonParse(rendered);
+        ASSERT_TRUE(again.ok) << rendered;
+        EXPECT_EQ(mu::jsonRender(again.value), rendered);
+    }
+}
+
+TEST(JsonRender, EscapesAndIntegerNumbers)
+{
+    auto doc = mu::jsonParse(
+        "{\"s\":\"a\\\"b\\\\c\\n\",\"n\":3,\"f\":0.5}");
+    ASSERT_TRUE(doc.ok) << doc.error;
+    std::string rendered = mu::jsonRender(doc.value);
+    // Integral doubles render without a spurious ".0"; strings are
+    // re-escaped via jsonQuote.
+    EXPECT_EQ(rendered,
+              "{\"s\":\"a\\\"b\\\\c\\n\",\"n\":3,\"f\":0.5}");
+    EXPECT_EQ(mu::jsonQuote("tab\there"), "\"tab\\there\"");
+}

@@ -124,18 +124,92 @@ EOF
     grep -q 'cap-proved-overflow' "$smoke/oom.out"
     echo "analysis smoke: certificate printed, provable overflow" \
          "rejected"
+
+    echo "== serve smoke (ASan) =="
+    # The daemon under ASan: serve a real plan, then feed it hostile
+    # input (syntax garbage, a nesting bomb, an unknown op) — every
+    # one must come back as a typed error on a surviving connection —
+    # then saturate both workers (test-only stall op, zero queue) so
+    # an over-capacity request gets the typed overloaded error, and
+    # finally the shutdown op must stop the process with exit 0.
+    ./build-asan/examples/mpress-serve --port 0 \
+        --workers 2 --max-queue 0 --allow-stall \
+        >"$smoke/serve.out" &
+    serve_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q 'listening on' "$smoke/serve.out" 2>/dev/null && break
+        sleep 0.1
+    done
+    serve_port=$(sed -n \
+        's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "$smoke/serve.out")
+    python3 - "$serve_port" <<'EOF'
+import json, socket, sys
+port = int(sys.argv[1])
+s = socket.create_connection(("127.0.0.1", port), timeout=60)
+f = s.makefile("r")
+
+def call(line):
+    s.sendall(line.encode() + b"\n")
+    return json.loads(f.readline())
+
+assert call('{"op":"ping"}')["ok"]
+plan = call('{"op":"plan","id":"smoke"}')
+assert plan["ok"] and plan["result"]["planText"], plan
+again = call('{"op":"plan","id":"smoke2"}')
+assert again["result"]["planText"] == plan["result"]["planText"]
+bad = call('{nope')
+assert not bad["ok"] and bad["error"]["kind"] == "parse-error", bad
+bomb = '{"op":"plan","job":' + "[" * 64 + "]" * 64 + "}"
+deep = call(bomb)
+assert not deep["ok"] and deep["error"]["kind"] == "parse-error", deep
+unknown = call('{"op":"warp-drive"}')
+assert not unknown["ok"], unknown
+assert unknown["error"]["kind"] == "bad-request", unknown
+stats = call('{"op":"stats"}')["result"]
+assert stats["cacheHits"] > 0, stats  # repeat plan hit the cache
+
+# Over capacity: hold both workers with stalls (queue bound is 0),
+# then the next real request must be shed with a typed error.
+import time
+holders = []
+for _ in range(2):
+    h = socket.create_connection(("127.0.0.1", port), timeout=60)
+    h.sendall(b'{"op":"stall","ms":2000}\n')
+    holders.append(h)
+for _ in range(100):
+    if call('{"op":"stats"}')["result"]["inFlight"] == 2:
+        break
+    time.sleep(0.05)
+else:
+    raise AssertionError("stalls never occupied both workers")
+shed = call('{"op":"plan","id":"too-many"}')
+assert not shed["ok"], shed
+assert shed["error"]["kind"] == "overloaded", shed
+for h in holders:  # stalls finish normally; connections were fine
+    assert json.loads(h.makefile("r").readline())["ok"]
+    h.close()
+
+assert call('{"op":"shutdown"}')["ok"]
+print("serve smoke: plan served twice (cache hits %d), hostile "
+      "input rejected, over-capacity shed, clean shutdown"
+      % stats["cacheHits"])
+EOF
+    wait "$serve_pid"
 fi
 
 if [ "$run_tsan" = 1 ]; then
     echo "== sanitizer build (TSan) =="
     # The race-relevant surface: the thread pool, the planner's
     # parallel trial search (including the robustness matrix), the
-    # executor it drives concurrently, the fault suites and the
-    # determinism suite that exercises threads=1 vs threads=4.
+    # executor it drives concurrently, the fault suites, the
+    # determinism suite that exercises threads=1 vs threads=4, and
+    # the serve daemon (request workers + readers sharing the
+    # resident trial cache and per-connection write locks).
     cmake -B build-tsan -S . -DMPRESS_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$jobs"
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|SearchDriver|BudgetGate|BudgetLedger|Determinism|Planner|Runtime|Fault|Ladder|Robustness|Injector|Analysis'
+        -R 'ThreadPool|SearchDriver|SharedTrialCache|BudgetGate|BudgetLedger|Determinism|Planner|Runtime|Fault|Ladder|Robustness|Injector|Analysis|Serve|Cli'
 
     echo "== sweep smoke (TSan) =="
     sweep=$(mktemp -d)
