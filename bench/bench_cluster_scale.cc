@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Cluster scale-out benchmark: GPT-25.5B on DAPPLE across 1, 2, 4,
+ * and 8 HGX-H100 nodes joined by the shared-NIC fabric tier.  Each
+ * row plans with the full MPress pipeline (hierarchical placement,
+ * cross-node donor pricing) and reports planning wall-clock plus the
+ * emulated training step time and throughput.
+ *
+ * Self-gates (nonzero exit on violation):
+ *  - plan divergence: at every node count the serialized plan must
+ *    be byte-identical between threads=1 and threads=4 — the cluster
+ *    search matrix inherits the single-node determinism contract
+ *  - scale sanity: every row must plan without OOM; adding nodes
+ *    must never *lose* aggregate throughput (samples/s per replica
+ *    may dip from NIC crossings, but the cluster total may not drop
+ *    below the single-node total beyond a noise tolerance)
+ *
+ * Metrics tee into BENCH_cluster.json for tools/check.sh.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "cluster/cluster.hh"
+#include "compaction/serialize.hh"
+#include "util/table.hh"
+
+namespace api = mpress::api;
+namespace bench = mpress::bench;
+namespace cl = mpress::cluster;
+namespace cp = mpress::compaction;
+namespace hw = mpress::hw;
+namespace mu = mpress::util;
+
+namespace {
+
+struct Row
+{
+    int nodes = 0;
+    int gpus = 0;
+    double planMs = 0.0;
+    double stepMs = 0.0;
+    double samplesPerSec = 0.0;
+    bool feasible = false;
+    bool identical = false;  // threads=1 vs threads=4 plan bytes
+};
+
+api::SessionConfig
+clusterJob(int total_gpus, int threads)
+{
+    auto cfg = bench::gptJob("gpt-25.5b", api::Strategy::MPressFull);
+    cfg.numStages = total_gpus;
+    cfg.planner.threads = threads;
+    return cfg;
+}
+
+Row
+planAtScale(int nodes)
+{
+    auto spec = cl::clusterByName(
+        mu::strformat("%dx-hgx-h100", nodes));
+    if (!spec) {
+        std::fprintf(stderr, "unknown cluster preset for %d nodes\n",
+                     nodes);
+        std::exit(2);
+    }
+    hw::Topology topo = cl::buildCluster(*spec);
+
+    Row row;
+    row.nodes = nodes;
+    row.gpus = topo.numGpus();
+
+    auto start = std::chrono::steady_clock::now();
+    auto serial =
+        api::runSession(topo, clusterJob(topo.numGpus(), 1));
+    auto end = std::chrono::steady_clock::now();
+    row.planMs =
+        std::chrono::duration<double, std::milli>(end - start)
+            .count();
+    row.feasible = !serial.oom && !serial.rejected;
+    row.samplesPerSec = serial.samplesPerSec;
+    if (serial.samplesPerSec > 0.0) {
+        // One minibatch = microbatch * mbPerMini samples.
+        row.stepMs = 1000.0 * (2.0 * 64.0) / serial.samplesPerSec;
+    }
+
+    auto wide = api::runSession(topo, clusterJob(topo.numGpus(), 4));
+    row.identical =
+        cp::planToText(serial.plan) == cp::planToText(wide.plan);
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchReport report("cluster");
+
+    std::printf("Cluster scale-out: gpt-25.5b on DAPPLE, "
+                "HGX-H100 nodes over ib-ndr\n\n");
+
+    const int counts[] = {1, 2, 4, 8};
+    std::vector<Row> rows;
+    for (int nodes : counts)
+        rows.push_back(planAtScale(nodes));
+
+    mu::TextTable table({"nodes", "gpus", "plan (ms)", "step (ms)",
+                         "samples/s", "plan parity"});
+    bool ok = true;
+    for (const Row &row : rows) {
+        ok = ok && row.feasible && row.identical;
+        table.addRow(
+            {mu::strformat("%d", row.nodes),
+             mu::strformat("%d", row.gpus),
+             mu::strformat("%.1f", row.planMs),
+             row.feasible ? mu::strformat("%.1f", row.stepMs)
+                          : std::string("OOM"),
+             mu::strformat("%.2f", row.samplesPerSec),
+             row.identical ? "byte-identical" : "DIVERGED"});
+        std::string name = mu::strformat("scale/nodes:%d", row.nodes);
+        report.set(name, "plan_wall_ms", row.planMs);
+        report.set(name, "step_ms", row.stepMs);
+        report.set(name, "samples_per_sec", row.samplesPerSec);
+        report.set(name, "feasible", row.feasible ? 1.0 : 0.0);
+    }
+    table.print(std::cout);
+
+    // Aggregate throughput may not fall below the single-node total:
+    // that would mean the planner prices NIC crossings so badly that
+    // scale-out hurts, which the hierarchical placement exists to
+    // prevent.
+    double base = rows.front().samplesPerSec;
+    double widest = rows.back().samplesPerSec;
+    if (widest < base * 0.95) {
+        std::printf("\nFAIL: 8-node throughput %.2f below "
+                    "single-node %.2f\n",
+                    widest, base);
+        ok = false;
+    }
+
+    if (!report.write())
+        std::fprintf(stderr, "failed to write BENCH_cluster.json\n");
+    if (!ok) {
+        std::printf("\nFAIL: divergence or infeasibility above\n");
+        return 1;
+    }
+    std::printf("\nall rows feasible, plans byte-identical across "
+                "threads\n");
+    return 0;
+}

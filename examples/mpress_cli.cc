@@ -9,7 +9,20 @@
  *     --strategy <name>       none|recompute|gpu-cpu-swap|d2d-only|
  *                             mpress|zero-offload|zero-infinity
  *                                                  [mpress]
- *     --topology <name>       dgx1|dgx2            [dgx1]
+ *     --topology <name>       dgx1|dgx2, or a cluster preset such as
+ *                             2x-dgx2, 8x-hgx-h100 or any
+ *                             <N>x-<node> with N in 1..64 [dgx1]
+ *     --cluster <spec|name>   build a multi-node cluster topology
+ *                             from a JSON spec file or a preset name
+ *                             (overrides --topology); the spec is
+ *                             statically verified and rejected
+ *                             (exit 3) on errors.  Spec fields:
+ *                             {"name","nodes","node","nic",
+ *                              "nicsPerNode","nicGbps",
+ *                              "nicLatencyUs","nodeIds":[...]}
+ *                             with node in dgx1|dgx1-p100|dgx2|
+ *                             hgx-h100|dual-a100 and nic in
+ *                             ib-hdr|ib-ndr|roce100
  *     --microbatch <n>        per-microbatch samples [12]
  *     --mb-per-mini <n>       microbatches per minibatch [8]
  *     --minibatches <n>       training window length [2]
@@ -105,6 +118,7 @@
 #include <vector>
 
 #include "api/session.hh"
+#include "cluster/cluster.hh"
 #include "compaction/serialize.hh"
 #include "fault/scenario.hh"
 #include "obs/export.hh"
@@ -200,8 +214,48 @@ parseTopology(const std::string &name)
 {
     std::optional<hw::Topology> topo = api::topologyFromName(name);
     if (!topo)
-        usage("--topology must be dgx1 or dgx2");
+        usage("--topology must be dgx1, dgx2 or a cluster preset"
+              " (e.g. 2x-dgx2)");
     return *topo;
+}
+
+namespace cl = mpress::cluster;
+
+std::string readFile(const std::string &path, const char *what);
+
+/**
+ * Resolve --cluster: a preset name or a JSON spec file, gated by
+ * verify::verifyClusterSpec exactly like --faults gates scenarios —
+ * findings go to stderr and a rejected spec exits 3 without building
+ * anything.
+ */
+hw::Topology
+parseCluster(const std::string &arg)
+{
+    cl::ClusterSpec spec;
+    if (std::optional<cl::ClusterSpec> preset =
+            cl::clusterByName(arg)) {
+        spec = *preset;
+    } else {
+        cl::ParsedClusterSpec parsed = cl::parseClusterSpec(
+            readFile(arg, "cannot read --cluster file"));
+        if (!parsed.ok) {
+            std::fprintf(stderr,
+                         "mpress_cli: bad cluster spec: %s\n",
+                         parsed.error.c_str());
+            std::exit(1);
+        }
+        spec = parsed.spec;
+    }
+    vf::Report report = vf::verifyClusterSpec(spec);
+    if (!report.clean())
+        std::fputs(report.render().c_str(), stderr);
+    if (!report.ok()) {
+        std::fprintf(stderr, "cluster spec \"%s\" rejected: %s\n",
+                     spec.name.c_str(), report.summary().c_str());
+        std::exit(3);
+    }
+    return cl::buildCluster(spec);
 }
 
 /** One sweep scenario: the base CLI options overridden by one spec
@@ -383,6 +437,7 @@ main(int argc, char **argv)
     std::string save_plan, load_plan, timeline, metrics;
     std::string sweep, sweep_out, sweep_csv;
     std::string faults, robustness, robustness_out, robustness_csv;
+    std::string cluster_arg;
     std::string verify_mode = "permissive";
     int microbatch = 12, mb_per_mini = 8, minibatches = 2;
     int threads = 1;
@@ -406,6 +461,8 @@ main(int argc, char **argv)
             strategy = need("--strategy needs a value");
         else if (!std::strcmp(argv[i], "--topology"))
             topology = need("--topology needs a value");
+        else if (!std::strcmp(argv[i], "--cluster"))
+            cluster_arg = need("--cluster needs a value");
         else if (!std::strcmp(argv[i], "--microbatch"))
             microbatch =
                 parseIntFlag("--microbatch", need("--microbatch"));
@@ -485,7 +542,9 @@ main(int argc, char **argv)
         return 0;
     }
 
-    hw::Topology topo = parseTopology(topology);
+    hw::Topology topo = cluster_arg.empty()
+                            ? parseTopology(topology)
+                            : parseCluster(cluster_arg);
 
     api::SessionConfig cfg;
     cfg.model = mm::presetByName(model);

@@ -205,11 +205,17 @@ analyzePlan(const hw::Topology &topo, const model::TransformerModel &mdl,
                                       c.inFlight,
                                       opts.swapInLookahead);
         // Pessimistic single-lane service keeps the D2D hazard an
-        // upper estimate even for unstriped plans.
-        Tick d2d_service =
-            c.d2dPerMb > 0
-                ? topo.nvlinkSpec().transferTime(c.d2dPerMb)
-                : 0;
+        // upper estimate even for unstriped plans.  On a cluster the
+        // stripes may ride an inter-node NIC, which is slower than
+        // any NVLink lane; price the worst tier the plan could use.
+        Tick d2d_service = 0;
+        if (c.d2dPerMb > 0) {
+            d2d_service = topo.nvlinkSpec().transferTime(c.d2dPerMb);
+            if (topo.multiNodeFabric())
+                d2d_service = std::max(
+                    d2d_service,
+                    topo.nicSpec().transferTime(c.d2dPerMb));
+        }
         int d2d_hazard = hazardDepth(d2d_service, c.fwdTime,
                                      c.inFlight,
                                      opts.swapInLookahead);
@@ -350,7 +356,9 @@ analyzePlan(const hw::Topology &topo, const model::TransformerModel &mdl,
 
     // Lower bound on the delay a cross-stage dependency edge imposes
     // on its consumer: zero intra-GPU, single-lane wire time over a
-    // direct NVLink, two serial PCIe wire legs for a host bounce.
+    // direct NVLink or inter-node NIC (pathLanes + linkSpecBetween
+    // price the right tier), two serial PCIe wire legs for a host
+    // bounce.
     auto edge_weight = [&](const pipeline::Task &from,
                            const pipeline::Task &to) -> Tick {
         int a = costs[static_cast<std::size_t>(from.stage)].gpu;
@@ -362,7 +370,7 @@ analyzePlan(const hw::Topology &topo, const model::TransformerModel &mdl,
             part.stages[static_cast<std::size_t>(lo)].outputBytes;
         if (bytes <= 0)
             return 0;
-        if (topo.nvlinkLanes(a, b) > 0)
+        if (topo.pathLanes(a, b) > 0)
             return topo.linkSpecBetween(a, b).peak.transferTime(
                 bytes);
         return 2 * pcie.peak.transferTime(bytes);
@@ -437,6 +445,44 @@ analyzePlan(const hw::Topology &topo, const model::TransformerModel &mdl,
         cert.latencyLowerBound = std::max(
             {cert.latencyLowerBound, compute_busy[gi], d2h_busy[gi],
              h2d_busy[gi]});
+    }
+
+    // Per-node NIC occupancy: every cross-node stage boundary moves
+    // its activation forward and its gradient backward once per
+    // microbatch, and all cross-node traffic of a node serializes on
+    // its NICs.  Aggregate-peak wire time is a sound lower bound
+    // (effective bandwidth never exceeds peak).
+    if (topo.multiNodeFabric()) {
+        const int nodes = topo.numNodes();
+        std::vector<Bytes> nic_out(static_cast<std::size_t>(nodes),
+                                   0);
+        std::vector<Bytes> nic_in(static_cast<std::size_t>(nodes),
+                                  0);
+        for (int s = 0; s + 1 < num_stages; ++s) {
+            int a = costs[static_cast<std::size_t>(s)].gpu;
+            int b = costs[static_cast<std::size_t>(s + 1)].gpu;
+            if (a == b || topo.sameNode(a, b))
+                continue;
+            Bytes cross =
+                total_mb *
+                part.stages[static_cast<std::size_t>(s)].outputBytes;
+            auto na = static_cast<std::size_t>(topo.nodeOf(a));
+            auto nb = static_cast<std::size_t>(topo.nodeOf(b));
+            nic_out[na] += cross;  // forward activations
+            nic_in[nb] += cross;
+            nic_out[nb] += cross;  // backward gradients
+            nic_in[na] += cross;
+        }
+        util::Bandwidth agg =
+            topo.nicSpec().peak *
+            static_cast<double>(topo.nicsPerNode());
+        for (int n = 0; n < nodes; ++n) {
+            auto ni = static_cast<std::size_t>(n);
+            cert.latencyLowerBound = std::max(
+                {cert.latencyLowerBound,
+                 agg.transferTime(nic_out[ni]),
+                 agg.transferTime(nic_in[ni])});
+        }
     }
 
     // ---- Steady-state throughput upper bound -----------------------

@@ -1,5 +1,6 @@
 #include "api/session.hh"
 
+#include "cluster/cluster.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -102,6 +103,11 @@ topologyFromName(const std::string &name)
         return hw::Topology::dgx1V100();
     if (name == "dgx2")
         return hw::Topology::dgx2A100();
+    // Cluster presets: "2x-dgx2", "8x-hgx-h100" and the generic
+    // "<N>x-<node>" family resolve through the cluster registry.
+    if (std::optional<cluster::ClusterSpec> spec =
+            cluster::clusterByName(name))
+        return cluster::buildCluster(*spec);
     return std::nullopt;
 }
 

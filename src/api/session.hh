@@ -74,8 +74,10 @@ bool verifyModeFromName(const std::string &name, VerifyMode *out);
 bool systemKindFromName(const std::string &name,
                         pipeline::SystemKind *out);
 
-/** Named topology presets served by the daemon ("dgx1" / "dgx2");
- *  nullopt on an unknown name. */
+/** Named topology presets served by the daemon: single nodes ("dgx1"
+ *  / "dgx2") and cluster presets ("2x-dgx2", "8x-hgx-h100", or any
+ *  "<N>x-<node>" with a known node preset and N in [1, 64]); nullopt
+ *  on an unknown name. */
 std::optional<hw::Topology> topologyFromName(const std::string &name);
 
 /** Full description of one training job. */

@@ -49,7 +49,7 @@ makeStripePlan(const hw::Topology &topo, int src,
     for (const auto &g : grants) {
         if (g.budget <= 0)
             continue;
-        int lanes = topo.nvlinkLanes(src, g.importerGpu);
+        int lanes = topo.pathLanes(src, g.importerGpu);
         if (lanes <= 0)
             continue;
         cands.push_back({g.importerGpu, g.budget, lanes});

@@ -24,6 +24,10 @@ fabricResourceName(FabricResource r)
         return "nvme.write";
       case FabricResource::NvmeRead:
         return "nvme.read";
+      case FabricResource::NicEgress:
+        return "nic.egress";
+      case FabricResource::NicIngress:
+        return "nic.ingress";
     }
     return "?";
 }
@@ -65,6 +69,25 @@ Fabric::Fabric(sim::Engine &engine, const Topology &topo)
         }
     }
 
+    if (_topo.multiNodeFabric()) {
+        const int nodes = _topo.numNodes();
+        const int nics = _topo.nicsPerNode();
+        _nicOut.resize(nodes);
+        _nicIn.resize(nodes);
+        for (int nd = 0; nd < nodes; ++nd) {
+            for (int c = 0; c < nics; ++c) {
+                _nicOut[nd].lanes.push_back(
+                    std::make_unique<sim::Stream>(
+                        engine,
+                        util::strformat("node%d.nic%d.out", nd, c)));
+                _nicIn[nd].lanes.push_back(
+                    std::make_unique<sim::Stream>(
+                        engine,
+                        util::strformat("node%d.nic%d.in", nd, c)));
+            }
+        }
+    }
+
     for (int g = 0; g < n; ++g) {
         _pcieDown.push_back(std::make_unique<sim::Stream>(
             engine, util::strformat("pcie%d.d2h", g)));
@@ -102,7 +125,7 @@ Fabric::shaped(FabricResource res, int a, int b, Bytes bytes,
 }
 
 void
-Fabric::stripedTransfer(int src, int dst,
+Fabric::stripedTransfer(FabricResource res, int src, int dst,
                         std::vector<sim::Stream *> out_lanes,
                         std::vector<sim::Stream *> in_lanes,
                         const LinkSpec &spec, Bytes bytes, Done done)
@@ -112,7 +135,7 @@ Fabric::stripedTransfer(int src, int dst,
         util::panic("striped transfer with no lanes");
     }
     Bytes per_lane = (bytes + k - 1) / k;
-    Tick dur = shaped(FabricResource::NvlinkEgress, src, dst, bytes,
+    Tick dur = shaped(res, src, dst, bytes,
                       spec.transferTime(per_lane));
 
     // The transfer completes when every occupied lane finishes.  The
@@ -141,15 +164,27 @@ Fabric::d2dTransfer(int src, int dst, Bytes bytes, int lanes, Done done)
     if (lanes <= 0 || lanes > avail)
         lanes = avail;
 
-    if (_topo.symmetric()) {
+    if (_topo.multiNodeFabric() && !_topo.sameNode(src, dst)) {
+        // Cross-node: stripe over the source node's egress NICs and
+        // the destination node's ingress NICs.  The pools are per
+        // node, not per GPU, so every concurrent cross-node transfer
+        // of a node queues on the same NICs.
+        auto out = pickLanes(_nicOut[_topo.nodeOf(src)], lanes);
+        auto in = pickLanes(_nicIn[_topo.nodeOf(dst)], lanes);
+        stripedTransfer(FabricResource::NicEgress, src, dst,
+                        std::move(out), std::move(in),
+                        _topo.nicSpec(), bytes, std::move(done));
+    } else if (_topo.symmetric()) {
         auto out = pickLanes(_egress[src], lanes);
         auto in = pickLanes(_ingress[dst], lanes);
-        stripedTransfer(src, dst, std::move(out), std::move(in),
+        stripedTransfer(FabricResource::NvlinkEgress, src, dst,
+                        std::move(out), std::move(in),
                         _topo.nvlinkSpec(), bytes, std::move(done));
     } else {
         auto it = _pairLanes.find({src, dst});
         auto out = pickLanes(it->second, lanes);
-        stripedTransfer(src, dst, std::move(out), {},
+        stripedTransfer(FabricResource::NvlinkEgress, src, dst,
+                        std::move(out), {},
                         _topo.linkSpecBetween(src, dst), bytes,
                         std::move(done));
     }
@@ -228,7 +263,7 @@ Fabric::lanesBetween(int src, int dst) const
 {
     if (src == dst)
         return 0;
-    return _topo.nvlinkLanes(src, dst);
+    return _topo.pathLanes(src, dst);
 }
 
 Tick
@@ -265,6 +300,21 @@ Fabric::pcieBusyTime() const
     return total;
 }
 
+Tick
+Fabric::nicBusyTime() const
+{
+    Tick total = 0;
+    for (const auto &pool : _nicOut) {
+        for (const auto &lane : pool.lanes)
+            total += lane->busyTime();
+    }
+    for (const auto &pool : _nicIn) {
+        for (const auto &lane : pool.lanes)
+            total += lane->busyTime();
+    }
+    return total;
+}
+
 void
 Fabric::visitStreams(const StreamVisitor &fn)
 {
@@ -282,6 +332,18 @@ Fabric::visitStreams(const StreamVisitor &fn)
             fn(FabricResource::NvlinkIngress, static_cast<int>(g),
                *lane);
     }
+    // NIC pools are owned by a node, not a GPU; the owner index is
+    // the node id.
+    for (std::size_t nd = 0; nd < _nicOut.size(); ++nd) {
+        for (auto &lane : _nicOut[nd].lanes)
+            fn(FabricResource::NicEgress, static_cast<int>(nd),
+               *lane);
+    }
+    for (std::size_t nd = 0; nd < _nicIn.size(); ++nd) {
+        for (auto &lane : _nicIn[nd].lanes)
+            fn(FabricResource::NicIngress, static_cast<int>(nd),
+               *lane);
+    }
     for (std::size_t g = 0; g < _pcieDown.size(); ++g)
         fn(FabricResource::PcieD2H, static_cast<int>(g),
            *_pcieDown[g]);
@@ -289,6 +351,28 @@ Fabric::visitStreams(const StreamVisitor &fn)
         fn(FabricResource::PcieH2D, static_cast<int>(g), *_pcieUp[g]);
     fn(FabricResource::NvmeWrite, -1, *_nvmeWrite);
     fn(FabricResource::NvmeRead, -1, *_nvmeRead);
+}
+
+void
+Fabric::reset()
+{
+    _shaper = TransferShaper();
+    for (auto &[key, pool] : _pairLanes) {
+        for (auto &lane : pool.lanes)
+            lane->reset();
+    }
+    for (auto *pools : {&_egress, &_ingress, &_nicOut, &_nicIn}) {
+        for (auto &pool : *pools) {
+            for (auto &lane : pool.lanes)
+                lane->reset();
+        }
+    }
+    for (auto &lane : _pcieDown)
+        lane->reset();
+    for (auto &lane : _pcieUp)
+        lane->reset();
+    _nvmeWrite->reset();
+    _nvmeRead->reset();
 }
 
 } // namespace hw

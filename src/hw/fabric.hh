@@ -35,6 +35,8 @@ enum class FabricResource
     PcieD2H,       ///< device-to-host PCIe copy engine
     NvmeWrite,
     NvmeRead,
+    NicEgress,     ///< inter-node NIC leaving a node
+    NicIngress,    ///< inter-node NIC entering a node
 };
 
 /** Returns a display name for @p r ("nvlink.egress", ...). */
@@ -102,7 +104,8 @@ class Fabric
     /** Uncontended NVMe one-way estimate. */
     Tick estimateNvme(Bytes bytes) const;
 
-    /** Lanes available between @p src and @p dst (direct NVLink). */
+    /** Lanes available between @p src and @p dst: direct NVLink
+     *  within a node, the node NIC count across nodes. */
     int lanesBetween(int src, int dst) const;
 
     /** Accumulated busy time over all NVLink lanes (for stats).
@@ -113,6 +116,10 @@ class Fabric
     /** Accumulated busy time over all PCIe engines, both
      *  directions (for stats). */
     Tick pcieBusyTime() const;
+
+    /** Accumulated busy time over all inter-node NICs, both
+     *  directions (for stats; 0 on single-node fabrics). */
+    Tick nicBusyTime() const;
 
     /**
      * Visit every lane stream with its resource class and owning GPU
@@ -127,6 +134,14 @@ class Fabric
         _shaper = std::move(shaper);
     }
 
+    /**
+     * Return every lane stream to its just-constructed state and drop
+     * the shaper, keeping all pools allocated: arena reuse across
+     * planner trials.  The caller must reset the owning engine first
+     * (see sim::Stream::reset()).
+     */
+    void reset();
+
     const Topology &topology() const { return _topo; }
 
   private:
@@ -139,7 +154,7 @@ class Fabric
     /** Pick the @p k least-busy lanes of @p pool. */
     static std::vector<sim::Stream *> pickLanes(LanePool &pool, int k);
 
-    void stripedTransfer(int src, int dst,
+    void stripedTransfer(FabricResource res, int src, int dst,
                          std::vector<sim::Stream *> out_lanes,
                          std::vector<sim::Stream *> in_lanes,
                          const LinkSpec &spec, Bytes bytes, Done done);
@@ -159,6 +174,13 @@ class Fabric
     // Symmetric fabrics: per-GPU egress and ingress port pools.
     std::vector<LanePool> _egress;
     std::vector<LanePool> _ingress;
+
+    // Multi-node fabrics: per-node NIC pools, one stream per NIC and
+    // direction.  Every cross-node transfer leaving a node occupies
+    // that node's egress NICs, so concurrent cross-node traffic of
+    // one node contends here — the shared-NIC bottleneck.
+    std::vector<LanePool> _nicOut;
+    std::vector<LanePool> _nicIn;
 
     // Per-GPU, per-direction PCIe engines.  Real GPUs expose separate
     // H2D and D2H DMA copy engines, so a swap-out streams concurrently

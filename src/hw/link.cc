@@ -17,6 +17,8 @@ linkKindName(LinkKind kind)
         return "NVLink-C2C";
       case LinkKind::Nvme:
         return "NVMe";
+      case LinkKind::Nic:
+        return "NIC";
     }
     return "unknown";
 }
@@ -106,6 +108,39 @@ LinkSpec::nvme()
     s.peak = Bandwidth::fromGBps(3.0);
     s.rampBytes = 8 * util::kMiB;
     s.latency = 80 * util::kUsec;
+    return s;
+}
+
+LinkSpec
+LinkSpec::infinibandHdr()
+{
+    LinkSpec s;
+    s.kind = LinkKind::Nic;
+    s.peak = Bandwidth::fromGBps(25.0);  // 200 Gb/s HDR
+    s.rampBytes = 16 * util::kMiB;       // RDMA setup costs more
+    s.latency = 30 * util::kUsec;
+    return s;
+}
+
+LinkSpec
+LinkSpec::infinibandNdr()
+{
+    LinkSpec s;
+    s.kind = LinkKind::Nic;
+    s.peak = Bandwidth::fromGBps(50.0);  // 400 Gb/s NDR
+    s.rampBytes = 16 * util::kMiB;
+    s.latency = 25 * util::kUsec;
+    return s;
+}
+
+LinkSpec
+LinkSpec::roce100()
+{
+    LinkSpec s;
+    s.kind = LinkKind::Nic;
+    s.peak = Bandwidth::fromGBps(12.5);  // 100 Gb/s Ethernet
+    s.rampBytes = 32 * util::kMiB;       // lossy fabric ramps slower
+    s.latency = 50 * util::kUsec;
     return s;
 }
 

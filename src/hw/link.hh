@@ -33,6 +33,7 @@ enum class LinkKind
     Pcie,       ///< GPU<->host PCIe connection
     C2C,        ///< NVLink-C2C (Grace-Hopper CPU-GPU link)
     Nvme,       ///< host<->NVMe SSD channel
+    Nic,        ///< inter-node network interface (InfiniBand/RoCE)
 };
 
 /** Returns a short human-readable name for @p kind. */
@@ -93,6 +94,15 @@ struct LinkSpec
 
     /** One NVMe SSD channel (datacenter-class, ~3 GB/s). */
     static LinkSpec nvme();
+
+    /** One 200 Gb/s InfiniBand HDR NIC (GPUDirect RDMA path). */
+    static LinkSpec infinibandHdr();
+
+    /** One 400 Gb/s InfiniBand NDR NIC. */
+    static LinkSpec infinibandNdr();
+
+    /** One 100 Gb/s RoCEv2 NIC (commodity Ethernet fabric). */
+    static LinkSpec roce100();
 };
 
 } // namespace hw

@@ -47,6 +47,54 @@ Topology::setSymmetric(int lanes_per_gpu)
     }
 }
 
+void
+Topology::setInterNodeFabric(int gpus_per_node, int nics_per_node,
+                             const LinkSpec &nic_spec)
+{
+    if (gpus_per_node <= 0 || _numGpus % gpus_per_node != 0)
+        util::panic("gpus_per_node %d does not divide %d GPUs",
+                    gpus_per_node, _numGpus);
+    if (nics_per_node <= 0)
+        util::panic("a node needs at least one NIC");
+    _gpusPerNode = gpus_per_node;
+    _nicsPerNode = nics_per_node;
+    _nicSpec = nic_spec;
+    // The intra-node fabric never crosses a node boundary; clear any
+    // lanes a prior setSymmetric() filled across it so cross-node
+    // paths are NIC-only.
+    for (int a = 0; a < _numGpus; ++a) {
+        for (int b = 0; b < _numGpus; ++b) {
+            if (!sameNode(a, b))
+                _lanes[a][b] = 0;
+        }
+    }
+}
+
+int
+Topology::numNodes() const
+{
+    return _gpusPerNode > 0 ? _numGpus / _gpusPerNode : 1;
+}
+
+int
+Topology::nodeOf(int g) const
+{
+    checkGpu(g);
+    return _gpusPerNode > 0 ? g / _gpusPerNode : 0;
+}
+
+int
+Topology::pathLanes(int a, int b) const
+{
+    checkGpu(a);
+    checkGpu(b);
+    if (a == b)
+        return 0;
+    if (multiNodeFabric() && !sameNode(a, b))
+        return _nicsPerNode;
+    return _lanes[a][b];
+}
+
 int
 Topology::nvlinkLanes(int a, int b) const
 {
@@ -92,13 +140,17 @@ const LinkSpec &
 Topology::linkSpecBetween(int a, int b) const
 {
     auto it = _pairSpec.find({a, b});
-    return it == _pairSpec.end() ? _nvlinkSpec : it->second;
+    if (it != _pairSpec.end())
+        return it->second;
+    if (multiNodeFabric() && a != b && !sameNode(a, b))
+        return _nicSpec;
+    return _nvlinkSpec;
 }
 
 Bandwidth
 Topology::pairBandwidth(int a, int b, Bytes bytes) const
 {
-    int lanes = nvlinkLanes(a, b);
+    int lanes = pathLanes(a, b);
     if (lanes == 0)
         return Bandwidth(0.0);
     // Striping a transfer over n lanes moves bytes/n per lane; each
@@ -235,12 +287,48 @@ Topology::graceHopperNode(int num_gpus)
 LinkSpec
 Topology::infinibandHdr()
 {
-    LinkSpec s;
+    // Legacy alias kept for the chain-style multiNode() builder; the
+    // cluster subsystem uses LinkSpec::infinibandHdr() (kind Nic).
+    LinkSpec s = LinkSpec::infinibandHdr();
     s.kind = LinkKind::NvLink;  // treated as a GPU-GPU lane
-    s.peak = Bandwidth::fromGBps(25.0);  // 200 Gb/s HDR
-    s.rampBytes = 16 * util::kMiB;       // RDMA setup costs more
-    s.latency = 30 * util::kUsec;
     return s;
+}
+
+Topology
+Topology::extractNode(int node) const
+{
+    const int g = gpusPerNode();
+    const int nodes = numNodes();
+    if (node < 0 || node >= nodes)
+        util::panic("node %d out of range [0, %d)", node, nodes);
+    Topology t(util::strformat("%s/node%d", _name.c_str(), node),
+               _gpu, g);
+    const int base = node * g;
+    if (_symmetric) {
+        // Per-pair lane caps are uniform inside a node; reuse one.
+        t.setSymmetric(g > 1 ? _lanes[base][base + 1] : 0);
+    } else {
+        for (int a = 0; a < g; ++a) {
+            for (int b = a + 1; b < g; ++b) {
+                int lanes = _lanes[base + a][base + b];
+                if (lanes > 0)
+                    t.setNvlinkLanes(a, b, lanes);
+            }
+        }
+    }
+    for (int a = 0; a < g; ++a) {
+        for (int b = a + 1; b < g; ++b) {
+            auto it = _pairSpec.find({base + a, base + b});
+            if (it != _pairSpec.end())
+                t.setLinkSpecOverride(a, b, it->second);
+        }
+    }
+    t.setNvlinkSpec(_nvlinkSpec);
+    t.setPcieSpec(_pcieSpec);
+    t.setNvmeSpec(_nvmeSpec);
+    t.setHostMemory(_hostMemory / nodes);
+    t.setNvmeCapacity(_nvmeCapacity / nodes);
+    return t;
 }
 
 Topology

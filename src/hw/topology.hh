@@ -54,6 +54,63 @@ class Topology
     int numGpus() const { return _numGpus; }
     bool symmetric() const { return _symmetric; }
 
+    /**
+     * Declare this server to really be a cluster of equal-sized
+     * nodes joined by an inter-node NIC tier: GPUs [0, gpn) form
+     * node 0, [gpn, 2*gpn) node 1, and so on.  Any NVLink lanes
+     * previously declared across a node boundary are cleared (the
+     * intra-node fabric never spans nodes), and every cross-node GPU
+     * pair is instead reachable over the owning nodes' NICs:
+     * pathLanes() reports @p nics_per_node lanes and
+     * linkSpecBetween() reports @p nic_spec for such pairs.  All
+     * cross-node traffic of one node contends for that node's NIC
+     * lanes (shared-NIC contention), which the Fabric models with
+     * per-node NIC lane pools.
+     */
+    void setInterNodeFabric(int gpus_per_node, int nics_per_node,
+                            const LinkSpec &nic_spec);
+
+    /** Nodes in the cluster (1 for a single server). */
+    int numNodes() const;
+
+    /** GPUs per node (numGpus() for a single server). */
+    int gpusPerNode() const
+    {
+        return _gpusPerNode > 0 ? _gpusPerNode : _numGpus;
+    }
+
+    /** Node owning GPU @p g. */
+    int nodeOf(int g) const;
+
+    /** True when @p a and @p b sit in the same node. */
+    bool sameNode(int a, int b) const
+    {
+        return nodeOf(a) == nodeOf(b);
+    }
+
+    /** True when an inter-node fabric was declared and the cluster
+     *  actually spans more than one node. */
+    bool multiNodeFabric() const
+    {
+        return _gpusPerNode > 0 && _gpusPerNode < _numGpus;
+    }
+
+    /** NICs per node of the inter-node fabric (0 when single-node). */
+    int nicsPerNode() const { return _nicsPerNode; }
+
+    /** Per-NIC link spec of the inter-node fabric. */
+    const LinkSpec &nicSpec() const { return _nicSpec; }
+
+    /**
+     * Lanes usable for a direct GPU-to-GPU path between @p a and
+     * @p b: NVLink lanes within a node, the node NIC count across a
+     * node boundary (0 when no inter-node fabric is declared).  The
+     * striping planner, the mapper and the executor all route
+     * through this, so cross-node donors work exactly like NVLink
+     * donors — just over fewer, slower lanes.
+     */
+    int pathLanes(int a, int b) const;
+
     /** NVLink lanes directly connecting @p a and @p b (0 if none).
      *  For symmetric fabrics this is the per-pair usable lane cap. */
     int nvlinkLanes(int a, int b) const;
@@ -74,7 +131,8 @@ class Topology
     void setLinkSpecOverride(int a, int b, const LinkSpec &spec);
 
     /** Per-lane spec between @p a and @p b: the pair override when
-     *  present, the fabric-wide NVLink spec otherwise. */
+     *  present, the NIC spec for cross-node pairs of a multi-node
+     *  fabric, the fabric-wide NVLink spec otherwise. */
     const LinkSpec &linkSpecBetween(int a, int b) const;
 
     /** GPU<->host PCIe spec (per GPU). */
@@ -129,6 +187,15 @@ class Topology
                               int inter_lanes,
                               const LinkSpec &inter_spec);
 
+    /**
+     * The single-node topology of one node of this cluster: the
+     * intra-node lane matrix, link specs and per-node host/NVMe
+     * shares, without the inter-node fabric.  For a single server
+     * this is a plain copy.  The hierarchical mapper searches
+     * per-node placements on this view.
+     */
+    Topology extractNode(int node) const;
+
     /** One 200 Gb/s InfiniBand HDR NIC modeled as a lane. */
     static LinkSpec infinibandHdr();
 
@@ -140,6 +207,9 @@ class Topology
     int _numGpus;
     bool _symmetric = false;
     std::vector<std::vector<int>> _lanes;
+    int _gpusPerNode = 0;   ///< 0 = single server
+    int _nicsPerNode = 0;
+    LinkSpec _nicSpec;
     LinkSpec _nvlinkSpec;
     std::map<std::pair<int, int>, LinkSpec> _pairSpec;
     LinkSpec _pcieSpec;

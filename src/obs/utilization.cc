@@ -21,6 +21,10 @@ resourceName(Resource r)
         return "nvme.write";
       case Resource::NvmeRead:
         return "nvme.read";
+      case Resource::NicEgress:
+        return "nic.egress";
+      case Resource::NicIngress:
+        return "nic.ingress";
     }
     return "?";
 }

@@ -31,9 +31,11 @@ enum class Resource
     PcieD2H,
     NvmeWrite,
     NvmeRead,
+    NicEgress,
+    NicIngress,
 };
 
-constexpr std::size_t kNumResources = 7;
+constexpr std::size_t kNumResources = 9;
 
 /** Returns a display name ("compute", "pcie.h2d", ...). */
 const char *resourceName(Resource r);

@@ -36,19 +36,24 @@ stableSortSmall(std::vector<T> &v, Less less)
 /** Dense lane-count matrix, read-only during the scan.  The topology
  *  accessor is cheap but sits in the innermost loops (contention is
  *  O(n^2) lookups per placement, x 40320 placements); one flat copy
- *  keeps the scan in cache. */
+ *  keeps the scan in cache.  Lane counts come from pathLanes(), so on
+ *  a cluster a cross-node pair shows its (thin) NIC path instead of
+ *  zero — cross-node donors are reachable, just unattractive. */
 struct LaneMatrix
 {
     int n = 0;
     std::vector<int> lanes;
+    std::vector<int> node;
 
     explicit LaneMatrix(const hw::Topology &topo)
         : n(topo.numGpus()),
-          lanes(static_cast<std::size_t>(n) * static_cast<std::size_t>(n))
+          lanes(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)),
+          node(static_cast<std::size_t>(n))
     {
         for (int a = 0; a < n; ++a) {
+            node[static_cast<std::size_t>(a)] = topo.nodeOf(a);
             for (int b = 0; b < n; ++b)
-                lanes[idx(a, b)] = topo.nvlinkLanes(a, b);
+                lanes[idx(a, b)] = topo.pathLanes(a, b);
         }
     }
 
@@ -61,6 +66,12 @@ struct LaneMatrix
     }
 
     int at(int a, int b) const { return lanes[idx(a, b)]; }
+
+    bool sameNode(int a, int b) const
+    {
+        return node[static_cast<std::size_t>(a)] ==
+               node[static_cast<std::size_t>(b)];
+    }
 };
 
 /** Coverage and worst-exporter drain time for a candidate. */
@@ -199,6 +210,16 @@ assignSpareInto(Scratch &ws, const LaneMatrix &lanes,
                 ws.importers.push_back(imp);
         }
         stableSortSmall(ws.importers, [&](int a, int b) {
+            // Donor-axis priority: an intra-node importer always
+            // outranks a cross-node one — every NVLink lane beats the
+            // shared NIC tier, and cross-node grants also contend
+            // with pipeline activation traffic on the same NICs.  On
+            // a single node every pair ties here, so the pre-cluster
+            // ordering (contention asc, spare desc) is unchanged.
+            bool la = lanes.sameNode(exp, a);
+            bool lb = lanes.sameNode(exp, b);
+            if (la != lb)
+                return la;
             auto ca = ws.contention[static_cast<std::size_t>(a)];
             auto cb = ws.contention[static_cast<std::size_t>(b)];
             if (ca != cb)
@@ -221,13 +242,19 @@ assignSpareInto(Scratch &ws, const LaneMatrix &lanes,
         }
     }
 
-    // Order each exporter's grants by lane count (fat links first) so
-    // the runtime's striping prefers them.
+    // Order each exporter's grants intra-node first, then by lane
+    // count (fat links first) so the runtime's striping prefers them.
+    // A cross-node grant can show more raw lanes (many NICs) than a
+    // sparse NVLink hop, but each NIC lane is slower and shared.
     for (int exp = 0; exp < n; ++exp) {
         auto &list = ws.grantList[static_cast<std::size_t>(exp)];
         if (list.size() > 1) {
             stableSortSmall(
                 list, [&](const SpareGrant &a, const SpareGrant &b) {
+                    bool la = lanes.sameNode(exp, a.importerGpu);
+                    bool lb = lanes.sameNode(exp, b.importerGpu);
+                    if (la != lb)
+                        return la;
                     return lanes.at(exp, a.importerGpu) >
                            lanes.at(exp, b.importerGpu);
                 });
@@ -434,9 +461,55 @@ searchDeviceMapping(const hw::Topology &topo,
         best.evaluated = evaluated;
     };
 
+    // Hierarchical cluster placement: an asymmetric multi-node fabric
+    // would otherwise fall into the identity short-circuit below (the
+    // factorial over 16+ GPUs is hopeless).  Stages are dealt out as
+    // contiguous blocks, one block per node — pipeline order follows
+    // the node chain so only one boundary per node pair crosses a NIC
+    // — and each block is placed by an independent intra-node scan on
+    // the extracted node view.  Grants are finalized globally on the
+    // full topology, so cross-node donors remain available to stages
+    // whose own node has no spare left.  Node scans run serially in
+    // node order (each may use the pool internally), keeping the
+    // result byte-identical across thread counts.
+    if (topo.multiNodeFabric() && !topo.symmetric() &&
+        config.searchPlacement && topo.gpusPerNode() <= 8 &&
+        num_stages % topo.numNodes() == 0) {
+        const int nodes = topo.numNodes();
+        const int per = num_stages / nodes;
+        const int gpn = topo.gpusPerNode();
+        std::vector<int> assembled(
+            static_cast<std::size_t>(num_stages));
+        long evaluated = 0;
+        for (int node = 0; node < nodes; ++node) {
+            hw::Topology sub = topo.extractNode(node);
+            auto base = static_cast<std::size_t>(node) *
+                        static_cast<std::size_t>(per);
+            std::vector<Bytes> demand(
+                stage_demand.begin() + static_cast<long>(base),
+                stage_demand.begin() + static_cast<long>(base) + per);
+            std::vector<Bytes> desire;
+            if (!stage_desire.empty())
+                desire.assign(
+                    stage_desire.begin() + static_cast<long>(base),
+                    stage_desire.begin() + static_cast<long>(base) +
+                        per);
+            MappingResult r = searchDeviceMapping(
+                sub, demand, capacity, config, desire, pool);
+            for (int s = 0; s < per; ++s)
+                assembled[base + static_cast<std::size_t>(s)] =
+                    node * gpn +
+                    r.stageToGpu[static_cast<std::size_t>(s)];
+            evaluated += r.evaluated;
+        }
+        finalize(assembled, evaluated);
+        return best;
+    }
+
     // 8! placements are cheap; beyond 8 GPUs the factorial explodes,
-    // so clusters keep the identity placement (stages already follow
-    // the node chain).
+    // so symmetric clusters keep the identity placement (stages
+    // already follow the node chain; every intra-node slot is
+    // equivalent).
     if (topo.symmetric() || !config.searchPlacement ||
         topo.numGpus() > 8) {
         // Switch fabrics make every placement equivalent; with the

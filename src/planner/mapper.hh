@@ -14,6 +14,14 @@
  * For symmetric (switch-based) fabrics the search short-circuits:
  * every placement is equivalent, so the identity mapping is used and
  * all spare memory is aggressively granted (Sec. III-C).
+ *
+ * On multi-node clusters the placement decomposes hierarchically:
+ * contiguous stage blocks are dealt to nodes in pipeline order (one
+ * NIC crossing per node boundary) and each block is placed by an
+ * independent intra-node scan on the extracted node view, with spare
+ * grants finalized globally — importers are tiered intra-node first,
+ * then cross-node over the NIC, before the planner falls back to host
+ * swap.
  */
 
 #ifndef MPRESS_PLANNER_MAPPER_HH

@@ -1,6 +1,7 @@
 #include "planner/planner.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "planner/portfolio.hh"
 #include "util/logging.hh"
@@ -138,6 +139,29 @@ certify(const hw::Topology &topo, const model::TransformerModel &mdl,
     aopts.swapInLookahead = exec_cfg.swapInLookahead;
     return analysis::analyzePlan(topo, mdl, part, sched, plan,
                                  aopts);
+}
+
+/** Drop spare grants whose exporter GPU has no D2D-swapped
+ *  activation class left in the final plan.  The refine ladders
+ *  un-swap classes freely, which can strand the mapper's eager
+ *  grants (Sec III-C grants everything up-front); dead grants pin
+ *  importer spare memory and trip the verifier's orphan/cycle rules
+ *  in strict mode.  Pruning is a pure function of the plan, so it
+ *  preserves byte-determinism across the search matrix. */
+void
+pruneDeadGrants(CompactionPlan &plan)
+{
+    std::set<int> live;
+    for (const auto &[ref, kind] : plan.activations)
+        if (kind == Kind::D2dSwap)
+            live.insert(plan.gpuForStage(ref.stage));
+    for (auto it = plan.spareGrants.begin();
+         it != plan.spareGrants.end();) {
+        if (!live.count(it->first))
+            it = plan.spareGrants.erase(it);
+        else
+            ++it;
+    }
 }
 
 } // namespace
@@ -418,6 +442,7 @@ planMPress(const hw::Topology &topo,
         racePortfolio(driver, topo, mdl, part, sched, result.mapping,
                       cfg, seed_state, plan, current);
 
+    pruneDeadGrants(race.plan);
     result.plan = std::move(race.plan);
     result.finalReport = std::move(race.report);
     result.iterations = race.iterations;
@@ -514,6 +539,7 @@ planD2dOnly(const hw::Topology &topo,
     CompactionPlan plan =
         materializePlan(candidates, offload_opt, offload_stash,
                     result.mapping, cfg.d2dStriping);
+    pruneDeadGrants(plan);
     result.finalReport =
         emulate(topo, mdl, part, sched, plan, exec_cfg);
     result.feasible = !result.finalReport.oom;

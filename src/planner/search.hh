@@ -355,10 +355,15 @@ class SearchDriver
 
   private:
     /** Reusable per-worker state: the topology copy plus the executor
-     *  arena (DES engine slabs), both kept across every trial the
-     *  worker runs.  A worker index is owned by exactly one thread
-     *  for the duration of a batch, so no synchronization is needed
-     *  and an arena is never shared by two live executors. */
+     *  arena (DES engine slabs and the fabric, whose per-lane stream
+     *  rings scale with the square of the GPU count — the dominant
+     *  per-trial allocation on cluster topologies), all kept across
+     *  every trial the worker runs.  The arena's retained fabric is
+     *  keyed on the address of the worker's stable topology copy, so
+     *  it is built once and only reset thereafter.  A worker index is
+     *  owned by exactly one thread for the duration of a batch, so no
+     *  synchronization is needed and an arena is never shared by two
+     *  live executors. */
     struct WorkerArena
     {
         std::unique_ptr<hw::Topology> topo;

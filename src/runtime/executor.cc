@@ -48,7 +48,13 @@ struct Executor::Impl
     /** The engine every stream/fabric/event references: the arena's
      *  (reset at construction) or ownEngine. */
     sim::Engine &engine;
-    std::unique_ptr<hw::Fabric> fabric;
+    /** Fabric storage for self-contained runs (or the first run on a
+     *  fresh arena); empty when the arena's retained fabric is
+     *  reused. */
+    std::unique_ptr<hw::Fabric> ownFabric;
+    /** The fabric in use: the arena's retained one (reset at
+     *  construction) or ownFabric. */
+    hw::Fabric *fabric = nullptr;
     std::vector<std::unique_ptr<sim::Stream>> compute;
     std::vector<std::unique_ptr<memory::DeviceMemoryTracker>> gpuMem;
     std::unique_ptr<memory::PinnedHostPool> host;
@@ -162,7 +168,25 @@ struct Executor::Impl
                         static_cast<long long>(cfg.retryBackoff));
 
         precision = mdl.config().precision;
-        fabric = std::make_unique<hw::Fabric>(engine, topo);
+        if (cfg.arena != nullptr) {
+            // Reuse the retained fabric only when it was built
+            // against this exact topology object (the arena owner
+            // keeps one stable copy per worker); the engine reset
+            // above already cleared every pending completion the
+            // fabric streams could reference.
+            if (cfg.arena->fabric == nullptr ||
+                cfg.arena->fabricTopo != &topo) {
+                cfg.arena->fabric =
+                    std::make_unique<hw::Fabric>(engine, topo);
+                cfg.arena->fabricTopo = &topo;
+            } else {
+                cfg.arena->fabric->reset();
+            }
+            fabric = cfg.arena->fabric.get();
+        } else {
+            ownFabric = std::make_unique<hw::Fabric>(engine, topo);
+            fabric = ownFabric.get();
+        }
         const Bytes effective = static_cast<Bytes>(
             static_cast<double>(topo.gpu().memCapacity) /
             cfg.memOverheadFactor);
@@ -370,6 +394,10 @@ struct Executor::Impl
             return obs::Resource::NvmeWrite;
           case hw::FabricResource::NvmeRead:
             return obs::Resource::NvmeRead;
+          case hw::FabricResource::NicEgress:
+            return obs::Resource::NicEgress;
+          case hw::FabricResource::NicIngress:
+            return obs::Resource::NicIngress;
         }
         return obs::Resource::Compute;
     }
@@ -729,7 +757,7 @@ struct Executor::Impl
             // one importer over a single lane.
             for (const auto &grant : it->second) {
                 if (grant.budget >= bytes &&
-                    topo.nvlinkLanes(gpu, grant.importerGpu) > 0) {
+                    topo.pathLanes(gpu, grant.importerGpu) > 0) {
                     stripe_plan.stripes.push_back(
                         {grant.importerGpu, bytes, 1});
                     break;
@@ -1483,6 +1511,7 @@ struct Executor::Impl
         report.hostPeak = host->peak();
         report.nvlinkBusyTime = fabric->nvlinkBusyTime();
         report.pcieBusyTime = fabric->pcieBusyTime();
+        report.nicBusyTime = fabric->nicBusyTime();
 
         if (cfg.recordMetrics) {
             obsData.makespan = engine.now();

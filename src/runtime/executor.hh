@@ -40,13 +40,22 @@ namespace runtime {
 /**
  * Reusable executor scratch: the discrete-event engine (whose pooled
  * callback slab and heap storage dominate a run's allocations) is
- * kept across runs and reset between them.  One arena must never be
- * shared by two live executors — the planner's SearchDriver keys one
- * arena per pool worker, which gives exclusive use by construction.
+ * kept across runs and reset between them, and so is the fabric —
+ * whose per-lane stream rings scale with the square of the GPU count,
+ * a real cost on cluster topologies.  One arena must never be shared
+ * by two live executors — the planner's SearchDriver keys one arena
+ * per pool worker, which gives exclusive use by construction.
  */
 struct ExecutorArena
 {
     sim::Engine engine;
+
+    /** Retained fabric, rebuilt only when the topology object
+     *  changes; valid while @ref fabricTopo still points at the
+     *  live topology it was built from (the SearchDriver keeps one
+     *  stable hw::Topology copy per worker for exactly this). */
+    std::unique_ptr<hw::Fabric> fabric;
+    const hw::Topology *fabricTopo = nullptr;
 };
 
 /** Executor tunables. */

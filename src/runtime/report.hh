@@ -131,6 +131,9 @@ struct TrainingReport
     Tick nvlinkBusyTime = 0;
     /** Aggregate busy time across all PCIe channels. */
     Tick pcieBusyTime = 0;
+    /** Aggregate busy time across all inter-node NICs (zero on a
+     *  single-node topology). */
+    Tick nicBusyTime = 0;
 
     std::vector<StageOverhead> overheads;
 

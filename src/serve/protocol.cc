@@ -103,6 +103,29 @@ getDouble(const util::JsonValue &doc, const char *key, double lo,
     return true;
 }
 
+/** "cluster" is either a preset name (string) or an inline spec
+ *  object; the object form is re-rendered to canonical text so the
+ *  server-side strict spec parser + verifyClusterSpec see exactly
+ *  what the client sent.  Anything else is a typed error. */
+bool
+getCluster(const util::JsonValue &doc, std::string *out,
+           std::string *err)
+{
+    const util::JsonValue *v = doc.find("cluster");
+    if (v == nullptr)
+        return true;
+    if (v->isString()) {
+        *out = v->str();
+        return true;
+    }
+    if (v->isObject()) {
+        *out = util::jsonRender(*v);
+        return true;
+    }
+    *err = "\"cluster\" must be a preset name or a spec object";
+    return false;
+}
+
 /** Decode the job-description fields shared by plan / analyze /
  *  robustness. */
 bool
@@ -113,6 +136,7 @@ parseJob(const util::JsonValue &doc, JobSpec *job, std::string *err)
     // validation — unknown preset names etc. are caught when the
     // server builds the job.
     return getString(doc, "model", &job->model, err) &&
+           getCluster(doc, &job->cluster, err) &&
            getString(doc, "topology", &job->topology, err) &&
            getString(doc, "system", &job->system, err) &&
            getString(doc, "strategy", &job->strategy, err) &&

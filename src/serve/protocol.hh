@@ -79,6 +79,13 @@ struct JobSpec
 {
     std::string model = "bert-0.64b";
     std::string topology = "dgx1";
+
+    /** Multi-node cluster selector; empty = use @ref topology.  On
+     *  the wire "cluster" is either a string (a preset name such as
+     *  "2x-dgx2") or an inline spec object, which is re-rendered to
+     *  canonical text here so the server can push it through the
+     *  strict cluster-spec parser and verifyClusterSpec. */
+    std::string cluster;
     std::string system = "pipedream";
     std::string strategy = "mpress";
     std::string verifyMode = "permissive";

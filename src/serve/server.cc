@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "api/session.hh"
+#include "cluster/cluster.hh"
 #include "compaction/serialize.hh"
 #include "fault/scenario.hh"
 #include "model/model.hh"
@@ -36,15 +37,53 @@ struct BuiltJob
  * model::findPreset) — a served job and the equivalent command line
  * can never drift apart.  nullopt (with @p err) on any unknown name.
  */
+/**
+ * Resolve a JobSpec's "cluster" field — a preset name or canonical
+ * spec text (the protocol layer re-rendered any inline object) —
+ * through the strict spec parser and verifyClusterSpec, exactly the
+ * gate mpress_cli --cluster applies.  nullopt (with @p err) on any
+ * rejection; malformed or hostile specs become typed bad-request
+ * errors, never a fatal inside buildCluster().
+ */
+std::optional<hw::Topology>
+clusterFromJob(const std::string &text, std::string *err)
+{
+    cluster::ClusterSpec spec;
+    if (std::optional<cluster::ClusterSpec> preset =
+            cluster::clusterByName(text)) {
+        spec = *preset;
+    } else {
+        cluster::ParsedClusterSpec parsed =
+            cluster::parseClusterSpec(text);
+        if (!parsed.ok) {
+            *err = "bad cluster spec: " + parsed.error;
+            return std::nullopt;
+        }
+        spec = parsed.spec;
+    }
+    verify::Report report = verify::verifyClusterSpec(spec);
+    if (!report.ok()) {
+        *err = "cluster spec rejected: " + report.summary();
+        return std::nullopt;
+    }
+    return cluster::buildCluster(spec);
+}
+
 std::optional<BuiltJob>
 buildJob(const JobSpec &job, planner::TrialCache *shared_cache,
          std::string *err)
 {
-    std::optional<hw::Topology> topo =
-        api::topologyFromName(job.topology);
-    if (!topo) {
-        *err = "unknown topology \"" + job.topology + "\"";
-        return std::nullopt;
+    std::optional<hw::Topology> topo;
+    if (!job.cluster.empty()) {
+        topo = clusterFromJob(job.cluster, err);
+        if (!topo)
+            return std::nullopt;
+    } else {
+        topo = api::topologyFromName(job.topology);
+        if (!topo) {
+            *err = "unknown topology \"" + job.topology + "\"";
+            return std::nullopt;
+        }
     }
     api::SessionConfig cfg;
     if (!model::findPreset(job.model, &cfg.model)) {

@@ -92,6 +92,29 @@ class Stream
     /** Install (or clear) the per-task occupancy observer. */
     void setTaskHook(TaskHook hook) { _hook = std::move(hook); }
 
+    /**
+     * Return the stream to its just-constructed state, keeping the
+     * ring's capacity (no deallocation).  Pending completions are
+     * destroyed, never invoked.  Only legal after the owning engine's
+     * event queue has been reset too — a live finishHead event
+     * pointing at a reset stream would pop a cleared ring.  Arena
+     * reuse (runtime::ExecutorArena) resets the engine first, then
+     * every retained stream.
+     */
+    void
+    reset()
+    {
+        _hook = TaskHook();
+        for (std::size_t i = 0; i < _pendingCount; ++i) {
+            _ring[(_head + i) & (_ring.size() - 1)].fn = Completion();
+        }
+        _head = 0;
+        _pendingCount = 0;
+        _busyUntil = 0;
+        _busyTime = 0;
+        _tasks = 0;
+    }
+
     /** Tick at which the last submitted task ends. */
     Tick busyUntil() const { return _busyUntil; }
 

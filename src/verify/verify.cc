@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "analysis/analyzer.hh"
+#include "compaction/striping.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -80,6 +81,8 @@ ruleName(Rule rule)
         return "swap-empty-class";
       case Rule::SwapIntervalTight:
         return "swap-interval-tight";
+      case Rule::D2dNicInfeasible:
+        return "d2d-nic-infeasible";
       case Rule::CfgShape:
         return "cfg-shape";
       case Rule::CfgStashSync:
@@ -92,6 +95,12 @@ ruleName(Rule rule)
         return "fault-value-range";
       case Rule::FaultOverlap:
         return "fault-overlap";
+      case Rule::ClusterNodeRange:
+        return "cluster-node-range";
+      case Rule::ClusterLinkRange:
+        return "cluster-link-range";
+      case Rule::ClusterDuplicateId:
+        return "cluster-duplicate-id";
     }
     return "?";
 }
@@ -113,6 +122,7 @@ defaultSeverity(Rule rule)
       case Rule::D2dNoGrant:
       case Rule::SwapEmptyClass:
       case Rule::SwapIntervalTight:
+      case Rule::D2dNicInfeasible:
       case Rule::CfgStashSync:
         return Severity::Warning;
       default:
@@ -123,7 +133,7 @@ defaultSeverity(Rule rule)
 namespace {
 
 constexpr std::size_t kNumRules =
-    static_cast<std::size_t>(Rule::FaultOverlap) + 1;
+    static_cast<std::size_t>(Rule::ClusterDuplicateId) + 1;
 
 } // namespace
 
@@ -709,7 +719,10 @@ checkFabricPaths(const hw::Topology &topo, const Schedule &sched,
                 continue;
             int a = gpuForStage(plan, d.stage);
             int b = gpuForStage(plan, t.stage);
-            if (a == b || topo.nvlinkLanes(a, b) > 0)
+            // pathLanes accepts NIC paths too: a cross-node stage
+            // boundary is a real (if slower) direct path, not a
+            // host bounce.
+            if (a == b || topo.pathLanes(a, b) > 0)
                 continue;
             if (!flagged.emplace(std::min(a, b), std::max(a, b))
                      .second)
@@ -908,14 +921,15 @@ checkGrants(const hw::Topology &topo,
             }
             if (!exporter_ok)
                 continue;
-            if (topo.nvlinkLanes(exporter, g.importerGpu) == 0) {
+            if (topo.pathLanes(exporter, g.importerGpu) == 0) {
                 Finding(report, strict, Rule::D2dUnreachable)
                     .gpu(exporter)
                     .msg(strformat("grant %d->%d crosses no NVLink"
-                                   " lane",
+                                   " lane or NIC path",
                                    exporter, g.importerGpu))
-                    .hint("D2D swap stripes over direct NVLink paths;"
-                          " grant only NVLink neighbors");
+                    .hint("D2D swap stripes over direct NVLink or"
+                          " inter-node NIC paths; grant only"
+                          " reachable peers");
                 continue;
             }
             if (g.budget > 0) {
@@ -1098,6 +1112,69 @@ checkSwapAssignments(const hw::Topology &topo,
                 .hint("the PCIe channel saturates and swap-ins stall"
                       " the backward; move classes to D2D swap or"
                       " recompute");
+        }
+    }
+
+    // Cross-node D2D stripes ride the inter-node NICs, which are an
+    // order of magnitude slower than NVLink: a grant ledger whose
+    // cross-node round trips cannot hide behind compute assumed
+    // intra-node bandwidth across a NIC link.
+    if (topo.multiNodeFabric()) {
+        std::vector<util::Tick> nic_load(
+            static_cast<std::size_t>(part.numStages()), 0);
+        for (const auto &[ref, kind] : plan.activations) {
+            if (kind != Kind::D2dSwap)
+                continue;
+            if (ref.stage < 0 || ref.stage >= part.numStages())
+                continue;
+            const auto &stage =
+                part.stages[static_cast<std::size_t>(ref.stage)];
+            if (ref.layer < static_cast<int>(stage.firstLayer) ||
+                ref.layer > static_cast<int>(stage.lastLayer))
+                continue;
+            const auto &layer =
+                mdl.layer(static_cast<std::size_t>(ref.layer));
+            if (layer.activationStash <= 0)
+                continue;
+            int gpu = gpuForStage(plan, ref.stage);
+            if (gpu < 0 || gpu >= topo.numGpus())
+                continue;
+            auto it = plan.spareGrants.find(gpu);
+            if (it == plan.spareGrants.end())
+                continue;
+            auto stripe = compaction::makeStripePlan(
+                topo, gpu, it->second, layer.activationStash);
+            for (const auto &s : stripe.stripes) {
+                if (topo.sameNode(gpu, s.targetGpu))
+                    continue;
+                Bytes per_lane =
+                    (s.bytes + s.lanes - 1) / s.lanes;
+                nic_load[static_cast<std::size_t>(ref.stage)] +=
+                    2 * topo.linkSpecBetween(gpu, s.targetGpu)
+                            .transferTime(per_lane);
+            }
+        }
+        for (const auto &stage : part.stages) {
+            auto load =
+                nic_load[static_cast<std::size_t>(stage.index)];
+            if (load <= 0)
+                continue;
+            util::Tick budget = topo.gpu().computeTime(
+                3.0 * stage.fwdFlops, mdl.config().precision);
+            if (load > budget) {
+                Finding(report, strict, Rule::D2dNicInfeasible)
+                    .stage(stage.index)
+                    .gpu(gpuForStage(plan, stage.index))
+                    .msg(strformat(
+                        "cross-node D2D round trips need %s per"
+                        " microbatch over the NIC but compute hides"
+                        " only %s",
+                        util::formatTime(load).c_str(),
+                        util::formatTime(budget).c_str()))
+                    .hint("the grant ledger prices a NIC link like"
+                          " NVLink; shift budget to intra-node"
+                          " donors or GPU-CPU swap");
+            }
         }
     }
 }
@@ -1432,6 +1509,77 @@ verifyScenario(const hw::Topology &topo,
                         key.c_str()))
                     .hint("merge the windows or separate them in"
                           " time");
+            }
+        }
+    }
+    return report;
+}
+
+Report
+verifyClusterSpec(const cluster::ClusterSpec &spec,
+                  const Options &opts)
+{
+    Report report;
+    report.setPerRuleCap(opts.maxDiagsPerRule);
+    const bool strict = opts.strict;
+
+    if (spec.nodes < 1 || spec.nodes > 64) {
+        Finding(report, strict, Rule::ClusterNodeRange)
+            .msg(strformat("node count %d outside [1, 64]",
+                           spec.nodes))
+            .hint("the simulator supports 1..64 nodes (up to 512"
+                  " GPUs)");
+    }
+    auto node = cluster::nodeByName(spec.nodePreset);
+    if (!node) {
+        Finding(report, strict, Rule::ClusterNodeRange)
+            .msg(strformat("unknown node preset \"%s\"",
+                           spec.nodePreset.c_str()))
+            .hint("known presets: dgx1, dgx1-p100, dgx2, hgx-h100,"
+                  " dual-a100");
+    }
+
+    if (spec.nicsPerNode < 1 || spec.nicsPerNode > 8) {
+        Finding(report, strict, Rule::ClusterLinkRange)
+            .msg(strformat("NIC count %d per node outside [1, 8]",
+                           spec.nicsPerNode))
+            .hint("a node exposes between one and eight NICs");
+    }
+    if (!cluster::nicByName(spec.nicPreset)) {
+        Finding(report, strict, Rule::ClusterLinkRange)
+            .msg(strformat("unknown NIC preset \"%s\"",
+                           spec.nicPreset.c_str()))
+            .hint("known presets: ib-hdr, ib-ndr, roce100");
+    }
+    if (spec.nicGbps < 0.0 || spec.nicGbps > 3200.0) {
+        Finding(report, strict, Rule::ClusterLinkRange)
+            .msg(strformat("NIC bandwidth %g Gb/s outside [0, 3200]",
+                           spec.nicGbps))
+            .hint("0 keeps the preset bandwidth");
+    }
+    if (spec.nicLatencyUs < 0.0 || spec.nicLatencyUs > 100000.0) {
+        Finding(report, strict, Rule::ClusterLinkRange)
+            .msg(strformat("NIC latency %g us outside [0, 100000]",
+                           spec.nicLatencyUs))
+            .hint("0 keeps the preset latency");
+    }
+
+    if (!spec.nodeIds.empty()) {
+        if (static_cast<int>(spec.nodeIds.size()) != spec.nodes) {
+            Finding(report, strict, Rule::ClusterNodeRange)
+                .msg(strformat("%zu node ids for %d nodes",
+                               spec.nodeIds.size(), spec.nodes))
+                .hint("give exactly one display id per node, or"
+                      " none");
+        }
+        std::set<std::string> seen;
+        for (std::size_t i = 0; i < spec.nodeIds.size(); ++i) {
+            if (!seen.insert(spec.nodeIds[i]).second) {
+                Finding(report, strict, Rule::ClusterDuplicateId)
+                    .msg(strformat("node id \"%s\" appears more than"
+                                   " once",
+                                   spec.nodeIds[i].c_str()))
+                    .hint("node ids must be unique");
             }
         }
     }

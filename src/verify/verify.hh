@@ -48,6 +48,9 @@
  *     swap-unknown-tensor plan names a tensor outside the partition
  *     swap-empty-class    technique assigned to a zero-byte stash
  *     swap-interval-tight PCIe round trips exceed the hiding budget
+ *     d2d-nic-infeasible  cross-node D2D stripes exceed the NIC
+ *                         hiding budget (the grant ledger assumes
+ *                         intra-node bandwidth across a NIC link)
  *   Config shape
  *     cfg-shape           offload vectors not sized to stage count
  *     cfg-stash-sync      stash offload on a non-stashing schedule
@@ -58,6 +61,12 @@
  *                         [0,1], non-positive pressure bytes
  *     fault-overlap       two windows of one kind overlap on one
  *                         resource
+ *   Cluster specs (verifyClusterSpec)
+ *     cluster-node-range  node count outside [1, 64] or unknown
+ *                         node preset
+ *     cluster-link-range  NIC count/bandwidth/latency outside sane
+ *                         ranges or unknown NIC preset
+ *     cluster-duplicate-id two nodes share one display id
  *
  * Severities: structural rules are errors (the executor would abort,
  * deadlock, or misaccount); heuristic/performance rules are warnings,
@@ -70,6 +79,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hh"
 #include "compaction/plan.hh"
 #include "fault/scenario.hh"
 #include "hw/topology.hh"
@@ -121,12 +131,16 @@ enum class Rule
     SwapUnknownTensor,
     SwapEmptyClass,
     SwapIntervalTight,
+    D2dNicInfeasible,
     CfgShape,
     CfgStashSync,
     FaultTimeRange,
     FaultResourceRange,
     FaultValueRange,
     FaultOverlap,
+    ClusterNodeRange,
+    ClusterLinkRange,
+    ClusterDuplicateId,
 };
 
 /** Stable string id of @p rule, e.g. "sched-cycle". */
@@ -260,6 +274,18 @@ Report verifyPlan(const hw::Topology &topo,
 Report verifyScenario(const hw::Topology &topo,
                       const fault::Scenario &scenario,
                       const Options &opts = {});
+
+/**
+ * Verify a cluster spec before building a topology from it: node
+ * count and preset existence (cluster-node-range), NIC count /
+ * bandwidth / latency ranges and preset existence
+ * (cluster-link-range), and display-id uniqueness
+ * (cluster-duplicate-id).  buildCluster() panics on malformed specs,
+ * so every untrusted spec (CLI --cluster files, mpress-serve job
+ * fields) must pass through here first.
+ */
+Report verifyClusterSpec(const cluster::ClusterSpec &spec,
+                         const Options &opts = {});
 
 } // namespace verify
 } // namespace mpress

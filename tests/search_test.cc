@@ -101,6 +101,7 @@ operator delete[](void *p, const std::nothrow_t &) noexcept
     std::free(p);
 }
 
+#include "cluster/cluster.hh"
 #include "compaction/serialize.hh"
 #include "fault/scenario.hh"
 #include "hw/topology.hh"
@@ -111,6 +112,7 @@ operator delete[](void *p, const std::nothrow_t &) noexcept
 #include "planner/search.hh"
 #include "util/pool.hh"
 
+namespace cl = mpress::cluster;
 namespace cp = mpress::compaction;
 namespace fl = mpress::fault;
 namespace hw = mpress::hw;
@@ -648,6 +650,45 @@ TEST(WorkerArena, SteadyStateReplayDoesNotGrowAllocations)
     EXPECT_LT(warm1, cold);
     // Steady state: replaying the same trial into retained slabs has
     // a fixed allocation profile.
+    EXPECT_LE(warm2, warm1);
+    EXPECT_LE(warm3, warm2);
+}
+
+TEST(WorkerArena, SteadyStateHoldsOnTwoNodeCluster)
+{
+    // A cluster fabric multiplies the per-trial stream count (16
+    // GPUs' worth of port pools plus the per-node NIC pools), so
+    // rebuilding it per trial would dominate the allocation profile.
+    // The arena retains the fabric keyed on the worker's stable
+    // topology copy: warm replays must not allocate more than the
+    // previous warm one, same contract as the single-node test.
+    hw::Topology topo = cl::buildCluster(cl::cluster2xDgx2());
+    ASSERT_EQ(topo.numGpus(), 16);
+    ASSERT_TRUE(topo.multiNodeFabric());
+    mm::TransformerModel mdl(mm::presetByName("bert-0.35b"), 12);
+    mp::Partition part =
+        mp::partitionModel(mdl, 16, mp::Strategy::ComputeBalanced);
+    pl::Schedule sched =
+        pl::buildSchedule(pl::SystemKind::PipeDream, 16, 1, 2);
+    mu::ThreadPool pool(1);
+    pn::SearchDriver driver(topo, mdl, part, sched, {}, pool);
+    driver.setCacheEnabled(false);
+
+    auto plan = recomputeAll(part);
+    auto count_eval = [&] {
+        std::uint64_t before =
+            g_alloc_calls.load(std::memory_order_relaxed);
+        driver.evaluateOne(plan);
+        return g_alloc_calls.load(std::memory_order_relaxed) -
+               before;
+    };
+
+    std::uint64_t cold = count_eval();
+    std::uint64_t warm1 = count_eval();
+    std::uint64_t warm2 = count_eval();
+    std::uint64_t warm3 = count_eval();
+
+    EXPECT_LT(warm1, cold);
     EXPECT_LE(warm2, warm1);
     EXPECT_LE(warm3, warm2);
 }

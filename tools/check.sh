@@ -125,6 +125,31 @@ EOF
     echo "analysis smoke: certificate printed, provable overflow" \
          "rejected"
 
+    echo "== cluster smoke (ASan) =="
+    # A 2-node DGX-2 cluster must plan a model that OOMs on one node,
+    # and a spec that fails verifyClusterSpec must be rejected with
+    # the diagnostic exit code (3), not a crash.
+    ./build-asan/examples/mpress_cli --cluster 2x-dgx2 \
+        --model bert-1.67b --minibatches 2 \
+        --strategy mpress >"$smoke/cluster.out"
+    grep -q 'samples/s' "$smoke/cluster.out"
+    cat >"$smoke/bad-cluster.json" <<'EOF'
+{"name":"bad","nodes":65,"node":"dgx2","nicsPerNode":1}
+EOF
+    if ./build-asan/examples/mpress_cli \
+        --cluster "$smoke/bad-cluster.json" >/dev/null 2>&1; then
+        echo "expected the 65-node spec to be rejected" >&2
+        exit 1
+    fi
+    rc=0
+    ./build-asan/examples/mpress_cli \
+        --cluster "$smoke/bad-cluster.json" >/dev/null 2>&1 || rc=$?
+    [ "$rc" = 3 ] || {
+        echo "bad cluster spec exited $rc, want 3" >&2
+        exit 1
+    }
+    echo "cluster smoke: 2-node plan trained, bad spec rejected"
+
     echo "== serve smoke (ASan) =="
     # The daemon under ASan: serve a real plan, then feed it hostile
     # input (syntax garbage, a nesting bomb, an unknown op) — every
@@ -209,7 +234,7 @@ if [ "$run_tsan" = 1 ]; then
     cmake -B build-tsan -S . -DMPRESS_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$jobs"
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|SearchDriver|SharedTrialCache|BudgetGate|BudgetLedger|Determinism|Planner|Runtime|Fault|Ladder|Robustness|Injector|Analysis|Serve|Cli'
+        -R 'ThreadPool|SearchDriver|SharedTrialCache|BudgetGate|BudgetLedger|Determinism|Planner|Runtime|Fault|Ladder|Robustness|Injector|Analysis|Serve|Cli|Cluster|WorkerArena'
 
     echo "== sweep smoke (TSan) =="
     sweep=$(mktemp -d)
@@ -335,6 +360,43 @@ print("analytic prune: %d provably-bad trials dropped" % pruned)
 if pruned < 1:
     sys.exit("planner smoke failed: analytic prune tier engaged on "
              "zero trials")
+EOF
+
+    echo "== cluster scale smoke (Release + IPO) =="
+    # The scale bench gates its own invariants (per-row feasibility,
+    # byte-identical plans across thread counts, monotone aggregate
+    # throughput) via its exit status; on top of that, compare the
+    # fresh rows against the committed baseline so a silent
+    # cross-node pricing regression cannot recommit.  Wide (30%)
+    # tolerance, same rationale as the event-queue gate.
+    cmake --build build-perf -j "$jobs" --target bench_cluster_scale
+    MPRESS_BENCH_DIR="$perf" \
+    MPRESS_GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+    MPRESS_BENCH_DATE=$(date -u +%Y-%m-%d) \
+        ./build-perf/bench/bench_cluster_scale >/dev/null
+    python3 - "$perf/BENCH_cluster.json" BENCH_cluster.json <<'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))["benchmarks"]
+base = json.load(open(sys.argv[2]))["benchmarks"]
+tol = 0.30
+failed = False
+for nodes in (1, 2, 4, 8):
+    name = "scale/nodes:%d" % nodes
+    if fresh[name]["feasible"] != 1:
+        print("%-16s INFEASIBLE" % name)
+        failed = True
+        continue
+    want = base[name]["samples_per_sec"]
+    got = fresh[name]["samples_per_sec"]
+    ratio = got / want
+    status = "ok" if ratio >= 1.0 - tol else "REGRESSED"
+    print("%-16s %7.2f samples/s vs baseline %7.2f (%.0f%%) %s"
+          % (name, got, want, 100 * ratio, status))
+    failed = failed or ratio < 1.0 - tol
+if failed:
+    sys.exit("cluster smoke failed: scale-out throughput below "
+             "baseline - investigate before updating "
+             "BENCH_cluster.json")
 EOF
 fi
 
