@@ -14,6 +14,15 @@
  *    must never *lose* aggregate throughput (samples/s per replica
  *    may dip from NIC crossings, but the cluster total may not drop
  *    below the single-node total beyond a noise tolerance)
+ *  - plan-wall scaling: doubling the cluster from 4 to 8 nodes may
+ *    not blow the planning wall up superlinearly — the 8-node wall
+ *    must stay under 3.5x the 4-node wall (plus a small absolute
+ *    slack for timer noise on loaded CI boxes)
+ *  - sharded step-sim: replaying the 8-node plan through the sharded
+ *    engine (simShards=auto) must produce a byte-identical report to
+ *    the serial replay (unconditional), and must not cost more than
+ *    10% extra wall time — checked only on multi-core hosts, since a
+ *    1-core box serializes the shard workers anyway
  *
  * Metrics tee into BENCH_cluster.json for tools/check.sh.
  */
@@ -21,12 +30,19 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/common.hh"
 #include "cluster/cluster.hh"
 #include "compaction/serialize.hh"
+#include "model/model.hh"
+#include "partition/partition.hh"
+#include "pipeline/schedule.hh"
+#include "planner/planner.hh"
+#include "runtime/executor.hh"
+#include "util/pool.hh"
 #include "util/table.hh"
 
 namespace api = mpress::api;
@@ -34,6 +50,11 @@ namespace bench = mpress::bench;
 namespace cl = mpress::cluster;
 namespace cp = mpress::compaction;
 namespace hw = mpress::hw;
+namespace mm = mpress::model;
+namespace mp = mpress::partition;
+namespace pl = mpress::pipeline;
+namespace pn = mpress::planner;
+namespace rt = mpress::runtime;
 namespace mu = mpress::util;
 
 namespace {
@@ -94,6 +115,83 @@ planAtScale(int nodes)
     return row;
 }
 
+/** Report fingerprint for the step-sim determinism gate: every
+ *  scalar the executor derives plus the per-GPU and per-stage rows.
+ *  (The full-fidelity comparison — trace, metrics, timeline — lives
+ *  in the ShardedSim test matrix; the bench checks the cheap core.) */
+std::string
+reportBytes(const rt::TrainingReport &r)
+{
+    std::ostringstream os;
+    os << r.oom << ' ' << r.oomGpu << ' ' << r.oomTime << ' '
+       << r.makespan << ' ' << r.steadyIterTime << ' '
+       << r.samplesPerSec << ' ' << r.tflops << ' ' << r.hostPeak
+       << ' ' << r.nvlinkBusyTime << ' ' << r.pcieBusyTime << ' '
+       << r.nicBusyTime << ' ' << r.d2dOverflow << ' '
+       << r.nvmeSpill << '\n';
+    for (const auto &g : r.gpus)
+        os << g.gpu << ' ' << g.peak << ' ' << g.peakActivations
+           << ' ' << g.finalUsed << ' ' << g.computeUtilization
+           << '\n';
+    for (const auto &o : r.overheads)
+        os << o.stage << ' ' << o.recomputeTime << ' '
+           << o.swapInStall << ' ' << o.optimStall << '\n';
+    return os.str();
+}
+
+struct StepSim
+{
+    double serialMs = 0.0;
+    double shardedMs = 0.0;
+    bool identical = false;
+    std::uint64_t simWindows = 0;
+};
+
+/** Replay the winning 8-node plan through the serial engine and the
+ *  sharded engine (auto worker split) and time both. */
+StepSim
+replayEightNode()
+{
+    auto spec = cl::clusterByName("8x-hgx-h100");
+    hw::Topology topo = cl::buildCluster(*spec);
+    mm::TransformerModel mdl(mm::presetByName("gpt-25.5b"), 2);
+    mp::Partition part = mp::partitionModel(
+        mdl, topo.numGpus(), mp::Strategy::ComputeBalanced);
+    pl::Schedule sched = pl::buildSchedule(
+        pl::SystemKind::Dapple, topo.numGpus(), 64, 2);
+    pn::PlannerConfig pcfg;
+    auto planned = pn::planMPress(topo, mdl, part, sched, pcfg);
+
+    StepSim out;
+    if (!planned.feasible)
+        return out;
+
+    auto timeRun = [&](int shards, rt::TrainingReport &rep) {
+        rt::ExecutorConfig cfg;
+        cfg.simShards = shards;
+        double best = 0.0;
+        for (int rep_no = 0; rep_no < 3; ++rep_no) {
+            auto start = std::chrono::steady_clock::now();
+            rep = rt::runTraining(topo, mdl, part, sched,
+                                  planned.plan, cfg);
+            auto end = std::chrono::steady_clock::now();
+            double ms =
+                std::chrono::duration<double, std::milli>(end - start)
+                    .count();
+            if (rep_no == 0 || ms < best)
+                best = ms;
+        }
+        return best;
+    };
+
+    rt::TrainingReport serial, sharded;
+    out.serialMs = timeRun(1, serial);
+    out.shardedMs = timeRun(0, sharded);
+    out.identical = reportBytes(serial) == reportBytes(sharded);
+    out.simWindows = sharded.simWindows;
+    return out;
+}
+
 } // namespace
 
 int
@@ -140,6 +238,49 @@ main()
         std::printf("\nFAIL: 8-node throughput %.2f below "
                     "single-node %.2f\n",
                     widest, base);
+        ok = false;
+    }
+
+    // Plan-wall scaling gate: node doubling may cost more trials
+    // (the portfolio widens with pipeline depth) but never a
+    // superlinear blow-up.  3.5x covers the trial-count growth with
+    // headroom; the absolute slack absorbs timer noise on small
+    // walls.
+    double wall4 = rows[2].planMs;
+    double wall8 = rows[3].planMs;
+    double wallRatio = wall4 > 0.0 ? wall8 / wall4 : 0.0;
+    report.set("scale/gate", "plan_wall_ratio_8v4", wallRatio);
+    if (wall8 > wall4 * 3.5 + 50.0) {
+        std::printf("\nFAIL: 8-node plan wall %.1f ms superlinear "
+                    "vs 4-node %.1f ms (ratio %.2f, limit 3.5)\n",
+                    wall8, wall4, wallRatio);
+        ok = false;
+    }
+
+    // Sharded step-sim: determinism is unconditional; the overhead
+    // gate only means something when shard workers can actually run
+    // in parallel.
+    StepSim ss = replayEightNode();
+    std::printf("\nstep-sim replay (8 nodes): serial %.1f ms, "
+                "sharded %.1f ms, %llu windows, %s\n",
+                ss.serialMs, ss.shardedMs,
+                static_cast<unsigned long long>(ss.simWindows),
+                ss.identical ? "byte-identical" : "DIVERGED");
+    report.set("stepsim/8-node", "serial_wall_ms", ss.serialMs);
+    report.set("stepsim/8-node", "sharded_wall_ms", ss.shardedMs);
+    report.set("stepsim/8-node", "identical",
+               ss.identical ? 1.0 : 0.0);
+    report.set("stepsim/8-node", "sim_windows",
+               static_cast<double>(ss.simWindows));
+    if (!ss.identical || ss.simWindows == 0) {
+        std::printf("FAIL: sharded replay diverged from serial\n");
+        ok = false;
+    }
+    if (mu::ThreadPool::hardwareThreads() > 1 &&
+        ss.shardedMs > ss.serialMs * 1.10 + 25.0) {
+        std::printf("FAIL: sharded replay %.1f ms exceeds serial "
+                    "%.1f ms + 10%%\n",
+                    ss.shardedMs, ss.serialMs);
         ok = false;
     }
 

@@ -32,6 +32,7 @@
 #include "planner/mapper.hh"
 #include "runtime/executor.hh"
 #include "sim/engine.hh"
+#include "sim/shard.hh"
 #include "util/inline_function.hh"
 
 namespace cp = mpress::compaction;
@@ -179,6 +180,55 @@ BM_StripePlan(benchmark::State &state)
     }
 }
 BENCHMARK(BM_StripePlan);
+
+static void
+BM_ShardedWindows(benchmark::State &state)
+{
+    // Conservative-window overhead of the sharded engine: a ring of
+    // shards exchanging mailbox messages every lookahead interval —
+    // the pure coordination cost (window bounds, barrier, merge,
+    // injection) with trivial event bodies.  Serial (workers=1), so
+    // the number measures window mechanics rather than thread
+    // scaling, which a 1-core CI box could not see anyway.
+    const int shards = static_cast<int>(state.range(0));
+    const mpress::sim::Tick lookahead = 1000;
+    const int hops = 2000;
+    std::vector<std::unique_ptr<Engine>> engines;
+    std::vector<Engine *> raw;
+    for (int i = 0; i < shards; ++i) {
+        engines.push_back(std::make_unique<Engine>());
+        raw.push_back(engines.back().get());
+    }
+    mpress::sim::ShardGroup group(raw, lookahead);
+    std::uint64_t windows = 0;
+    for (auto _ : state) {
+        struct Hopper
+        {
+            mpress::sim::ShardGroup &g;
+            std::vector<Engine *> &e;
+            int remaining;
+            void hop(int src)
+            {
+                if (remaining-- <= 0)
+                    return;
+                int dst = (src + 1) %
+                          static_cast<int>(e.size());
+                g.post(src, dst, e[src]->now() + 1000,
+                       [this, dst] { hop(dst); });
+            }
+        } hopper{group, raw, hops};
+        raw[0]->schedule(0, [&hopper] { hopper.hop(0); });
+        group.run(1);
+        windows += group.windowsRun();
+        group.reset();
+    }
+    state.counters["windows_per_run"] = benchmark::Counter(
+        state.iterations() > 0
+            ? static_cast<double>(windows) /
+                  static_cast<double>(state.iterations())
+            : 0);
+}
+BENCHMARK(BM_ShardedWindows)->Arg(2)->Arg(8);
 
 static void
 BM_ScheduleGeneration(benchmark::State &state)

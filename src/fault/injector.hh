@@ -22,8 +22,16 @@ namespace fault {
 class Injector
 {
   public:
-    Injector(const Scenario &scenario, sim::Engine &engine)
-        : _scenario(scenario), _engine(engine), _rng(scenario.seed)
+    /**
+     * @param seed_salt  mixed into the PRNG seed so each node of a
+     *  sharded simulation draws an independent deterministic stream;
+     *  node 0 uses salt 0, which reproduces the unsalted stream
+     *  exactly (single-node runs are byte-identical).
+     */
+    Injector(const Scenario &scenario, sim::Engine &engine,
+             std::uint64_t seed_salt = 0)
+        : _scenario(scenario), _engine(engine),
+          _rng(scenario.seed + seed_salt)
     {
     }
 

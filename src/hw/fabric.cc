@@ -32,8 +32,41 @@ fabricResourceName(FabricResource r)
     return "?";
 }
 
-Fabric::Fabric(sim::Engine &engine, const Topology &topo)
-    : _engine(engine), _topo(topo)
+Tick
+Fabric::lookaheadFor(const Topology &topo)
+{
+    if (!topo.multiNodeFabric())
+        return 0;
+    // A cross-node effect is delayed by at least the NIC launch
+    // latency.  Clamp to one tick so the shard windows always make
+    // progress even with a degenerate zero-latency NIC spec.
+    return std::max<Tick>(topo.nicSpec().latency, 1);
+}
+
+Fabric::Fabric(sim::Engine &engine, const Topology &topo) : _topo(topo)
+{
+    _engines.assign(1, &engine);
+    _lookahead = lookaheadFor(topo);
+    build();
+}
+
+Fabric::Fabric(sim::ShardGroup &group, const Topology &topo)
+    : _topo(topo), _group(&group)
+{
+    if (group.shards() != topo.numNodes()) {
+        util::panic("sharded fabric needs one shard per node "
+                    "(%d shards, %d nodes)",
+                    group.shards(), topo.numNodes());
+    }
+    _engines.reserve(static_cast<std::size_t>(group.shards()));
+    for (int s = 0; s < group.shards(); ++s)
+        _engines.push_back(&group.shard(s));
+    _lookahead = lookaheadFor(topo);
+    build();
+}
+
+void
+Fabric::build()
 {
     const int n = _topo.numGpus();
 
@@ -42,11 +75,12 @@ Fabric::Fabric(sim::Engine &engine, const Topology &topo)
         _ingress.resize(n);
         const int ports = _topo.gpu().nvlinkPorts;
         for (int g = 0; g < n; ++g) {
+            sim::Engine &eng = engineFor(_topo.nodeOf(g));
             for (int p = 0; p < ports; ++p) {
                 _egress[g].lanes.push_back(std::make_unique<sim::Stream>(
-                    engine, util::strformat("gpu%d.out%d", g, p)));
+                    eng, util::strformat("gpu%d.out%d", g, p)));
                 _ingress[g].lanes.push_back(std::make_unique<sim::Stream>(
-                    engine, util::strformat("gpu%d.in%d", g, p)));
+                    eng, util::strformat("gpu%d.in%d", g, p)));
             }
         }
     } else {
@@ -58,9 +92,10 @@ Fabric::Fabric(sim::Engine &engine, const Topology &topo)
                 if (lanes == 0)
                     continue;
                 LanePool pool;
+                sim::Engine &eng = engineFor(_topo.nodeOf(a));
                 for (int l = 0; l < lanes; ++l) {
                     pool.lanes.push_back(std::make_unique<sim::Stream>(
-                        engine,
+                        eng,
                         util::strformat("nv%d-%d.%d", a, b, l)));
                 }
                 _pairLanes.emplace(std::make_pair(a, b),
@@ -75,27 +110,42 @@ Fabric::Fabric(sim::Engine &engine, const Topology &topo)
         _nicOut.resize(nodes);
         _nicIn.resize(nodes);
         for (int nd = 0; nd < nodes; ++nd) {
+            sim::Engine &eng = engineFor(nd);
             for (int c = 0; c < nics; ++c) {
                 _nicOut[nd].lanes.push_back(
                     std::make_unique<sim::Stream>(
-                        engine,
+                        eng,
                         util::strformat("node%d.nic%d.out", nd, c)));
                 _nicIn[nd].lanes.push_back(
                     std::make_unique<sim::Stream>(
-                        engine,
+                        eng,
                         util::strformat("node%d.nic%d.in", nd, c)));
             }
         }
     }
 
     for (int g = 0; g < n; ++g) {
+        sim::Engine &eng = engineFor(_topo.nodeOf(g));
         _pcieDown.push_back(std::make_unique<sim::Stream>(
-            engine, util::strformat("pcie%d.d2h", g)));
+            eng, util::strformat("pcie%d.d2h", g)));
         _pcieUp.push_back(std::make_unique<sim::Stream>(
-            engine, util::strformat("pcie%d.h2d", g)));
+            eng, util::strformat("pcie%d.h2d", g)));
     }
-    _nvmeWrite = std::make_unique<sim::Stream>(engine, "nvme.write");
-    _nvmeRead = std::make_unique<sim::Stream>(engine, "nvme.read");
+    const int nodes = _topo.numNodes();
+    for (int nd = 0; nd < nodes; ++nd) {
+        sim::Engine &eng = engineFor(nd);
+        // Single-node keeps the historical channel names.
+        std::string wr = nodes == 1
+                             ? std::string("nvme.write")
+                             : util::strformat("node%d.nvme.write", nd);
+        std::string rd = nodes == 1
+                             ? std::string("nvme.read")
+                             : util::strformat("node%d.nvme.read", nd);
+        _nvmeWrite.push_back(
+            std::make_unique<sim::Stream>(eng, std::move(wr)));
+        _nvmeRead.push_back(
+            std::make_unique<sim::Stream>(eng, std::move(rd)));
+    }
 }
 
 std::vector<sim::Stream *>
@@ -115,12 +165,12 @@ Fabric::pickLanes(LanePool &pool, int k)
 }
 
 Tick
-Fabric::shaped(FabricResource res, int a, int b, Bytes bytes,
+Fabric::shaped(FabricResource res, int node, int a, int b, Bytes bytes,
                Tick dur) const
 {
     if (!_shaper)
         return dur;
-    Tick out = _shaper(res, a, b, bytes, dur);
+    Tick out = _shaper(res, node, a, b, bytes, dur);
     return out < 0 ? dur : out;
 }
 
@@ -135,7 +185,7 @@ Fabric::stripedTransfer(FabricResource res, int src, int dst,
         util::panic("striped transfer with no lanes");
     }
     Bytes per_lane = (bytes + k - 1) / k;
-    Tick dur = shaped(res, src, dst, bytes,
+    Tick dur = shaped(res, _topo.nodeOf(src), src, dst, bytes,
                       spec.transferTime(per_lane));
 
     // The transfer completes when every occupied lane finishes.  The
@@ -154,6 +204,78 @@ Fabric::stripedTransfer(FabricResource res, int src, int dst,
 }
 
 void
+Fabric::postCross(int src_node, int dst_node, Tick when,
+                  sim::EventFn fn)
+{
+    if (_group != nullptr) {
+        _group->post(src_node, dst_node, when, std::move(fn));
+        return;
+    }
+    _engines[0]->schedule(when, std::move(fn));
+}
+
+void
+Fabric::ingressLeg(const std::shared_ptr<CrossXfer> &xfer)
+{
+    const int dst_node = _topo.nodeOf(xfer->dst);
+    auto in = pickLanes(_nicIn[dst_node], xfer->lanes);
+    Tick dur = shaped(FabricResource::NicIngress, dst_node, xfer->src,
+                      xfer->dst, xfer->bytes, xfer->wire);
+    auto join = std::make_shared<sim::JoinCounter>(
+        static_cast<int>(in.size()), std::move(xfer->done));
+    for (sim::Stream *lane : in) {
+        lane->submit(dur, [join](Tick, Tick) { join->arrive(); });
+    }
+}
+
+void
+Fabric::crossNodeTransfer(int src, int dst, Bytes bytes, int lanes,
+                          Done done)
+{
+    // Store-and-forward two-leg model: the payload occupies the
+    // source node's egress NICs for one wire time, crosses the node
+    // boundary as a message delayed by the NIC launch latency (the
+    // shard lookahead floor), then occupies the destination node's
+    // ingress NICs for another wire time.  Each leg is shaped on its
+    // own node, and the completion fires on the destination node's
+    // engine — no instantaneous cross-node side effects, which is
+    // exactly what lets the shards run a full lookahead window
+    // without synchronizing.
+    const int src_node = _topo.nodeOf(src);
+    const int dst_node = _topo.nodeOf(dst);
+    const LinkSpec &spec = _topo.nicSpec();
+    Bytes per_lane = (bytes + lanes - 1) / lanes;
+    Tick wire = spec.transferTime(per_lane) - spec.latency;
+    if (wire < 0)
+        wire = 0;
+
+    auto xfer = std::make_shared<CrossXfer>();
+    xfer->fab = this;
+    xfer->src = src;
+    xfer->dst = dst;
+    xfer->lanes = lanes;
+    xfer->bytes = bytes;
+    xfer->wire = wire;
+    xfer->done = std::move(done);
+
+    auto out = pickLanes(_nicOut[src_node], lanes);
+    Tick out_dur = shaped(FabricResource::NicEgress, src_node, src,
+                          dst, bytes, wire);
+    auto join = std::make_shared<sim::JoinCounter>(
+        static_cast<int>(out.size()),
+        Done([xfer, src_node, dst_node] {
+            Fabric *fab = xfer->fab;
+            Tick when = fab->engineFor(src_node).now() +
+                        fab->_lookahead;
+            fab->postCross(src_node, dst_node, when,
+                           [xfer] { xfer->fab->ingressLeg(xfer); });
+        }));
+    for (sim::Stream *lane : out) {
+        lane->submit(out_dur, [join](Tick, Tick) { join->arrive(); });
+    }
+}
+
+void
 Fabric::d2dTransfer(int src, int dst, Bytes bytes, int lanes, Done done)
 {
     int avail = lanesBetween(src, dst);
@@ -165,15 +287,11 @@ Fabric::d2dTransfer(int src, int dst, Bytes bytes, int lanes, Done done)
         lanes = avail;
 
     if (_topo.multiNodeFabric() && !_topo.sameNode(src, dst)) {
-        // Cross-node: stripe over the source node's egress NICs and
-        // the destination node's ingress NICs.  The pools are per
-        // node, not per GPU, so every concurrent cross-node transfer
-        // of a node queues on the same NICs.
-        auto out = pickLanes(_nicOut[_topo.nodeOf(src)], lanes);
-        auto in = pickLanes(_nicIn[_topo.nodeOf(dst)], lanes);
-        stripedTransfer(FabricResource::NicEgress, src, dst,
-                        std::move(out), std::move(in),
-                        _topo.nicSpec(), bytes, std::move(done));
+        // Cross-node: two NIC legs joined by a latency-delayed
+        // message.  The pools are per node, not per GPU, so every
+        // concurrent cross-node transfer of a node queues on the
+        // same NICs.
+        crossNodeTransfer(src, dst, bytes, lanes, std::move(done));
     } else if (_topo.symmetric()) {
         auto out = pickLanes(_egress[src], lanes);
         auto in = pickLanes(_ingress[dst], lanes);
@@ -193,8 +311,8 @@ Fabric::d2dTransfer(int src, int dst, Bytes bytes, int lanes, Done done)
 void
 Fabric::gpuToHost(int gpu, Bytes bytes, Done done)
 {
-    Tick dur = shaped(FabricResource::PcieD2H, gpu, -1, bytes,
-                      _topo.pcieSpec().transferTime(bytes));
+    Tick dur = shaped(FabricResource::PcieD2H, _topo.nodeOf(gpu), gpu,
+                      -1, bytes, _topo.pcieSpec().transferTime(bytes));
     _pcieDown[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) mutable {
         if (cb)
             cb();
@@ -204,8 +322,8 @@ Fabric::gpuToHost(int gpu, Bytes bytes, Done done)
 void
 Fabric::hostToGpu(int gpu, Bytes bytes, Done done)
 {
-    Tick dur = shaped(FabricResource::PcieH2D, gpu, -1, bytes,
-                      _topo.pcieSpec().transferTime(bytes));
+    Tick dur = shaped(FabricResource::PcieH2D, _topo.nodeOf(gpu), gpu,
+                      -1, bytes, _topo.pcieSpec().transferTime(bytes));
     _pcieUp[gpu]->submit(dur, [cb = std::move(done)](Tick, Tick) mutable {
         if (cb)
             cb();
@@ -213,25 +331,27 @@ Fabric::hostToGpu(int gpu, Bytes bytes, Done done)
 }
 
 void
-Fabric::hostToNvme(Bytes bytes, Done done)
+Fabric::hostToNvme(int node, Bytes bytes, Done done)
 {
-    Tick dur = shaped(FabricResource::NvmeWrite, -1, -1, bytes,
+    Tick dur = shaped(FabricResource::NvmeWrite, node, -1, -1, bytes,
                       _topo.nvmeSpec().transferTime(bytes));
-    _nvmeWrite->submit(dur, [cb = std::move(done)](Tick, Tick) mutable {
-        if (cb)
-            cb();
-    });
+    _nvmeWrite[node]->submit(dur,
+                             [cb = std::move(done)](Tick, Tick) mutable {
+                                 if (cb)
+                                     cb();
+                             });
 }
 
 void
-Fabric::nvmeToHost(Bytes bytes, Done done)
+Fabric::nvmeToHost(int node, Bytes bytes, Done done)
 {
-    Tick dur = shaped(FabricResource::NvmeRead, -1, -1, bytes,
+    Tick dur = shaped(FabricResource::NvmeRead, node, -1, -1, bytes,
                       _topo.nvmeSpec().transferTime(bytes));
-    _nvmeRead->submit(dur, [cb = std::move(done)](Tick, Tick) mutable {
-        if (cb)
-            cb();
-    });
+    _nvmeRead[node]->submit(dur,
+                            [cb = std::move(done)](Tick, Tick) mutable {
+                                if (cb)
+                                    cb();
+                            });
 }
 
 Tick
@@ -243,6 +363,15 @@ Fabric::estimateD2d(int src, int dst, Bytes bytes, int lanes) const
     if (lanes <= 0 || lanes > avail)
         lanes = avail;
     Bytes per_lane = (bytes + lanes - 1) / lanes;
+    if (_topo.multiNodeFabric() && !_topo.sameNode(src, dst)) {
+        // Two-leg store-and-forward pricing, matching
+        // crossNodeTransfer exactly.
+        const LinkSpec &spec = _topo.nicSpec();
+        Tick wire = spec.transferTime(per_lane) - spec.latency;
+        if (wire < 0)
+            wire = 0;
+        return _lookahead + 2 * wire;
+    }
     return _topo.linkSpecBetween(src, dst).transferTime(per_lane);
 }
 
@@ -320,16 +449,19 @@ Fabric::visitStreams(const StreamVisitor &fn)
 {
     for (auto &[key, pool] : _pairLanes) {
         for (auto &lane : pool.lanes)
-            fn(FabricResource::NvlinkEgress, key.first, *lane);
+            fn(FabricResource::NvlinkEgress, _topo.nodeOf(key.first),
+               key.first, *lane);
     }
     for (std::size_t g = 0; g < _egress.size(); ++g) {
         for (auto &lane : _egress[g].lanes)
-            fn(FabricResource::NvlinkEgress, static_cast<int>(g),
+            fn(FabricResource::NvlinkEgress,
+               _topo.nodeOf(static_cast<int>(g)), static_cast<int>(g),
                *lane);
     }
     for (std::size_t g = 0; g < _ingress.size(); ++g) {
         for (auto &lane : _ingress[g].lanes)
-            fn(FabricResource::NvlinkIngress, static_cast<int>(g),
+            fn(FabricResource::NvlinkIngress,
+               _topo.nodeOf(static_cast<int>(g)), static_cast<int>(g),
                *lane);
     }
     // NIC pools are owned by a node, not a GPU; the owner index is
@@ -337,20 +469,27 @@ Fabric::visitStreams(const StreamVisitor &fn)
     for (std::size_t nd = 0; nd < _nicOut.size(); ++nd) {
         for (auto &lane : _nicOut[nd].lanes)
             fn(FabricResource::NicEgress, static_cast<int>(nd),
-               *lane);
+               static_cast<int>(nd), *lane);
     }
     for (std::size_t nd = 0; nd < _nicIn.size(); ++nd) {
         for (auto &lane : _nicIn[nd].lanes)
             fn(FabricResource::NicIngress, static_cast<int>(nd),
-               *lane);
+               static_cast<int>(nd), *lane);
     }
     for (std::size_t g = 0; g < _pcieDown.size(); ++g)
-        fn(FabricResource::PcieD2H, static_cast<int>(g),
+        fn(FabricResource::PcieD2H,
+           _topo.nodeOf(static_cast<int>(g)), static_cast<int>(g),
            *_pcieDown[g]);
     for (std::size_t g = 0; g < _pcieUp.size(); ++g)
-        fn(FabricResource::PcieH2D, static_cast<int>(g), *_pcieUp[g]);
-    fn(FabricResource::NvmeWrite, -1, *_nvmeWrite);
-    fn(FabricResource::NvmeRead, -1, *_nvmeRead);
+        fn(FabricResource::PcieH2D,
+           _topo.nodeOf(static_cast<int>(g)), static_cast<int>(g),
+           *_pcieUp[g]);
+    for (std::size_t nd = 0; nd < _nvmeWrite.size(); ++nd)
+        fn(FabricResource::NvmeWrite, static_cast<int>(nd), -1,
+           *_nvmeWrite[nd]);
+    for (std::size_t nd = 0; nd < _nvmeRead.size(); ++nd)
+        fn(FabricResource::NvmeRead, static_cast<int>(nd), -1,
+           *_nvmeRead[nd]);
 }
 
 void
@@ -371,8 +510,33 @@ Fabric::reset()
         lane->reset();
     for (auto &lane : _pcieUp)
         lane->reset();
-    _nvmeWrite->reset();
-    _nvmeRead->reset();
+    for (auto &lane : _nvmeWrite)
+        lane->reset();
+    for (auto &lane : _nvmeRead)
+        lane->reset();
+}
+
+void
+Fabric::shrink()
+{
+    for (auto &[key, pool] : _pairLanes) {
+        for (auto &lane : pool.lanes)
+            lane->shrink();
+    }
+    for (auto *pools : {&_egress, &_ingress, &_nicOut, &_nicIn}) {
+        for (auto &pool : *pools) {
+            for (auto &lane : pool.lanes)
+                lane->shrink();
+        }
+    }
+    for (auto &lane : _pcieDown)
+        lane->shrink();
+    for (auto &lane : _pcieUp)
+        lane->shrink();
+    for (auto &lane : _nvmeWrite)
+        lane->shrink();
+    for (auto &lane : _nvmeRead)
+        lane->shrink();
 }
 
 } // namespace hw

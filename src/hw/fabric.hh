@@ -9,6 +9,14 @@
  * lanes places bytes/k on each lane and completes when the slowest
  * lane finishes — exactly the data-striping execution model of
  * Sec. III-C.
+ *
+ * Multi-node fabrics are shard-aware: every stream is bound to its
+ * owning node's engine, and a cross-node transfer runs as two legs —
+ * wire time on the source node's egress NICs, a cross-shard message
+ * delayed by the NIC launch latency (the shard lookahead floor), then
+ * wire time on the destination node's ingress NICs.  The same model
+ * executes on a single engine (legacy ctor) and on a ShardGroup, with
+ * identical transfer timing.
  */
 
 #ifndef MPRESS_HW_FABRIC_HH
@@ -21,6 +29,7 @@
 
 #include "hw/topology.hh"
 #include "sim/engine.hh"
+#include "sim/shard.hh"
 #include "sim/stream.hh"
 
 namespace mpress {
@@ -43,7 +52,8 @@ enum class FabricResource
 const char *fabricResourceName(FabricResource r);
 
 /**
- * Runtime transfer engine bound to one Engine and one Topology.
+ * Runtime transfer engine bound to one Topology and either a single
+ * Engine or one Engine per node (via sim::ShardGroup).
  */
 class Fabric
 {
@@ -52,30 +62,48 @@ class Fabric
      *  type so it moves into schedule()/JoinCounter without a wrap. */
     using Done = sim::EventFn;
 
-    /** Visitor over fabric streams: (class, owning GPU or -1, lane). */
+    /** Visitor over fabric streams:
+     *  (class, owning node, owning GPU or -1, lane). */
     using StreamVisitor =
-        std::function<void(FabricResource, int, sim::Stream &)>;
+        std::function<void(FabricResource, int, int, sim::Stream &)>;
 
     /**
      * Hook shaping the duration of every transfer as it is issued:
-     * (resource, endpoint a, endpoint b, bytes, nominal duration) ->
-     * effective duration.  NVLink passes the (src, dst) GPU pair,
-     * PCIe passes (gpu, -1), NVMe passes (-1, -1).  The fault layer
-     * uses this to degrade links inside scheduled windows.
+     * (resource, node, endpoint a, endpoint b, bytes, nominal
+     * duration) -> effective duration.  @p node is the node whose
+     * engine executes the shaped leg — the fault layer routes the
+     * query to that node's injector.  NVLink passes the (src, dst)
+     * GPU pair, PCIe passes (gpu, -1), NVMe passes (-1, -1), NIC legs
+     * pass the (src, dst) GPU pair with the leg's node.
      */
     using TransferShaper =
-        std::function<Tick(FabricResource, int, int, Bytes, Tick)>;
+        std::function<Tick(FabricResource, int, int, int, Bytes, Tick)>;
 
+    /** Single-engine fabric: every stream binds to @p engine.  Works
+     *  for any topology, including multi-node ones (the two-leg NIC
+     *  model then runs entirely on @p engine). */
     Fabric(sim::Engine &engine, const Topology &topo);
+
+    /** Sharded fabric: streams bind to their node's shard engine and
+     *  cross-node legs travel through the group's mailboxes.
+     *  @p group must have exactly topo.numNodes() shards. */
+    Fabric(sim::ShardGroup &group, const Topology &topo);
 
     Fabric(const Fabric &) = delete;
     Fabric &operator=(const Fabric &) = delete;
+
+    /** The conservative lookahead the two-leg NIC model guarantees:
+     *  no cross-node effect lands sooner than this many ticks after
+     *  the event that caused it (0 for single-node topologies). */
+    static Tick lookaheadFor(const Topology &topo);
 
     /**
      * Move @p bytes from GPU @p src to GPU @p dst striped over
      * @p lanes NVLink lanes.  @p lanes is clamped to the lanes
      * available between the pair.  Fires @p done when the slowest
      * stripe lands.  Passing lanes <= 0 uses all available lanes.
+     * For cross-node pairs @p done fires on the destination node's
+     * engine.
      */
     void d2dTransfer(int src, int dst, Bytes bytes, int lanes,
                      Done done);
@@ -86,15 +114,16 @@ class Fabric
     /** Host -> GPU over the GPU's PCIe up-link. */
     void hostToGpu(int gpu, Bytes bytes, Done done);
 
-    /** Host memory -> NVMe. */
-    void hostToNvme(Bytes bytes, Done done);
+    /** Host memory -> NVMe on @p node's channel. */
+    void hostToNvme(int node, Bytes bytes, Done done);
 
-    /** NVMe -> host memory. */
-    void nvmeToHost(Bytes bytes, Done done);
+    /** NVMe -> host memory on @p node's channel. */
+    void nvmeToHost(int node, Bytes bytes, Done done);
 
     /**
      * Uncontended D2D latency estimate matching the executed striping
-     * math; used by the planner's cost model.
+     * math; used by the planner's cost model.  Cross-node pairs price
+     * the two-leg model: lookahead + 2x per-leg wire time.
      */
     Tick estimateD2d(int src, int dst, Bytes bytes, int lanes) const;
 
@@ -122,9 +151,10 @@ class Fabric
     Tick nicBusyTime() const;
 
     /**
-     * Visit every lane stream with its resource class and owning GPU
-     * (-1 for the host-wide NVMe channels).  The observability layer
-     * uses this to attach per-stream utilization recording.
+     * Visit every lane stream with its resource class, owning node
+     * and owning GPU (-1 for the per-node NVMe channels and NIC
+     * pools, whose owner is the node itself).  The observability
+     * layer uses this to attach per-stream utilization recording.
      */
     void visitStreams(const StreamVisitor &fn);
 
@@ -137,10 +167,14 @@ class Fabric
     /**
      * Return every lane stream to its just-constructed state and drop
      * the shaper, keeping all pools allocated: arena reuse across
-     * planner trials.  The caller must reset the owning engine first
-     * (see sim::Stream::reset()).
+     * planner trials.  The caller must reset the owning engine(s)
+     * first (see sim::Stream::reset()).
      */
     void reset();
+
+    /** Release every stream's retained ring storage (after reset()):
+     *  the arena high-water policy's fabric leg. */
+    void shrink();
 
     const Topology &topology() const { return _topo; }
 
@@ -151,20 +185,53 @@ class Fabric
         std::vector<std::unique_ptr<sim::Stream>> lanes;
     };
 
+    /** Shared state of an in-flight cross-node two-leg transfer. */
+    struct CrossXfer
+    {
+        Fabric *fab = nullptr;
+        int src = 0;
+        int dst = 0;
+        int lanes = 0;
+        Bytes bytes = 0;
+        Tick wire = 0;  ///< nominal per-leg wire time
+        Done done;
+    };
+
     /** Pick the @p k least-busy lanes of @p pool. */
     static std::vector<sim::Stream *> pickLanes(LanePool &pool, int k);
+
+    void build();
 
     void stripedTransfer(FabricResource res, int src, int dst,
                          std::vector<sim::Stream *> out_lanes,
                          std::vector<sim::Stream *> in_lanes,
                          const LinkSpec &spec, Bytes bytes, Done done);
 
-    /** Apply the installed shaper (if any) to a nominal duration. */
-    Tick shaped(FabricResource res, int a, int b, Bytes bytes,
-                Tick dur) const;
+    void crossNodeTransfer(int src, int dst, Bytes bytes, int lanes,
+                           Done done);
+    void ingressLeg(const std::shared_ptr<CrossXfer> &xfer);
 
-    sim::Engine &_engine;
+    /** Deliver @p fn to @p dst_node's engine at @p when: a mailbox
+     *  post on sharded fabrics, a plain schedule otherwise. */
+    void postCross(int src_node, int dst_node, Tick when,
+                   sim::EventFn fn);
+
+    sim::Engine &
+    engineFor(int node)
+    {
+        return *_engines[_engines.size() == 1
+                             ? 0
+                             : static_cast<std::size_t>(node)];
+    }
+
+    /** Apply the installed shaper (if any) to a nominal duration. */
+    Tick shaped(FabricResource res, int node, int a, int b,
+                Bytes bytes, Tick dur) const;
+
     const Topology &_topo;
+    std::vector<sim::Engine *> _engines;  ///< size 1 or numNodes
+    sim::ShardGroup *_group = nullptr;
+    Tick _lookahead = 0;  ///< cross-node message delay (multi-node)
     TransferShaper _shaper;
 
     // Asymmetric fabrics: per ordered pair (src,dst) a pool with one
@@ -191,8 +258,9 @@ class Fabric
     std::vector<std::unique_ptr<sim::Stream>> _pcieDown;  ///< D2H
     std::vector<std::unique_ptr<sim::Stream>> _pcieUp;    ///< H2D
 
-    std::unique_ptr<sim::Stream> _nvmeWrite;
-    std::unique_ptr<sim::Stream> _nvmeRead;
+    // One NVMe channel pair per node (a node swaps to its own SSDs).
+    std::vector<std::unique_ptr<sim::Stream>> _nvmeWrite;
+    std::vector<std::unique_ptr<sim::Stream>> _nvmeRead;
 };
 
 } // namespace hw

@@ -78,6 +78,21 @@ MetricsRegistry::value(Id id) const
     return _series[static_cast<std::size_t>(id)].value;
 }
 
+void
+MetricsRegistry::absorb(const MetricsRegistry &src,
+                        const std::string &prefix)
+{
+    if (!_enabled)
+        return;
+    for (const MetricSeries &s : src.series()) {
+        Id id = intern(prefix + s.name, s.kind);
+        auto &d = _series[static_cast<std::size_t>(id)];
+        d.value = s.value;
+        d.samples.insert(d.samples.end(), s.samples.begin(),
+                         s.samples.end());
+    }
+}
+
 const MetricSeries *
 MetricsRegistry::find(const std::string &name) const
 {

@@ -93,6 +93,15 @@ class MetricsRegistry
         return _series;
     }
 
+    /**
+     * Copy every series of @p src into this registry under
+     * @p prefix + its name, appending samples and adopting the source
+     * value.  Used to merge per-shard registries into one report
+     * ("node0/swap.out.bytes", ...); series are absorbed in @p src
+     * registration order, so the merge is deterministic.
+     */
+    void absorb(const MetricsRegistry &src, const std::string &prefix);
+
   private:
     Id intern(const std::string &name, MetricKind kind);
 

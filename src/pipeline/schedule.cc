@@ -37,9 +37,40 @@ systemKindName(SystemKind kind)
     return "?";
 }
 
+void
+Schedule::buildIndex()
+{
+    const std::size_t slots =
+        static_cast<std::size_t>(numStages) *
+        static_cast<std::size_t>(totalMicrobatches());
+    fwdIndex.assign(slots, -1);
+    bwdIndex.assign(slots, -1);
+    const int M = totalMicrobatches();
+    for (const Task &t : tasks) {
+        if (t.stage < 0 || t.stage >= numStages || t.microbatch < 0 ||
+            t.microbatch >= M)
+            continue;  // OptimStep rows carry microbatch -1
+        auto slot = static_cast<std::size_t>(t.stage) *
+                        static_cast<std::size_t>(M) +
+                    static_cast<std::size_t>(t.microbatch);
+        if (t.kind == TaskKind::Forward)
+            fwdIndex[slot] = t.id;
+        else if (t.kind == TaskKind::Backward)
+            bwdIndex[slot] = t.id;
+    }
+}
+
 int
 Schedule::fwdId(int stage, int mb) const
 {
+    if (!fwdIndex.empty()) {
+        const int M = totalMicrobatches();
+        if (stage < 0 || stage >= numStages || mb < 0 || mb >= M)
+            return -1;
+        return fwdIndex[static_cast<std::size_t>(stage) *
+                            static_cast<std::size_t>(M) +
+                        static_cast<std::size_t>(mb)];
+    }
     for (int id : perStageOrder.at(stage)) {
         const Task &t = tasks[id];
         if (t.kind == TaskKind::Forward && t.microbatch == mb)
@@ -51,6 +82,14 @@ Schedule::fwdId(int stage, int mb) const
 int
 Schedule::bwdId(int stage, int mb) const
 {
+    if (!bwdIndex.empty()) {
+        const int M = totalMicrobatches();
+        if (stage < 0 || stage >= numStages || mb < 0 || mb >= M)
+            return -1;
+        return bwdIndex[static_cast<std::size_t>(stage) *
+                            static_cast<std::size_t>(M) +
+                        static_cast<std::size_t>(mb)];
+    }
     for (int id : perStageOrder.at(stage)) {
         const Task &t = tasks[id];
         if (t.kind == TaskKind::Backward && t.microbatch == mb)
@@ -230,6 +269,7 @@ class Builder
     Schedule
     take()
     {
+        _sched.buildIndex();
         _sched.validate();
         return std::move(_sched);
     }

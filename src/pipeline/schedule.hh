@@ -80,6 +80,20 @@ struct Schedule
     /** Execution order of task ids on each stage's device. */
     std::vector<std::vector<int>> perStageOrder;
 
+    /** O(1) lookup tables for fwdId()/bwdId(), stage-major with
+     *  stride totalMicrobatches(); -1 marks an absent task.  Built by
+     *  buildIndex() (the builders call it); when empty — hand-built
+     *  schedules in tests — the lookups fall back to a linear scan of
+     *  the stage order.  The executor resolves a task id per task
+     *  completion, so without the index the resolution cost scales
+     *  with the per-stage task count and planning walls grow
+     *  superlinearly in cluster size. */
+    std::vector<int> fwdIndex;
+    std::vector<int> bwdIndex;
+
+    /** (Re)build fwdIndex/bwdIndex from tasks. */
+    void buildIndex();
+
     int totalMicrobatches() const
     {
         return microbatchesPerMinibatch * numMinibatches;

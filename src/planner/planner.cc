@@ -233,6 +233,7 @@ planMPress(const hw::Topology &topo,
         PruneStats prune = driver.pruneStats();
         result.analyticScored = prune.scored;
         result.analyticPruned = prune.pruned();
+        result.arenaShrinks = driver.arenaShrinks();
     };
 
     // (3) Seed assignment per overflowing stage.

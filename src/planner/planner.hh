@@ -169,6 +169,11 @@ struct PlanResult
     std::uint64_t trialCacheHits = 0;
     std::uint64_t trialCacheMisses = 0;
 
+    /** Times the executor's high-water policy released a worker
+     *  arena's retained slabs during this search (long-lived daemons
+     *  surface the counter through the serve stats endpoint). */
+    std::uint64_t arenaShrinks = 0;
+
     /** Machine-checkable certificate of the returned plan from the
      *  static analyzer: per-GPU peak-memory intervals, host-memory
      *  interval, a critical-path latency lower bound, and a

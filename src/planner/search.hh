@@ -273,6 +273,11 @@ class SearchDriver
      *  cache's own stats() aggregate every driver). */
     TrialCacheStats cacheStats() const;
 
+    /** Total executor-arena high-water releases across the worker
+     *  arenas.  Call between batches only: workers mutate their
+     *  arenas while a batch is in flight. */
+    std::uint64_t arenaShrinks() const;
+
     /**
      * Content key of this driver's job, prefixed to every
      * memoization key: topology (name, GPU count and spec capacity,

@@ -7,6 +7,7 @@
 #include "fault/injector.hh"
 #include "obs/export.hh"
 #include "util/logging.hh"
+#include "util/pool.hh"
 #include "util/strings.hh"
 
 namespace mpress {
@@ -31,6 +32,9 @@ enum class InState
     Done,
 };
 
+/** Consecutive over-water runs before an arena releases slabs. */
+constexpr int kShrinkAfter = 8;
+
 } // namespace
 
 struct Executor::Impl
@@ -43,11 +47,22 @@ struct Executor::Impl
     ExecutorConfig cfg;
 
     /** Engine storage for self-contained runs; unused (and empty)
-     *  when cfg.arena supplies a reusable engine. */
+     *  when cfg.arena supplies reusable engines. */
     sim::Engine ownEngine;
-    /** The engine every stream/fabric/event references: the arena's
-     *  (reset at construction) or ownEngine. */
-    sim::Engine &engine;
+    std::vector<std::unique_ptr<sim::Engine>> ownNodeEngines;
+    std::unique_ptr<sim::ShardGroup> ownGroup;
+
+    /** One engine per simulation shard (node); a single entry on
+     *  single-node topologies.  Points into the arena or the own*
+     *  storage above. */
+    std::vector<sim::Engine *> engines;
+    /** The conservative-window coordinator; null on single-node
+     *  topologies (the run is a plain Engine::run()). */
+    sim::ShardGroup *group = nullptr;
+    /** Shards: topo.numNodes() when the topology has an inter-node
+     *  fabric, else 1. */
+    int numNodes = 1;
+
     /** Fabric storage for self-contained runs (or the first run on a
      *  fresh arena); empty when the arena's retained fabric is
      *  reused. */
@@ -55,35 +70,106 @@ struct Executor::Impl
     /** The fabric in use: the arena's retained one (reset at
      *  construction) or ownFabric. */
     hw::Fabric *fabric = nullptr;
+
     std::vector<std::unique_ptr<sim::Stream>> compute;
     std::vector<std::unique_ptr<memory::DeviceMemoryTracker>> gpuMem;
-    std::unique_ptr<memory::PinnedHostPool> host;
 
-    compaction::SwapMetadataTable swapTable;
+    /** Spare-capacity grants, keyed by exporter GPU.  The map's
+     *  structure is frozen after construction (lookups use find());
+     *  each exporter's budgets are only mutated from events on the
+     *  exporter's own shard, so distinct nodes never race. */
     std::map<int, std::vector<compaction::SpareGrant>> grantsLeft;
 
-    // Schedule progress.
+    // Schedule progress.  Element g/s/id is only written by events on
+    // its owning node's shard; cross-node reads of taskDone happen
+    // strictly after the paired arrival message (mailbox barrier).
     std::vector<char> taskDone;
     std::vector<char> arrivalDone;
     std::vector<std::size_t> cursor;
     std::vector<char> stageBusy;
 
-    // Per-instance compaction state.
-    std::map<InstanceKey, Tick> genTime;
-    std::map<InstanceKey, InState> inState;
-
-    // Backward chains blocked on a swap-in, keyed by instance.
-    struct BwdChain;
-    std::map<InstanceKey, BwdChain *> blockedOn;
-
     TrainingReport report;
+    /** Minibatch completion times merged across nodes in finalize(). */
     std::vector<Tick> minibatchDone;
-    std::vector<int> optRemaining;
 
-    // Observability (cfg.recordMetrics).  Lives here — hooks on
-    // trackers and streams point at it — and moves into the report
-    // only in finalize(), after the engine has drained.
-    obs::Observability obsData;
+    struct BwdChain
+    {
+        const pipeline::Task *task = nullptr;
+        std::vector<std::size_t> layersRev;
+        std::size_t next = 0;
+        std::size_t nextPrefetch = 0;
+        int inflightSwapIns = 0;
+        Tick stallStart = -1;
+    };
+
+    /**
+     * Everything a node's shard mutates from its own events.  The
+     * sharding rule is the node boundary: an instance's exporter GPU
+     * fixes the node that owns its swap metadata, fault draws, trace
+     * and observability records, so no lock is ever needed.  On
+     * single-node topologies there is exactly one NodeState and the
+     * run is byte-identical to the historical single-engine executor.
+     */
+    struct NodeState
+    {
+        int node = 0;
+        sim::Engine *engine = nullptr;
+
+        /** This node's slice of the cluster host pool / NVMe. */
+        std::unique_ptr<memory::PinnedHostPool> host;
+        Bytes baseHost = 0;
+        Bytes nvmeCap = 0;
+        Bytes nvmeUsed = 0;
+        /** Sum of currently active host-pressure cuts (this node's
+         *  share); node 0 additionally tracks the cluster-wide total
+         *  for the report. */
+        Bytes hostPressureCut = 0;
+        Bytes totalPressureCut = 0;
+
+        compaction::SwapMetadataTable swapTable;
+        std::map<InstanceKey, Tick> genTime;
+        std::map<InstanceKey, InState> inState;
+        std::map<InstanceKey, BwdChain *> blockedOn;
+        std::map<int, BwdChain> bwdChains;  // keyed by task id
+        /** Per-instance compaction-kind demotions by the ladder. */
+        std::map<InstanceKey, Kind> kindOverride;
+        /** Weight-version fetch progress for stash-offloaded backward
+         *  tasks: absent = not issued, 1 = in flight, 2 = landed. */
+        std::map<int, int> versionFetch;
+
+        /** Per-node injector (seed salted by node id; node 0 draws
+         *  the exact unsalted stream). */
+        std::unique_ptr<fault::Injector> injector;
+
+        SavingsBreakdown savings;
+        Bytes d2dOverflow = 0;
+        Bytes nvmeSpill = 0;
+        /** Dynamic fault counters; summed into the report. */
+        FaultSummary faults;
+
+        // First OOM observed on this shard (candidate; merged in
+        // finalize, earliest across nodes wins).
+        bool oom = false;
+        int oomGpu = -1;
+        Tick oomTime = 0;
+
+        std::vector<MemorySample> memTimeline;
+        sim::TraceRecorder trace;
+        obs::Observability obsData;
+        memory::LivenessTable liveness;
+
+        /** Completion time of each minibatch's last local OptimStep
+         *  and the count of local stages still pending per minibatch
+         *  (global done-time = max over nodes). */
+        std::vector<Tick> lastOptim;
+        std::vector<int> optRemaining;
+    };
+
+    /** Fixed after construction; lambdas capture element pointers. */
+    std::vector<NodeState> nodes;
+
+    // Metric ids are identical in every node's registry (same
+    // registration order), so one set of handles serves all shards.
     obs::MetricsRegistry::Id mSwapOut = obs::MetricsRegistry::kInvalid;
     obs::MetricsRegistry::Id mSwapIn = obs::MetricsRegistry::kInvalid;
     obs::MetricsRegistry::Id mD2dOut = obs::MetricsRegistry::kInvalid;
@@ -111,29 +197,61 @@ struct Executor::Impl
     obs::MetricsRegistry::Id mFaultPressure =
         obs::MetricsRegistry::kInvalid;
 
-    // Fault injection (cfg.faults).
-    std::unique_ptr<fault::Injector> injector;
-    /** Per-instance compaction-kind demotions made by the ladder. */
-    std::map<InstanceKey, Kind> kindOverride;
-    /** Sum of currently active host-pressure cuts. */
-    Bytes hostPressureCut = 0;
-
-    /** Weight-version fetch progress for stash-offloaded backward
-     *  tasks: absent = not issued, 1 = in flight, 2 = landed. */
-    std::map<int, int> versionFetch;
-
     hw::Precision precision;
+
+    // ---- node / shard helpers -------------------------------------
+
+    int gpuOf(int stage) const { return plan.gpuForStage(stage); }
+
+    int
+    nodeOfGpu(int g) const
+    {
+        return numNodes > 1 ? topo.nodeOf(g) : 0;
+    }
+
+    bool
+    sameNode(int a, int b) const
+    {
+        return nodeOfGpu(a) == nodeOfGpu(b);
+    }
+
+    NodeState &
+    nsOf(int gpu)
+    {
+        return nodes[static_cast<std::size_t>(nodeOfGpu(gpu))];
+    }
+
+    NodeState &nsOfStage(int stage) { return nsOf(gpuOf(stage)); }
+
+    sim::Engine &engineOf(int gpu) { return *nsOf(gpu).engine; }
+
+    /** Deliver @p fn to @p dst node's shard through the group's
+     *  deterministic mailbox, one lookahead after now.  Only valid on
+     *  multi-node runs (group != nullptr). */
+    void
+    postToNode(int src, int dst, sim::EventFn fn)
+    {
+        group->post(src, dst,
+                    nodes[static_cast<std::size_t>(src)].engine->now() +
+                        group->lookahead(),
+                    std::move(fn));
+    }
+
+    bool
+    anyOom() const
+    {
+        for (const auto &ns : nodes) {
+            if (ns.oom)
+                return true;
+        }
+        return false;
+    }
 
     Impl(const hw::Topology &t, const model::TransformerModel &m,
          const partition::Partition &p, const pipeline::Schedule &s,
          const compaction::CompactionPlan &pl, ExecutorConfig c)
-        : topo(t), mdl(m), part(p), sched(s), plan(pl), cfg(c),
-          engine(c.arena ? c.arena->engine : ownEngine)
+        : topo(t), mdl(m), part(p), sched(s), plan(pl), cfg(c)
     {
-        // A reused arena engine may hold the previous run's slabs;
-        // rewind it (keeping capacity) before anything schedules.
-        if (cfg.arena)
-            engine.reset();
         if (part.numStages() != sched.numStages)
             util::fatal("partition has %d stages, schedule %d",
                         part.numStages(), sched.numStages);
@@ -167,38 +285,60 @@ struct Executor::Impl
             util::fatal("retryBackoff must be >= 0, got %lld",
                         static_cast<long long>(cfg.retryBackoff));
 
+        numNodes = topo.multiNodeFabric() ? topo.numNodes() : 1;
         precision = mdl.config().precision;
-        if (cfg.arena != nullptr) {
-            // Reuse the retained fabric only when it was built
-            // against this exact topology object (the arena owner
-            // keeps one stable copy per worker); the engine reset
-            // above already cleared every pending completion the
-            // fabric streams could reference.
-            if (cfg.arena->fabric == nullptr ||
-                cfg.arena->fabricTopo != &topo) {
-                cfg.arena->fabric =
-                    std::make_unique<hw::Fabric>(engine, topo);
-                cfg.arena->fabricTopo = &topo;
-            } else {
-                cfg.arena->fabric->reset();
-            }
-            fabric = cfg.arena->fabric.get();
-        } else {
-            ownFabric = std::make_unique<hw::Fabric>(engine, topo);
-            fabric = ownFabric.get();
-        }
+        setupEngines();
+
         const Bytes effective = static_cast<Bytes>(
             static_cast<double>(topo.gpu().memCapacity) /
             cfg.memOverheadFactor);
         for (int g = 0; g < topo.numGpus(); ++g) {
+            sim::Engine &eng =
+                *engines[static_cast<std::size_t>(nodeOfGpu(g))];
             compute.push_back(std::make_unique<sim::Stream>(
-                engine, util::strformat("gpu%d.compute", g)));
+                eng, util::strformat("gpu%d.compute", g)));
             gpuMem.push_back(
                 std::make_unique<memory::DeviceMemoryTracker>(
                     util::strformat("gpu%d", g), effective));
         }
-        host = std::make_unique<memory::PinnedHostPool>(
-            topo.hostMemory());
+
+        // Split the cluster host pool and NVMe along the node
+        // boundary (a node swaps to its own pinned memory and SSDs);
+        // a single node keeps the whole pool, exactly as before.
+        nodes.resize(static_cast<std::size_t>(numNodes));
+        const Bytes host_total = topo.hostMemory();
+        const Bytes host_share =
+            host_total / static_cast<Bytes>(numNodes);
+        const Bytes nvme_total = topo.nvmeCapacity();
+        const Bytes nvme_share =
+            nvme_total / static_cast<Bytes>(numNodes);
+        for (int n = 0; n < numNodes; ++n) {
+            NodeState &ns = nodes[static_cast<std::size_t>(n)];
+            ns.node = n;
+            ns.engine = engines[static_cast<std::size_t>(n)];
+            ns.baseHost =
+                host_share +
+                (n == 0 ? host_total -
+                              host_share * static_cast<Bytes>(numNodes)
+                        : 0);
+            ns.host =
+                std::make_unique<memory::PinnedHostPool>(ns.baseHost);
+            ns.nvmeCap =
+                nvme_share +
+                (n == 0 ? nvme_total -
+                              nvme_share * static_cast<Bytes>(numNodes)
+                        : 0);
+            ns.trace.setEnabled(c.recordTimeline);
+            ns.lastOptim.assign(
+                static_cast<std::size_t>(sched.numMinibatches), 0);
+            ns.optRemaining.assign(
+                static_cast<std::size_t>(sched.numMinibatches), 0);
+        }
+        for (int st = 0; st < sched.numStages; ++st) {
+            for (auto &rem : nsOfStage(st).optRemaining)
+                ++rem;
+        }
+
         allocQueue.resize(static_cast<std::size_t>(topo.numGpus()));
         pendingFreeBytes.assign(
             static_cast<std::size_t>(topo.numGpus()), 0);
@@ -226,11 +366,6 @@ struct Executor::Impl
             static_cast<std::size_t>(sched.numStages));
         for (int st = 0; st < sched.numStages; ++st)
             report.overheads[static_cast<std::size_t>(st)].stage = st;
-        minibatchDone.assign(
-            static_cast<std::size_t>(sched.numMinibatches), 0);
-        optRemaining.assign(
-            static_cast<std::size_t>(sched.numMinibatches),
-            sched.numStages);
 
         if (cfg.recordMetrics)
             setupObservability();
@@ -238,14 +373,150 @@ struct Executor::Impl
             setupFaults();
     }
 
-    /** Arm the injector: count the schedule, install the fabric
+    /**
+     * Select (and reset) the engines, coordinator and fabric: the
+     * arena's retained set when one is supplied, self-owned storage
+     * otherwise.  Single-node topologies use one engine and no group;
+     * multi-node topologies always get one engine per node plus a
+     * ShardGroup — the window structure is part of the simulation's
+     * semantics, so it exists even when run with one worker.
+     */
+    void
+    setupEngines()
+    {
+        const Tick look = hw::Fabric::lookaheadFor(topo);
+        if (cfg.arena == nullptr) {
+            if (numNodes == 1) {
+                engines = {&ownEngine};
+            } else {
+                for (int n = 0; n < numNodes; ++n)
+                    ownNodeEngines.push_back(
+                        std::make_unique<sim::Engine>());
+                for (auto &e : ownNodeEngines)
+                    engines.push_back(e.get());
+                ownGroup =
+                    std::make_unique<sim::ShardGroup>(engines, look);
+                group = ownGroup.get();
+            }
+            ownFabric =
+                group ? std::make_unique<hw::Fabric>(*group, topo)
+                      : std::make_unique<hw::Fabric>(*engines[0],
+                                                     topo);
+            fabric = ownFabric.get();
+            return;
+        }
+
+        ExecutorArena &ar = *cfg.arena;
+        bool over = false;
+        if (numNodes == 1) {
+            // Sample the high-water ratio before reset() zeroes the
+            // per-run slot count (reservedSlots survives).
+            over = ar.engine.reservedSlots() >
+                   std::max<std::size_t>(2 * ar.engine.poolSlots(),
+                                         1024);
+            ar.engine.reset();
+            engines = {&ar.engine};
+        } else {
+            const bool rebuild =
+                static_cast<int>(ar.nodeEngines.size()) != numNodes ||
+                ar.group == nullptr || ar.group->lookahead() != look;
+            if (rebuild) {
+                // The retained fabric (if any) was bound to the old
+                // group/engines; drop it so it is rebuilt below.
+                ar.fabric.reset();
+                ar.fabricTopo = nullptr;
+                ar.group.reset();
+                ar.nodeEngines.clear();
+                for (int n = 0; n < numNodes; ++n)
+                    ar.nodeEngines.push_back(
+                        std::make_unique<sim::Engine>());
+                std::vector<sim::Engine *> ptrs;
+                for (auto &e : ar.nodeEngines)
+                    ptrs.push_back(e.get());
+                ar.group = std::make_unique<sim::ShardGroup>(
+                    std::move(ptrs), look);
+            } else {
+                std::size_t reserved = 0;
+                std::size_t used = 0;
+                for (auto &e : ar.nodeEngines) {
+                    reserved += e->reservedSlots();
+                    used += e->poolSlots();
+                }
+                over = reserved >
+                       std::max<std::size_t>(2 * used, 1024);
+                ar.group->reset();
+            }
+            for (auto &e : ar.nodeEngines)
+                engines.push_back(e.get());
+            group = ar.group.get();
+        }
+        if (ar.fabric == nullptr || ar.fabricTopo != &topo) {
+            // Build against this exact topology object (the arena
+            // owner keeps one stable copy per worker); the resets
+            // above already cleared every pending completion the
+            // fabric streams could reference.
+            ar.fabric =
+                group ? std::make_unique<hw::Fabric>(*group, topo)
+                      : std::make_unique<hw::Fabric>(*engines[0],
+                                                     topo);
+            ar.fabricTopo = &topo;
+        } else {
+            ar.fabric->reset();
+        }
+        fabric = ar.fabric.get();
+        applyShrinkPolicy(over);
+    }
+
+    /** High-water policy: after kShrinkAfter consecutive runs whose
+     *  retained slabs could hold over twice what was actually used,
+     *  release the engines' and fabric's retained storage so a
+     *  long-lived daemon does not hold one huge plan's peak arenas
+     *  forever.  Engines were reset above, so their heaps are empty
+     *  (a shrink() precondition). */
+    void
+    applyShrinkPolicy(bool over)
+    {
+        ExecutorArena &ar = *cfg.arena;
+        if (!over) {
+            ar.overStreak = 0;
+            return;
+        }
+        if (++ar.overStreak < kShrinkAfter)
+            return;
+        ar.overStreak = 0;
+        ++ar.shrinks;
+        if (group)
+            group->shrink();
+        else
+            engines[0]->shrink();
+        fabric->shrink();
+    }
+
+    /** Shard workers for a multi-node run: the config knob, or one
+     *  per node capped at the hardware concurrency. */
+    int
+    resolveWorkers() const
+    {
+        int hw_threads = util::ThreadPool::hardwareThreads();
+        if (hw_threads < 1)
+            hw_threads = 1;
+        int w = cfg.simShards;
+        if (w <= 0)
+            w = std::min(numNodes, hw_threads);
+        if (w < 1)
+            w = 1;
+        if (w > numNodes)
+            w = numNodes;
+        return w;
+    }
+
+    /** Arm the injectors: count the schedule, install the fabric
      *  shaper for link-degrade windows, and schedule host-pressure
-     *  windows as engine events. */
+     *  windows on every node's engine. */
     void
     setupFaults()
     {
         const fault::Scenario &sc = *cfg.faults;
-        injector = std::make_unique<fault::Injector>(sc, engine);
         report.faults.enabled = true;
         report.faults.scheduledLinkDegrade =
             sc.countOf(fault::EventKind::LinkDegrade);
@@ -257,124 +528,179 @@ struct Executor::Impl
             sc.countOf(fault::EventKind::HostPressure);
 
         if (cfg.recordMetrics) {
-            mFaultFail =
-                obsData.metrics.counter("fault.transfer.failures");
-            mFaultRetry =
-                obsData.metrics.counter("fault.transfer.retries");
-            mFaultFallbackSwap =
-                obsData.metrics.counter("fault.fallback.swap");
-            mFaultFallbackRecompute =
-                obsData.metrics.counter("fault.fallback.recompute");
-            mFaultStraggle =
-                obsData.metrics.counter("fault.straggle.tasks");
-            mFaultDegraded =
-                obsData.metrics.counter("fault.degraded.transfers");
-            mFaultPressure =
-                obsData.metrics.gauge("fault.host.pressure.bytes");
+            for (auto &ns : nodes) {
+                mFaultFail = ns.obsData.metrics.counter(
+                    "fault.transfer.failures");
+                mFaultRetry = ns.obsData.metrics.counter(
+                    "fault.transfer.retries");
+                mFaultFallbackSwap = ns.obsData.metrics.counter(
+                    "fault.fallback.swap");
+                mFaultFallbackRecompute = ns.obsData.metrics.counter(
+                    "fault.fallback.recompute");
+                mFaultStraggle = ns.obsData.metrics.counter(
+                    "fault.straggle.tasks");
+                mFaultDegraded = ns.obsData.metrics.counter(
+                    "fault.degraded.transfers");
+                mFaultPressure = ns.obsData.metrics.gauge(
+                    "fault.host.pressure.bytes");
+            }
+        }
+
+        for (auto &ns : nodes) {
+            ns.injector = std::make_unique<fault::Injector>(
+                sc, *ns.engine,
+                static_cast<std::uint64_t>(ns.node));
         }
 
         fabric->setTransferShaper(
-            [this](hw::FabricResource res, int a, int b, Bytes,
-                   Tick dur) {
-                double stretch = injector->transferStretch(res, a, b);
+            [this](hw::FabricResource res, int node, int a, int b,
+                   Bytes, Tick dur) {
+                // The query runs on the engine executing the shaped
+                // leg; route it to that node's injector so every draw
+                // stays on its own shard's deterministic order.
+                NodeState &ns =
+                    nodes[node < 0 ? 0
+                                   : static_cast<std::size_t>(node)];
+                double stretch =
+                    ns.injector->transferStretch(res, a, b);
                 if (stretch <= 1.0)
                     return dur;
-                ++report.faults.degradedTransfers;
-                obsData.metrics.add(mFaultDegraded, engine.now(),
-                                    1.0);
+                ++ns.faults.degradedTransfers;
+                ns.obsData.metrics.add(mFaultDegraded,
+                                       ns.engine->now(), 1.0);
                 return static_cast<Tick>(
                     static_cast<double>(dur) * stretch);
             });
 
-        const Bytes base_host = topo.hostMemory();
+        // Host pressure cuts every node's pool slice proportionally;
+        // node 0 additionally keeps the cluster-wide running total
+        // for the report and metric (on one node, share == bytes and
+        // the mutation order matches the historical handler exactly).
+        const auto nn = static_cast<Bytes>(nodes.size());
         for (const auto &e : sc.events) {
             if (e.kind != fault::EventKind::HostPressure)
                 continue;
-            engine.schedule(e.start, [this, e, base_host]() {
-                hostPressureCut += e.bytes;
-                ++report.faults.hostPressureEvents;
-                report.faults.hostPressurePeak =
-                    std::max(report.faults.hostPressurePeak,
-                             hostPressureCut);
-                host->setCapacity(base_host - hostPressureCut);
-                obsData.metrics.set(
-                    mFaultPressure, engine.now(),
-                    static_cast<double>(hostPressureCut));
-                traceInstant("fault: host-pressure on", -1);
-            });
-            engine.schedule(e.end, [this, e, base_host]() {
-                hostPressureCut -= e.bytes;
-                host->setCapacity(base_host - hostPressureCut);
-                obsData.metrics.set(
-                    mFaultPressure, engine.now(),
-                    static_cast<double>(hostPressureCut));
-                traceInstant("fault: host-pressure off", -1);
-            });
+            const Bytes base_share = e.bytes / nn;
+            for (auto &node_state : nodes) {
+                NodeState *np = &node_state;
+                const Bytes share =
+                    base_share +
+                    (np->node == 0 ? e.bytes - base_share * nn : 0);
+                np->engine->schedule(e.start, [this, np, share, e]() {
+                    np->hostPressureCut += share;
+                    if (np->node == 0) {
+                        np->totalPressureCut += e.bytes;
+                        ++np->faults.hostPressureEvents;
+                        np->faults.hostPressurePeak =
+                            std::max(np->faults.hostPressurePeak,
+                                     np->totalPressureCut);
+                    }
+                    np->host->setCapacity(np->baseHost -
+                                          np->hostPressureCut);
+                    if (np->node == 0) {
+                        np->obsData.metrics.set(
+                            mFaultPressure, np->engine->now(),
+                            static_cast<double>(
+                                np->totalPressureCut));
+                    }
+                    traceInstant(*np, "fault: host-pressure on", -1);
+                });
+                np->engine->schedule(e.end, [this, np, share, e]() {
+                    np->hostPressureCut -= share;
+                    if (np->node == 0)
+                        np->totalPressureCut -= e.bytes;
+                    np->host->setCapacity(np->baseHost -
+                                          np->hostPressureCut);
+                    if (np->node == 0) {
+                        np->obsData.metrics.set(
+                            mFaultPressure, np->engine->now(),
+                            static_cast<double>(
+                                np->totalPressureCut));
+                    }
+                    traceInstant(*np, "fault: host-pressure off", -1);
+                });
+            }
         }
     }
 
-    /** Emit a fault marker into the trace (lane -1 = host-wide). */
+    /** Emit a fault marker into @p ns's trace (lane -1 = host-wide). */
     void
-    traceInstant(std::string name, int lane)
+    traceInstant(NodeState &ns, std::string name, int lane)
     {
         if (!cfg.recordTimeline)
             return;
-        report.trace.recordInstant(std::move(name), "fault",
-                                   lane < 0 ? 0 : lane, engine.now());
+        ns.trace.recordInstant(std::move(name), "fault",
+                               lane < 0 ? 0 : lane,
+                               ns.engine->now());
     }
 
     /** Apply any active straggle window to a compute duration. */
     Tick
     computeDur(int gpu, Tick dur)
     {
-        if (!injector)
+        NodeState &ns = nsOf(gpu);
+        if (!ns.injector)
             return dur;
-        double stretch = injector->computeStretch(gpu);
+        double stretch = ns.injector->computeStretch(gpu);
         if (stretch <= 1.0)
             return dur;
-        ++report.faults.straggledTasks;
-        obsData.metrics.add(mFaultStraggle, engine.now(), 1.0);
+        ++ns.faults.straggledTasks;
+        ns.obsData.metrics.add(mFaultStraggle, ns.engine->now(), 1.0);
         return static_cast<Tick>(static_cast<double>(dur) * stretch);
     }
 
-    /** Enable the bundle and hook every tracker and stream.  With
-     *  recordMetrics off none of this runs, the metric ids stay
-     *  kInvalid, and the instrumented call sites below are no-ops. */
+    /** Enable every node's bundle and hook every tracker and stream.
+     *  With recordMetrics off none of this runs, the metric ids stay
+     *  kInvalid, and the instrumented call sites below are no-ops.
+     *  Every node registers the same metrics in the same order, so
+     *  one set of ids addresses all per-node registries. */
     void
     setupObservability()
     {
-        obsData.enabled = true;
-        obsData.metrics = obs::MetricsRegistry(true);
-        obsData.memory = obs::MemoryTimeline(true);
-        obsData.utilization = obs::UtilizationRecorder(true);
+        for (auto &ns : nodes) {
+            ns.obsData.enabled = true;
+            ns.obsData.metrics = obs::MetricsRegistry(true);
+            ns.obsData.memory = obs::MemoryTimeline(true);
+            ns.obsData.utilization = obs::UtilizationRecorder(true);
 
-        mSwapOut = obsData.metrics.counter("swap.out.bytes");
-        mSwapIn = obsData.metrics.counter("swap.in.bytes");
-        mD2dOut = obsData.metrics.counter("d2d.out.bytes");
-        mD2dIn = obsData.metrics.counter("d2d.in.bytes");
-        mNvmeSpill = obsData.metrics.counter("nvme.spill.bytes");
-        mRecompute = obsData.metrics.counter("recompute.ticks");
-        mAllocStalls = obsData.metrics.counter("alloc.stalls");
-        mHostUsed = obsData.metrics.gauge("host.pinned.used.bytes");
+            mSwapOut = ns.obsData.metrics.counter("swap.out.bytes");
+            mSwapIn = ns.obsData.metrics.counter("swap.in.bytes");
+            mD2dOut = ns.obsData.metrics.counter("d2d.out.bytes");
+            mD2dIn = ns.obsData.metrics.counter("d2d.in.bytes");
+            mNvmeSpill =
+                ns.obsData.metrics.counter("nvme.spill.bytes");
+            mRecompute =
+                ns.obsData.metrics.counter("recompute.ticks");
+            mAllocStalls = ns.obsData.metrics.counter("alloc.stalls");
+            mHostUsed =
+                ns.obsData.metrics.gauge("host.pinned.used.bytes");
+        }
 
         for (int g = 0; g < topo.numGpus(); ++g) {
             gpuMem[static_cast<std::size_t>(g)]->setObserver(
                 [this, g](TensorKind kind, Bytes delta) {
-                    obsData.memory.record(engine.now(), g, kind,
-                                          delta);
+                    NodeState &ns = nsOf(g);
+                    ns.obsData.memory.record(ns.engine->now(), g,
+                                             kind, delta);
                 });
-            obsData.utilization.attach(
+            nsOf(g).obsData.utilization.attach(
                 *compute[static_cast<std::size_t>(g)],
                 obs::Resource::Compute, g);
         }
-        host->setObserver([this](TensorKind, Bytes) {
-            obsData.metrics.set(
-                mHostUsed, engine.now(),
-                static_cast<double>(host->used()));
-        });
-        fabric->visitStreams([this](hw::FabricResource res, int gpu,
-                                    sim::Stream &stream) {
-            obsData.utilization.attach(stream, obsResource(res), gpu);
+        for (auto &ns : nodes) {
+            NodeState *np = &ns;
+            ns.host->setObserver([this, np](TensorKind, Bytes) {
+                np->obsData.metrics.set(
+                    mHostUsed, np->engine->now(),
+                    static_cast<double>(np->host->used()));
+            });
+        }
+        fabric->visitStreams([this](hw::FabricResource res, int node,
+                                    int gpu, sim::Stream &stream) {
+            NodeState &ns =
+                nodes[node < 0 ? 0 : static_cast<std::size_t>(node)];
+            ns.obsData.utilization.attach(stream, obsResource(res),
+                                          gpu);
         });
     }
 
@@ -402,8 +728,6 @@ struct Executor::Impl
         return obs::Resource::Compute;
     }
 
-    int gpuOf(int stage) const { return plan.gpuForStage(stage); }
-
     // ---- timeline -------------------------------------------------
 
     void
@@ -411,8 +735,9 @@ struct Executor::Impl
     {
         if (!cfg.recordTimeline)
             return;
-        report.memTimeline.push_back(
-            {engine.now(), gpu,
+        NodeState &ns = nsOf(gpu);
+        ns.memTimeline.push_back(
+            {ns.engine->now(), gpu,
              gpuMem[static_cast<std::size_t>(gpu)]->used()});
     }
 
@@ -422,7 +747,7 @@ struct Executor::Impl
     {
         if (!cfg.recordTimeline)
             return;
-        report.trace.record(
+        nsOf(gpu).trace.record(
             util::strformat("%s s%d mb%d", kind, stage, mb),
             kind, gpu, start, end);
     }
@@ -435,11 +760,15 @@ struct Executor::Impl
         bool ok = gpuMem[static_cast<std::size_t>(gpu)]->alloc(kind,
                                                                bytes);
         sampleMem(gpu);
-        if (!ok && cfg.failFastOnOom && !report.oom) {
-            report.oom = true;
-            report.oomGpu = gpu;
-            report.oomTime = engine.now();
-            engine.stop();
+        NodeState &ns = nsOf(gpu);
+        if (!ok && cfg.failFastOnOom && !ns.oom) {
+            ns.oom = true;
+            ns.oomGpu = gpu;
+            ns.oomTime = ns.engine->now();
+            // Window-granular on sharded runs: the group halts after
+            // every shard finishes the current window, keeping the
+            // executed event set deterministic.
+            ns.engine->stop();
         }
     }
 
@@ -468,7 +797,6 @@ struct Executor::Impl
     };
     std::vector<std::deque<PendingAlloc>> allocQueue;
     std::vector<Bytes> pendingFreeBytes;
-    Bytes nvmeUsed = 0;
 
     /** Allocate, stalling the continuation until memory frees.
      *  A request that can never be satisfied leaves the simulation
@@ -494,7 +822,8 @@ struct Executor::Impl
             fn();
             return;
         }
-        obsData.metrics.add(mAllocStalls, engine.now(), 1.0);
+        NodeState &ns = nsOf(gpu);
+        ns.obsData.metrics.add(mAllocStalls, ns.engine->now(), 1.0);
         allocQueue[g].push_back({kind, bytes, std::move(fn)});
     }
 
@@ -520,10 +849,19 @@ struct Executor::Impl
                 sim::EventFn done)
     {
         if (bytes <= 0 || src_gpu == dst_gpu) {
-            engine.scheduleIn(0, std::move(done));
+            if (sameNode(src_gpu, dst_gpu)) {
+                engineOf(src_gpu).scheduleIn(0, std::move(done));
+            } else {
+                // Degenerate cross-node hand-off: even an empty
+                // message must respect the shard lookahead.
+                postToNode(nodeOfGpu(src_gpu), nodeOfGpu(dst_gpu),
+                           std::move(done));
+            }
             return;
         }
         if (fabric->lanesBetween(src_gpu, dst_gpu) > 0) {
+            // Direct lanes: NVLink within a node, the NIC path across
+            // nodes (done then fires on the destination shard).
             fabric->d2dTransfer(src_gpu, dst_gpu, bytes, 1,
                                 std::move(done));
         } else {
@@ -542,11 +880,16 @@ struct Executor::Impl
     bool
     eligible(const pipeline::Task &t) const
     {
+        // Arrival first: for tasks fed from another node, the arrival
+        // message is the happens-before edge that makes the producing
+        // task's done flag safe to read.
+        if (arrivalDone[static_cast<std::size_t>(t.id)] == 0)
+            return false;
         for (int dep : t.deps) {
             if (!taskDone[static_cast<std::size_t>(dep)])
                 return false;
         }
-        return arrivalDone[static_cast<std::size_t>(t.id)] != 0;
+        return true;
     }
 
     void
@@ -565,17 +908,18 @@ struct Executor::Impl
         // the queue head and let it overlap the wait.
         if (t.kind == TaskKind::Backward &&
             plan.stashOffloaded(t.stage)) {
-            auto fetch = versionFetch.find(t.id);
-            if (fetch == versionFetch.end()) {
-                versionFetch[t.id] = 1;
+            NodeState &ns = nsOfStage(t.stage);
+            auto fetch = ns.versionFetch.find(t.id);
+            if (fetch == ns.versionFetch.end()) {
+                ns.versionFetch[t.id] = 1;
                 const int gpu = gpuOf(t.stage);
-                const auto &stage =
+                const auto &stage_part =
                     part.stages[static_cast<std::size_t>(t.stage)];
-                const Tick t0 = engine.now();
-                fabric->gpuToHost(gpu, stage.paramBytes, [] {});
+                const Tick t0 = ns.engine->now();
+                fabric->gpuToHost(gpu, stage_part.paramBytes, [] {});
                 fabric->hostToGpu(
-                    gpu, stage.paramBytes, [this, &t, t0]() {
-                        versionFetch[t.id] = 2;
+                    gpu, stage_part.paramBytes, [this, &t, t0]() {
+                        nsOfStage(t.stage).versionFetch[t.id] = 2;
                         // Only the unhidden part is overhead; if the
                         // task was already runnable we stalled.
                         (void)t0;
@@ -638,9 +982,10 @@ struct Executor::Impl
                             tryAdvance(dst_stage);
                         });
         } else if (t.kind == TaskKind::OptimStep) {
+            NodeState &ns = nsOfStage(t.stage);
             auto k = static_cast<std::size_t>(t.minibatch);
-            if (--optRemaining[k] == 0)
-                minibatchDone[k] = engine.now();
+            if (--ns.optRemaining[k] == 0)
+                ns.lastOptim[k] = ns.engine->now();
         }
 
         tryAdvance(t.stage);
@@ -700,7 +1045,8 @@ struct Executor::Impl
     {
         InstanceKey key{{t.stage, static_cast<int>(pos)},
                         t.microbatch};
-        genTime[key] = engine.now();
+        NodeState &ns = nsOfStage(t.stage);
+        ns.genTime[key] = ns.engine->now();
 
         const model::Layer &layer = mdl.layer(pos);
         const int gpu = gpuOf(t.stage);
@@ -714,9 +1060,9 @@ struct Executor::Impl
             gpuFree(gpu, TensorKind::Activation,
                     layer.activationStash);
             gpuAlloc(gpu, TensorKind::Activation, layer.outputBytes);
-            inState[key] = InState::NotNeeded;
+            ns.inState[key] = InState::NotNeeded;
             if (countsForSavings(t.minibatch)) {
-                report.savings.recompute +=
+                ns.savings.recompute +=
                     layer.activationStash - layer.outputBytes;
             }
             break;
@@ -742,9 +1088,10 @@ struct Executor::Impl
     startD2dSwapOut(InstanceKey key, int gpu, Bytes bytes,
                     int minibatch)
     {
+        NodeState &ns = nsOf(gpu);
         auto it = grantsLeft.find(gpu);
         if (it == grantsLeft.end()) {
-            report.d2dOverflow += bytes;
+            ns.d2dOverflow += bytes;
             return;
         }
         compaction::StripePlan stripe_plan;
@@ -765,10 +1112,13 @@ struct Executor::Impl
             }
         }
         if (stripe_plan.empty()) {
-            report.d2dOverflow += bytes;
+            ns.d2dOverflow += bytes;
             return;
         }
-        // Debit budgets and reserve importer memory.
+        // Debit budgets; same-node importers reserve their memory at
+        // issue.  A cross-node stripe's reservation is made on the
+        // importer's own shard when the data lands (issueSwapOutStripe)
+        // — the importer's budget is still debited here, exporter-side.
         for (const auto &stripe : stripe_plan.stripes) {
             for (auto &grant : it->second) {
                 if (grant.importerGpu == stripe.targetGpu) {
@@ -776,14 +1126,16 @@ struct Executor::Impl
                     break;
                 }
             }
-            gpuAlloc(stripe.targetGpu, TensorKind::Activation,
-                     stripe.bytes);
+            if (sameNode(gpu, stripe.targetGpu)) {
+                gpuAlloc(stripe.targetGpu, TensorKind::Activation,
+                         stripe.bytes);
+            }
         }
-        obsData.metrics.add(mD2dOut, engine.now(),
-                            static_cast<double>(bytes));
-        auto &rec = swapTable.beginSwapOut(key, Kind::D2dSwap,
-                                           stripe_plan, bytes);
-        inState[key] = InState::Pending;
+        ns.obsData.metrics.add(mD2dOut, ns.engine->now(),
+                               static_cast<double>(bytes));
+        auto &rec = ns.swapTable.beginSwapOut(key, Kind::D2dSwap,
+                                              stripe_plan, bytes);
+        ns.inState[key] = InState::Pending;
         pendingFreeBytes[static_cast<std::size_t>(gpu)] += bytes;
 
         auto attempt = std::make_shared<SwapOutAttempt>();
@@ -791,13 +1143,20 @@ struct Executor::Impl
         attempt->gpu = gpu;
         attempt->minibatch = minibatch;
         attempt->remaining = static_cast<int>(rec.plan.stripes.size());
-        for (const auto &stripe : rec.plan.stripes)
-            issueSwapOutStripe(attempt, stripe, 0);
+        attempt->landed.assign(rec.plan.stripes.size(), 0);
+        for (std::size_t i = 0; i < rec.plan.stripes.size(); ++i) {
+            if (sameNode(gpu, rec.plan.stripes[i].targetGpu))
+                attempt->landed[i] = 1;
+        }
+        for (std::size_t i = 0; i < rec.plan.stripes.size(); ++i)
+            issueSwapOutStripe(attempt, rec.plan.stripes[i],
+                               static_cast<int>(i), 0);
     }
 
     /** One D2D swap-out in flight: stripes resolve independently
      *  (possibly after retries); the instance settles when the last
-     *  stripe does. */
+     *  stripe does.  landed[i] marks stripes whose importer memory is
+     *  reserved, so a demotion frees exactly what was taken. */
     struct SwapOutAttempt
     {
         InstanceKey key;
@@ -805,56 +1164,99 @@ struct Executor::Impl
         int minibatch = 0;
         int remaining = 0;
         bool anyFailed = false;
+        std::vector<char> landed;
     };
 
     void
     issueSwapOutStripe(std::shared_ptr<SwapOutAttempt> attempt,
-                       compaction::Stripe stripe, int try_no)
+                       compaction::Stripe stripe, int idx, int try_no)
     {
         const int gpu = attempt->gpu;
+        NodeState &ns = nsOf(gpu);
         // Draw the failure at issue time so the PRNG consumption
-        // order follows the deterministic event order.  A failed
-        // stripe still occupies its lanes for the full duration —
-        // the data just never lands.
+        // order follows the exporter shard's deterministic event
+        // order.  A failed stripe still occupies its lanes for the
+        // full duration — the data just never lands.
         const bool fails =
-            injector && injector->failsD2dStripe(gpu, stripe.targetGpu);
+            ns.injector &&
+            ns.injector->failsD2dStripe(gpu, stripe.targetGpu);
         if (fails) {
-            ++report.faults.transferFailures;
-            obsData.metrics.add(mFaultFail, engine.now(), 1.0);
+            ++ns.faults.transferFailures;
+            ns.obsData.metrics.add(mFaultFail, ns.engine->now(), 1.0);
             traceInstant(
+                ns,
                 util::strformat("fault: d2d stripe fail s%d mb%d",
                                 attempt->key.ref.stage,
                                 attempt->key.microbatch),
                 gpu);
         }
+        if (sameNode(gpu, stripe.targetGpu)) {
+            fabric->d2dTransfer(
+                gpu, stripe.targetGpu, stripe.bytes, stripe.lanes,
+                [this, attempt, stripe, idx, try_no, fails]() {
+                    resolveSwapOutStripe(attempt, stripe, idx, try_no,
+                                         !fails);
+                });
+            return;
+        }
+        // Cross-node stripe: the transfer's completion fires on the
+        // importer's shard, which reserves the landed bytes on its
+        // own memory tracker and acknowledges back to the exporter
+        // through the mailbox.
+        const int src_node = nodeOfGpu(gpu);
+        const int dst_node = nodeOfGpu(stripe.targetGpu);
         fabric->d2dTransfer(
             gpu, stripe.targetGpu, stripe.bytes, stripe.lanes,
-            [this, attempt, stripe, try_no, fails]() {
+            [this, attempt, stripe, idx, try_no, fails, src_node,
+             dst_node]() {
                 if (!fails) {
-                    swapOutStripeResolved(attempt);
-                    return;
+                    gpuAlloc(stripe.targetGpu, TensorKind::Activation,
+                             stripe.bytes);
                 }
-                if (!cfg.faultLadder) {
-                    // Ladder disabled: the stripe is lost, the
-                    // swap-out never completes, and the backward
-                    // deadlocks into an OOM report.
-                    return;
-                }
-                if (try_no < cfg.maxTransferRetries) {
-                    ++report.faults.retries;
-                    obsData.metrics.add(mFaultRetry, engine.now(),
-                                        1.0);
-                    engine.scheduleIn(
-                        cfg.retryBackoff << try_no,
-                        [this, attempt, stripe, try_no]() {
-                            issueSwapOutStripe(attempt, stripe,
-                                               try_no + 1);
-                        });
-                    return;
-                }
-                attempt->anyFailed = true;
-                swapOutStripeResolved(attempt);
+                postToNode(dst_node, src_node,
+                           [this, attempt, stripe, idx, try_no,
+                            fails]() {
+                               resolveSwapOutStripe(attempt, stripe,
+                                                    idx, try_no,
+                                                    !fails);
+                           });
             });
+    }
+
+    /** Exporter-side settlement of one swap-out stripe (called
+     *  directly for same-node stripes, via the ack message for
+     *  cross-node ones). */
+    void
+    resolveSwapOutStripe(
+        const std::shared_ptr<SwapOutAttempt> &attempt,
+        compaction::Stripe stripe, int idx, int try_no, bool ok)
+    {
+        if (ok) {
+            attempt->landed[static_cast<std::size_t>(idx)] = 1;
+            swapOutStripeResolved(attempt);
+            return;
+        }
+        if (!cfg.faultLadder) {
+            // Ladder disabled: the stripe is lost, the swap-out never
+            // completes, and the backward deadlocks into an OOM
+            // report.
+            return;
+        }
+        NodeState &ns = nsOf(attempt->gpu);
+        if (try_no < cfg.maxTransferRetries) {
+            ++ns.faults.retries;
+            ns.obsData.metrics.add(mFaultRetry, ns.engine->now(),
+                                   1.0);
+            ns.engine->scheduleIn(
+                cfg.retryBackoff << try_no,
+                [this, attempt, stripe, idx, try_no]() {
+                    issueSwapOutStripe(attempt, stripe, idx,
+                                       try_no + 1);
+                });
+            return;
+        }
+        attempt->anyFailed = true;
+        swapOutStripeResolved(attempt);
     }
 
     void
@@ -872,46 +1274,65 @@ struct Executor::Impl
     void
     finishD2dSwapOut(const SwapOutAttempt &at)
     {
-        const auto *r = swapTable.find(at.key);
+        NodeState &ns = nsOf(at.gpu);
+        const auto *r = ns.swapTable.find(at.key);
         pendingFreeBytes[static_cast<std::size_t>(at.gpu)] -= r->bytes;
         gpuFree(at.gpu, TensorKind::Activation, r->bytes);
-        swapTable.markResident(at.key);
+        ns.swapTable.markResident(at.key);
         if (countsForSavings(at.minibatch))
-            report.savings.d2dSwap += r->bytes;
+            ns.savings.d2dSwap += r->bytes;
         wakeIfBlocked(at.key);
     }
 
     /** A stripe exhausted its retries: undo the whole D2D swap-out
-     *  (free importer reservations, re-credit grants) and walk the
-     *  instance down the ladder — GPU-CPU swap, then recompute. */
+     *  (free landed importer reservations, re-credit grants) and walk
+     *  the instance down the ladder — GPU-CPU swap, then recompute. */
     void
     demoteFailedD2d(const SwapOutAttempt &at)
     {
         const InstanceKey key = at.key;
         const int gpu = at.gpu;
-        auto *rec = swapTable.find(key);
+        NodeState &ns = nsOf(gpu);
+        auto *rec = ns.swapTable.find(key);
         const Bytes bytes = rec->bytes;
-        auto &grants = grantsLeft[gpu];
-        for (const auto &stripe : rec->plan.stripes) {
-            gpuFree(stripe.targetGpu, TensorKind::Activation,
-                    stripe.bytes);
-            for (auto &grant : grants) {
-                if (grant.importerGpu == stripe.targetGpu) {
-                    grant.budget += stripe.bytes;
-                    break;
+        auto git = grantsLeft.find(gpu);
+        for (std::size_t i = 0; i < rec->plan.stripes.size(); ++i) {
+            const auto &stripe = rec->plan.stripes[i];
+            if (at.landed[i]) {
+                if (sameNode(gpu, stripe.targetGpu)) {
+                    gpuFree(stripe.targetGpu, TensorKind::Activation,
+                            stripe.bytes);
+                } else {
+                    const int target = stripe.targetGpu;
+                    const Bytes sb = stripe.bytes;
+                    postToNode(ns.node, nodeOfGpu(target),
+                               [this, target, sb]() {
+                                   gpuFree(target,
+                                           TensorKind::Activation,
+                                           sb);
+                               });
+                }
+            }
+            if (git != grantsLeft.end()) {
+                for (auto &grant : git->second) {
+                    if (grant.importerGpu == stripe.targetGpu) {
+                        grant.budget += stripe.bytes;
+                        break;
+                    }
                 }
             }
         }
         pendingFreeBytes[static_cast<std::size_t>(gpu)] -= bytes;
-        swapTable.abort(key);
-        inState.erase(key);
+        ns.swapTable.abort(key);
+        ns.inState.erase(key);
 
         if (startHostSwapOut(key, gpu, bytes, at.minibatch)) {
-            kindOverride[key] = Kind::GpuCpuSwap;
-            ++report.faults.fallbackGpuCpuSwap;
-            obsData.metrics.add(mFaultFallbackSwap, engine.now(),
-                                1.0);
+            ns.kindOverride[key] = Kind::GpuCpuSwap;
+            ++ns.faults.fallbackGpuCpuSwap;
+            ns.obsData.metrics.add(mFaultFallbackSwap,
+                                   ns.engine->now(), 1.0);
             traceInstant(
+                ns,
                 util::strformat("fault: fallback swap s%d mb%d",
                                 key.ref.stage, key.microbatch),
                 gpu);
@@ -922,33 +1343,35 @@ struct Executor::Impl
         // pass, exactly like a planned Kind::Recompute instance.
         const model::Layer &layer =
             mdl.layer(static_cast<std::size_t>(key.ref.layer));
-        kindOverride[key] = Kind::Recompute;
-        ++report.faults.fallbackRecompute;
-        obsData.metrics.add(mFaultFallbackRecompute, engine.now(),
-                            1.0);
+        ns.kindOverride[key] = Kind::Recompute;
+        ++ns.faults.fallbackRecompute;
+        ns.obsData.metrics.add(mFaultFallbackRecompute,
+                               ns.engine->now(), 1.0);
         traceInstant(
+            ns,
             util::strformat("fault: fallback recompute s%d mb%d",
                             key.ref.stage, key.microbatch),
             gpu);
         gpuFree(gpu, TensorKind::Activation, layer.activationStash);
         gpuAlloc(gpu, TensorKind::Activation, layer.outputBytes);
-        inState[key] = InState::NotNeeded;
+        ns.inState[key] = InState::NotNeeded;
         if (countsForSavings(at.minibatch)) {
-            report.savings.recompute +=
+            ns.savings.recompute +=
                 layer.activationStash - layer.outputBytes;
         }
 
         // A backward chain may already be stalled on the old swap-in;
         // the tensor will now be recomputed, so resume it.
-        auto blocked = blockedOn.find(key);
-        if (blocked != blockedOn.end()) {
+        auto blocked = ns.blockedOn.find(key);
+        if (blocked != ns.blockedOn.end()) {
             BwdChain *chain = blocked->second;
-            blockedOn.erase(blocked);
+            ns.blockedOn.erase(blocked);
             if (chain->stallStart >= 0) {
                 report
                     .overheads[static_cast<std::size_t>(
                         chain->task->stage)]
-                    .swapInStall += engine.now() - chain->stallStart;
+                    .swapInStall +=
+                    ns.engine->now() - chain->stallStart;
                 chain->stallStart = -1;
             }
             runBwdLayer(*chain);
@@ -958,83 +1381,76 @@ struct Executor::Impl
     /**
      * Issue a GPU-CPU swap-out (the planned Kind::GpuCpuSwap path and
      * the ladder's first fallback).  Returns false — with no side
-     * effects beyond the host-pool probe — when neither the host pool
-     * nor the NVMe can take the bytes; the stash then stays resident.
+     * effects beyond the host-pool probe — when neither the node's
+     * host-pool slice nor its NVMe can take the bytes; the stash then
+     * stays resident.
      */
     bool
     startHostSwapOut(InstanceKey key, int gpu, Bytes bytes,
                      int minibatch)
     {
+        NodeState &ns = nsOf(gpu);
         bool to_nvme = false;
-        if (!host->reserve(bytes)) {
-            host->release(bytes);
+        if (!ns.host->reserve(bytes)) {
+            ns.host->release(bytes);
             // Host pool exhausted: spill to NVMe when the server
             // has one (Sec. V multi-level hierarchy), otherwise
             // keep resident.
-            if (nvmeUsed + bytes <= topo.nvmeCapacity()) {
+            if (ns.nvmeUsed + bytes <= ns.nvmeCap) {
                 to_nvme = true;
-                nvmeUsed += bytes;
-                report.nvmeSpill += bytes;
-                obsData.metrics.add(mNvmeSpill, engine.now(),
-                                    static_cast<double>(bytes));
+                ns.nvmeUsed += bytes;
+                ns.nvmeSpill += bytes;
+                ns.obsData.metrics.add(mNvmeSpill, ns.engine->now(),
+                                       static_cast<double>(bytes));
             } else {
                 return false;
             }
         }
-        obsData.metrics.add(mSwapOut, engine.now(),
-                            static_cast<double>(bytes));
-        auto &rec0 = swapTable.beginSwapOut(key, Kind::GpuCpuSwap, {},
-                                            bytes);
+        ns.obsData.metrics.add(mSwapOut, ns.engine->now(),
+                               static_cast<double>(bytes));
+        auto &rec0 = ns.swapTable.beginSwapOut(key, Kind::GpuCpuSwap,
+                                               {}, bytes);
         rec0.onNvme = to_nvme;
-        inState[key] = InState::Pending;
+        ns.inState[key] = InState::Pending;
         pendingFreeBytes[static_cast<std::size_t>(gpu)] += bytes;
         fabric->gpuToHost(
             gpu, bytes, [this, key, gpu, minibatch]() {
-                auto *rec = swapTable.find(key);
+                NodeState &n2 = nsOf(gpu);
+                auto *rec = n2.swapTable.find(key);
                 pendingFreeBytes[static_cast<std::size_t>(gpu)] -=
                     rec->bytes;
                 gpuFree(gpu, TensorKind::Activation, rec->bytes);
                 if (countsForSavings(minibatch))
-                    report.savings.gpuCpuSwap += rec->bytes;
+                    n2.savings.gpuCpuSwap += rec->bytes;
                 if (!rec->onNvme) {
-                    swapTable.markResident(key);
+                    n2.swapTable.markResident(key);
                     wakeIfBlocked(key);
                     return;
                 }
                 // Second leg: stream through to the SSD.
-                fabric->hostToNvme(rec->bytes, [this, key]() {
-                    swapTable.markResident(key);
-                    wakeIfBlocked(key);
-                });
+                fabric->hostToNvme(
+                    n2.node, rec->bytes, [this, key, gpu]() {
+                        nsOf(gpu).swapTable.markResident(key);
+                        wakeIfBlocked(key);
+                    });
             });
         return true;
     }
 
     // ---- backward pass --------------------------------------------
 
-    struct BwdChain
-    {
-        const pipeline::Task *task = nullptr;
-        std::vector<std::size_t> layersRev;
-        std::size_t next = 0;
-        std::size_t nextPrefetch = 0;
-        int inflightSwapIns = 0;
-        Tick stallStart = -1;
-    };
-
-    std::map<int, BwdChain> bwdChains;  // keyed by task id
-
     void
     launchBackward(const pipeline::Task &t)
     {
         const auto &stage =
             part.stages[static_cast<std::size_t>(t.stage)];
+        NodeState &ns = nsOfStage(t.stage);
         BwdChain chain;
         chain.task = &t;
         for (std::size_t pos = stage.lastLayer + 1;
              pos > stage.firstLayer; --pos)
             chain.layersRev.push_back(pos - 1);
-        auto [it, ok] = bwdChains.emplace(t.id, std::move(chain));
+        auto [it, ok] = ns.bwdChains.emplace(t.id, std::move(chain));
         (void)ok;
 
         issuePrefetches(it->second);
@@ -1042,24 +1458,26 @@ struct Executor::Impl
     }
 
     InState
-    swapInStateOf(InstanceKey key) const
+    swapInStateOf(NodeState &ns, InstanceKey key) const
     {
-        auto it = inState.find(key);
-        return it == inState.end() ? InState::NotNeeded : it->second;
+        auto it = ns.inState.find(key);
+        return it == ns.inState.end() ? InState::NotNeeded
+                                      : it->second;
     }
 
     /** Planned kind, unless the fault ladder demoted this instance. */
     Kind
-    effectiveKindFor(InstanceKey key) const
+    effectiveKindFor(NodeState &ns, InstanceKey key) const
     {
-        auto it = kindOverride.find(key);
-        return it != kindOverride.end() ? it->second
-                                        : plan.kindFor(key.ref);
+        auto it = ns.kindOverride.find(key);
+        return it != ns.kindOverride.end() ? it->second
+                                           : plan.kindFor(key.ref);
     }
 
     void
     issuePrefetches(BwdChain &chain)
     {
+        NodeState &ns = nsOfStage(chain.task->stage);
         while (chain.nextPrefetch < chain.layersRev.size() &&
                chain.inflightSwapIns < cfg.swapInLookahead) {
             std::size_t pos = chain.layersRev[chain.nextPrefetch];
@@ -1067,7 +1485,7 @@ struct Executor::Impl
                              static_cast<int>(pos)},
                             chain.task->microbatch};
             ++chain.nextPrefetch;
-            if (swapInStateOf(key) != InState::Pending)
+            if (swapInStateOf(ns, key) != InState::Pending)
                 continue;
             issueSwapIn(chain, key);
         }
@@ -1076,16 +1494,17 @@ struct Executor::Impl
     void
     issueSwapIn(BwdChain &chain, InstanceKey key)
     {
-        auto *rec = swapTable.find(key);
+        NodeState &ns = nsOfStage(chain.task->stage);
+        auto *rec = ns.swapTable.find(key);
         if (!rec || rec->state != SwapState::Resident)
             return;  // swap-out still in flight; will stall later
-        inState[key] = InState::InFlight;
+        ns.inState[key] = InState::InFlight;
         ++chain.inflightSwapIns;
-        obsData.metrics.add(rec->kind == Kind::D2dSwap ? mD2dIn
-                                                       : mSwapIn,
-                            engine.now(),
-                            static_cast<double>(rec->bytes));
-        swapTable.markSwappingIn(key);
+        ns.obsData.metrics.add(rec->kind == Kind::D2dSwap ? mD2dIn
+                                                          : mSwapIn,
+                               ns.engine->now(),
+                               static_cast<double>(rec->bytes));
+        ns.swapTable.markSwappingIn(key);
         const int gpu = gpuOf(chain.task->stage);
 
         // Re-materialize the stash on the exporter GPU; the transfer
@@ -1093,15 +1512,18 @@ struct Executor::Impl
         gpuAllocBlocking(
             gpu, TensorKind::Activation, rec->bytes,
             [this, key, gpu]() {
-                const auto *r = swapTable.find(key);
+                NodeState &n2 = nsOf(gpu);
+                const auto *r = n2.swapTable.find(key);
                 if (r->kind == Kind::GpuCpuSwap && r->onNvme) {
-                    fabric->nvmeToHost(r->bytes, [this, key, gpu]() {
-                        const auto *rec = swapTable.find(key);
-                        fabric->hostToGpu(gpu, rec->bytes,
-                                          [this, key]() {
-                                              onSwapInDone(key);
-                                          });
-                    });
+                    fabric->nvmeToHost(
+                        n2.node, r->bytes, [this, key, gpu]() {
+                            const auto *rec2 =
+                                nsOf(gpu).swapTable.find(key);
+                            fabric->hostToGpu(gpu, rec2->bytes,
+                                              [this, key]() {
+                                                  onSwapInDone(key);
+                                              });
+                        });
                 } else if (r->kind == Kind::GpuCpuSwap) {
                     fabric->hostToGpu(gpu, r->bytes, [this, key]() {
                         onSwapInDone(key);
@@ -1132,63 +1554,122 @@ struct Executor::Impl
                       compaction::Stripe stripe, int try_no)
     {
         const int gpu = attempt->gpu;
+        NodeState &ns = nsOf(gpu);
+        // The draw stays on the exporter's shard even for cross-node
+        // stripes, keeping the consumption order deterministic.
         const bool fails =
-            injector && injector->failsD2dStripe(stripe.targetGpu, gpu);
+            ns.injector &&
+            ns.injector->failsD2dStripe(stripe.targetGpu, gpu);
         if (fails) {
-            ++report.faults.transferFailures;
-            obsData.metrics.add(mFaultFail, engine.now(), 1.0);
+            ++ns.faults.transferFailures;
+            ns.obsData.metrics.add(mFaultFail, ns.engine->now(), 1.0);
             traceInstant(
+                ns,
                 util::strformat("fault: d2d stripe fail s%d mb%d",
                                 attempt->key.ref.stage,
                                 attempt->key.microbatch),
                 gpu);
         }
-        fabric->d2dTransfer(
-            stripe.targetGpu, gpu, stripe.bytes, stripe.lanes,
-            [this, attempt, stripe, try_no, fails]() {
-                if (!fails) {
-                    if (--attempt->remaining == 0)
-                        onSwapInDone(attempt->key);
-                    return;
-                }
-                if (!cfg.faultLadder) {
-                    // Ladder disabled: the stripe never arrives and
-                    // the blocked backward deadlocks into OOM.
-                    return;
-                }
-                if (try_no < cfg.maxTransferRetries) {
-                    ++report.faults.retries;
-                    obsData.metrics.add(mFaultRetry, engine.now(),
-                                        1.0);
-                    engine.scheduleIn(
-                        cfg.retryBackoff << try_no,
-                        [this, attempt, stripe, try_no]() {
-                            issueSwapInStripe(attempt, stripe,
-                                              try_no + 1);
+        // The completion below runs on the transfer's destination —
+        // the exporter's own shard — so it may touch ns state freely.
+        auto done = [this, attempt, stripe, try_no, fails]() {
+            if (!fails) {
+                if (--attempt->remaining == 0)
+                    onSwapInDone(attempt->key);
+                return;
+            }
+            if (!cfg.faultLadder) {
+                // Ladder disabled: the stripe never arrives and the
+                // blocked backward deadlocks into OOM.
+                return;
+            }
+            NodeState &n2 = nsOf(attempt->gpu);
+            if (try_no < cfg.maxTransferRetries) {
+                ++n2.faults.retries;
+                n2.obsData.metrics.add(mFaultRetry, n2.engine->now(),
+                                       1.0);
+                n2.engine->scheduleIn(
+                    cfg.retryBackoff << try_no,
+                    [this, attempt, stripe, try_no]() {
+                        issueSwapInStripe(attempt, stripe,
+                                          try_no + 1);
+                    });
+                return;
+            }
+            // Retries exhausted on the direct link: the data still
+            // lives on the importer, so reroute the stripe through
+            // host memory over PCIe — the swap-in's GPU-CPU fallback
+            // rung.
+            ++n2.faults.fallbackGpuCpuSwap;
+            n2.obsData.metrics.add(mFaultFallbackSwap,
+                                   n2.engine->now(), 1.0);
+            traceInstant(
+                n2,
+                util::strformat(
+                    "fault: stripe reroute via host s%d mb%d",
+                    attempt->key.ref.stage, attempt->key.microbatch),
+                attempt->gpu);
+            rerouteSwapInStripe(attempt, stripe);
+        };
+        if (sameNode(stripe.targetGpu, gpu)) {
+            fabric->d2dTransfer(stripe.targetGpu, gpu, stripe.bytes,
+                                stripe.lanes, std::move(done));
+            return;
+        }
+        // Cross-node pull: the transfer must be issued from the
+        // importer's shard (it occupies the importer's egress NICs),
+        // so send a pull-request through the mailbox; the two-leg
+        // completion then lands back here on the exporter's shard.
+        const int imp_node = nodeOfGpu(stripe.targetGpu);
+        postToNode(ns.node, imp_node,
+                   [this, attempt, stripe,
+                    d = std::move(done)]() mutable {
+                       fabric->d2dTransfer(stripe.targetGpu,
+                                           attempt->gpu, stripe.bytes,
+                                           stripe.lanes,
+                                           std::move(d));
+                   });
+    }
+
+    /** Ladder reroute of one swap-in stripe via host memory: D2H on
+     *  the importer, then H2D on the exporter, hopping shards through
+     *  the mailbox when the two differ. */
+    void
+    rerouteSwapInStripe(std::shared_ptr<SwapInAttempt> attempt,
+                        compaction::Stripe stripe)
+    {
+        const int gpu = attempt->gpu;
+        if (sameNode(stripe.targetGpu, gpu)) {
+            fabric->gpuToHost(
+                stripe.targetGpu, stripe.bytes,
+                [this, attempt, stripe]() {
+                    fabric->hostToGpu(
+                        attempt->gpu, stripe.bytes,
+                        [this, attempt]() {
+                            if (--attempt->remaining == 0)
+                                onSwapInDone(attempt->key);
                         });
-                    return;
-                }
-                // Retries exhausted on the direct link: the data
-                // still lives on the importer, so reroute the stripe
-                // through host memory over PCIe — the swap-in's
-                // GPU-CPU fallback rung.
-                ++report.faults.fallbackGpuCpuSwap;
-                obsData.metrics.add(mFaultFallbackSwap, engine.now(),
-                                    1.0);
-                traceInstant(
-                    util::strformat(
-                        "fault: stripe reroute via host s%d mb%d",
-                        attempt->key.ref.stage,
-                        attempt->key.microbatch),
-                    attempt->gpu);
+                });
+            return;
+        }
+        const int exp_node = nodeOfGpu(gpu);
+        const int imp_node = nodeOfGpu(stripe.targetGpu);
+        postToNode(
+            exp_node, imp_node,
+            [this, attempt, stripe, exp_node, imp_node]() {
                 fabric->gpuToHost(
                     stripe.targetGpu, stripe.bytes,
-                    [this, attempt, stripe]() {
-                        fabric->hostToGpu(
-                            attempt->gpu, stripe.bytes,
-                            [this, attempt]() {
-                                if (--attempt->remaining == 0)
-                                    onSwapInDone(attempt->key);
+                    [this, attempt, stripe, exp_node, imp_node]() {
+                        postToNode(
+                            imp_node, exp_node,
+                            [this, attempt, stripe]() {
+                                fabric->hostToGpu(
+                                    attempt->gpu, stripe.bytes,
+                                    [this, attempt]() {
+                                        if (--attempt->remaining == 0)
+                                            onSwapInDone(
+                                                attempt->key);
+                                    });
                             });
                     });
             });
@@ -1199,9 +1680,10 @@ struct Executor::Impl
     void
     wakeIfBlocked(InstanceKey key)
     {
-        auto blocked = blockedOn.find(key);
-        if (blocked != blockedOn.end() &&
-            swapInStateOf(key) == InState::Pending) {
+        NodeState &ns = nsOfStage(key.ref.stage);
+        auto blocked = ns.blockedOn.find(key);
+        if (blocked != ns.blockedOn.end() &&
+            swapInStateOf(ns, key) == InState::Pending) {
             issueSwapIn(*blocked->second, key);
         }
     }
@@ -1209,46 +1691,61 @@ struct Executor::Impl
     void
     onSwapInDone(InstanceKey key)
     {
-        auto *rec = swapTable.find(key);
+        NodeState &ns = nsOfStage(key.ref.stage);
+        auto *rec = ns.swapTable.find(key);
         const int gpu = gpuOf(key.ref.stage);
         if (rec->kind == Kind::GpuCpuSwap) {
             if (rec->onNvme)
-                nvmeUsed -= rec->bytes;
+                ns.nvmeUsed -= rec->bytes;
             else
-                host->release(rec->bytes);
+                ns.host->release(rec->bytes);
         } else {
+            auto git = grantsLeft.find(gpu);
             for (const auto &stripe : rec->plan.stripes) {
-                gpuFree(stripe.targetGpu, TensorKind::Activation,
-                        stripe.bytes);
-                auto &grants = grantsLeft[gpu];
-                for (auto &grant : grants) {
-                    if (grant.importerGpu == stripe.targetGpu) {
-                        grant.budget += stripe.bytes;
-                        break;
+                if (sameNode(gpu, stripe.targetGpu)) {
+                    gpuFree(stripe.targetGpu, TensorKind::Activation,
+                            stripe.bytes);
+                } else {
+                    const int target = stripe.targetGpu;
+                    const Bytes sb = stripe.bytes;
+                    postToNode(ns.node, nodeOfGpu(target),
+                               [this, target, sb]() {
+                                   gpuFree(target,
+                                           TensorKind::Activation,
+                                           sb);
+                               });
+                }
+                if (git != grantsLeft.end()) {
+                    for (auto &grant : git->second) {
+                        if (grant.importerGpu == stripe.targetGpu) {
+                            grant.budget += stripe.bytes;
+                            break;
+                        }
                     }
                 }
             }
         }
-        swapTable.complete(key);
-        inState[key] = InState::Done;
+        ns.swapTable.complete(key);
+        ns.inState[key] = InState::Done;
 
-        auto blocked = blockedOn.find(key);
-        if (blocked != blockedOn.end()) {
+        auto blocked = ns.blockedOn.find(key);
+        if (blocked != ns.blockedOn.end()) {
             BwdChain *chain = blocked->second;
-            blockedOn.erase(blocked);
+            ns.blockedOn.erase(blocked);
             --chain->inflightSwapIns;
             if (chain->stallStart >= 0) {
                 report
                     .overheads[static_cast<std::size_t>(
                         chain->task->stage)]
-                    .swapInStall += engine.now() - chain->stallStart;
+                    .swapInStall +=
+                    ns.engine->now() - chain->stallStart;
                 chain->stallStart = -1;
             }
             issuePrefetches(*chain);
             runBwdLayer(*chain);
         } else {
             // Not blocked: find the chain to decrement its counter.
-            for (auto &[id, chain] : bwdChains) {
+            for (auto &[id, chain] : ns.bwdChains) {
                 if (chain.task->stage == key.ref.stage &&
                     chain.task->microbatch == key.microbatch) {
                     --chain.inflightSwapIns;
@@ -1263,27 +1760,28 @@ struct Executor::Impl
     runBwdLayer(BwdChain &chain)
     {
         const pipeline::Task &t = *chain.task;
+        NodeState &ns = nsOfStage(t.stage);
         if (chain.next >= chain.layersRev.size()) {
-            bwdChains.erase(t.id);
+            ns.bwdChains.erase(t.id);
             finishTask(t);
             return;
         }
         std::size_t pos = chain.layersRev[chain.next];
         InstanceKey key{{t.stage, static_cast<int>(pos)},
                         t.microbatch};
-        InState st = swapInStateOf(key);
+        InState st = swapInStateOf(ns, key);
 
         if (st == InState::Pending || st == InState::InFlight) {
             // Needed tensor is off-device: stall the compute queue.
             if (st == InState::Pending) {
                 // Prefetch window missed it (e.g. swap-out was still
                 // in flight); issue now.
-                auto *rec = swapTable.find(key);
+                auto *rec = ns.swapTable.find(key);
                 if (rec && rec->state == SwapState::Resident)
                     issueSwapIn(chain, key);
             }
-            chain.stallStart = engine.now();
-            blockedOn[key] = &chain;
+            chain.stallStart = ns.engine->now();
+            ns.blockedOn[key] = &chain;
             return;
         }
 
@@ -1292,15 +1790,14 @@ struct Executor::Impl
         // The model outlives the run, so the pointer is stable.
         const model::Layer *layer = &mdl.layer(pos);
         const int gpu = gpuOf(t.stage);
-        Kind kind = effectiveKindFor(key);
+        Kind kind = effectiveKindFor(ns, key);
 
         if (cfg.recordLiveness) {
-            auto gen = genTime.find(key);
-            if (gen != genTime.end()) {
-                report.liveness.record(key.ref,
-                                       layer->activationStash,
-                                       t.microbatch, gen->second,
-                                       engine.now());
+            auto gen = ns.genTime.find(key);
+            if (gen != ns.genTime.end()) {
+                ns.liveness.record(key.ref, layer->activationStash,
+                                   t.microbatch, gen->second,
+                                   ns.engine->now());
             }
         }
 
@@ -1328,8 +1825,8 @@ struct Executor::Impl
                 topo.gpu().computeTime(layer->fwdFlops, precision));
             report.overheads[static_cast<std::size_t>(t.stage)]
                 .recomputeTime += redo;
-            obsData.metrics.add(mRecompute, engine.now(),
-                                static_cast<double>(redo));
+            ns.obsData.metrics.add(mRecompute, ns.engine->now(),
+                                   static_cast<double>(redo));
             compute[static_cast<std::size_t>(gpu)]->submit(
                 redo,
                 [this, &chain, gpu, layer, submit_bwd](Tick a,
@@ -1355,6 +1852,7 @@ struct Executor::Impl
         const auto &stage =
             part.stages[static_cast<std::size_t>(t.stage)];
         const int gpu = gpuOf(t.stage);
+        NodeState &ns = nsOfStage(t.stage);
         // Adam is memory-bound: touches params, grads and state.
         Bytes touched = stage.paramBytes + stage.gradBytes +
                         stage.optStateBytes;
@@ -1378,18 +1876,19 @@ struct Executor::Impl
         // mechanism ZeRO-Offload uses.  The CPU-side Adam is
         // host-memory-bound.
         (void)dur;
-        const Tick t0 = engine.now();
+        const Tick t0 = ns.engine->now();
         const Bytes grad_bytes = stage.gradBytes;
         const Bytes param_bytes = stage.paramBytes;
         const Tick cpu_step = util::Bandwidth::fromGBps(25.0)
                                   .transferTime(stage.optStateBytes);
         fabric->gpuToHost(gpu, grad_bytes, [this, &t, gpu, t0,
                                             param_bytes, cpu_step]() {
-            engine.scheduleIn(cpu_step, [this, &t, gpu, t0,
-                                         param_bytes]() {
+            engineOf(gpu).scheduleIn(cpu_step, [this, &t, gpu, t0,
+                                                param_bytes]() {
                 fabric->hostToGpu(gpu, param_bytes, [this, &t, t0]() {
                     report.overheads[static_cast<std::size_t>(t.stage)]
-                        .optimStall += engine.now() - t0;
+                        .optimStall +=
+                        nsOfStage(t.stage).engine->now() - t0;
                     finishTask(t);
                 });
             });
@@ -1403,12 +1902,13 @@ struct Executor::Impl
     {
         for (const auto &stage : part.stages) {
             const int gpu = gpuOf(stage.index);
+            NodeState &ns = nsOf(gpu);
             int versions = sched.weightVersions(stage.index);
             if (plan.stashOffloaded(stage.index) && versions > 2) {
                 // Older versions live in host memory; the GPU keeps
                 // the active version plus the one being consumed.
-                host->reserve(stage.paramBytes * (versions - 2));
-                report.savings.gpuCpuSwap +=
+                ns.host->reserve(stage.paramBytes * (versions - 2));
+                ns.savings.gpuCpuSwap +=
                     stage.paramBytes * (versions - 2);
                 versions = 2;
             }
@@ -1422,8 +1922,8 @@ struct Executor::Impl
                 plan.offloadOptState[static_cast<std::size_t>(
                     stage.index)];
             if (offload) {
-                host->reserve(stage.optStateBytes);
-                report.savings.gpuCpuSwap += stage.optStateBytes;
+                ns.host->reserve(stage.optStateBytes);
+                ns.savings.gpuCpuSwap += stage.optStateBytes;
             } else {
                 gpuAlloc(gpu, TensorKind::OptimizerState,
                          stage.optStateBytes);
@@ -1435,24 +1935,32 @@ struct Executor::Impl
     run()
     {
         allocateStatic();
-        if (!report.oom) {
-            engine.schedule(0, [this]() {
-                for (int s = 0; s < sched.numStages; ++s)
-                    tryAdvance(s);
-            });
-            engine.run();
+        if (!anyOom()) {
+            for (auto &node_state : nodes) {
+                NodeState *np = &node_state;
+                np->engine->schedule(0, [this, np]() {
+                    for (int s = 0; s < sched.numStages; ++s) {
+                        if (nodeOfGpu(gpuOf(s)) == np->node)
+                            tryAdvance(s);
+                    }
+                });
+            }
+            if (group)
+                group->run(resolveWorkers());
+            else
+                engines[0]->run();
             detectDeadlock();
         }
         finalize();
         return std::move(report);
     }
 
-    /** The event queue drained but work remains: an allocation is
+    /** The event queues drained but work remains: an allocation is
      *  blocked with no free ever coming — memory exhaustion. */
     void
     detectDeadlock()
     {
-        if (report.oom)
+        if (anyOom())
             return;
         bool complete = true;
         for (int s = 0; s < sched.numStages; ++s) {
@@ -1465,7 +1973,7 @@ struct Executor::Impl
         if (complete)
             return;
         report.oom = true;
-        report.oomTime = engine.now();
+        report.oomTime = group ? group->maxNow() : engines[0]->now();
         for (std::size_t g = 0; g < allocQueue.size(); ++g) {
             if (!allocQueue[g].empty()) {
                 report.oomGpu = static_cast<int>(g);
@@ -1477,11 +1985,63 @@ struct Executor::Impl
     void
     finalize()
     {
-        report.makespan = engine.now();
+        // Merge per-node OOM candidates (earliest wins, ties broken
+        // by GPU id) unless detectDeadlock already filled the report.
+        if (!report.oom) {
+            for (const auto &ns : nodes) {
+                if (!ns.oom)
+                    continue;
+                if (!report.oom || ns.oomTime < report.oomTime ||
+                    (ns.oomTime == report.oomTime &&
+                     ns.oomGpu < report.oomGpu)) {
+                    report.oom = true;
+                    report.oomTime = ns.oomTime;
+                    report.oomGpu = ns.oomGpu;
+                }
+            }
+        }
+
+        report.makespan = group ? group->maxNow() : engines[0]->now();
+
+        if (cfg.recordMetrics) {
+            for (auto &ns : nodes) {
+                ns.obsData.makespan = report.makespan;
+                obs::mergeCounterEvents(ns.obsData, ns.trace);
+            }
+        }
+
         if (cfg.recordTimeline) {
+            if (numNodes == 1) {
+                report.trace = std::move(nodes[0].trace);
+            } else {
+                // Deterministic merge: concatenate per-shard streams
+                // in node order (the exporters sort by time anyway).
+                for (auto &ns : nodes) {
+                    for (const auto &sp : ns.trace.spans())
+                        report.trace.record(sp.name, sp.category,
+                                            sp.lane, sp.start,
+                                            sp.end);
+                    for (const auto &in : ns.trace.instants())
+                        report.trace.recordInstant(in.name,
+                                                   in.category,
+                                                   in.lane, in.time);
+                    for (const auto &ct : ns.trace.counters())
+                        report.trace.recordCounter(ct.name, ct.lane,
+                                                   ct.time, ct.value);
+                }
+            }
             for (int g = 0; g < topo.numGpus(); ++g) {
                 report.trace.nameLane(
                     g, util::strformat("gpu%d", g));
+            }
+            if (numNodes == 1) {
+                report.memTimeline = std::move(nodes[0].memTimeline);
+            } else {
+                for (auto &ns : nodes) {
+                    report.memTimeline.insert(
+                        report.memTimeline.end(),
+                        ns.memTimeline.begin(), ns.memTimeline.end());
+                }
             }
         }
 
@@ -1508,19 +2068,112 @@ struct Executor::Impl
             stats.oom = mem.oomOccurred();
             report.gpus.push_back(stats);
         }
-        report.hostPeak = host->peak();
+        report.hostPeak = 0;
+        for (const auto &ns : nodes)
+            report.hostPeak += ns.host->peak();
         report.nvlinkBusyTime = fabric->nvlinkBusyTime();
         report.pcieBusyTime = fabric->pcieBusyTime();
         report.nicBusyTime = fabric->nicBusyTime();
 
         if (cfg.recordMetrics) {
-            obsData.makespan = engine.now();
-            obs::mergeCounterEvents(obsData, report.trace);
-            report.observability = std::move(obsData);
+            if (numNodes == 1) {
+                report.observability = std::move(nodes[0].obsData);
+            } else {
+                obs::Observability merged;
+                merged.enabled = true;
+                merged.makespan = report.makespan;
+                merged.metrics = obs::MetricsRegistry(true);
+                merged.memory = obs::MemoryTimeline(true);
+                merged.utilization = obs::UtilizationRecorder(true);
+                for (auto &ns : nodes) {
+                    merged.metrics.absorb(
+                        ns.obsData.metrics,
+                        util::strformat("node%d/", ns.node));
+                    for (const auto &ev :
+                         ns.obsData.memory.events()) {
+                        merged.memory.record(ev.time, ev.gpu,
+                                             ev.kind, ev.delta);
+                    }
+                    for (const auto &ch :
+                         ns.obsData.utilization.channels()) {
+                        int id = merged.utilization.addChannel(
+                            ch.resource, ch.gpu, ch.name);
+                        for (const auto &b : ch.intervals)
+                            merged.utilization.recordBusy(id, b.start,
+                                                          b.end);
+                    }
+                }
+                report.observability = std::move(merged);
+            }
+        }
+
+        if (cfg.recordLiveness) {
+            if (numNodes == 1) {
+                report.liveness = std::move(nodes[0].liveness);
+            } else {
+                for (auto &ns : nodes) {
+                    for (const auto *li : ns.liveness.all()) {
+                        for (const auto &w : li->windows)
+                            report.liveness.record(li->ref, li->size,
+                                                   w.microbatch,
+                                                   w.generated,
+                                                   w.nextUse);
+                    }
+                }
+            }
+        }
+
+        for (std::size_t i = 0; i < engines.size(); ++i) {
+            ShardStat st;
+            st.shard = static_cast<int>(i);
+            st.events = engines[i]->eventsExecuted();
+            st.poolSlots =
+                static_cast<std::uint64_t>(engines[i]->poolSlots());
+            st.queuePeak =
+                static_cast<std::uint64_t>(engines[i]->queuePeak());
+            report.shardStats.push_back(st);
+        }
+        report.simWindows = group ? group->windowsRun() : 0;
+
+        for (const auto &ns : nodes) {
+            report.savings.recompute += ns.savings.recompute;
+            report.savings.gpuCpuSwap += ns.savings.gpuCpuSwap;
+            report.savings.d2dSwap += ns.savings.d2dSwap;
+            report.d2dOverflow += ns.d2dOverflow;
+            report.nvmeSpill += ns.nvmeSpill;
+            if (report.faults.enabled) {
+                report.faults.degradedTransfers +=
+                    ns.faults.degradedTransfers;
+                report.faults.transferFailures +=
+                    ns.faults.transferFailures;
+                report.faults.retries += ns.faults.retries;
+                report.faults.fallbackGpuCpuSwap +=
+                    ns.faults.fallbackGpuCpuSwap;
+                report.faults.fallbackRecompute +=
+                    ns.faults.fallbackRecompute;
+                report.faults.straggledTasks +=
+                    ns.faults.straggledTasks;
+                report.faults.hostPressureEvents +=
+                    ns.faults.hostPressureEvents;
+                report.faults.hostPressurePeak =
+                    std::max(report.faults.hostPressurePeak,
+                             ns.faults.hostPressurePeak);
+            }
         }
 
         if (report.oom)
             return;
+
+        // Global minibatch completion = latest local OptimStep across
+        // nodes (every node saw its own last step; the max is the
+        // cluster-wide finish).
+        minibatchDone.assign(
+            static_cast<std::size_t>(sched.numMinibatches), 0);
+        for (const auto &ns : nodes) {
+            for (std::size_t k = 0; k < minibatchDone.size(); ++k)
+                minibatchDone[k] =
+                    std::max(minibatchDone[k], ns.lastOptim[k]);
+        }
 
         const int n = sched.numMinibatches;
         Tick steady;

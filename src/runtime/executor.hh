@@ -18,6 +18,7 @@
 #ifndef MPRESS_RUNTIME_EXECUTOR_HH
 #define MPRESS_RUNTIME_EXECUTOR_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -48,7 +49,16 @@ namespace runtime {
  */
 struct ExecutorArena
 {
+    /** The single-node engine (multi-node runs use @ref nodeEngines
+     *  instead; both are retained so a worker alternating between
+     *  topologies reuses each side's slabs). */
     sim::Engine engine;
+
+    /** One engine per cluster node plus the conservative-window
+     *  coordinator, for multi-node topologies (sharded simulation).
+     *  Rebuilt only when the node count or lookahead changes. */
+    std::vector<std::unique_ptr<sim::Engine>> nodeEngines;
+    std::unique_ptr<sim::ShardGroup> group;
 
     /** Retained fabric, rebuilt only when the topology object
      *  changes; valid while @ref fabricTopo still points at the
@@ -56,6 +66,15 @@ struct ExecutorArena
      *  stable hw::Topology copy per worker for exactly this). */
     std::unique_ptr<hw::Fabric> fabric;
     const hw::Topology *fabricTopo = nullptr;
+
+    /** High-water shrink policy: consecutive runs whose retained
+     *  slabs could hold more than twice what the run actually used.
+     *  When the streak reaches the policy threshold the executor
+     *  releases the retained storage, so a daemon that served one
+     *  huge plan does not hold its peak arenas forever. */
+    int overStreak = 0;
+    /** Times the high-water policy released retained storage. */
+    std::uint64_t shrinks = 0;
 };
 
 /** Executor tunables. */
@@ -101,6 +120,16 @@ struct ExecutorConfig
 
     /** Delay before the first stripe retry; doubles per attempt. */
     util::Tick retryBackoff = 20 * util::kUsec;
+
+    /** Worker threads advancing the shards of a multi-node
+     *  simulation: 0 = auto (one per node, capped at the hardware
+     *  concurrency), 1 = serial windows, otherwise clamped to the
+     *  node count.  Purely a wall-clock knob: the conservative-window
+     *  structure depends only on the event set, so the report is
+     *  byte-identical at any value — the planner's trial-cache key
+     *  ignores this field, like @ref arena.  Single-node topologies
+     *  ignore it entirely. */
+    int simShards = 0;
 
     /** Reusable scratch (non-owning; null = self-contained run).  The
      *  arena must outlive the executor and must not be shared with a

@@ -9,6 +9,7 @@
 #ifndef MPRESS_RUNTIME_REPORT_HH
 #define MPRESS_RUNTIME_REPORT_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,18 @@ struct FaultSummary
     double degradedSamplesPerSec = 0.0;
 };
 
+/** Per-shard discrete-event engine statistics after a run: arena
+ *  growth and queue pressure (single-node runs report one shard).
+ *  mpress-serve's stats endpoint exports these so operators can see
+ *  how much pooled storage each shard holds. */
+struct ShardStat
+{
+    int shard = 0;
+    std::uint64_t events = 0;     ///< events executed by this shard
+    std::uint64_t poolSlots = 0;  ///< callback-slab high water
+    std::uint64_t queuePeak = 0;  ///< event-heap high water
+};
+
 /**
  * The outcome of one simulated training window.
  */
@@ -153,6 +166,12 @@ struct TrainingReport
 
     /** Fault-injection accounting (ExecutorConfig::faults). */
     FaultSummary faults;
+
+    /** Per-shard engine statistics (one entry per cluster node). */
+    std::vector<ShardStat> shardStats;
+    /** Conservative windows the sharded run executed (0 when the
+     *  simulation ran on a single engine). */
+    std::uint64_t simWindows = 0;
 
     /** Highest per-GPU peak across devices. */
     Bytes maxGpuPeak() const;

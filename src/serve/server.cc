@@ -447,6 +447,15 @@ Server::handlePlan(const Request &req)
         return errorResponse(req.id, ErrorKind::BadRequest, err);
     api::MPressSession session(job->topo, job->cfg);
     api::SessionResult result = session.run();
+    {
+        // Record the run's simulation-engine footprint for the stats
+        // endpoint: per-shard slab/heap high waters of the reported
+        // run plus cumulative arena high-water releases.
+        std::lock_guard<std::mutex> lock(_mu);
+        _lastShards = result.report.shardStats;
+        _lastSimWindows = result.report.simWindows;
+        _arenaShrinks += result.planResult.arenaShrinks;
+    }
     if (result.rejected) {
         return errorResponse(
             req.id, ErrorKind::RejectedPlan,
@@ -561,17 +570,23 @@ Server::statsBody() const
     ServerStats s = stats();
     std::size_t queued = 0;
     int in_flight = 0;
+    std::vector<runtime::ShardStat> shards;
+    std::uint64_t sim_windows = 0;
+    std::uint64_t shrinks = 0;
     {
         std::lock_guard<std::mutex> lock(_mu);
         queued = _queue.size();
         in_flight = _inFlight;
+        shards = _lastShards;
+        sim_windows = _lastSimWindows;
+        shrinks = _arenaShrinks;
     }
-    return util::strformat(
+    std::string body = util::strformat(
         "{\"requests\":%llu,\"planRequests\":%llu,"
         "\"overloaded\":%llu,\"parseErrors\":%llu,"
         "\"cacheHits\":%llu,\"cacheMisses\":%llu,"
         "\"cacheEntries\":%llu,\"queueDepth\":%zu,"
-        "\"inFlight\":%d,\"workers\":%d}",
+        "\"inFlight\":%d,\"workers\":%d",
         static_cast<unsigned long long>(s.requests),
         static_cast<unsigned long long>(s.planRequests),
         static_cast<unsigned long long>(s.overloaded),
@@ -580,6 +595,23 @@ Server::statsBody() const
         static_cast<unsigned long long>(s.cacheMisses),
         static_cast<unsigned long long>(s.cacheEntries), queued,
         in_flight, _cfg.workers);
+    body += util::strformat(
+        ",\"simWindows\":%llu,\"arenaShrinks\":%llu,\"shards\":[",
+        static_cast<unsigned long long>(sim_windows),
+        static_cast<unsigned long long>(shrinks));
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        if (i)
+            body += ',';
+        body += util::strformat(
+            "{\"shard\":%d,\"events\":%llu,\"poolSlots\":%llu,"
+            "\"queueDepth\":%llu}",
+            shards[i].shard,
+            static_cast<unsigned long long>(shards[i].events),
+            static_cast<unsigned long long>(shards[i].poolSlots),
+            static_cast<unsigned long long>(shards[i].queuePeak));
+    }
+    body += "]}";
+    return body;
 }
 
 ServerStats

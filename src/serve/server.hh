@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "planner/search.hh"
+#include "runtime/report.hh"
 #include "serve/protocol.hh"
 #include "util/json.hh"
 #include "util/pool.hh"
@@ -193,6 +194,15 @@ class Server
     std::atomic<std::uint64_t> _planRequests{0};
     std::atomic<std::uint64_t> _overloaded{0};
     std::atomic<std::uint64_t> _parseErrors{0};
+
+    /** Simulation-engine footprint of the most recent completed plan
+     *  request (guarded by _mu): per-shard pooled-slab and event-heap
+     *  high waters, conservative windows run, and cumulative arena
+     *  high-water releases — so operators can see how much retained
+     *  storage the daemon's planning runs touch. */
+    std::vector<runtime::ShardStat> _lastShards;
+    std::uint64_t _lastSimWindows = 0;
+    std::uint64_t _arenaShrinks = 0;
 };
 
 } // namespace serve

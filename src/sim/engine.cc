@@ -28,7 +28,7 @@ Engine::acquireSlot()
 }
 
 std::uint32_t
-Engine::enqueue(Tick when)
+Engine::pushEntry(Tick when, std::uint64_t seq)
 {
     if (when < _now) {
         util::panic("event scheduled in the past (%lld < %lld)",
@@ -36,9 +36,25 @@ Engine::enqueue(Tick when)
                     static_cast<long long>(_now));
     }
     std::uint32_t slot = acquireSlot();
-    _heap.push_back(HeapEntry{when, _nextSeq++, slot});
+    _heap.push_back(HeapEntry{when, seq, slot});
     std::push_heap(_heap.begin(), _heap.end(), later);
+    if (_heap.size() > _heapPeak)
+        _heapPeak = _heap.size();
     return slot;
+}
+
+std::uint32_t
+Engine::enqueue(Tick when)
+{
+    return pushEntry(when, _nextSeq++);
+}
+
+std::uint32_t
+Engine::enqueueInjected(Tick when)
+{
+    if (_nextInjectSeq + 1 >= kLocalSeqBase)
+        util::panic("injected-message sequence band exhausted");
+    return pushEntry(when, _nextInjectSeq++);
 }
 
 Engine::HeapEntry
@@ -106,9 +122,25 @@ Engine::reset()
     _slotCount = 0;
     _freeHead = kNoSlot;
     _now = 0;
-    _nextSeq = 0;
+    _nextSeq = kLocalSeqBase;
+    _nextInjectSeq = 0;
+    _heapPeak = 0;
     _eventsExecuted = 0;
     _stopped = false;
+}
+
+void
+Engine::shrink()
+{
+    if (!_heap.empty())
+        util::panic("Engine::shrink() with %zu events pending",
+                    _heap.size());
+    _chunks.clear();
+    _chunks.shrink_to_fit();
+    _heap.shrink_to_fit();
+    _slotCount = 0;
+    _freeHead = kNoSlot;
+    _heapPeak = 0;
 }
 
 } // namespace sim

@@ -71,6 +71,25 @@ class Engine
         slot.fn.emplace(std::forward<F>(fn));
     }
 
+    /**
+     * Schedule a cross-shard message at absolute tick @p when.
+     * Messages occupy a sequence band *below* every locally scheduled
+     * event, so at equal ticks all of a tick's injected messages fire
+     * before any local event — and fire in injection order.  The
+     * sharded runner (sim::ShardGroup) injects each window's mailbox
+     * in one canonical order, which makes the execution sequence a
+     * pure function of the event set, independent of shard or worker
+     * count.  Single-engine simulations never call this, so their
+     * event order is untouched.
+     */
+    template <typename F>
+    void
+    injectMessage(Tick when, F &&fn)
+    {
+        Slot &slot = slotRef(enqueueInjected(when));
+        slot.fn.emplace(std::forward<F>(fn));
+    }
+
     /** Schedule @p fn @p delay ticks from now. */
     template <typename F>
     void
@@ -91,11 +110,21 @@ class Engine
     /** Request that run() return after the current event. */
     void stop() { _stopped = true; }
 
+    /** True when stop() fired during the last run()/runUntil() call
+     *  (both clear the flag on entry).  The sharded runner checks
+     *  this after every window to halt the whole group. */
+    bool stopped() const { return _stopped; }
+
     /** Number of events executed since construction or reset(). */
     std::uint64_t eventsExecuted() const { return _eventsExecuted; }
 
     /** True if no events remain. */
     bool empty() const { return _heap.empty(); }
+
+    /** Tick of the earliest pending event; only valid when
+     *  !empty().  The sharded runner computes window bounds from
+     *  this. */
+    Tick nextEventTime() const { return _heap.front().when; }
 
     /** Clear all pending events and rewind time to zero.  Pending
      *  callbacks are destroyed but the slab chunks and heap capacity
@@ -105,6 +134,15 @@ class Engine
      *  lives in a slot being recycled. */
     void reset();
 
+    /**
+     * Release the retained slab chunks and heap storage entirely.
+     * Only legal when the queue is empty (reset() first); the next
+     * simulation re-grows from nothing.  This is the arena high-water
+     * policy's lever: a serving process that just ran a 512-GPU job
+     * calls shrink() instead of holding peak-sized pools forever.
+     */
+    void shrink();
+
     /** Slab size of the callback pool (high-water mark of events
      *  simultaneously pending; steady-state chains plateau). */
     std::size_t poolSlots() const { return _slotCount; }
@@ -112,8 +150,28 @@ class Engine
     /** Events currently pending. */
     std::size_t queueDepth() const { return _heap.size(); }
 
+    /** Deepest the event queue ever got since construction or
+     *  reset(). */
+    std::size_t queuePeak() const { return _heapPeak; }
+
+    /** Slots the retained slab chunks can hold without allocating
+     *  (survives reset(); shrink() drops it to zero). */
+    std::size_t
+    reservedSlots() const
+    {
+        return _chunks.size() * kChunkSize;
+    }
+
   private:
     static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+    /** First sequence number of locally scheduled events.  Injected
+     *  cross-shard messages draw from [0, kLocalSeqBase); locals from
+     *  [kLocalSeqBase, ...).  Relative order among locals is exactly
+     *  the pre-band ordering, so single-engine runs are
+     *  byte-identical to the historical encoding. */
+    static constexpr std::uint64_t kLocalSeqBase = std::uint64_t{1}
+                                                   << 62;
 
     /** Slots per slab chunk.  Chunks are never reallocated, so a
      *  callback's address stays valid while it executes even if it
@@ -156,6 +214,10 @@ class Engine
      *  caller fills the slot's callback in place. */
     std::uint32_t enqueue(Tick when);
 
+    /** Like enqueue(), but drawing from the injected-message band. */
+    std::uint32_t enqueueInjected(Tick when);
+
+    std::uint32_t pushEntry(Tick when, std::uint64_t seq);
     std::uint32_t acquireSlot();
     HeapEntry popTop();
 
@@ -163,8 +225,10 @@ class Engine
     std::vector<std::unique_ptr<Slot[]>> _chunks;
     std::uint32_t _slotCount = 0;  ///< slots ever handed out
     std::uint32_t _freeHead = kNoSlot;
+    std::size_t _heapPeak = 0;
     Tick _now = 0;
-    std::uint64_t _nextSeq = 0;
+    std::uint64_t _nextSeq = kLocalSeqBase;
+    std::uint64_t _nextInjectSeq = 0;
     std::uint64_t _eventsExecuted = 0;
     bool _stopped = false;
 };

@@ -115,6 +115,20 @@ class Stream
         _tasks = 0;
     }
 
+    /**
+     * Release the completion ring's storage entirely.  Only legal
+     * after reset() (no pending completions); the ring re-grows on
+     * the next submit.  Part of the arena high-water policy — see
+     * Engine::shrink().
+     */
+    void
+    shrink()
+    {
+        _ring.clear();
+        _ring.shrink_to_fit();
+        _head = 0;
+    }
+
     /** Tick at which the last submitted task ends. */
     Tick busyUntil() const { return _busyUntil; }
 

@@ -11,13 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.hh"
 #include "compaction/serialize.hh"
+#include "fault/scenario.hh"
 #include "hw/topology.hh"
 #include "model/model.hh"
+#include "obs/export.hh"
 #include "partition/partition.hh"
 #include "pipeline/schedule.hh"
 #include "planner/mapper.hh"
@@ -27,6 +30,7 @@
 #include "verify/verify.hh"
 
 namespace cl = mpress::cluster;
+namespace fault = mpress::fault;
 namespace cp = mpress::compaction;
 namespace hw = mpress::hw;
 namespace mm = mpress::model;
@@ -569,4 +573,181 @@ TEST(ClusterDeterminism, OomRescuePlanIsByteIdenticalAcrossMatrix)
     rt::TrainingReport rescued = rt::runTraining(
         job.topo, job.mdl, job.part, job.sched, parsed.plan, {});
     EXPECT_FALSE(rescued.oom);
+}
+
+// ---------------------------------------------------------------
+// Sharded simulation: the determinism matrix
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Serialize everything a TrainingReport observes about a run: the
+ *  scalar outcome, per-GPU peaks, the execution trace and the metrics
+ *  registry.  One reordered event anywhere shows up as a byte
+ *  difference here. */
+std::string
+renderReportBytes(const rt::TrainingReport &r)
+{
+    std::ostringstream os;
+    os << "oom=" << r.oom << " gpu=" << r.oomGpu << " t="
+       << r.oomTime << " makespan=" << r.makespan << " steady="
+       << r.steadyIterTime << " sps=" << r.samplesPerSec
+       << " tflops=" << r.tflops << " host=" << r.hostPeak
+       << " nvl=" << r.nvlinkBusyTime << " pcie=" << r.pcieBusyTime
+       << " nic=" << r.nicBusyTime << " d2dovf=" << r.d2dOverflow
+       << " nvme=" << r.nvmeSpill << " sav=" << r.savings.recompute
+       << "/" << r.savings.gpuCpuSwap << "/" << r.savings.d2dSwap
+       << "\n";
+    for (const auto &g : r.gpus) {
+        os << "gpu" << g.gpu << " peak=" << g.peak << " act="
+           << g.peakActivations << " final=" << g.finalUsed
+           << " util=" << g.computeUtilization << "\n";
+    }
+    for (const auto &o : r.overheads) {
+        os << "stage" << o.stage << " rc=" << o.recomputeTime
+           << " si=" << o.swapInStall << " op=" << o.optimStall
+           << "\n";
+    }
+    os << "faults " << r.faults.degradedTransfers << " "
+       << r.faults.transferFailures << " " << r.faults.retries << " "
+       << r.faults.fallbackGpuCpuSwap << " "
+       << r.faults.fallbackRecompute << " "
+       << r.faults.straggledTasks << " "
+       << r.faults.hostPressureEvents << "\n";
+    for (const auto &m : r.memTimeline) {
+        os << "mem " << m.time << " " << m.gpu << " " << m.used
+           << "\n";
+    }
+    r.trace.exportChromeTrace(os);
+    mpress::obs::exportJson(os, r.observability);
+    return os.str();
+}
+
+/** A fault scenario stressing every cross-node mechanism: failing
+ *  D2D stripes (retry ladder), a straggler, and host pressure. */
+fault::Scenario
+clusterFaults()
+{
+    fault::Scenario sc;
+    sc.name = "cluster-mixed";
+    sc.seed = 7;
+    fault::FaultEvent fail;
+    fail.kind = fault::EventKind::TransferFail;
+    fail.start = 0;
+    fail.end = 400 * mu::kMsec;
+    fail.src = -1;
+    fail.probability = 0.3;
+    sc.events.push_back(fail);
+    fault::FaultEvent straggle;
+    straggle.kind = fault::EventKind::GpuStraggle;
+    straggle.start = 0;
+    straggle.end = 300 * mu::kMsec;
+    straggle.gpu = 17;
+    straggle.factor = 0.5;
+    sc.events.push_back(straggle);
+    fault::FaultEvent pressure;
+    pressure.kind = fault::EventKind::HostPressure;
+    pressure.start = 0;
+    pressure.end = 500 * mu::kMsec;
+    pressure.bytes = 8ll * mu::kGiB;
+    sc.events.push_back(pressure);
+    return sc;
+}
+
+} // namespace
+
+TEST(ShardedSim, ReportIsByteIdenticalAcrossTheWorkerMatrix)
+{
+    // The tentpole contract: ExecutorConfig::simShards is purely a
+    // wall-clock knob.  shards {1, 2, 4} x timeline/metrics on x
+    // fault scenario on/off must produce byte-identical reports,
+    // traces and metric streams on a 2-node cluster.
+    ClusterJob job(3);
+    cp::CompactionPlan plan =
+        d2dStageZero(job.part, 1, 4ll * mu::kGiB);
+    fault::Scenario faults = clusterFaults();
+    auto run = [&](int shards, bool faulted) {
+        rt::ExecutorConfig cfg;
+        cfg.recordTimeline = true;
+        cfg.recordMetrics = true;
+        cfg.simShards = shards;
+        if (faulted)
+            cfg.faults = &faults;
+        return renderReportBytes(rt::runTraining(
+            job.topo, job.mdl, job.part, job.sched, plan, cfg));
+    };
+    for (bool faulted : {false, true}) {
+        std::string golden = run(1, faulted);
+        for (int shards : {2, 4}) {
+            EXPECT_EQ(run(shards, faulted), golden)
+                << "shards=" << shards << " faulted=" << faulted;
+        }
+    }
+}
+
+TEST(ShardedSim, EightNodePlanReplaysByteIdentically)
+{
+    // 8 x HGX-H100, GPT-25.5B: plan once, then replay the winning
+    // plan at every shard-worker count (4, 8, and the auto split)
+    // and require byte-identical reports against the serial replay.
+    auto spec = cl::clusterByName("8x-hgx-h100");
+    ASSERT_TRUE(spec.has_value());
+    hw::Topology topo = cl::buildCluster(*spec);
+    mm::TransformerModel mdl(mm::presetByName("gpt-25.5b"), 2);
+    mp::Partition part = mp::partitionModel(
+        mdl, topo.numGpus(), mp::Strategy::ComputeBalanced);
+    pl::Schedule sched = pl::buildSchedule(
+        pl::SystemKind::Dapple, topo.numGpus(), 64, 2);
+
+    pn::PlannerConfig pcfg;
+    pcfg.threads = 2;
+    auto planned = pn::planMPress(topo, mdl, part, sched, pcfg);
+    ASSERT_TRUE(planned.feasible);
+
+    auto run = [&](int shards) {
+        rt::ExecutorConfig cfg;
+        cfg.recordTimeline = true;
+        cfg.recordMetrics = true;
+        cfg.simShards = shards;
+        return rt::runTraining(topo, mdl, part, sched, planned.plan,
+                               cfg);
+    };
+    rt::TrainingReport serial = run(1);
+    ASSERT_FALSE(serial.oom);
+    EXPECT_EQ(serial.shardStats.size(), 8u);
+    EXPECT_GT(serial.simWindows, 0u);
+    std::string golden = renderReportBytes(serial);
+    for (int shards : {4, 8, 0}) {
+        rt::TrainingReport r = run(shards);
+        EXPECT_EQ(renderReportBytes(r), golden)
+            << "shards=" << shards;
+        EXPECT_EQ(r.simWindows, serial.simWindows);
+    }
+}
+
+TEST(ShardedSim, SingleNodeIgnoresShardKnobAndRunsOneEngine)
+{
+    // Single-node topologies keep the exact serial engine path: the
+    // knob is ignored, no windows run, and one shard stat row comes
+    // back.
+    hw::Topology topo = hw::Topology::dgx1V100();
+    mm::TransformerModel mdl(mm::presetByName("bert-0.64b"), 8);
+    mp::Partition part = mp::partitionModel(
+        mdl, topo.numGpus(), mp::Strategy::ComputeBalanced);
+    pl::Schedule sched = pl::buildSchedule(
+        pl::SystemKind::Dapple, topo.numGpus(), 8, 2);
+    auto run = [&](int shards) {
+        rt::ExecutorConfig cfg;
+        cfg.recordTimeline = true;
+        cfg.recordMetrics = true;
+        cfg.simShards = shards;
+        return rt::runTraining(topo, mdl, part, sched, {}, cfg);
+    };
+    rt::TrainingReport a = run(0);
+    rt::TrainingReport b = run(4);
+    ASSERT_FALSE(a.oom);
+    EXPECT_EQ(a.simWindows, 0u);
+    ASSERT_EQ(a.shardStats.size(), 1u);
+    EXPECT_GT(a.shardStats[0].events, 0u);
+    EXPECT_EQ(renderReportBytes(a), renderReportBytes(b));
 }

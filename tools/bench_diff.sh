@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Bench drift checker: diff freshly-written BENCH_*.json files against
+# the committed baselines at the repo root, with per-metric-class
+# tolerances.  The bespoke smokes in tools/check.sh gate a handful of
+# named rows with tight stories; this pass sweeps *every* metric the
+# suites emit so a regression in a row nobody wrote a bespoke gate for
+# still trips CI.
+#
+# Usage: tools/bench_diff.sh [fresh_dir]
+#   fresh_dir  directory holding freshly-generated BENCH_*.json
+#              (default: build/)
+#
+# Rules, keyed on the metric name:
+#  - throughput (items_per_second, samples_per_sec, plans_per_sec,
+#    hit_rate): FAIL if fresh < baseline * (1 - 30%)
+#  - time (wall_ms / *_ms / real_time_ns / us_per_plan): FAIL if
+#    fresh > baseline * (1 + 60%) — wide because CI walls are noisy,
+#    tight enough to catch complexity-class regressions
+#  - exactness flags (feasible, identical) and failure counters
+#    (failures): FAIL on any change for the worse
+#  - allocs_per_event: FAIL above 0.01 absolute (pooled-slot contract)
+#  - everything else (counters, pool sizes, window counts): printed
+#    for information only
+#
+# Benchmarks present on only one side are reported but never fail the
+# run: new rows appear when benches grow, and a filtered fresh run
+# (check.sh filters bench_sim_micro) legitimately omits rows.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fresh_dir="${1:-build}"
+if [ ! -d "$fresh_dir" ]; then
+    echo "bench_diff: fresh dir '$fresh_dir' not found" >&2
+    exit 2
+fi
+
+python3 - "$fresh_dir" <<'EOF'
+import glob, json, os, sys
+
+fresh_dir = sys.argv[1]
+RATE_TOL = 0.30
+TIME_TOL = 0.60
+
+RATE_KEYS = ("items_per_second", "samples_per_sec", "plans_per_sec",
+             "hit_rate")
+TIME_SUFFIXES = ("wall_ms", "_ms", "real_time_ns", "us_per_plan")
+EXACT_KEYS = ("feasible", "identical")
+COUNT_UP_BAD = ("failures",)
+
+def classify(key):
+    if key in RATE_KEYS:
+        return "rate"
+    if key in EXACT_KEYS:
+        return "exact"
+    if key in COUNT_UP_BAD:
+        return "count"
+    if key == "allocs_per_event":
+        return "allocs"
+    if key.endswith(TIME_SUFFIXES) or key == "step_ms":
+        return "time"
+    return "info"
+
+failed = []
+checked = 0
+fresh_files = sorted(glob.glob(os.path.join(fresh_dir, "BENCH_*.json")))
+if not fresh_files:
+    sys.exit("bench_diff: no BENCH_*.json in %s" % fresh_dir)
+
+for fresh_path in fresh_files:
+    name = os.path.basename(fresh_path)
+    base_path = name  # committed baseline at the repo root
+    if not os.path.exists(base_path):
+        print("%-20s no committed baseline (new suite?)" % name)
+        continue
+    fresh = json.load(open(fresh_path))["benchmarks"]
+    base = json.load(open(base_path))["benchmarks"]
+    print("== %s ==" % name)
+    for row in sorted(base):
+        if row not in fresh:
+            print("  %-28s only in baseline (filtered run?)" % row)
+            continue
+        for key in sorted(base[row]):
+            if key not in fresh[row]:
+                continue
+            want, got = base[row][key], fresh[row][key]
+            kind = classify(key)
+            label = "%s.%s" % (row, key)
+            if kind == "info":
+                continue
+            checked += 1
+            if kind == "rate":
+                if want > 0 and got < want * (1 - RATE_TOL):
+                    failed.append("%s: %.3g < baseline %.3g -%d%%"
+                                  % (label, got, want,
+                                     RATE_TOL * 100))
+            elif kind == "time":
+                if want > 0 and got > want * (1 + TIME_TOL):
+                    failed.append("%s: %.3g > baseline %.3g +%d%%"
+                                  % (label, got, want,
+                                     TIME_TOL * 100))
+            elif kind == "exact":
+                if got < want:
+                    failed.append("%s: %g, baseline %g"
+                                  % (label, got, want))
+            elif kind == "count":
+                if got > want:
+                    failed.append("%s: %g > baseline %g"
+                                  % (label, got, want))
+            elif kind == "allocs":
+                if got > 0.01:
+                    failed.append("%s: %.3f > 0.01" % (label, got))
+    for row in sorted(fresh):
+        if row not in base:
+            print("  %-28s new row (not in baseline)" % row)
+
+print("bench_diff: %d gated metrics compared" % checked)
+if failed:
+    for f in failed:
+        print("  DRIFT %s" % f)
+    sys.exit("bench_diff: %d metric(s) drifted beyond tolerance - "
+             "investigate, then refresh the committed baselines if "
+             "deliberate" % len(failed))
+print("bench_diff: all within tolerance")
+EOF

@@ -398,6 +398,9 @@ if failed:
              "baseline - investigate before updating "
              "BENCH_cluster.json")
 EOF
+
+    echo "== bench drift (fresh vs committed baselines) =="
+    tools/bench_diff.sh "$perf"
 fi
 
 if [ "$run_tidy" = 1 ]; then
